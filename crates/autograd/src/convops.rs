@@ -1,0 +1,198 @@
+//! Convolution and pooling ops (im2col lowering shared with quadratic convs).
+
+use crate::graph::{Graph, Var};
+use qn_tensor::{avg_pool2d, avg_pool2d_backward, col2im, im2col, max_pool2d, max_pool2d_backward, Conv2dSpec, PoolSpec, Tensor};
+
+impl Graph {
+    /// Lowers `[B, C, H, W]` to patch rows `[B·OH·OW, C·K·K]` (differentiable
+    /// im2col). Quadratic convolutions are built on this: the patch row *is*
+    /// the neuron input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D or smaller than the kernel.
+    pub fn im2col(&mut self, x: Var, spec: Conv2dSpec) -> Var {
+        let dims = self.value(x).dims4();
+        let value = im2col(self.value(x), spec);
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(move |g: &Tensor| vec![col2im(g, spec, dims)])),
+        )
+    }
+
+    /// 2-D convolution of `[B, C, H, W]` with filters `[OC, C, K, K]`,
+    /// producing `[B, OC, OH, OW]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry mismatch.
+    pub fn conv2d(&mut self, x: Var, weight: Var, spec: Conv2dSpec) -> Var {
+        let (b, c, h, w) = self.value(x).dims4();
+        let (oc, wc, kh, kw) = self.value(weight).dims4();
+        assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
+        assert_eq!(kh, spec.kernel, "conv2d kernel mismatch");
+        assert_eq!(kw, spec.kernel, "conv2d kernel mismatch");
+        let (oh, ow) = spec.output_hw(h, w);
+        let cols = self.im2col(x, spec); // [B*OH*OW, C*K*K]
+        let wmat = self.reshape(weight, &[oc, c * kh * kw]);
+        let out = self.matmul_transb(cols, wmat); // [B*OH*OW, OC]
+        let out = self.reshape(out, &[b, oh, ow, oc]);
+        self.permute(out, &[0, 3, 1, 2])
+    }
+
+    /// Max pooling with a square window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D or smaller than the window.
+    pub fn max_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
+        let dims = self.value(x).dims4();
+        let (value, argmax) = max_pool2d(self.value(x), spec);
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![max_pool2d_backward(g, &argmax, dims)]
+            })),
+        )
+    }
+
+    /// Average pooling with a square window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D or smaller than the window.
+    pub fn avg_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
+        let dims = self.value(x).dims4();
+        let value = avg_pool2d(self.value(x), spec);
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![avg_pool2d_backward(g, spec, dims)]
+            })),
+        )
+    }
+
+    /// Global average pooling: `[B, C, H, W] -> [B, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D.
+    pub fn global_avg_pool(&mut self, x: Var) -> Var {
+        let (b, c, h, w) = self.value(x).dims4();
+        let spec = PoolSpec::new(h, 1);
+        assert_eq!(h, w, "global_avg_pool expects square feature maps");
+        let pooled = self.avg_pool2d(x, spec); // [B, C, 1, 1]
+        self.reshape(pooled, &[b, c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use qn_tensor::Rng;
+
+    #[test]
+    fn conv2d_gradcheck_input_and_weight() {
+        let mut rng = Rng::seed_from(7);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let x = Tensor::randn(&[2, 2, 4, 4], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng).scale(0.5);
+        let wc = w.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let wv = g.leaf(wc.clone());
+                let y = g.conv2d(v, wv, spec);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            3e-2
+        ));
+        let xc = x.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let xv = g.leaf(xc.clone());
+                let y = g.conv2d(xv, v, spec);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &w,
+            1e-2,
+            3e-2
+        ));
+    }
+
+    #[test]
+    fn strided_conv_shapes() {
+        let mut rng = Rng::seed_from(8);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::randn(&[1, 2, 8, 8], &mut rng));
+        let w = g.leaf(Tensor::randn(&[4, 2, 3, 3], &mut rng));
+        let y = g.conv2d(x, w, Conv2dSpec::new(3, 2, 1));
+        assert_eq!(g.value(y).shape().dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn max_pool_gradcheck() {
+        let rng = Rng::seed_from(9);
+        // well-separated values so the argmax does not flip under perturbation
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 7.3) % 11.0);
+        let _ = rng;
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.max_pool2d(v, PoolSpec::new(2, 2));
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-3,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        let mut rng = Rng::seed_from(10);
+        let x = Tensor::randn(&[2, 2, 4, 4], &mut rng);
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.avg_pool2d(v, PoolSpec::new(2, 2));
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn global_avg_pool_shape_and_value() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 3, 4, 4]));
+        let y = g.global_avg_pool(x);
+        assert_eq!(g.value(y).shape().dims(), &[2, 3]);
+        assert!(g.value(y).allclose(&Tensor::ones(&[2, 3]), 1e-6));
+    }
+
+    #[test]
+    fn im2col_gradcheck() {
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::randn(&[1, 2, 4, 4], &mut rng);
+        assert!(gradcheck(
+            |g, v| {
+                let cols = g.im2col(v, Conv2dSpec::new(3, 1, 1));
+                let sq = g.square(cols);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            3e-2
+        ));
+    }
+}

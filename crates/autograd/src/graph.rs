@@ -1,0 +1,227 @@
+use crate::Parameter;
+use qn_tensor::{Rng, Tensor};
+
+/// Handle to a node on a [`Graph`] tape.
+///
+/// `Var` is a cheap copyable index; all operations live on [`Graph`]
+/// (`g.add(a, b)`, `g.matmul(a, b)`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var {
+    pub(crate) id: usize,
+}
+
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub grad: Option<Tensor>,
+    pub parents: Vec<usize>,
+    pub backward: Option<BackwardFn>,
+}
+
+/// A single forward pass recorded as a differentiation tape.
+///
+/// Create one `Graph` per training step, feed inputs with [`Graph::leaf`]
+/// and parameters with [`Graph::param`], build the computation through the
+/// op methods, then call [`Graph::backward`] on a scalar output.
+///
+/// The graph carries a `training` flag (consulted by dropout and batch
+/// norm) and its own [`Rng`] so stochastic layers are reproducible.
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    bindings: Vec<(usize, Parameter)>,
+    training: bool,
+    pub(crate) rng: Rng,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl Graph {
+    /// Creates an inference-mode graph (training features disabled).
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            bindings: Vec::new(),
+            training: false,
+            rng: Rng::seed_from(0),
+        }
+    }
+
+    /// Creates a training-mode graph with a seeded RNG for stochastic ops.
+    pub fn training(seed: u64) -> Self {
+        Graph {
+            nodes: Vec::new(),
+            bindings: Vec::new(),
+            training: true,
+            rng: Rng::seed_from(seed),
+        }
+    }
+
+    /// Whether stochastic/normalization layers should use training behaviour.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a leaf holding `value` (an input or constant).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, vec![], None)
+    }
+
+    /// Records a leaf bound to a persistent [`Parameter`]; after
+    /// [`Graph::backward`] the leaf's gradient is accumulated into the
+    /// parameter's `.grad()` storage.
+    pub fn param(&mut self, p: &Parameter) -> Var {
+        let v = self.leaf(p.value());
+        self.bindings.push((v.id, p.clone()));
+        v
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.id].value
+    }
+
+    /// Gradient of a node, if backward has reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.id].grad.as_ref()
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+    ) -> Var {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            parents,
+            backward,
+        });
+        Var { id }
+    }
+
+    /// Runs reverse-mode differentiation from a scalar output, then flushes
+    /// gradients into every bound [`Parameter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not a single-element tensor.
+    pub fn backward(&mut self, out: Var) {
+        assert_eq!(
+            self.nodes[out.id].value.numel(),
+            1,
+            "backward requires a scalar output, got shape {}",
+            self.nodes[out.id].value.shape()
+        );
+        let seed = Tensor::ones(self.nodes[out.id].value.shape().dims());
+        self.nodes[out.id].grad = Some(seed);
+        for i in (0..=out.id).rev() {
+            let grad = match &self.nodes[i].grad {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            let Some(bw) = self.nodes[i].backward.take() else {
+                continue;
+            };
+            let parents = self.nodes[i].parents.clone();
+            let pgrads = bw(&grad);
+            assert_eq!(
+                parents.len(),
+                pgrads.len(),
+                "backward fn returned {} grads for {} parents",
+                pgrads.len(),
+                parents.len()
+            );
+            for (&p, pg) in parents.iter().zip(pgrads.into_iter()) {
+                match &mut self.nodes[p].grad {
+                    Some(g) => g.add_assign(&pg),
+                    slot @ None => *slot = Some(pg),
+                }
+            }
+        }
+        for (id, p) in &self.bindings {
+            if let Some(g) = &self.nodes[*id].grad {
+                p.accumulate_grad(g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_value_roundtrip() {
+        let mut g = Graph::new();
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let v = g.leaf(t.clone());
+        assert!(g.value(v).allclose(&t, 0.0));
+        assert!(g.grad(v).is_none());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn backward_through_diamond_accumulates() {
+        // y = x + x: dy/dx must be 2 (two paths)
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![5.0], &[1]).unwrap());
+        let y = g.add(x, x);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn param_binding_flushes_grad() {
+        let p = Parameter::new(Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let mut g = Graph::new();
+        let v = g.param(&p);
+        let y = g.mul(v, v);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(p.grad().data(), &[4.0]); // d(x²)/dx = 2x = 4
+    }
+
+    #[test]
+    fn param_used_twice_accumulates_once_per_use() {
+        let p = Parameter::new(Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let mut g = Graph::new();
+        let a = g.param(&p);
+        let b = g.param(&p); // weight sharing
+        let y = g.mul(a, b); // x * x
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(p.grad().data(), &[6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar output")]
+    fn backward_non_scalar_panics() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2]));
+        g.backward(x);
+    }
+
+    #[test]
+    fn training_flag() {
+        assert!(!Graph::new().is_training());
+        assert!(Graph::training(0).is_training());
+    }
+}

@@ -1,0 +1,290 @@
+//! Matrix and batched-matrix products.
+
+use crate::graph::{Graph, Var};
+use qn_tensor::Tensor;
+
+impl Graph {
+    /// Matrix product `a @ b` of `[M, K] × [K, N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let value = av.matmul(&bv);
+        self.push(
+            value,
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                // dA = g @ Bᵀ ; dB = Aᵀ @ g
+                vec![g.matmul_transb(&bv), av.matmul_transa(g)]
+            })),
+        )
+    }
+
+    /// Matrix product `a @ bᵀ` of `[M, K] × [N, K]ᵀ` — used when weights are
+    /// stored row-major as `[out, in]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or trailing-dimension mismatch.
+    pub fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let value = av.matmul_transb(&bv);
+        self.push(
+            value,
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                // y = a bᵀ : dA = g @ B ; dB = gᵀ @ A
+                vec![g.matmul(&bv), g.matmul_transa(&av)]
+            })),
+        )
+    }
+
+    /// Batched matrix product of `[N, M, K] × [N, K, P]` (attention scores
+    /// and context aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let value = bmm_forward(&av, &bv);
+        self.push(
+            value,
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![bmm_transb(g, &bv), bmm_transa(&av, g)]
+            })),
+        )
+    }
+}
+
+fn batch_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(a.ndim(), 3, "bmm lhs must be 3-D");
+    assert_eq!(b.ndim(), 3, "bmm rhs must be 3-D");
+    let (n, m, k) = (a.shape().dim(0), a.shape().dim(1), a.shape().dim(2));
+    let (n2, k2, p) = (b.shape().dim(0), b.shape().dim(1), b.shape().dim(2));
+    assert_eq!(n, n2, "bmm batch dims differ: {n} vs {n2}");
+    assert_eq!(k, k2, "bmm inner dims differ: {k} vs {k2}");
+    (n, m, k, p)
+}
+
+/// `[N, M, K] × [N, K, P] -> [N, M, P]`.
+pub(crate) fn bmm_forward(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, m, k, p) = batch_dims(a, b);
+    let mut out = vec![0.0f32; n * m * p];
+    for ni in 0..n {
+        let abase = ni * m * k;
+        let bbase = ni * k * p;
+        let obase = ni * m * p;
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.data()[abase + i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data()[bbase + kk * p..bbase + (kk + 1) * p];
+                let orow = &mut out[obase + i * p..obase + (i + 1) * p];
+                for (o, &bb) in orow.iter_mut().zip(brow) {
+                    *o += av * bb;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, m, p]).expect("bmm shape consistent")
+}
+
+/// `g [N, M, P] × bᵀ [N, P, K]` per batch: returns `[N, M, K]`.
+fn bmm_transb(g: &Tensor, b: &Tensor) -> Tensor {
+    let (n, k, p) = (b.shape().dim(0), b.shape().dim(1), b.shape().dim(2));
+    let m = g.shape().dim(1);
+    let mut out = vec![0.0f32; n * m * k];
+    for ni in 0..n {
+        for i in 0..m {
+            for kk in 0..k {
+                let brow = &b.data()[ni * k * p + kk * p..ni * k * p + (kk + 1) * p];
+                let grow = &g.data()[ni * m * p + i * p..ni * m * p + (i + 1) * p];
+                let mut acc = 0.0f32;
+                for (&gg, &bb) in grow.iter().zip(brow) {
+                    acc += gg * bb;
+                }
+                out[ni * m * k + i * k + kk] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, m, k]).expect("bmm shape consistent")
+}
+
+/// `aᵀ [N, K, M] × g [N, M, P]` per batch: returns `[N, K, P]`.
+fn bmm_transa(a: &Tensor, g: &Tensor) -> Tensor {
+    let (n, m, k) = (a.shape().dim(0), a.shape().dim(1), a.shape().dim(2));
+    let p = g.shape().dim(2);
+    let mut out = vec![0.0f32; n * k * p];
+    for ni in 0..n {
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.data()[ni * m * k + i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let grow = &g.data()[ni * m * p + i * p..ni * m * p + (i + 1) * p];
+                let orow = &mut out[ni * k * p + kk * p..ni * k * p + (kk + 1) * p];
+                for (o, &gg) in orow.iter_mut().zip(grow) {
+                    *o += av * gg;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, k, p]).expect("bmm shape consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use qn_tensor::Rng;
+
+    #[test]
+    fn matmul_forward_matches_tensor() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 5], &mut rng);
+        let mut g = Graph::new();
+        let av = g.leaf(a.clone());
+        let bv = g.leaf(b.clone());
+        let c = g.matmul(av, bv);
+        assert!(g.value(c).allclose(&a.matmul(&b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_gradcheck_both_sides() {
+        let mut rng = Rng::seed_from(2);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 2], &mut rng);
+        let bc = b.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let bv = g.leaf(bc.clone());
+                let y = g.matmul(v, bv);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &a,
+            1e-2,
+            2e-2
+        ));
+        let ac = a.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let av = g.leaf(ac.clone());
+                let y = g.matmul(av, v);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &b,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn matmul_transb_equals_explicit_transpose() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let w = Tensor::randn(&[5, 4], &mut rng); // [out, in]
+        let mut g = Graph::new();
+        let av = g.leaf(a.clone());
+        let wv = g.leaf(w.clone());
+        let y = g.matmul_transb(av, wv);
+        assert!(g.value(y).allclose(&a.matmul(&w.transpose2()), 1e-5));
+    }
+
+    #[test]
+    fn matmul_transb_gradcheck() {
+        let mut rng = Rng::seed_from(4);
+        let a = Tensor::randn(&[2, 3], &mut rng);
+        let w = Tensor::randn(&[4, 3], &mut rng);
+        let wc = w.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let wv = g.leaf(wc.clone());
+                let y = g.matmul_transb(v, wv);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &a,
+            1e-2,
+            2e-2
+        ));
+        let ac = a.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let av = g.leaf(ac.clone());
+                let y = g.matmul_transb(av, v);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &w,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let mut rng = Rng::seed_from(5);
+        let a = Tensor::randn(&[3, 2, 4], &mut rng);
+        let b = Tensor::randn(&[3, 4, 5], &mut rng);
+        let out = bmm_forward(&a, &b);
+        for ni in 0..3 {
+            let ai = a.slice_axis(0, ni, ni + 1).reshape(&[2, 4]).unwrap();
+            let bi = b.slice_axis(0, ni, ni + 1).reshape(&[4, 5]).unwrap();
+            let oi = out.slice_axis(0, ni, ni + 1).reshape(&[2, 5]).unwrap();
+            assert!(oi.allclose(&ai.matmul(&bi), 1e-5));
+        }
+    }
+
+    #[test]
+    fn bmm_gradcheck() {
+        let mut rng = Rng::seed_from(6);
+        let a = Tensor::randn(&[2, 3, 4], &mut rng);
+        let b = Tensor::randn(&[2, 4, 2], &mut rng);
+        let bc = b.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let bv = g.leaf(bc.clone());
+                let y = g.bmm(v, bv);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &a,
+            1e-2,
+            2e-2
+        ));
+        let ac = a.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let av = g.leaf(ac.clone());
+                let y = g.bmm(av, v);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &b,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch dims differ")]
+    fn bmm_batch_mismatch_panics() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[2, 2, 2]));
+        let b = g.leaf(Tensor::zeros(&[3, 2, 2]));
+        g.bmm(a, b);
+    }
+}

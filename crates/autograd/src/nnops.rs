@@ -1,0 +1,719 @@
+//! Fused neural-network ops: softmax, cross-entropy, normalization,
+//! embedding and dropout.
+
+use crate::graph::{Graph, Var};
+use qn_tensor::Tensor;
+
+impl Graph {
+    /// Numerically-stable softmax over the **last** axis.
+    pub fn softmax_last(&mut self, x: Var) -> Var {
+        let value = softmax_last(self.value(x));
+        let out = value.clone();
+        let last = self.value(x).shape().dims().last().copied().unwrap_or(1);
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(move |g: &Tensor| {
+                // dx = p ⊙ (g - sum(g ⊙ p, last))
+                let mut dx = g.mul(&out);
+                let gd = g.data();
+                let pd = out.data();
+                let dd = dx.data_mut();
+                for row in 0..gd.len() / last {
+                    let base = row * last;
+                    let s: f32 = (0..last).map(|j| gd[base + j] * pd[base + j]).sum();
+                    for j in 0..last {
+                        dd[base + j] = pd[base + j] * (gd[base + j] - s);
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Fused softmax + cross-entropy loss over logits `[B, C]` with integer
+    /// targets, optional label smoothing. Returns the mean loss as `[1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not 2-D, `targets.len() != B`, or any target is
+    /// out of range.
+    pub fn softmax_cross_entropy(
+        &mut self,
+        logits: Var,
+        targets: &[usize],
+        label_smoothing: f32,
+    ) -> Var {
+        let lv = self.value(logits).clone();
+        let (b, c) = lv.dims2();
+        assert_eq!(targets.len(), b, "target count {} != batch {b}", targets.len());
+        for &t in targets {
+            assert!(t < c, "target {t} out of range for {c} classes");
+        }
+        let probs = softmax_last(&lv);
+        let eps = label_smoothing;
+        let off = eps / c as f32;
+        let on = 1.0 - eps + off;
+        let mut loss = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            let row = &probs.data()[i * c..(i + 1) * c];
+            for (j, &p) in row.iter().enumerate() {
+                let y = if j == t { on } else { off };
+                if y > 0.0 {
+                    loss -= y * p.max(1e-12).ln();
+                }
+            }
+        }
+        loss /= b as f32;
+        let targets = targets.to_vec();
+        let value = Tensor::from_vec(vec![loss], &[1]).expect("scalar");
+        self.push(
+            value,
+            vec![logits.id],
+            Some(Box::new(move |g: &Tensor| {
+                let scale = g.data()[0] / b as f32;
+                let mut dx = probs.clone();
+                for (i, &t) in targets.iter().enumerate() {
+                    let row = &mut dx.data_mut()[i * c..(i + 1) * c];
+                    for (j, v) in row.iter_mut().enumerate() {
+                        let y = if j == t { on } else { off };
+                        *v = (*v - y) * scale;
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Per-position weighted softmax cross-entropy over logits `[B, C]`:
+    /// the loss is `Σᵢ wᵢ·CE(logitsᵢ, targetᵢ) / Σᵢ wᵢ`. Zero weights mask
+    /// padding positions in sequence models.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches, out-of-range targets, or if all weights
+    /// are zero.
+    pub fn softmax_cross_entropy_weighted(
+        &mut self,
+        logits: Var,
+        targets: &[usize],
+        weights: &[f32],
+        label_smoothing: f32,
+    ) -> Var {
+        let lv = self.value(logits).clone();
+        let (b, c) = lv.dims2();
+        assert_eq!(targets.len(), b, "target count {} != batch {b}", targets.len());
+        assert_eq!(weights.len(), b, "weight count {} != batch {b}", weights.len());
+        let wsum: f32 = weights.iter().sum();
+        assert!(wsum > 0.0, "all weights are zero");
+        for &t in targets {
+            assert!(t < c, "target {t} out of range for {c} classes");
+        }
+        let probs = softmax_last(&lv);
+        let eps = label_smoothing;
+        let off = eps / c as f32;
+        let on = 1.0 - eps + off;
+        let mut loss = 0.0f32;
+        for (i, (&t, &wi)) in targets.iter().zip(weights.iter()).enumerate() {
+            if wi == 0.0 {
+                continue;
+            }
+            let row = &probs.data()[i * c..(i + 1) * c];
+            for (j, &p) in row.iter().enumerate() {
+                let y = if j == t { on } else { off };
+                if y > 0.0 {
+                    loss -= wi * y * p.max(1e-12).ln();
+                }
+            }
+        }
+        loss /= wsum;
+        let targets = targets.to_vec();
+        let weights = weights.to_vec();
+        let value = Tensor::from_vec(vec![loss], &[1]).expect("scalar");
+        self.push(
+            value,
+            vec![logits.id],
+            Some(Box::new(move |g: &Tensor| {
+                let scale = g.data()[0] / wsum;
+                let mut dx = probs.clone();
+                for (i, (&t, &wi)) in targets.iter().zip(weights.iter()).enumerate() {
+                    let row = &mut dx.data_mut()[i * c..(i + 1) * c];
+                    if wi == 0.0 {
+                        for v in row.iter_mut() {
+                            *v = 0.0;
+                        }
+                        continue;
+                    }
+                    for (j, v) in row.iter_mut().enumerate() {
+                        let y = if j == t { on } else { off };
+                        *v = (*v - y) * scale * wi;
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Layer normalization over the last axis with affine parameters
+    /// `gamma`/`beta` of shape `[D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing dim of `x` differs from `gamma`/`beta`.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.value(x).clone();
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let d = *xv.shape().dims().last().expect("non-empty shape");
+        assert_eq!(gv.numel(), d, "gamma width {} != {d}", gv.numel());
+        assert_eq!(bv.numel(), d, "beta width {} != {d}", bv.numel());
+        let rows = xv.numel() / d;
+        let mut out = xv.clone();
+        let mut xhat = vec![0.0f32; xv.numel()];
+        let mut inv_std = vec![0.0f32; rows];
+        {
+            let od = out.data_mut();
+            for r in 0..rows {
+                let base = r * d;
+                let row = &xv.data()[base..base + d];
+                let mean = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                inv_std[r] = istd;
+                for j in 0..d {
+                    let xh = (row[j] - mean) * istd;
+                    xhat[base + j] = xh;
+                    od[base + j] = xh * gv.data()[j] + bv.data()[j];
+                }
+            }
+        }
+        let xshape = xv.shape().dims().to_vec();
+        self.push(
+            out,
+            vec![x.id, gamma.id, beta.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gd = g.data();
+                let mut dgamma = vec![0.0f32; d];
+                let mut dbeta = vec![0.0f32; d];
+                let mut dx = vec![0.0f32; gd.len()];
+                for r in 0..rows {
+                    let base = r * d;
+                    // accumulate affine grads
+                    for j in 0..d {
+                        dgamma[j] += gd[base + j] * xhat[base + j];
+                        dbeta[j] += gd[base + j];
+                    }
+                    // dxhat = g * gamma
+                    let istd = inv_std[r];
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for j in 0..d {
+                        let dxh = gd[base + j] * gv.data()[j];
+                        sum_dxhat += dxh;
+                        sum_dxhat_xhat += dxh * xhat[base + j];
+                    }
+                    for j in 0..d {
+                        let dxh = gd[base + j] * gv.data()[j];
+                        dx[base + j] = istd
+                            * (dxh - sum_dxhat / d as f32
+                                - xhat[base + j] * sum_dxhat_xhat / d as f32);
+                    }
+                }
+                vec![
+                    Tensor::from_vec(dx, &xshape).expect("shape consistent"),
+                    Tensor::from_vec(dgamma, &[d]).expect("width consistent"),
+                    Tensor::from_vec(dbeta, &[d]).expect("width consistent"),
+                ]
+            })),
+        )
+    }
+
+    /// Batch normalization over `[B, C, H, W]` with per-channel affine
+    /// parameters. In training mode uses batch statistics and returns the
+    /// batch mean/variance for the caller to fold into running statistics;
+    /// in inference mode normalizes with the provided running statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel-width mismatch.
+    pub fn batch_norm2d(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+    ) -> (Var, Option<(Tensor, Tensor)>) {
+        let xv = self.value(x).clone();
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let (b, c, h, w) = xv.dims4();
+        assert_eq!(gv.numel(), c, "gamma width {} != {c}", gv.numel());
+        assert_eq!(bv.numel(), c, "beta width {} != {c}", bv.numel());
+        let m = (b * h * w) as f32;
+        let training = self.is_training();
+        let (mean, var) = if training {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            let hw = h * w;
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * hw;
+                    mean[ci] += xv.data()[base..base + hw].iter().sum::<f32>();
+                }
+            }
+            for v in &mut mean {
+                *v /= m;
+            }
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * hw;
+                    var[ci] += xv.data()[base..base + hw]
+                        .iter()
+                        .map(|&x| (x - mean[ci]) * (x - mean[ci]))
+                        .sum::<f32>();
+                }
+            }
+            for v in &mut var {
+                *v /= m;
+            }
+            (mean, var)
+        } else {
+            (running_mean.data().to_vec(), running_var.data().to_vec())
+        };
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let hw = h * w;
+        let mut out = xv.clone();
+        let mut xhat = vec![0.0f32; xv.numel()];
+        {
+            let od = out.data_mut();
+            for bi in 0..b {
+                for ci in 0..c {
+                    let base = (bi * c + ci) * hw;
+                    for j in 0..hw {
+                        let xh = (xv.data()[base + j] - mean[ci]) * inv_std[ci];
+                        xhat[base + j] = xh;
+                        od[base + j] = xh * gv.data()[ci] + bv.data()[ci];
+                    }
+                }
+            }
+        }
+        let stats = if training {
+            Some((
+                Tensor::from_vec(mean.clone(), &[c]).expect("width consistent"),
+                Tensor::from_vec(var.clone(), &[c]).expect("width consistent"),
+            ))
+        } else {
+            None
+        };
+        let out_var = self.push(
+            out,
+            vec![x.id, gamma.id, beta.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gd = g.data();
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let base = (bi * c + ci) * hw;
+                        for j in 0..hw {
+                            dgamma[ci] += gd[base + j] * xhat[base + j];
+                            dbeta[ci] += gd[base + j];
+                        }
+                    }
+                }
+                let mut dx = vec![0.0f32; gd.len()];
+                if training {
+                    for ci in 0..c {
+                        let istd = inv_std[ci];
+                        let gam = gv.data()[ci];
+                        let sum_dxhat = dbeta[ci] * gam;
+                        let sum_dxhat_xhat = dgamma[ci] * gam;
+                        for bi in 0..b {
+                            let base = (bi * c + ci) * hw;
+                            for j in 0..hw {
+                                let dxh = gd[base + j] * gam;
+                                dx[base + j] = istd
+                                    * (dxh - sum_dxhat / m - xhat[base + j] * sum_dxhat_xhat / m);
+                            }
+                        }
+                    }
+                } else {
+                    for ci in 0..c {
+                        let istd = inv_std[ci];
+                        let gam = gv.data()[ci];
+                        for bi in 0..b {
+                            let base = (bi * c + ci) * hw;
+                            for j in 0..hw {
+                                dx[base + j] = gd[base + j] * gam * istd;
+                            }
+                        }
+                    }
+                }
+                vec![
+                    Tensor::from_vec(dx, &[b, c, h, w]).expect("shape consistent"),
+                    Tensor::from_vec(dgamma, &[c]).expect("width consistent"),
+                    Tensor::from_vec(dbeta, &[c]).expect("width consistent"),
+                ]
+            })),
+        );
+        (out_var, stats)
+    }
+
+    /// Embedding lookup: gathers rows of `weight` (`[V, D]`) by token id,
+    /// returning `[ids.len(), D]`. The backward pass scatter-adds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn embedding(&mut self, weight: Var, ids: &[usize]) -> Var {
+        let wv = self.value(weight).clone();
+        let (v, d) = wv.dims2();
+        for &id in ids {
+            assert!(id < v, "token id {id} out of range for vocab {v}");
+        }
+        let value = wv.select_rows(ids);
+        let ids = ids.to_vec();
+        self.push(
+            value,
+            vec![weight.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dw = Tensor::zeros(&[v, d]);
+                for (row, &id) in ids.iter().enumerate() {
+                    let src = &g.data()[row * d..(row + 1) * d];
+                    let dst = &mut dw.data_mut()[id * d..(id + 1) * d];
+                    for (o, &x) in dst.iter_mut().zip(src) {
+                        *o += x;
+                    }
+                }
+                vec![dw]
+            })),
+        )
+    }
+
+    /// Inverted dropout with keep-scale `1/(1-p)`; identity in inference
+    /// mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn dropout(&mut self, x: Var, p: f32) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        if !self.is_training() || p == 0.0 {
+            return self.scale(x, 1.0);
+        }
+        let n = self.value(x).numel();
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if self.rng.chance(keep) { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask, self.value(x).shape().dims()).expect("mask shape");
+        let mv = mask.clone();
+        let value = self.value(x).mul(&mask);
+        self.push(
+            value,
+            vec![x.id],
+            Some(Box::new(move |g: &Tensor| vec![g.mul(&mv)])),
+        )
+    }
+}
+
+/// Stable softmax over the last axis (free function shared with the loss).
+pub(crate) fn softmax_last(x: &Tensor) -> Tensor {
+    let last = *x.shape().dims().last().expect("non-empty shape");
+    let mut out = x.clone();
+    let data = out.data_mut();
+    for row in 0..data.len() / last {
+        let base = row * last;
+        let m = data[base..base + last]
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in &mut data[base..base + last] {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in &mut data[base..base + last] {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use qn_tensor::Rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[4, 7], &mut rng).scale(3.0);
+        let p = softmax_last(&x);
+        for r in 0..4 {
+            let s: f32 = p.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.min() >= 0.0);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[2, 5], &mut rng);
+        let shifted = x.add_scalar(100.0);
+        assert!(softmax_last(&x).allclose(&softmax_last(&shifted), 1e-5));
+    }
+
+    #[test]
+    fn softmax_gradcheck() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[3, 5], &mut rng);
+        assert!(gradcheck(
+            |g, v| {
+                let p = g.softmax_last(v);
+                let sq = g.square(p);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn cross_entropy_known_value() {
+        // two logits, uniform -> loss = ln 2
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[1, 2]));
+        let l = g.softmax_cross_entropy(x, &[0], 0.0);
+        assert!((g.value(l).data()[0] - std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn(&[4, 6], &mut rng);
+        assert!(gradcheck(
+            |g, v| g.softmax_cross_entropy(v, &[1, 0, 5, 3], 0.0),
+            &x,
+            1e-2,
+            2e-2
+        ));
+        // with label smoothing
+        assert!(gradcheck(
+            |g, v| g.softmax_cross_entropy(v, &[1, 0, 5, 3], 0.1),
+            &x,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn cross_entropy_decreases_with_confidence() {
+        let mut g = Graph::new();
+        let weak = g.leaf(Tensor::from_vec(vec![0.1, 0.0], &[1, 2]).unwrap());
+        let strong = g.leaf(Tensor::from_vec(vec![5.0, 0.0], &[1, 2]).unwrap());
+        let lw = g.softmax_cross_entropy(weak, &[0], 0.0);
+        let ls = g.softmax_cross_entropy(strong, &[0], 0.0);
+        assert!(g.value(ls).data()[0] < g.value(lw).data()[0]);
+    }
+
+    #[test]
+    fn weighted_cross_entropy_masks_padding() {
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::randn(&[4, 5], &mut rng);
+        // weights zero on rows 1 and 3: loss must equal the 2-row loss
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let lw = g.softmax_cross_entropy_weighted(v, &[1, 0, 2, 3], &[1.0, 0.0, 1.0, 0.0], 0.0);
+        let kept = Tensor::concat(&[&x.slice_axis(0, 0, 1), &x.slice_axis(0, 2, 3)], 0);
+        let mut g2 = Graph::new();
+        let v2 = g2.leaf(kept);
+        let l2 = g2.softmax_cross_entropy(v2, &[1, 2], 0.0);
+        assert!((g.value(lw).data()[0] - g2.value(l2).data()[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weighted_cross_entropy_gradcheck() {
+        let mut rng = Rng::seed_from(12);
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        assert!(gradcheck(
+            |g, v| g.softmax_cross_entropy_weighted(v, &[0, 2, 1], &[1.0, 0.0, 2.0], 0.1),
+            &x,
+            1e-2,
+            2e-2
+        ));
+        // grad of masked row must be zero
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let l = g.softmax_cross_entropy_weighted(v, &[0, 2, 1], &[1.0, 0.0, 2.0], 0.0);
+        g.backward(l);
+        let grad = g.grad(v).unwrap();
+        for j in 0..4 {
+            assert_eq!(grad.get(&[1, j]), 0.0);
+        }
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let mut rng = Rng::seed_from(5);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::randn(&[3, 8], &mut rng).scale(4.0).add_scalar(2.0));
+        let gamma = g.leaf(Tensor::ones(&[8]));
+        let beta = g.leaf(Tensor::zeros(&[8]));
+        let y = g.layer_norm(x, gamma, beta, 1e-5);
+        let yv = g.value(y);
+        for r in 0..3 {
+            let row = &yv.data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layer_norm_gradcheck_all_inputs() {
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::randn(&[2, 5], &mut rng);
+        let gamma = Tensor::rand_uniform(&[5], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn(&[5], &mut rng);
+        let (gc, bc) = (gamma.clone(), beta.clone());
+        assert!(gradcheck(
+            move |g, v| {
+                let ga = g.leaf(gc.clone());
+                let be = g.leaf(bc.clone());
+                let y = g.layer_norm(v, ga, be, 1e-5);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            3e-2
+        ));
+        let (xc, bc2) = (x.clone(), beta.clone());
+        assert!(gradcheck(
+            move |g, v| {
+                let xv = g.leaf(xc.clone());
+                let be = g.leaf(bc2.clone());
+                let y = g.layer_norm(xv, v, be, 1e-5);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &gamma,
+            1e-2,
+            3e-2
+        ));
+        let (xc2, gc2) = (x.clone(), gamma.clone());
+        assert!(gradcheck(
+            move |g, v| {
+                let xv = g.leaf(xc2.clone());
+                let ga = g.leaf(gc2.clone());
+                let y = g.layer_norm(xv, ga, v, 1e-5);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &beta,
+            1e-2,
+            3e-2
+        ));
+    }
+
+    #[test]
+    fn batch_norm_training_normalizes_channels() {
+        let mut rng = Rng::seed_from(7);
+        let mut g = Graph::training(0);
+        let x = g.leaf(Tensor::randn(&[4, 3, 5, 5], &mut rng).scale(3.0).add_scalar(-1.0));
+        let gamma = g.leaf(Tensor::ones(&[3]));
+        let beta = g.leaf(Tensor::zeros(&[3]));
+        let (y, stats) = g.batch_norm2d(x, gamma, beta, &Tensor::zeros(&[3]), &Tensor::ones(&[3]), 1e-5);
+        assert!(stats.is_some());
+        let yv = g.value(y);
+        // per-channel mean ~0, var ~1
+        let (b, c, h, w) = yv.dims4();
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for bi in 0..b {
+                for p in 0..h * w {
+                    vals.push(yv.data()[(bi * c + ci) * h * w + p]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_inference_uses_running_stats() {
+        let mut g = Graph::new(); // inference
+        let x = g.leaf(Tensor::full(&[1, 2, 2, 2], 3.0));
+        let gamma = g.leaf(Tensor::ones(&[2]));
+        let beta = g.leaf(Tensor::zeros(&[2]));
+        let rm = Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap();
+        let rv = Tensor::from_vec(vec![4.0, 1.0], &[2]).unwrap();
+        let (y, stats) = g.batch_norm2d(x, gamma, beta, &rm, &rv, 0.0);
+        assert!(stats.is_none());
+        let yv = g.value(y);
+        assert!((yv.get(&[0, 0, 0, 0]) - 1.0).abs() < 1e-4); // (3-1)/2
+        assert!(yv.get(&[0, 1, 0, 0]).abs() < 1e-4); // (3-3)/1
+    }
+
+    #[test]
+    fn batch_norm_training_gradcheck() {
+        let mut rng = Rng::seed_from(8);
+        let x = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        assert!(gradcheck(
+            |g, v| {
+                let gamma = g.leaf(Tensor::from_vec(vec![1.2, 0.7], &[2]).unwrap());
+                let beta = g.leaf(Tensor::from_vec(vec![0.1, -0.2], &[2]).unwrap());
+                let (y, _) =
+                    g.batch_norm2d(v, gamma, beta, &Tensor::zeros(&[2]), &Tensor::ones(&[2]), 1e-5);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            5e-2
+        ));
+    }
+
+    #[test]
+    fn embedding_forward_and_scatter_backward() {
+        let mut g = Graph::new();
+        let w = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap());
+        let e = g.embedding(w, &[2, 0, 2]);
+        assert_eq!(g.value(e).data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = g.sum_all(e);
+        g.backward(s);
+        // row 2 used twice -> grad 2, row 0 once -> 1, row 1 unused -> 0
+        assert_eq!(g.grad(w).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::randn(&[4, 4], &mut rng);
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let y = g.dropout(v, 0.5);
+        assert!(g.value(y).allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let x = Tensor::ones(&[100, 100]);
+        let mut g = Graph::training(13);
+        let v = g.leaf(x);
+        let y = g.dropout(v, 0.3);
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // zeros really appear
+        assert!(g.value(y).min() == 0.0);
+    }
+}

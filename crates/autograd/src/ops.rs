@@ -1,0 +1,644 @@
+//! Elementwise, broadcast and shape-manipulation ops.
+
+use crate::graph::{Graph, Var};
+use qn_tensor::Tensor;
+
+impl Graph {
+    /// Elementwise sum of two same-shape nodes.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(
+            value,
+            vec![a.id, b.id],
+            Some(Box::new(|g: &Tensor| vec![g.clone(), g.clone()])),
+        )
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(
+            value,
+            vec![a.id, b.id],
+            Some(Box::new(|g: &Tensor| vec![g.clone(), g.neg()])),
+        )
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let value = av.mul(&bv);
+        self.push(
+            value,
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.mul(&bv), g.mul(&av)]
+            })),
+        )
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| vec![g.scale(s)])),
+        )
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).add_scalar(s);
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(|g: &Tensor| vec![g.clone()])),
+        )
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    /// Elementwise square `x²` (the `(·)⊙²` operation of Fan et al.).
+    pub fn square(&mut self, a: Var) -> Var {
+        let av = self.value(a).clone();
+        let value = av.map(|v| v * v);
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| vec![g.mul(&av).scale(2.0)])),
+        )
+    }
+
+    /// Elementwise integer power `xᵖ` (`p >= 1`) — the polynomial kernel of
+    /// kervolutional neurons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` (use a constant instead).
+    pub fn powi(&mut self, a: Var, p: i32) -> Var {
+        assert!(p >= 1, "powi requires p >= 1, got {p}");
+        let av = self.value(a).clone();
+        let value = av.map(|v| v.powi(p));
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&av, |gi, x| gi * p as f32 * x.powi(p - 1))]
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let av = self.value(a).clone();
+        let value = av.map(|v| v.max(0.0));
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&av, |gi, x| if x > 0.0 { gi } else { 0.0 })]
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.tanh());
+        let out = value.clone();
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&out, |gi, y| gi * (1.0 - y * y))]
+            })),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let out = value.clone();
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&out, |gi, y| gi * y * (1.0 - y))]
+            })),
+        )
+    }
+
+    // ----- broadcast arithmetic -------------------------------------------
+
+    /// Adds `b` (whose shape is a trailing suffix of `a`'s shape) to `a`,
+    /// broadcasting over the leading dims. Covers `[B, M] + [M]` biases and
+    /// `[B, T, D] + [D]` affine shifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b`'s shape is not a trailing suffix of `a`'s.
+    pub fn add_bcast(&mut self, a: Var, b: Var) -> Var {
+        let (value, lead) = {
+            let av = self.value(a);
+            let bv = self.value(b);
+            let lead = bcast_lead(av, bv);
+            let mut out = av.clone();
+            let bl = bv.numel();
+            for chunk in out.data_mut().chunks_mut(bl) {
+                for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+                    *o += x;
+                }
+            }
+            (out, lead)
+        };
+        let bshape = self.value(b).shape().dims().to_vec();
+        self.push(
+            value,
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                let bl: usize = bshape.iter().product();
+                let mut db = vec![0.0f32; bl];
+                for chunk in g.data().chunks(bl) {
+                    for (o, &x) in db.iter_mut().zip(chunk) {
+                        *o += x;
+                    }
+                }
+                let _ = lead;
+                vec![
+                    g.clone(),
+                    Tensor::from_vec(db, &bshape).expect("suffix shape consistent"),
+                ]
+            })),
+        )
+    }
+
+    /// Multiplies `a` by `b` broadcast over the leading dims (shape-suffix
+    /// rule as in [`Graph::add_bcast`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b`'s shape is not a trailing suffix of `a`'s.
+    pub fn mul_bcast(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        bcast_lead(&av, &bv);
+        let mut out = av.clone();
+        let bl = bv.numel();
+        for chunk in out.data_mut().chunks_mut(bl) {
+            for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+                *o *= x;
+            }
+        }
+        let bshape = bv.shape().dims().to_vec();
+        self.push(
+            out,
+            vec![a.id, b.id],
+            Some(Box::new(move |g: &Tensor| {
+                let bl: usize = bshape.iter().product();
+                let mut da = g.clone();
+                for chunk in da.data_mut().chunks_mut(bl) {
+                    for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+                        *o *= x;
+                    }
+                }
+                let mut db = vec![0.0f32; bl];
+                for (gchunk, achunk) in g.data().chunks(bl).zip(av.data().chunks(bl)) {
+                    for ((o, &gi), &ai) in db.iter_mut().zip(gchunk).zip(achunk) {
+                        *o += gi * ai;
+                    }
+                }
+                vec![
+                    da,
+                    Tensor::from_vec(db, &bshape).expect("suffix shape consistent"),
+                ]
+            })),
+        )
+    }
+
+    /// Adds a per-channel bias `[C]` to a `[B, C, H, W]` activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or width mismatch.
+    pub fn add_channel(&mut self, a: Var, bias: Var) -> Var {
+        let value = self.value(a).add_channel(self.value(bias));
+        let dims = self.value(a).dims4();
+        self.push(
+            value,
+            vec![a.id, bias.id],
+            Some(Box::new(move |g: &Tensor| {
+                let (b, c, h, w) = dims;
+                let mut db = vec![0.0f32; c];
+                let hw = h * w;
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let base = (bi * c + ci) * hw;
+                        db[ci] += g.data()[base..base + hw].iter().sum::<f32>();
+                    }
+                }
+                vec![
+                    g.clone(),
+                    Tensor::from_vec(db, &[c]).expect("channel count consistent"),
+                ]
+            })),
+        )
+    }
+
+    /// Multiplies a `[B, C, H, W]` activation by a per-channel scale `[C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or width mismatch.
+    pub fn mul_channel(&mut self, a: Var, scale: Var) -> Var {
+        let av = self.value(a).clone();
+        let sv = self.value(scale).clone();
+        let value = av.mul_channel(&sv);
+        let dims = av.dims4();
+        self.push(
+            value,
+            vec![a.id, scale.id],
+            Some(Box::new(move |g: &Tensor| {
+                let (b, c, h, w) = dims;
+                let hw = h * w;
+                let da = g.mul_channel(&sv);
+                let mut ds = vec![0.0f32; c];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let base = (bi * c + ci) * hw;
+                        ds[ci] += g.data()[base..base + hw]
+                            .iter()
+                            .zip(&av.data()[base..base + hw])
+                            .map(|(&gi, &ai)| gi * ai)
+                            .sum::<f32>();
+                    }
+                }
+                vec![
+                    da,
+                    Tensor::from_vec(ds, &[c]).expect("channel count consistent"),
+                ]
+            })),
+        )
+    }
+
+    // ----- shape ops -------------------------------------------------------
+
+    /// Reshapes to `dims` (element count must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
+        let old_dims = self.value(a).shape().dims().to_vec();
+        let value = self
+            .value(a)
+            .reshape(dims)
+            .unwrap_or_else(|e| panic!("reshape: {e}"));
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.reshape(&old_dims).expect("inverse reshape consistent")]
+            })),
+        )
+    }
+
+    /// Permutes axes; the backward pass applies the inverse permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` is not a permutation.
+    pub fn permute(&mut self, a: Var, axes: &[usize]) -> Var {
+        let value = self.value(a).permute(axes);
+        let mut inverse = vec![0usize; axes.len()];
+        for (i, &ax) in axes.iter().enumerate() {
+            inverse[ax] = i;
+        }
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| vec![g.permute(&inverse)])),
+        )
+    }
+
+    /// Concatenates nodes along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes are incompatible.
+    pub fn concat(&mut self, parts: &[Var], axis: usize) -> Var {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let tensors: Vec<Tensor> = parts.iter().map(|v| self.value(*v).clone()).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let value = Tensor::concat(&refs, axis);
+        let sizes: Vec<usize> = tensors.iter().map(|t| t.shape().dim(axis)).collect();
+        let ids: Vec<usize> = parts.iter().map(|v| v.id).collect();
+        self.push(
+            value,
+            ids,
+            Some(Box::new(move |g: &Tensor| {
+                let mut grads = Vec::with_capacity(sizes.len());
+                let mut start = 0usize;
+                for &s in &sizes {
+                    grads.push(g.slice_axis(axis, start, start + s));
+                    start += s;
+                }
+                grads
+            })),
+        )
+    }
+
+    /// Copies the half-open `[start, end)` range of `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_axis(&mut self, a: Var, axis: usize, start: usize, end: usize) -> Var {
+        let full = self.value(a).shape().dims().to_vec();
+        let value = self.value(a).slice_axis(axis, start, end);
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                // embed the slice gradient into a zero tensor of the full shape
+                let mut parts: Vec<Tensor> = Vec::new();
+                if start > 0 {
+                    let mut dims = full.clone();
+                    dims[axis] = start;
+                    parts.push(Tensor::zeros(&dims));
+                }
+                parts.push(g.clone());
+                if end < full[axis] {
+                    let mut dims = full.clone();
+                    dims[axis] = full[axis] - end;
+                    parts.push(Tensor::zeros(&dims));
+                }
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                vec![Tensor::concat(&refs, axis)]
+            })),
+        )
+    }
+
+    // ----- reductions ----------------------------------------------------------
+
+    /// Sum of all elements, as a `[1]` tensor.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let dims = self.value(a).shape().dims().to_vec();
+        let value = Tensor::from_vec(vec![self.value(a).sum()], &[1]).expect("scalar");
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![Tensor::full(&dims, g.data()[0])]
+            })),
+        )
+    }
+
+    /// Mean of all elements, as a `[1]` tensor.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).numel() as f32;
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Sums over `axis`, removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
+        let dims = self.value(a).shape().dims().to_vec();
+        let value = self.value(a).sum_axis(axis);
+        self.push(
+            value,
+            vec![a.id],
+            Some(Box::new(move |g: &Tensor| {
+                // broadcast g back along the removed axis
+                let outer: usize = dims[..axis].iter().product();
+                let mid = dims[axis];
+                let inner: usize = dims[axis + 1..].iter().product();
+                let mut out = vec![0.0f32; outer * mid * inner];
+                for o in 0..outer {
+                    for m in 0..mid {
+                        let dst = (o * mid + m) * inner;
+                        let src = o * inner;
+                        out[dst..dst + inner].copy_from_slice(&g.data()[src..src + inner]);
+                    }
+                }
+                vec![Tensor::from_vec(out, &dims).expect("shape consistent")]
+            })),
+        )
+    }
+
+    /// Mean over `axis`, removing it.
+    pub fn mean_axis(&mut self, a: Var, axis: usize) -> Var {
+        let n = self.value(a).shape().dim(axis) as f32;
+        let s = self.sum_axis(a, axis);
+        self.scale(s, 1.0 / n)
+    }
+}
+
+/// Validates the suffix-broadcast contract and returns the number of leading
+/// broadcast elements.
+fn bcast_lead(a: &Tensor, b: &Tensor) -> usize {
+    let ad = a.shape().dims();
+    let bd = b.shape().dims();
+    assert!(
+        bd.len() <= ad.len() && ad[ad.len() - bd.len()..] == *bd,
+        "broadcast shape {:?} is not a trailing suffix of {:?}",
+        bd,
+        ad
+    );
+    ad[..ad.len() - bd.len()].iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use qn_tensor::Rng;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_forward() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0, 2.0], &[2]));
+        let b = g.leaf(t(&[3.0, 4.0], &[2]));
+        let sum = g.add(a, b);
+        assert_eq!(g.value(sum).data(), &[4.0, 6.0]);
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0, 2.0], &[2]));
+        let b = g.leaf(t(&[3.0, 4.0], &[2]));
+        let d = g.sub(a, b);
+        assert_eq!(g.value(d).data(), &[-2.0, -2.0]);
+        let m = g.mul(a, b);
+        assert_eq!(g.value(m).data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn gradcheck_elementwise() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        assert!(gradcheck(|g, v| { let y = g.square(v); g.sum_all(y) }, &x, 1e-2, 2e-2));
+        assert!(gradcheck(|g, v| { let y = g.tanh(v); g.sum_all(y) }, &x, 1e-2, 2e-2));
+        assert!(gradcheck(|g, v| { let y = g.sigmoid(v); g.sum_all(y) }, &x, 1e-2, 2e-2));
+        assert!(gradcheck(|g, v| { let y = g.powi(v, 3); g.sum_all(y) }, &x, 1e-2, 5e-2));
+        assert!(gradcheck(|g, v| { let y = g.scale(v, -2.5); g.sum_all(y) }, &x, 1e-2, 2e-2));
+    }
+
+    #[test]
+    fn gradcheck_relu_away_from_kink() {
+        let mut rng = Rng::seed_from(2);
+        // keep values away from 0 so finite differences are valid
+        let x = Tensor::randn(&[3, 3], &mut rng).map(|v| if v.abs() < 0.2 { v + 0.5 } else { v });
+        assert!(gradcheck(|g, v| { let y = g.relu(v); g.sum_all(y) }, &x, 1e-3, 2e-2));
+    }
+
+    #[test]
+    fn add_bcast_forward_and_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(t(&[10.0, 20.0], &[2]));
+        let y = g.add_bcast(a, b);
+        assert_eq!(g.value(y).data(), &[11.0, 22.0, 13.0, 24.0]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_bcast_gradcheck_both_sides() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng);
+        let w = Tensor::randn(&[3, 4], &mut rng);
+        let wc = w.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let wv = g.leaf(wc.clone());
+                let y = g.mul_bcast(v, wv);
+                g.sum_all(y)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+        let xc = x.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let xv = g.leaf(xc.clone());
+                let y = g.mul_bcast(xv, v);
+                g.sum_all(y)
+            },
+            &w,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn channel_ops_grad() {
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn(&[2, 3, 2, 2], &mut rng);
+        let bias = Tensor::randn(&[3], &mut rng);
+        let bc = bias.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let b = g.leaf(bc.clone());
+                let y = g.add_channel(v, b);
+                let y2 = g.square(y);
+                g.sum_all(y2)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+        let xc = x.clone();
+        assert!(gradcheck(
+            move |g, v| {
+                let xv = g.leaf(xc.clone());
+                let y = g.mul_channel(xv, v);
+                g.sum_all(y)
+            },
+            &bias,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn reshape_permute_grad_flow() {
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng);
+        assert!(gradcheck(
+            |g, v| {
+                let r = g.reshape(v, &[6, 4]);
+                let p = g.permute(r, &[1, 0]);
+                let sq = g.square(p);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+    }
+
+    #[test]
+    fn concat_slice_grads() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[1.0, 2.0], &[1, 2]));
+        let b = g.leaf(t(&[3.0, 4.0, 5.0], &[1, 3]));
+        let c = g.concat(&[a, b], 1);
+        assert_eq!(g.value(c).data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let sl = g.slice_axis(c, 1, 1, 4);
+        let sq = g.square(sl);
+        let s = g.sum_all(sq);
+        g.backward(s);
+        // d/dx of x² over sliced [2, 3, 4]
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0, 4.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[6.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_axis_grad() {
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::randn(&[3, 4, 2], &mut rng);
+        for axis in 0..3 {
+            assert!(gradcheck(
+                move |g, v| {
+                    let s = g.sum_axis(v, axis);
+                    let sq = g.square(s);
+                    g.sum_all(sq)
+                },
+                &x,
+                1e-2,
+                3e-2
+            ), "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn mean_ops() {
+        let mut g = Graph::new();
+        let a = g.leaf(t(&[2.0, 4.0, 6.0, 8.0], &[2, 2]));
+        let m = g.mean_all(a);
+        assert!((g.value(m).data()[0] - 5.0).abs() < 1e-6);
+        let ma = g.mean_axis(a, 0);
+        assert_eq!(g.value(ma).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing suffix")]
+    fn bad_broadcast_panics() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[2, 3]));
+        let b = g.leaf(Tensor::zeros(&[2]));
+        g.add_bcast(a, b);
+    }
+}

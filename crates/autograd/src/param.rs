@@ -1,0 +1,165 @@
+use qn_tensor::Tensor;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A trainable tensor with persistent gradient storage.
+///
+/// `Parameter` is a shared handle (`Rc<RefCell<…>>`): cloning it aliases the
+/// same storage, which is how modules hand their weights both to the graph
+/// (via [`crate::Graph::param`]) and to an optimizer. The workspace trains
+/// single-threaded, so `Rc` is sufficient and cheap.
+///
+/// # Example
+///
+/// ```
+/// use qn_autograd::Parameter;
+/// use qn_tensor::Tensor;
+///
+/// let p = Parameter::new(Tensor::zeros(&[2, 2]));
+/// assert_eq!(p.numel(), 4);
+/// p.update(|value, _grad| value.map_inplace(|v| v + 1.0));
+/// assert_eq!(p.value().sum(), 4.0);
+/// ```
+#[derive(Clone)]
+pub struct Parameter {
+    inner: Rc<RefCell<Inner>>,
+    name: Rc<str>,
+}
+
+struct Inner {
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl fmt::Debug for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "Parameter(name={:?}, shape={}, |g|={:.3e})",
+            self.name,
+            inner.value.shape(),
+            inner.grad.frob_norm()
+        )
+    }
+}
+
+impl Parameter {
+    /// Wraps a tensor as a trainable parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims());
+        Parameter {
+            inner: Rc::new(RefCell::new(Inner { value, grad })),
+            name: Rc::from(""),
+        }
+    }
+
+    /// Like [`Parameter::new`] but tagged with a diagnostic name.
+    pub fn named(name: &str, value: Tensor) -> Self {
+        let mut p = Parameter::new(value);
+        p.name = Rc::from(name);
+        p
+    }
+
+    /// The diagnostic name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A snapshot copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// A snapshot copy of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+
+    /// Overwrites the value (used by initializers and spectral re-projection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value has a different shape.
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            value.shape(),
+            "set_value shape mismatch"
+        );
+        inner.value = value;
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        self.inner.borrow_mut().grad.add_assign(g);
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.grad = Tensor::zeros(inner.value.shape().dims());
+    }
+
+    /// Applies an in-place update with access to value and gradient —
+    /// the hook optimizers use.
+    pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let inner = &mut *self.inner.borrow_mut();
+        f(&mut inner.value, &inner.grad);
+    }
+
+    /// `true` if two handles alias the same storage.
+    pub fn same_storage(&self, other: &Parameter) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_aliases_storage() {
+        let p = Parameter::new(Tensor::zeros(&[2]));
+        let q = p.clone();
+        assert!(p.same_storage(&q));
+        q.update(|v, _| v.map_inplace(|_| 9.0));
+        assert_eq!(p.value().data(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_and_zeroes() {
+        let p = Parameter::new(Tensor::zeros(&[2]));
+        let g = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        p.accumulate_grad(&g);
+        p.accumulate_grad(&g);
+        assert_eq!(p.grad().data(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn named_parameter_keeps_name() {
+        let p = Parameter::named("conv1.weight", Tensor::zeros(&[1]));
+        assert_eq!(p.name(), "conv1.weight");
+        assert!(format!("{p:?}").contains("conv1.weight"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_value_shape_mismatch_panics() {
+        let p = Parameter::new(Tensor::zeros(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+}

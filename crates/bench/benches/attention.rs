@@ -1,0 +1,46 @@
+//! Table II benchmark: transformer forward cost with linear vs quadratic
+//! attention projections (the quadratic model at its reduced width).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_autograd::Graph;
+use qn_models::{Transformer, TransformerConfig};
+
+fn bench(c: &mut Criterion) {
+    let base = TransformerConfig {
+        src_vocab: 40,
+        tgt_vocab: 44,
+        d_model: 40,
+        heads: 4,
+        enc_layers: 2,
+        dec_layers: 2,
+        d_ff: 80,
+        quadratic_rank: None,
+        max_len: 24,
+        dropout: 0.0,
+        seed: 7,
+    };
+    let quad = TransformerConfig {
+        d_model: 32,
+        d_ff: 64,
+        quadratic_rank: Some(7),
+        ..base
+    };
+    let src: Vec<Vec<usize>> = (0..4).map(|i| vec![3 + i, 4, 5, 6, 7, 8]).collect();
+    let tgt: Vec<Vec<usize>> = (0..4).map(|i| vec![1, 9 + i, 10, 11, 12]).collect();
+    let mut group = c.benchmark_group("attention");
+    group.sample_size(10);
+    for (name, cfg) in [("baseline_d40", base), ("quadratic_d32_k7", quad)] {
+        let model = Transformer::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let y = model.forward(&mut g, &src, &tgt);
+                std::hint::black_box(g.value(y).sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

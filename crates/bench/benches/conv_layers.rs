@@ -1,0 +1,35 @@
+//! Fig. 4 FLOP-axis benchmark: linear vs quadratic convolution forward cost
+//! at matched output channels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_autograd::Graph;
+use qn_core::NeuronSpec;
+use qn_tensor::{Conv2dSpec, Rng, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let spec = Conv2dSpec::new(3, 1, 1);
+    let x = Tensor::randn(&[4, 8, 16, 16], &mut rng);
+    let mut group = c.benchmark_group("conv_layers");
+    group.sample_size(10);
+    for (name, neuron) in [
+        ("linear", NeuronSpec::Linear),
+        ("ours_k3", NeuronSpec::EfficientQuadratic { rank: 3 }),
+        ("ours_k9", NeuronSpec::EfficientQuadratic { rank: 9 }),
+        ("quad2", NeuronSpec::Quad2),
+    ] {
+        let (layer, _) = neuron.build_conv(8, 16, spec, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &layer, |b, layer| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let xv = g.leaf(x.clone());
+                let y = layer.forward(&mut g, xv);
+                std::hint::black_box(g.value(y).sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

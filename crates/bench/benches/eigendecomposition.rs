@@ -1,0 +1,25 @@
+//! §III-A benchmark: Jacobi eigendecomposition scaling over the matrix
+//! sizes quadratic convolutions produce (n = C·K²).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_linalg::{eigh, spectral_top_k, symmetrize};
+use qn_tensor::{Rng, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(11);
+    let mut group = c.benchmark_group("eigendecomposition");
+    group.sample_size(10);
+    for n in [9usize, 27, 72] {
+        let m = symmetrize(&Tensor::randn(&[n, n], &mut rng));
+        group.bench_with_input(BenchmarkId::new("eigh", n), &m, |b, m| {
+            b.iter(|| std::hint::black_box(eigh(m, 200).values[0]))
+        });
+        group.bench_with_input(BenchmarkId::new("top_k9", n), &m, |b, m| {
+            b.iter(|| std::hint::black_box(spectral_top_k(m, 9.min(n)).lambda[0]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table I benchmark: forward cost of one dense layer per neuron family at
+//! fixed width — the measured counterpart of the MAC column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_autograd::Graph;
+use qn_core::neurons::{
+    EfficientQuadraticLinear, FactorizedQuadraticLinear, KervolutionLinear,
+    LowRankQuadraticLinear, Quad1Linear, Quad2Linear,
+};
+use qn_nn::{Linear, Module};
+use qn_tensor::{Rng, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let n = 128usize;
+    let units = 16usize;
+    let k = 9usize;
+    let x = Tensor::randn(&[32, n], &mut rng);
+    let layers: Vec<(&str, Box<dyn Module>)> = vec![
+        ("linear", Box::new(Linear::new(n, units, false, &mut rng))),
+        ("ours_k9", Box::new(EfficientQuadraticLinear::new(n, units, k, &mut rng))),
+        ("lowrank_k9", Box::new(LowRankQuadraticLinear::new(n, units, k, &mut rng))),
+        ("quad1", Box::new(Quad1Linear::new(n, units, &mut rng))),
+        ("quad2", Box::new(Quad2Linear::new(n, units, &mut rng))),
+        ("factorized", Box::new(FactorizedQuadraticLinear::new(n, units, &mut rng))),
+        ("kervolution", Box::new(KervolutionLinear::new(n, units, 1.0, 3, &mut rng))),
+    ];
+    let mut group = c.benchmark_group("neuron_forward");
+    group.sample_size(10);
+    for (name, layer) in &layers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), layer, |b, layer| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let xv = g.leaf(x.clone());
+                let y = layer.forward(&mut g, xv);
+                std::hint::black_box(g.value(y).sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

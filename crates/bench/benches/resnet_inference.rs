@@ -1,0 +1,47 @@
+//! Figs. 4–5 model-level benchmark: end-to-end inference cost of the ResNet
+//! family with linear vs quadratic neurons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_autograd::Graph;
+use qn_core::NeuronSpec;
+use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+use qn_nn::Module;
+use qn_tensor::{Rng, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::randn(&[1, 3, 16, 16], &mut rng);
+    let mut group = c.benchmark_group("resnet_inference");
+    group.sample_size(10);
+    for depth in [8usize, 20] {
+        for (name, neuron) in [
+            ("linear", NeuronSpec::Linear),
+            ("ours_k9", NeuronSpec::EfficientQuadratic { rank: 9 }),
+        ] {
+            let net = ResNet::cifar(ResNetConfig {
+                depth,
+                base_width: 8,
+                num_classes: 10,
+                neuron,
+                placement: NeuronPlacement::All,
+                seed: 5,
+            });
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &net,
+                |b, net| {
+                    b.iter(|| {
+                        let mut g = Graph::new();
+                        let xv = g.leaf(x.clone());
+                        let y = net.forward(&mut g, xv);
+                        std::hint::black_box(g.value(y).sum())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

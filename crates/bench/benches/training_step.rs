@@ -1,0 +1,52 @@
+//! Training-cost benchmark: one full step (forward + backward + SGD) of the
+//! small ResNet with linear vs quadratic neurons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_autograd::Graph;
+use qn_core::NeuronSpec;
+use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+use qn_nn::{Module, Sgd, SgdConfig};
+use qn_tensor::{Rng, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(13);
+    let x = Tensor::randn(&[8, 3, 12, 12], &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+    for (name, neuron) in [
+        ("linear", NeuronSpec::Linear),
+        ("ours_k9", NeuronSpec::EfficientQuadratic { rank: 9 }),
+    ] {
+        let net = ResNet::cifar(ResNetConfig {
+            depth: 8,
+            base_width: 4,
+            num_classes: 10,
+            neuron,
+            placement: NeuronPlacement::All,
+            seed: 17,
+        });
+        let (lambda, other) = net.param_groups();
+        let mut opt = Sgd::new(SgdConfig::default());
+        opt.add_group(other, None, None);
+        if !lambda.is_empty() {
+            opt.add_group(lambda, Some(1e-4), None);
+        }
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut g = Graph::training(0);
+                let xv = g.leaf(x.clone());
+                let logits = net.forward(&mut g, xv);
+                let loss = g.softmax_cross_entropy(logits, &labels, 0.0);
+                g.backward(loss);
+                opt.step(1.0);
+                opt.zero_grad();
+                std::hint::black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Closed-form parameter and MAC models for every neuron family — the
+//! paper's Table I, as executable code.
+//!
+//! Conventions follow the paper: `n` is the number of neuron inputs, `k` the
+//! decomposition rank, bias terms are ignored, and "MAC" counts
+//! multiply–accumulate operations of one forward evaluation of one neuron.
+
+/// Per-neuron parameter and computation cost, plus how many scalar outputs
+/// the neuron produces (1 for all prior work, `k + 1` for the proposed
+/// neuron with vectorized output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Complexity {
+    /// Trainable parameters per neuron.
+    pub params: u64,
+    /// Multiply–accumulates per forward evaluation.
+    pub macs: u64,
+    /// Scalar outputs per neuron.
+    pub outputs: u64,
+}
+
+impl Complexity {
+    /// Parameters amortized per output channel.
+    pub fn params_per_output(&self) -> f64 {
+        self.params as f64 / self.outputs as f64
+    }
+
+    /// MACs amortized per output channel.
+    pub fn macs_per_output(&self) -> f64 {
+        self.macs as f64 / self.outputs as f64
+    }
+}
+
+/// The neuron families of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeuronFamily {
+    /// Conventional linear neuron `wᵀx`.
+    Linear,
+    /// `xᵀMx + wᵀx` — Zoumpourlis et al., ICCV 2017 \[17\].
+    General,
+    /// `xᵀMx` — Mantini & Shah, ICPR 2020 \[16\].
+    NoLinear,
+    /// `(w₁ᵀx)(w₂ᵀx) + w₁ᵀx` — Bu & Karpatne, SDM 2021 \[23\].
+    Factorized,
+    /// `xᵀQ₁ᵏ(Q₂ᵏ)ᵀx + wᵀx` — Jiang et al., NCAA 2020 \[18\].
+    LowRank,
+    /// `(w₁ᵀx)(w₂ᵀx) + w₃ᵀ(x⊙²)` — Fan et al. \[19\].
+    Quad1,
+    /// `(w₁ᵀx)(w₂ᵀx) + w₃ᵀx` — Xu et al., QuadraLib, MLSys 2022 \[21\].
+    Quad2,
+    /// `(wᵀx + c)ᵖ` — Wang et al., CVPR 2019 \[14\] (no extra parameters).
+    Kervolution,
+    /// `{xᵀQᵏΛᵏ(Qᵏ)ᵀx + wᵀx, xᵀQᵏ}` — this paper.
+    EfficientQuadratic,
+}
+
+impl NeuronFamily {
+    /// Human-readable label used by experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NeuronFamily::Linear => "linear",
+            NeuronFamily::General => "general [17]",
+            NeuronFamily::NoLinear => "no-linear [16]",
+            NeuronFamily::Factorized => "factorized [23]",
+            NeuronFamily::LowRank => "low-rank [18]",
+            NeuronFamily::Quad1 => "quad-1 [19]",
+            NeuronFamily::Quad2 => "quad-2 [21]",
+            NeuronFamily::Kervolution => "kervolution [14]",
+            NeuronFamily::EfficientQuadratic => "ours",
+        }
+    }
+
+    /// Closed-form per-neuron complexity for `n` inputs and rank `k`
+    /// (ignored by fixed-form neurons), exactly as tabulated in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or `k == 0`/`k > n` for rank-parameterized
+    /// families.
+    pub fn complexity(&self, n: u64, k: u64) -> Complexity {
+        assert!(n > 0, "neuron needs at least one input");
+        if matches!(self, NeuronFamily::LowRank | NeuronFamily::EfficientQuadratic) {
+            assert!(k >= 1 && k <= n, "rank k={k} must be in 1..={n}");
+        }
+        match self {
+            NeuronFamily::Linear => Complexity {
+                params: n,
+                macs: n,
+                outputs: 1,
+            },
+            NeuronFamily::General => Complexity {
+                params: n * n + n,
+                macs: n * n + 2 * n,
+                outputs: 1,
+            },
+            NeuronFamily::NoLinear => Complexity {
+                params: n * n,
+                macs: n * n + n,
+                outputs: 1,
+            },
+            NeuronFamily::Factorized => Complexity {
+                params: 2 * n,
+                macs: 2 * n + 1,
+                outputs: 1,
+            },
+            NeuronFamily::LowRank => Complexity {
+                params: 2 * k * n + n,
+                macs: 2 * k * n + k + n,
+                outputs: 1,
+            },
+            NeuronFamily::Quad1 => Complexity {
+                params: 3 * n,
+                macs: 4 * n + 1,
+                outputs: 1,
+            },
+            NeuronFamily::Quad2 => Complexity {
+                params: 3 * n,
+                macs: 3 * n + 1,
+                outputs: 1,
+            },
+            NeuronFamily::Kervolution => Complexity {
+                params: n,
+                macs: n + 1,
+                outputs: 1,
+            },
+            NeuronFamily::EfficientQuadratic => Complexity {
+                // Qᵏ: kn, Λᵏ: k, w: n  →  (k+1)n + k     (paper Eq. 9)
+                // fᵏ: kn, Λ weighting + reduction: 2k, linear: n  (paper Eq. 10)
+                params: (k + 1) * n + k,
+                macs: (k + 1) * n + 2 * k,
+                outputs: k + 1,
+            },
+        }
+    }
+
+    /// All families, in Table I order (linear first, ours last).
+    pub fn all() -> [NeuronFamily; 9] {
+        [
+            NeuronFamily::Linear,
+            NeuronFamily::General,
+            NeuronFamily::NoLinear,
+            NeuronFamily::Factorized,
+            NeuronFamily::LowRank,
+            NeuronFamily::Quad1,
+            NeuronFamily::Quad2,
+            NeuronFamily::Kervolution,
+            NeuronFamily::EfficientQuadratic,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_eq9_eq10_for_ours() {
+        let c = NeuronFamily::EfficientQuadratic.complexity(100, 9);
+        assert_eq!(c.params, 10 * 100 + 9); // (k+1)n + k
+        assert_eq!(c.macs, 10 * 100 + 18); // (k+1)n + 2k
+        assert_eq!(c.outputs, 10);
+    }
+
+    #[test]
+    fn amortized_cost_is_near_linear() {
+        // paper §III-C: per-output cost is n + k/(k+1) params, n + 2k/(k+1)
+        // MACs — negligible overhead over a linear neuron for large n.
+        let n = 1024u64;
+        let k = 9u64;
+        let ours = NeuronFamily::EfficientQuadratic.complexity(n, k);
+        let expected_params = n as f64 + k as f64 / (k + 1) as f64;
+        let expected_macs = n as f64 + 2.0 * k as f64 / (k + 1) as f64;
+        assert!((ours.params_per_output() - expected_params).abs() < 1e-9);
+        assert!((ours.macs_per_output() - expected_macs).abs() < 1e-9);
+        let linear = NeuronFamily::Linear.complexity(n, 1);
+        let overhead = ours.params_per_output() / linear.params_per_output();
+        assert!(overhead < 1.001, "overhead {overhead}");
+    }
+
+    #[test]
+    fn general_is_quadratic_ours_is_linear_in_n() {
+        let small = NeuronFamily::General.complexity(10, 1);
+        let big = NeuronFamily::General.complexity(100, 1);
+        assert!(big.params / small.params >= 90); // ~n² growth
+        let ours_small = NeuronFamily::EfficientQuadratic.complexity(10, 3);
+        let ours_big = NeuronFamily::EfficientQuadratic.complexity(100, 3);
+        assert!(ours_big.params / ours_small.params <= 11); // ~n growth
+    }
+
+    #[test]
+    fn ours_beats_low_rank_at_same_rank() {
+        // the symmetric QΛQᵀ factorization halves [18]'s 2kn
+        for &(n, k) in &[(64u64, 3u64), (256, 9), (1024, 16)] {
+            let ours = NeuronFamily::EfficientQuadratic.complexity(n, k);
+            let lowrank = NeuronFamily::LowRank.complexity(n, k);
+            assert!(ours.params < lowrank.params);
+            assert!(ours.params_per_output() < lowrank.params_per_output() / 1.5);
+        }
+    }
+
+    #[test]
+    fn ours_cost_does_not_scale_with_k_per_output() {
+        // Table I: ours has per-output complexity n + k/(k+1), i.e. bounded
+        // in k, unlike [18] whose cost is proportional to k.
+        let n = 256u64;
+        let at_k1 = NeuronFamily::EfficientQuadratic.complexity(n, 1).params_per_output();
+        let at_k16 = NeuronFamily::EfficientQuadratic.complexity(n, 16).params_per_output();
+        assert!((at_k16 - at_k1).abs() < 1.0);
+        let lr_k1 = NeuronFamily::LowRank.complexity(n, 1).params_per_output();
+        let lr_k16 = NeuronFamily::LowRank.complexity(n, 16).params_per_output();
+        assert!(lr_k16 > 7.0 * lr_k1);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: Vec<&str> = NeuronFamily::all().iter().map(|f| f.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank k=0")]
+    fn zero_rank_panics() {
+        NeuronFamily::EfficientQuadratic.complexity(8, 0);
+    }
+}

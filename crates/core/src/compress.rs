@@ -1,0 +1,226 @@
+//! The paper's §III-A construction as a model-compression pipeline:
+//! symmetrize a trained general quadratic matrix (Lemma 1) and project it
+//! onto its top-k eigenspace (Eckart–Young-optimal rank-k approximation),
+//! yielding an [`EfficientQuadraticLinear`] layer.
+
+use crate::neurons::{EfficientQuadraticLinear, GeneralQuadraticLinear};
+use qn_autograd::Parameter;
+use qn_linalg::{spectral_top_k, symmetrize};
+use qn_tensor::Tensor;
+
+/// Compresses a trained [`GeneralQuadraticLinear`] layer into the proposed
+/// rank-`k` form.
+///
+/// Each unit's matrix `Mⱼ` is symmetrized (`(M + Mᵀ)/2`, which preserves the
+/// quadratic form exactly per Lemma 1) and replaced by its top-k spectral
+/// truncation `QᵏΛᵏ(Qᵏ)ᵀ`. The linear weights transfer unchanged; biases
+/// start at zero. The resulting layer is built with **scalar output** so its
+/// outputs align one-to-one with the source layer's.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn compress_general_layer(src: &GeneralQuadraticLinear, k: usize) -> EfficientQuadraticLinear {
+    let n = src.in_features();
+    let m = src.neurons();
+    assert!(k >= 1 && k <= n, "rank k={k} must be in 1..={n}");
+    let mut q_rows = Vec::with_capacity(m * k * n);
+    let mut lambda = Vec::with_capacity(m * k);
+    for j in 0..m {
+        let sym = symmetrize(&src.matrix(j));
+        let top = spectral_top_k(&sym, k);
+        // columns of top.q become rows of the stacked Q
+        let qt = top.q.transpose2(); // [k, n]
+        q_rows.extend_from_slice(qt.data());
+        lambda.extend_from_slice(&top.lambda);
+    }
+    EfficientQuadraticLinear::from_factors(
+        Tensor::from_vec(q_rows, &[m * k, n]).expect("sizes consistent"),
+        Tensor::from_vec(lambda, &[m, k]).expect("sizes consistent"),
+        src.linear_weights(),
+        Tensor::zeros(&[m]),
+        false,
+    )
+}
+
+/// Worst-case Frobenius error of the rank-k quadratic matrices against the
+/// symmetrized originals — the quantity the Eckart–Young theorem bounds.
+pub fn compression_error(src: &GeneralQuadraticLinear, compressed: &EfficientQuadraticLinear) -> f32 {
+    let mut worst = 0.0f32;
+    for j in 0..src.neurons() {
+        let sym = symmetrize(&src.matrix(j));
+        let err = sym.sub(&compressed.quadratic_matrix(j)).frob_norm();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_autograd::Graph;
+    use qn_nn::Module;
+    use qn_tensor::Rng;
+
+    #[test]
+    fn full_rank_compression_is_exact() {
+        let mut rng = Rng::seed_from(1);
+        let src = GeneralQuadraticLinear::new(6, 3, &mut rng);
+        let compressed = compress_general_layer(&src, 6);
+        let x = Tensor::randn(&[4, 6], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y_src = src.forward(&mut g, xv);
+        let y_cmp = compressed.forward(&mut g, xv);
+        assert!(
+            g.value(y_cmp).allclose(g.value(y_src), 5e-2),
+            "full-rank compression must preserve outputs"
+        );
+        assert!(compression_error(&src, &compressed) < 1e-2);
+    }
+
+    #[test]
+    fn error_decreases_monotonically_with_rank() {
+        let mut rng = Rng::seed_from(2);
+        let src = GeneralQuadraticLinear::new(8, 2, &mut rng);
+        let mut prev = f32::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let err = compression_error(&src, &compress_general_layer(&src, k));
+            assert!(err <= prev + 1e-4, "error increased at k={k}: {err} > {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-2, "full-rank error should vanish, got {prev}");
+    }
+
+    #[test]
+    fn compressed_layer_has_fewer_params() {
+        let mut rng = Rng::seed_from(3);
+        let src = GeneralQuadraticLinear::new(32, 4, &mut rng);
+        let compressed = compress_general_layer(&src, 3);
+        assert!(compressed.param_count() < src.param_count() / 4);
+    }
+
+    #[test]
+    fn symmetrization_means_form_is_preserved_not_matrix() {
+        // Lemma 1: xᵀMx is preserved even though M itself changes.
+        let mut rng = Rng::seed_from(4);
+        let src = GeneralQuadraticLinear::new(5, 1, &mut rng);
+        let compressed = compress_general_layer(&src, 5);
+        let m_src = src.matrix(0);
+        let m_cmp = compressed.quadratic_matrix(0);
+        // matrices differ (original is asymmetric) ...
+        assert!(!m_src.allclose(&m_cmp, 1e-3));
+        // ... but the symmetrized original matches
+        assert!(qn_linalg::symmetrize(&m_src).allclose(&m_cmp, 1e-2));
+    }
+}
+
+/// Per-layer effective-rank report produced by [`adaptive_rank_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankReport {
+    /// Index of the `Λᵏ` parameter in iteration order.
+    pub layer: usize,
+    /// Configured rank k.
+    pub configured_rank: usize,
+    /// Ranks whose |λ| exceeds the threshold, averaged over the layer's
+    /// neurons.
+    pub effective_rank: f32,
+    /// Fraction of quadratic energy (Σλ²) retained by the surviving ranks.
+    pub energy_retained: f32,
+}
+
+/// The paper's Fig. 7 observation turned into a tool: measures, for every
+/// `Λᵏ` parameter, how many eigenvalue slots actually matter after training
+/// (|λ| above `threshold`) — layers whose quadratic parameters collapsed to
+/// zero can be served by a smaller rank or a plain linear neuron.
+pub fn adaptive_rank_report(lambda_params: &[Parameter], threshold: f32) -> Vec<RankReport> {
+    lambda_params
+        .iter()
+        .enumerate()
+        .map(|(layer, p)| {
+            let v = p.value();
+            let (m, k) = v.dims2();
+            let mut surviving = 0usize;
+            let mut kept_energy = 0.0f32;
+            let mut total_energy = 0.0f32;
+            for j in 0..m {
+                for i in 0..k {
+                    let lam = v.get(&[j, i]);
+                    total_energy += lam * lam;
+                    if lam.abs() > threshold {
+                        surviving += 1;
+                        kept_energy += lam * lam;
+                    }
+                }
+            }
+            RankReport {
+                layer,
+                configured_rank: k,
+                effective_rank: surviving as f32 / m as f32,
+                energy_retained: if total_energy > 0.0 {
+                    kept_energy / total_energy
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Zeroes every `Λᵏ` entry with `|λ| <= threshold` in place, returning the
+/// number of pruned entries. Pruned slots contribute neither to the
+/// quadratic form nor to its gradient magnitude, emulating a reduced
+/// effective rank without re-architecting the layer.
+pub fn prune_lambda(lambda_params: &[Parameter], threshold: f32) -> usize {
+    let mut pruned = 0usize;
+    for p in lambda_params {
+        let mut v = p.value();
+        for x in v.data_mut() {
+            if x.abs() <= threshold && *x != 0.0 {
+                *x = 0.0;
+                pruned += 1;
+            }
+        }
+        p.set_value(v);
+    }
+    pruned
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    fn lambda(values: &[f32], m: usize, k: usize) -> Parameter {
+        Parameter::named(
+            crate::LAMBDA_PARAM_NAME,
+            Tensor::from_vec(values.to_vec(), &[m, k]).expect("sizes consistent"),
+        )
+    }
+
+    #[test]
+    fn report_counts_surviving_ranks() {
+        let p = lambda(&[0.5, 0.001, 0.3, 0.0], 2, 2);
+        let r = adaptive_rank_report(&[p], 0.01);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].configured_rank, 2);
+        assert!((r[0].effective_rank - 1.0).abs() < 1e-6); // 2 survivors / 2 neurons
+        assert!(r[0].energy_retained > 0.99);
+    }
+
+    #[test]
+    fn prune_zeroes_small_entries_only() {
+        let p = lambda(&[0.5, 0.001, -0.002, 0.3], 2, 2);
+        let n = prune_lambda(&[p.clone()], 0.01);
+        assert_eq!(n, 2);
+        let v = p.value();
+        assert_eq!(v.get(&[0, 1]), 0.0);
+        assert_eq!(v.get(&[1, 0]), 0.0);
+        assert_eq!(v.get(&[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn zero_threshold_prunes_nothing() {
+        let p = lambda(&[0.5, 0.1], 1, 2);
+        assert_eq!(prune_lambda(&[p], 0.0), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # qn-core
+//!
+//! The paper's contribution: **computational and storage efficient quadratic
+//! neurons** (Chen et al., DATE 2024), plus every comparator neuron family
+//! from the paper's Table I, implemented from scratch on the `qn-autograd`
+//! tape.
+//!
+//! The proposed neuron computes
+//!
+//! ```text
+//! y  = xᵀ Qᵏ Λᵏ (Qᵏ)ᵀ x  +  wᵀx + b      (rank-k symmetric quadratic + linear)
+//! fᵏ = (Qᵏ)ᵀ x                            (intermediate features, reused)
+//! output = { y, fᵏ }                       (k + 1 channels per neuron)
+//! ```
+//!
+//! - [`neurons::EfficientQuadraticLinear`] / [`neurons::EfficientQuadraticConv2d`]
+//!   — the proposed neuron in dense and convolutional form.
+//! - [`neurons`] also hosts the baselines: the general quadratic neuron
+//!   (Zoumpourlis et al.), the no-linear variant (Mantini & Shah), the
+//!   factorized neuron (Bu & Karpatne), the unsymmetric low-rank neuron
+//!   (Jiang et al.), Quad-1 (Fan et al.), Quad-2 (Xu et al. / QuadraLib) and
+//!   the kervolutional neuron (Wang et al.).
+//! - [`complexity`] — the closed-form parameter/MAC models of Table I,
+//!   cross-checked in tests against the instrumented costs of the layers.
+//! - [`compress`] — the paper's §III-A procedure: symmetrize a trained
+//!   general quadratic matrix (Lemma 1) and project it onto its top-k
+//!   eigenspace (Eckart–Young-optimal).
+//! - [`NeuronSpec`] — a factory enum the model zoo uses to build networks
+//!   with pluggable neuron kinds.
+//!
+//! # Example
+//!
+//! ```
+//! use qn_autograd::Graph;
+//! use qn_core::neurons::EfficientQuadraticLinear;
+//! use qn_nn::Module;
+//! use qn_tensor::{Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! // 2 neurons over 8 inputs at rank 3: output width 2 * (3 + 1) = 8
+//! let layer = EfficientQuadraticLinear::new(8, 2, 3, &mut rng);
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::randn(&[5, 8], &mut rng));
+//! let y = layer.forward(&mut g, x);
+//! assert_eq!(g.value(y).shape().dims(), &[5, 8]);
+//! ```
+
+pub mod complexity;
+pub mod compress;
+pub mod neurons;
+mod spec;
+
+pub use spec::NeuronSpec;
+
+/// Diagnostic name carried by every quadratic eigenvalue parameter `Λᵏ`, so
+/// optimizers can place them in a dedicated low-learning-rate group (the
+/// paper trains `Λᵏ` at 1e-4…1e-6 while the network uses 0.1).
+pub const LAMBDA_PARAM_NAME: &str = "quad.lambda";
+
+/// Splits parameters into (lambda, other) groups by [`LAMBDA_PARAM_NAME`].
+pub fn split_lambda_params(
+    params: Vec<qn_autograd::Parameter>,
+) -> (Vec<qn_autograd::Parameter>, Vec<qn_autograd::Parameter>) {
+    params
+        .into_iter()
+        .partition(|p| p.name() == LAMBDA_PARAM_NAME)
+}

@@ -1,0 +1,224 @@
+use crate::complexity::NeuronFamily;
+use qn_autograd::{Graph, Parameter, Var};
+use qn_nn::{kaiming_normal, Costs, Module};
+use qn_tensor::{Rng, Tensor};
+
+/// The general quadratic neuron `y = xᵀMx + wᵀx` of Zoumpourlis et al.
+/// (ICCV 2017) \[17\], as a dense layer of `m` units, each with its own full
+/// `n × n` matrix.
+///
+/// Parameter cost is O(n² + n) per neuron — the paper's motivation for the
+/// spectral low-rank factorization. Use only at small `n` (first layers,
+/// unit tests, compression sources).
+#[derive(Debug)]
+pub struct GeneralQuadraticLinear {
+    mats: Parameter,
+    w: Parameter,
+    n: usize,
+    m: usize,
+    with_linear: bool,
+}
+
+impl GeneralQuadraticLinear {
+    /// Creates a layer of `units` general quadratic neurons. `M` entries are
+    /// initialized `N(0, 1/n)` and `w` Kaiming-normal.
+    pub fn new(in_features: usize, units: usize, rng: &mut Rng) -> Self {
+        Self::with_options(in_features, units, true, rng)
+    }
+
+    pub(crate) fn with_options(n: usize, m: usize, with_linear: bool, rng: &mut Rng) -> Self {
+        assert!(m > 0, "layer needs at least one neuron");
+        let scale = 1.0 / n as f32;
+        let mats = Parameter::named(
+            "general.m",
+            Tensor::from_fn(&[m, n, n], |_| rng.normal() * scale),
+        );
+        let w = Parameter::named("general.w", kaiming_normal(&[m, n], n, rng));
+        GeneralQuadraticLinear {
+            mats,
+            w,
+            n,
+            m,
+            with_linear,
+        }
+    }
+
+    /// Number of inputs `n`.
+    pub fn in_features(&self) -> usize {
+        self.n
+    }
+
+    /// Number of neurons (= outputs).
+    pub fn neurons(&self) -> usize {
+        self.m
+    }
+
+    /// Snapshot of neuron `j`'s quadratic matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= neurons()`.
+    pub fn matrix(&self, j: usize) -> Tensor {
+        assert!(j < self.m, "neuron index {j} out of range");
+        self.mats
+            .value()
+            .slice_axis(0, j, j + 1)
+            .reshape(&[self.n, self.n])
+            .expect("slice is one matrix")
+    }
+
+    /// Snapshot of the linear weights `[m, n]`.
+    pub fn linear_weights(&self) -> Tensor {
+        self.w.value()
+    }
+}
+
+impl Module for GeneralQuadraticLinear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let batch = g.value(x).shape().dim(0);
+        let mats = g.param(&self.mats);
+        let mut units = Vec::with_capacity(self.m);
+        for j in 0..self.m {
+            let mj = g.slice_axis(mats, 0, j, j + 1);
+            let mj = g.reshape(mj, &[self.n, self.n]);
+            let t = g.matmul(x, mj); // [B, n]
+            let prod = g.mul(t, x);
+            let y2 = g.sum_axis(prod, 1); // [B]
+            units.push(g.reshape(y2, &[batch, 1]));
+        }
+        let quad = g.concat(&units, 1); // [B, m]
+        if self.with_linear {
+            let w = g.param(&self.w);
+            let lin = g.matmul_transb(x, w);
+            g.add(quad, lin)
+        } else {
+            quad
+        }
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        if self.with_linear {
+            vec![self.mats.clone(), self.w.clone()]
+        } else {
+            vec![self.mats.clone()]
+        }
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        let batch = input[0] as u64;
+        let family = if self.with_linear {
+            NeuronFamily::General
+        } else {
+            NeuronFamily::NoLinear
+        };
+        Costs {
+            macs: batch * self.m as u64 * family.complexity(self.n as u64, 1).macs,
+            output: vec![input[0], self.m],
+        }
+    }
+}
+
+/// The linear-term-free variant `y = xᵀMx` of Mantini & Shah (CQNN,
+/// ICPR 2020) \[16\].
+#[derive(Debug)]
+pub struct NoLinearQuadraticLinear {
+    inner: GeneralQuadraticLinear,
+}
+
+impl NoLinearQuadraticLinear {
+    /// Creates a layer of `units` quadratic-only neurons.
+    pub fn new(in_features: usize, units: usize, rng: &mut Rng) -> Self {
+        NoLinearQuadraticLinear {
+            inner: GeneralQuadraticLinear::with_options(in_features, units, false, rng),
+        }
+    }
+
+    /// Number of inputs `n`.
+    pub fn in_features(&self) -> usize {
+        self.inner.in_features()
+    }
+}
+
+impl Module for NoLinearQuadraticLinear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        self.inner.forward(g, x)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        self.inner.params()
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        self.inner.costs(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_autograd::gradcheck;
+    use qn_linalg::quadratic_form;
+
+    #[test]
+    fn forward_matches_quadratic_form() {
+        let mut rng = Rng::seed_from(1);
+        let layer = GeneralQuadraticLinear::new(5, 3, &mut rng);
+        let x = Tensor::randn(&[2, 5], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+        for bi in 0..2 {
+            let xb = x.slice_axis(0, bi, bi + 1).reshape(&[5]).unwrap();
+            for j in 0..3 {
+                let quad = quadratic_form(&xb, &layer.matrix(j));
+                let w = layer.linear_weights();
+                let lin: f32 = (0..5).map(|i| w.get(&[j, i]) * xb.get(&[i])).sum();
+                let expected = quad + lin;
+                assert!(
+                    (g.value(y).get(&[bi, j]) - expected).abs() < 1e-3,
+                    "unit {j} batch {bi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_linear_variant_omits_linear_term() {
+        let mut rng = Rng::seed_from(2);
+        let layer = NoLinearQuadraticLinear::new(4, 2, &mut rng);
+        assert_eq!(layer.params().len(), 1);
+        let x = Tensor::randn(&[1, 4], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+        let xb = x.reshape(&[4]).unwrap();
+        let expected = quadratic_form(&xb, &layer.inner.matrix(0));
+        assert!((g.value(y).get(&[0, 0]) - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut rng = Rng::seed_from(3);
+        let layer = GeneralQuadraticLinear::new(4, 2, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        assert!(gradcheck(
+            |g, v| {
+                let y = layer.forward(g, v);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            3e-2
+        ));
+    }
+
+    #[test]
+    fn costs_are_quadratic_in_n() {
+        let mut rng = Rng::seed_from(4);
+        let layer = GeneralQuadraticLinear::new(16, 2, &mut rng);
+        let c = layer.costs(&[1, 16]);
+        assert_eq!(c.macs, 2 * (16 * 16 + 32));
+        assert_eq!(layer.param_count(), 2 * (16 * 16 + 16));
+    }
+}

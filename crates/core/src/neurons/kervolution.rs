@@ -1,0 +1,133 @@
+use crate::complexity::NeuronFamily;
+use qn_autograd::{Graph, Parameter, Var};
+use qn_nn::{kaiming_normal, Costs, Module};
+use qn_tensor::Rng;
+
+/// The polynomial kervolutional neuron `y = (wᵀx + c)ᵖ` of Wang et al.
+/// (CVPR 2019) \[14\].
+///
+/// Adds **no** parameters over a linear neuron — the appeal the paper's
+/// §IV-A2 discusses — but the fixed polynomial non-linearity compounds with
+/// depth: deploying it in many layers (KNN-11, KNN-15 in Fig. 6) makes
+/// activations and gradients grow as `p`-th powers and destabilizes
+/// training. The training-stability experiment reproduces exactly that.
+#[derive(Debug)]
+pub struct KervolutionLinear {
+    w: Parameter,
+    c: f32,
+    p: i32,
+    n: usize,
+    m: usize,
+}
+
+impl KervolutionLinear {
+    /// Creates a layer of `units` kervolutional neurons with kernel offset
+    /// `c` and polynomial degree `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 1`.
+    pub fn new(in_features: usize, units: usize, c: f32, p: i32, rng: &mut Rng) -> Self {
+        assert!(p >= 1, "polynomial degree must be >= 1, got {p}");
+        KervolutionLinear {
+            w: Parameter::named("kerv.w", kaiming_normal(&[units, in_features], in_features, rng)),
+            c,
+            p,
+            n: in_features,
+            m: units,
+        }
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> i32 {
+        self.p
+    }
+}
+
+impl Module for KervolutionLinear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.w);
+        let z = g.matmul_transb(x, w);
+        let z = g.add_scalar(z, self.c);
+        g.powi(z, self.p)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        vec![self.w.clone()]
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        Costs {
+            macs: input[0] as u64
+                * self.m as u64
+                * NeuronFamily::Kervolution.complexity(self.n as u64, 1).macs,
+            output: vec![input[0], self.m],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_autograd::gradcheck;
+    use qn_tensor::Tensor;
+
+    #[test]
+    fn forward_is_powered_linear() {
+        let mut rng = Rng::seed_from(1);
+        let layer = KervolutionLinear::new(4, 2, 0.5, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+        for bi in 0..2 {
+            for j in 0..2 {
+                let z: f32 = (0..4)
+                    .map(|i| layer.w.value().get(&[j, i]) * x.get(&[bi, i]))
+                    .sum::<f32>()
+                    + 0.5;
+                assert!((g.value(y).get(&[bi, j]) - z.powi(3)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn same_params_as_linear() {
+        let mut rng = Rng::seed_from(2);
+        let layer = KervolutionLinear::new(10, 4, 1.0, 7, &mut rng);
+        assert_eq!(layer.param_count(), 40);
+        assert_eq!(layer.degree(), 7);
+    }
+
+    #[test]
+    fn gradcheck_small_degree() {
+        let mut rng = Rng::seed_from(3);
+        let layer = KervolutionLinear::new(3, 2, 1.0, 2, &mut rng);
+        let x = Tensor::randn(&[2, 3], &mut rng).scale(0.5);
+        assert!(gradcheck(
+            |g, v| {
+                let y = layer.forward(g, v);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            &x,
+            1e-2,
+            5e-2
+        ));
+    }
+
+    #[test]
+    fn high_degree_amplifies_magnitude() {
+        // the mechanism behind Fig. 6's instability: |y| grows as |z|^p
+        let mut rng = Rng::seed_from(4);
+        let low = KervolutionLinear::new(8, 4, 1.0, 3, &mut rng);
+        let mut rng2 = Rng::seed_from(4);
+        let high = KervolutionLinear::new(8, 4, 1.0, 15, &mut rng2);
+        let x = Tensor::randn(&[8, 8], &mut rng).scale(2.0);
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let yl = low.forward(&mut g, xv);
+        let yh = high.forward(&mut g, xv);
+        assert!(g.value(yh).map(|v| v.abs()).max() > g.value(yl).map(|v| v.abs()).max());
+    }
+}

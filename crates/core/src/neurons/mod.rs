@@ -1,0 +1,19 @@
+//! Neuron-layer implementations: the proposed efficient quadratic neuron and
+//! every comparator family from the paper's Table I.
+//!
+//! All dense layers implement [`qn_nn::Module`] mapping `[B, n] -> [B, out]`;
+//! convolutional forms are obtained with [`PatchConv2d`], which lowers the
+//! input with im2col so that each spatial patch becomes the neuron input
+//! `x` — the deployment scheme of the paper's Fig. 3.
+
+mod efficient;
+mod general;
+mod kervolution;
+mod patch_conv;
+mod rank_forms;
+
+pub use efficient::EfficientQuadraticLinear;
+pub use general::{GeneralQuadraticLinear, NoLinearQuadraticLinear};
+pub use kervolution::KervolutionLinear;
+pub use patch_conv::{EfficientQuadraticConv2d, PatchConv2d};
+pub use rank_forms::{FactorizedQuadraticLinear, LowRankQuadraticLinear, Quad1Linear, Quad2Linear};

@@ -1,0 +1,362 @@
+//! Rank-factorized comparator neurons: Bu & Karpatne \[23\], Jiang et al.
+//! \[18\], Fan et al. (Quad-1) \[19\] and Xu et al. (Quad-2 / QuadraLib)
+//! \[21\].
+
+use crate::complexity::NeuronFamily;
+use qn_autograd::{Graph, Parameter, Var};
+use qn_nn::{kaiming_normal, Costs, Module};
+use qn_tensor::Rng;
+#[cfg(test)]
+use qn_tensor::Tensor;
+
+fn weight(name: &str, m: usize, n: usize, rng: &mut Rng) -> Parameter {
+    Parameter::named(name, kaiming_normal(&[m, n], n, rng))
+}
+
+/// Quadratic-factor weights start small so the product term `(w₁ᵀx)(w₂ᵀx)`
+/// begins near zero and the neuron trains from its linear behaviour — the
+/// initialization trick QuadraLib \[21\] relies on for trainability.
+fn quad_weight(name: &str, m: usize, n: usize, rng: &mut Rng) -> Parameter {
+    Parameter::named(name, kaiming_normal(&[m, n], n, rng).scale(0.25))
+}
+
+/// `y = (w₁ᵀx)(w₂ᵀx) + w₁ᵀx` — the quadratic-residual neuron of Bu &
+/// Karpatne (SDM 2021) \[23\]. 2n parameters per neuron.
+#[derive(Debug)]
+pub struct FactorizedQuadraticLinear {
+    w1: Parameter,
+    w2: Parameter,
+    n: usize,
+    m: usize,
+}
+
+impl FactorizedQuadraticLinear {
+    /// Creates a layer of `units` neurons over `in_features` inputs.
+    pub fn new(in_features: usize, units: usize, rng: &mut Rng) -> Self {
+        FactorizedQuadraticLinear {
+            w1: weight("factorized.w1", units, in_features, rng),
+            w2: quad_weight("factorized.w2", units, in_features, rng),
+            n: in_features,
+            m: units,
+        }
+    }
+}
+
+impl Module for FactorizedQuadraticLinear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w1 = g.param(&self.w1);
+        let w2 = g.param(&self.w2);
+        let a = g.matmul_transb(x, w1);
+        let b = g.matmul_transb(x, w2);
+        let ab = g.mul(a, b);
+        g.add(ab, a)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        vec![self.w1.clone(), self.w2.clone()]
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        Costs {
+            macs: input[0] as u64
+                * self.m as u64
+                * NeuronFamily::Factorized.complexity(self.n as u64, 1).macs,
+            output: vec![input[0], self.m],
+        }
+    }
+}
+
+/// `y = xᵀQ₁ᵏ(Q₂ᵏ)ᵀx + wᵀx` — the unsymmetric low-rank neuron of Jiang et
+/// al. (NCAA 2020) \[18\]. 2kn + n parameters per neuron: twice the
+/// quadratic-factor cost of the proposed symmetric `QᵏΛᵏ(Qᵏ)ᵀ` form.
+#[derive(Debug)]
+pub struct LowRankQuadraticLinear {
+    q1: Parameter,
+    q2: Parameter,
+    w: Parameter,
+    n: usize,
+    m: usize,
+    k: usize,
+}
+
+impl LowRankQuadraticLinear {
+    /// Creates a layer of `units` rank-`k` neurons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > in_features`.
+    pub fn new(in_features: usize, units: usize, k: usize, rng: &mut Rng) -> Self {
+        assert!(k >= 1 && k <= in_features, "rank k={k} must be in 1..={in_features}");
+        LowRankQuadraticLinear {
+            q1: quad_weight("lowrank.q1", units * k, in_features, rng),
+            q2: quad_weight("lowrank.q2", units * k, in_features, rng),
+            w: weight("lowrank.w", units, in_features, rng),
+            n: in_features,
+            m: units,
+            k,
+        }
+    }
+
+    /// Decomposition rank.
+    pub fn rank(&self) -> usize {
+        self.k
+    }
+}
+
+impl Module for LowRankQuadraticLinear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let batch = g.value(x).shape().dim(0);
+        let q1 = g.param(&self.q1);
+        let q2 = g.param(&self.q2);
+        let f1 = g.matmul_transb(x, q1);
+        let f2 = g.matmul_transb(x, q2);
+        let f1 = g.reshape(f1, &[batch, self.m, self.k]);
+        let f2 = g.reshape(f2, &[batch, self.m, self.k]);
+        let prod = g.mul(f1, f2);
+        let y2 = g.sum_axis(prod, 2); // [B, m]
+        let w = g.param(&self.w);
+        let lin = g.matmul_transb(x, w);
+        g.add(y2, lin)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        vec![self.q1.clone(), self.q2.clone(), self.w.clone()]
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        Costs {
+            macs: input[0] as u64
+                * self.m as u64
+                * NeuronFamily::LowRank
+                    .complexity(self.n as u64, self.k as u64)
+                    .macs,
+            output: vec![input[0], self.m],
+        }
+    }
+}
+
+/// `y = (w₁ᵀx)(w₂ᵀx) + w₃ᵀ(x⊙²)` — "Quad-1", Fan et al. \[19\].
+#[derive(Debug)]
+pub struct Quad1Linear {
+    w1: Parameter,
+    w2: Parameter,
+    w3: Parameter,
+    n: usize,
+    m: usize,
+}
+
+impl Quad1Linear {
+    /// Creates a layer of `units` neurons.
+    pub fn new(in_features: usize, units: usize, rng: &mut Rng) -> Self {
+        Quad1Linear {
+            w1: quad_weight("quad1.w1", units, in_features, rng),
+            w2: quad_weight("quad1.w2", units, in_features, rng),
+            // the x⊙² term is non-negative with a large mean; a small w₃
+            // keeps the initial output centred
+            w3: quad_weight("quad1.w3", units, in_features, rng),
+            n: in_features,
+            m: units,
+        }
+    }
+}
+
+impl Module for Quad1Linear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w1 = g.param(&self.w1);
+        let w2 = g.param(&self.w2);
+        let w3 = g.param(&self.w3);
+        let a = g.matmul_transb(x, w1);
+        let b = g.matmul_transb(x, w2);
+        let ab = g.mul(a, b);
+        let xsq = g.square(x);
+        let c = g.matmul_transb(xsq, w3);
+        g.add(ab, c)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        vec![self.w1.clone(), self.w2.clone(), self.w3.clone()]
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        Costs {
+            macs: input[0] as u64
+                * self.m as u64
+                * NeuronFamily::Quad1.complexity(self.n as u64, 1).macs,
+            output: vec![input[0], self.m],
+        }
+    }
+}
+
+/// `y = (w₁ᵀx)(w₂ᵀx) + w₃ᵀx` — "Quad-2", Xu et al. (QuadraLib, MLSys 2022)
+/// \[21\].
+#[derive(Debug)]
+pub struct Quad2Linear {
+    w1: Parameter,
+    w2: Parameter,
+    w3: Parameter,
+    n: usize,
+    m: usize,
+}
+
+impl Quad2Linear {
+    /// Creates a layer of `units` neurons.
+    pub fn new(in_features: usize, units: usize, rng: &mut Rng) -> Self {
+        Quad2Linear {
+            w1: quad_weight("quad2.w1", units, in_features, rng),
+            w2: quad_weight("quad2.w2", units, in_features, rng),
+            w3: weight("quad2.w3", units, in_features, rng),
+            n: in_features,
+            m: units,
+        }
+    }
+}
+
+impl Module for Quad2Linear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w1 = g.param(&self.w1);
+        let w2 = g.param(&self.w2);
+        let w3 = g.param(&self.w3);
+        let a = g.matmul_transb(x, w1);
+        let b = g.matmul_transb(x, w2);
+        let ab = g.mul(a, b);
+        let c = g.matmul_transb(x, w3);
+        g.add(ab, c)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        vec![self.w1.clone(), self.w2.clone(), self.w3.clone()]
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        Costs {
+            macs: input[0] as u64
+                * self.m as u64
+                * NeuronFamily::Quad2.complexity(self.n as u64, 1).macs,
+            output: vec![input[0], self.m],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_autograd::gradcheck;
+
+    fn dotrow(w: &Tensor, j: usize, x: &Tensor, bi: usize, n: usize) -> f32 {
+        (0..n).map(|i| w.get(&[j, i]) * x.get(&[bi, i])).sum()
+    }
+
+    #[test]
+    fn factorized_matches_formula() {
+        let mut rng = Rng::seed_from(1);
+        let layer = FactorizedQuadraticLinear::new(5, 2, &mut rng);
+        let x = Tensor::randn(&[3, 5], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+        for bi in 0..3 {
+            for j in 0..2 {
+                let a = dotrow(&layer.w1.value(), j, &x, bi, 5);
+                let b = dotrow(&layer.w2.value(), j, &x, bi, 5);
+                let expected = a * b + a;
+                assert!((g.value(y).get(&[bi, j]) - expected).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn low_rank_matches_bilinear_form() {
+        let mut rng = Rng::seed_from(2);
+        let layer = LowRankQuadraticLinear::new(6, 2, 3, &mut rng);
+        let x = Tensor::randn(&[2, 6], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+        for bi in 0..2 {
+            for j in 0..2 {
+                let mut quad = 0.0f32;
+                for i in 0..3 {
+                    let f1 = dotrow(&layer.q1.value(), j * 3 + i, &x, bi, 6);
+                    let f2 = dotrow(&layer.q2.value(), j * 3 + i, &x, bi, 6);
+                    quad += f1 * f2;
+                }
+                let lin = dotrow(&layer.w.value(), j, &x, bi, 6);
+                assert!((g.value(y).get(&[bi, j]) - (quad + lin)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn quad1_matches_formula() {
+        let mut rng = Rng::seed_from(3);
+        let layer = Quad1Linear::new(4, 2, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+        for bi in 0..2 {
+            for j in 0..2 {
+                let a = dotrow(&layer.w1.value(), j, &x, bi, 4);
+                let b = dotrow(&layer.w2.value(), j, &x, bi, 4);
+                let xsq = x.map(|v| v * v);
+                let c = dotrow(&layer.w3.value(), j, &xsq, bi, 4);
+                assert!((g.value(y).get(&[bi, j]) - (a * b + c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn quad2_matches_formula() {
+        let mut rng = Rng::seed_from(4);
+        let layer = Quad2Linear::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+        for bi in 0..2 {
+            for j in 0..3 {
+                let a = dotrow(&layer.w1.value(), j, &x, bi, 4);
+                let b = dotrow(&layer.w2.value(), j, &x, bi, 4);
+                let c = dotrow(&layer.w3.value(), j, &x, bi, 4);
+                assert!((g.value(y).get(&[bi, j]) - (a * b + c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn all_rank_forms_gradcheck() {
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let layers: Vec<Box<dyn Module>> = vec![
+            Box::new(FactorizedQuadraticLinear::new(4, 2, &mut rng)),
+            Box::new(LowRankQuadraticLinear::new(4, 2, 2, &mut rng)),
+            Box::new(Quad1Linear::new(4, 2, &mut rng)),
+            Box::new(Quad2Linear::new(4, 2, &mut rng)),
+        ];
+        for (i, layer) in layers.iter().enumerate() {
+            assert!(
+                gradcheck(
+                    |g, v| {
+                        let y = layer.forward(g, v);
+                        let sq = g.square(y);
+                        g.sum_all(sq)
+                    },
+                    &x,
+                    1e-2,
+                    3e-2
+                ),
+                "layer {i} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn param_counts_match_table1() {
+        let mut rng = Rng::seed_from(6);
+        let n = 10;
+        assert_eq!(FactorizedQuadraticLinear::new(n, 1, &mut rng).param_count(), 2 * n);
+        assert_eq!(LowRankQuadraticLinear::new(n, 1, 3, &mut rng).param_count(), 2 * 3 * n + n);
+        assert_eq!(Quad1Linear::new(n, 1, &mut rng).param_count(), 3 * n);
+        assert_eq!(Quad2Linear::new(n, 1, &mut rng).param_count(), 3 * n);
+    }
+}

@@ -1,0 +1,233 @@
+use crate::neurons::{
+    EfficientQuadraticConv2d, EfficientQuadraticLinear, FactorizedQuadraticLinear,
+    KervolutionLinear, LowRankQuadraticLinear, PatchConv2d, Quad1Linear, Quad2Linear,
+};
+use qn_nn::{Conv2d, Module};
+use qn_tensor::{Conv2dSpec, Rng};
+
+/// Factory for pluggable neuron kinds, used by the model zoo to build the
+/// same architecture (ResNet, Transformer) with any neuron family the paper
+/// compares.
+///
+/// [`NeuronSpec::build_conv`] returns the layer **and the channel count it
+/// actually produces**: the proposed neuron emits `k + 1` channels per
+/// filter, so a request for `target_channels` is served by
+/// `round(target / (k+1))` filters — the mechanism by which the paper needs
+/// fewer neurons for the same feature-map width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NeuronSpec {
+    /// Conventional linear convolution (the baseline).
+    Linear,
+    /// The paper's neuron with vectorized output, rank `rank`.
+    EfficientQuadratic {
+        /// Decomposition rank `k`.
+        rank: usize,
+    },
+    /// Ablation: the paper's neuron without the `fᵏ` outputs.
+    EfficientQuadraticScalar {
+        /// Decomposition rank `k`.
+        rank: usize,
+    },
+    /// Unsymmetric low-rank neuron of Jiang et al. \[18\].
+    LowRank {
+        /// Decomposition rank `k`.
+        rank: usize,
+    },
+    /// Quad-1 of Fan et al. \[19\].
+    Quad1,
+    /// Quad-2 of Xu et al. (QuadraLib) \[21\].
+    Quad2,
+    /// Quadratic-residual neuron of Bu & Karpatne \[23\].
+    Factorized,
+    /// Polynomial kervolution of Wang et al. \[14\].
+    Kervolution {
+        /// Polynomial degree `p`.
+        degree: i32,
+        /// Kernel offset `c`.
+        offset: f32,
+    },
+}
+
+impl NeuronSpec {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            NeuronSpec::Linear => "linear".into(),
+            NeuronSpec::EfficientQuadratic { rank } => format!("ours(k={rank})"),
+            NeuronSpec::EfficientQuadraticScalar { rank } => format!("ours-scalar(k={rank})"),
+            NeuronSpec::LowRank { rank } => format!("low-rank(k={rank})"),
+            NeuronSpec::Quad1 => "quad-1".into(),
+            NeuronSpec::Quad2 => "quad-2".into(),
+            NeuronSpec::Factorized => "factorized".into(),
+            NeuronSpec::Kervolution { degree, .. } => format!("kervolution(p={degree})"),
+        }
+    }
+
+    /// How many channels a conv layer built for `target_channels` actually
+    /// produces.
+    pub fn actual_channels(&self, target_channels: usize) -> usize {
+        match self {
+            NeuronSpec::EfficientQuadratic { rank } => {
+                let per = rank + 1;
+                let filters = (target_channels + per / 2).max(1) / per;
+                filters.max(1) * per
+            }
+            _ => target_channels,
+        }
+    }
+
+    /// Builds a convolutional layer of this neuron kind, returning the layer
+    /// and the channel count it produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured rank exceeds the patch length.
+    pub fn build_conv(
+        &self,
+        in_channels: usize,
+        target_channels: usize,
+        conv: Conv2dSpec,
+        rng: &mut Rng,
+    ) -> (Box<dyn Module>, usize) {
+        let n = conv.patch_len(in_channels);
+        match self {
+            NeuronSpec::Linear => {
+                let layer = Conv2d::new(in_channels, target_channels, conv, false, rng);
+                (Box::new(layer), target_channels)
+            }
+            NeuronSpec::EfficientQuadratic { rank } => {
+                let actual = self.actual_channels(target_channels);
+                let filters = actual / (rank + 1);
+                let layer = EfficientQuadraticConv2d::efficient(in_channels, filters, *rank, conv, rng);
+                (Box::new(layer), actual)
+            }
+            NeuronSpec::EfficientQuadraticScalar { rank } => {
+                let dense =
+                    EfficientQuadraticLinear::new_scalar_output(n, target_channels, *rank, rng);
+                (
+                    Box::new(PatchConv2d::new(dense, in_channels, conv)),
+                    target_channels,
+                )
+            }
+            NeuronSpec::LowRank { rank } => {
+                let dense = LowRankQuadraticLinear::new(n, target_channels, *rank, rng);
+                (
+                    Box::new(PatchConv2d::new(dense, in_channels, conv)),
+                    target_channels,
+                )
+            }
+            NeuronSpec::Quad1 => {
+                let dense = Quad1Linear::new(n, target_channels, rng);
+                (
+                    Box::new(PatchConv2d::new(dense, in_channels, conv)),
+                    target_channels,
+                )
+            }
+            NeuronSpec::Quad2 => {
+                let dense = Quad2Linear::new(n, target_channels, rng);
+                (
+                    Box::new(PatchConv2d::new(dense, in_channels, conv)),
+                    target_channels,
+                )
+            }
+            NeuronSpec::Factorized => {
+                let dense = FactorizedQuadraticLinear::new(n, target_channels, rng);
+                (
+                    Box::new(PatchConv2d::new(dense, in_channels, conv)),
+                    target_channels,
+                )
+            }
+            NeuronSpec::Kervolution { degree, offset } => {
+                let dense = KervolutionLinear::new(n, target_channels, *offset, *degree, rng);
+                (
+                    Box::new(PatchConv2d::new(dense, in_channels, conv)),
+                    target_channels,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_autograd::Graph;
+    use qn_tensor::Tensor;
+
+    #[test]
+    fn actual_channels_rounds_to_filter_multiples() {
+        let s = NeuronSpec::EfficientQuadratic { rank: 3 };
+        assert_eq!(s.actual_channels(16), 16); // 4 filters × 4
+        assert_eq!(s.actual_channels(10), 12); // 3 filters (2.5 rounds up) × 4
+        assert_eq!(s.actual_channels(2), 4); // at least one filter
+        assert_eq!(NeuronSpec::Linear.actual_channels(10), 10);
+    }
+
+    #[test]
+    fn every_spec_builds_and_runs() {
+        let mut rng = Rng::seed_from(1);
+        let conv = Conv2dSpec::new(3, 1, 1);
+        let specs = [
+            NeuronSpec::Linear,
+            NeuronSpec::EfficientQuadratic { rank: 3 },
+            NeuronSpec::EfficientQuadraticScalar { rank: 3 },
+            NeuronSpec::LowRank { rank: 2 },
+            NeuronSpec::Quad1,
+            NeuronSpec::Quad2,
+            NeuronSpec::Factorized,
+            NeuronSpec::Kervolution { degree: 3, offset: 1.0 },
+        ];
+        for spec in specs {
+            let (layer, actual) = spec.build_conv(2, 8, conv, &mut rng);
+            let mut g = Graph::new();
+            let x = g.leaf(Tensor::randn(&[1, 2, 5, 5], &mut rng));
+            let y = layer.forward(&mut g, x);
+            assert_eq!(
+                g.value(y).shape().dims(),
+                &[1, actual, 5, 5],
+                "spec {} produced wrong shape",
+                spec.label()
+            );
+            assert_eq!(layer.costs(&[1, 2, 5, 5]).output, vec![1, actual, 5, 5]);
+        }
+    }
+
+    #[test]
+    fn efficient_spec_matches_linear_cost_per_channel() {
+        // §III-C: amortized per-output cost is n + k/(k+1) vs n for linear —
+        // at the same channel width the quadratic layer costs within ~2% of
+        // the linear one. (The paper's savings arise at the network level:
+        // the extra expressivity lets a *shallower/narrower* net match a
+        // bigger linear baseline — Fig. 4.)
+        let mut rng = Rng::seed_from(2);
+        let conv = Conv2dSpec::new(3, 1, 1);
+        let (linear, lc) = NeuronSpec::Linear.build_conv(8, 16, conv, &mut rng);
+        let (ours, oc) =
+            NeuronSpec::EfficientQuadratic { rank: 3 }.build_conv(8, 16, conv, &mut rng);
+        assert_eq!(lc, oc);
+        let ratio = ours.param_count() as f64 / linear.param_count() as f64;
+        assert!(ratio < 1.02, "per-channel overhead too large: {ratio}");
+        assert!(ratio > 0.95, "unexpectedly cheap: {ratio}");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            NeuronSpec::Linear,
+            NeuronSpec::EfficientQuadratic { rank: 9 },
+            NeuronSpec::EfficientQuadraticScalar { rank: 9 },
+            NeuronSpec::LowRank { rank: 9 },
+            NeuronSpec::Quad1,
+            NeuronSpec::Quad2,
+            NeuronSpec::Factorized,
+            NeuronSpec::Kervolution { degree: 3, offset: 1.0 },
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,314 @@
+use qn_tensor::{Rng, Tensor};
+
+/// Configuration for a procedural image dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageDatasetConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Square image side length.
+    pub resolution: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// RNG seed (datasets are fully deterministic given the seed).
+    pub seed: u64,
+    /// Intra-class variability in `[0, 1]`: jitter of position, size,
+    /// brightness and noise.
+    pub variability: f32,
+}
+
+impl Default for ImageDatasetConfig {
+    fn default() -> Self {
+        ImageDatasetConfig {
+            classes: 10,
+            resolution: 16,
+            train_per_class: 100,
+            test_per_class: 20,
+            seed: 0,
+            variability: 0.5,
+        }
+    }
+}
+
+/// A generated image dataset: `[N, 3, R, R]` tensors in roughly `[-1, 1]`
+/// with integer labels.
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    /// Training images `[N_train, 3, R, R]`.
+    pub train_images: Tensor,
+    /// Training labels, `len == N_train`.
+    pub train_labels: Vec<usize>,
+    /// Test images `[N_test, 3, R, R]`.
+    pub test_images: Tensor,
+    /// Test labels, `len == N_test`.
+    pub test_labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+const SHAPES: usize = 10;
+
+/// Foreground/background palettes; the last two entries deliberately share
+/// the mean colour and differ only in texture amplitude, so separating them
+/// requires second-order statistics.
+const PALETTES: [([f32; 3], [f32; 3], f32); 10] = [
+    ([0.9, 0.2, 0.2], [-0.6, -0.6, -0.6], 0.0),
+    ([0.2, 0.9, 0.2], [-0.6, -0.2, -0.6], 0.0),
+    ([0.2, 0.2, 0.9], [-0.2, -0.6, -0.6], 0.0),
+    ([0.8, 0.8, 0.1], [-0.7, -0.1, -0.4], 0.0),
+    ([0.8, 0.1, 0.8], [-0.1, -0.5, -0.5], 0.0),
+    ([0.1, 0.8, 0.8], [-0.5, -0.5, -0.1], 0.0),
+    ([0.9, 0.5, 0.1], [-0.3, -0.3, -0.7], 0.0),
+    ([0.5, 0.9, 0.5], [-0.7, -0.3, -0.3], 0.0),
+    ([0.3, 0.3, 0.3], [0.3, 0.3, 0.3], 0.45), // texture classes: same mean,
+    ([0.3, 0.3, 0.3], [0.3, 0.3, 0.3], 0.9),  // different variance
+];
+
+fn shape_mask(shape: usize, res: usize, cx: f32, cy: f32, size: f32, x: usize, y: usize) -> bool {
+    let fx = (x as f32 + 0.5) / res as f32 - cx;
+    let fy = (y as f32 + 0.5) / res as f32 - cy;
+    match shape % SHAPES {
+        0 => fx * fx + fy * fy < size * size, // disc
+        1 => fx.abs() < size && fy.abs() < size, // square
+        2 => fy > -size && fy < size && fx.abs() < (size - fy) * 0.8, // triangle
+        3 => fx.abs() < size * 0.35 || fy.abs() < size * 0.35, // cross
+        4 => ((fy + 1.0) * res as f32 * 0.5) as usize % 4 < 2 && fy.abs() < size * 1.4, // h-stripes
+        5 => ((fx + 1.0) * res as f32 * 0.5) as usize % 4 < 2 && fx.abs() < size * 1.4, // v-stripes
+        6 => (fx + fy).abs() < size * 0.5, // diagonal bar
+        7 => {
+            let r2 = fx * fx + fy * fy;
+            r2 < size * size && r2 > size * size * 0.3 // ring
+        }
+        8 => (((fx + 1.0) * res as f32 * 0.5) as usize % 4 < 2)
+            ^ (((fy + 1.0) * res as f32 * 0.5) as usize % 4 < 2), // checker
+        _ => {
+            let gx = ((fx + 1.0) * res as f32 * 0.5) as usize % 5;
+            let gy = ((fy + 1.0) * res as f32 * 0.5) as usize % 5;
+            gx < 2 && gy < 2 // dot grid
+        }
+    }
+}
+
+fn render(class: usize, res: usize, variability: f32, rng: &mut Rng) -> Vec<f32> {
+    let shape = class % SHAPES;
+    let (fg, bg, texture) = PALETTES[(class / SHAPES) % PALETTES.len()];
+    let v = variability;
+    let cx = 0.5 + rng.uniform(-0.15, 0.15) * v;
+    let cy = 0.5 + rng.uniform(-0.15, 0.15) * v;
+    let size = 0.3 * (1.0 + rng.uniform(-0.4, 0.4) * v);
+    let brightness = 1.0 + rng.uniform(-0.3, 0.3) * v;
+    let noise = 0.08 + 0.12 * v;
+    let mut img = vec![0.0f32; 3 * res * res];
+    for y in 0..res {
+        for x in 0..res {
+            let inside = shape_mask(shape, res, cx, cy, size, x, y);
+            let base = if inside { fg } else { bg };
+            // texture classes: the *foreground* carries high-variance noise
+            let tex_amp = if inside { texture } else { texture * 0.15 };
+            for c in 0..3 {
+                let tex = if tex_amp > 0.0 {
+                    rng.uniform(-tex_amp, tex_amp)
+                } else {
+                    0.0
+                };
+                img[c * res * res + y * res + x] =
+                    (base[c] * brightness + tex + rng.normal() * noise).clamp(-1.0, 1.0);
+            }
+        }
+    }
+    img
+}
+
+fn generate(cfg: ImageDatasetConfig, per_class: usize, rng: &mut Rng) -> (Tensor, Vec<usize>) {
+    let res = cfg.resolution;
+    let n = cfg.classes * per_class;
+    let mut data = Vec::with_capacity(n * 3 * res * res);
+    let mut labels = Vec::with_capacity(n);
+    for class in 0..cfg.classes {
+        for _ in 0..per_class {
+            data.extend(render(class, res, cfg.variability, rng));
+            labels.push(class);
+        }
+    }
+    // shuffle samples jointly
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let stride = 3 * res * res;
+    let mut shuffled = Vec::with_capacity(data.len());
+    let mut shuffled_labels = Vec::with_capacity(n);
+    for &i in &order {
+        shuffled.extend_from_slice(&data[i * stride..(i + 1) * stride]);
+        shuffled_labels.push(labels[i]);
+    }
+    (
+        Tensor::from_vec(shuffled, &[n, 3, res, res]).expect("sizes consistent"),
+        shuffled_labels,
+    )
+}
+
+impl ImageDataset {
+    /// Generates a dataset from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `resolution < 8`.
+    pub fn generate(cfg: ImageDatasetConfig) -> Self {
+        assert!(cfg.classes > 0, "need at least one class");
+        assert!(cfg.resolution >= 8, "resolution must be >= 8");
+        let mut rng = Rng::seed_from(cfg.seed);
+        let (train_images, train_labels) = generate(cfg, cfg.train_per_class, &mut rng);
+        let (test_images, test_labels) = generate(cfg, cfg.test_per_class, &mut rng);
+        ImageDataset {
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+            classes: cfg.classes,
+        }
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+}
+
+/// A 10-class CIFAR-10 stand-in at the given resolution and size.
+pub fn synthetic_cifar10(resolution: usize, train_per_class: usize, test_per_class: usize, seed: u64) -> ImageDataset {
+    ImageDataset::generate(ImageDatasetConfig {
+        classes: 10,
+        resolution,
+        train_per_class,
+        test_per_class,
+        seed,
+        variability: 0.5,
+    })
+}
+
+/// A 100-class CIFAR-100 stand-in (all shape × palette combinations).
+pub fn synthetic_cifar100(resolution: usize, train_per_class: usize, test_per_class: usize, seed: u64) -> ImageDataset {
+    ImageDataset::generate(ImageDatasetConfig {
+        classes: 100,
+        resolution,
+        train_per_class,
+        test_per_class,
+        seed,
+        variability: 0.5,
+    })
+}
+
+/// A higher-variability 20-class ImageNet stand-in for the training-
+/// stability experiment (Fig. 6).
+pub fn synthetic_imagenet(resolution: usize, train_per_class: usize, test_per_class: usize, seed: u64) -> ImageDataset {
+    ImageDataset::generate(ImageDatasetConfig {
+        classes: 20,
+        resolution,
+        train_per_class,
+        test_per_class,
+        seed,
+        variability: 0.8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let ds = synthetic_cifar10(16, 5, 2, 1);
+        assert_eq!(ds.train_images.shape().dims(), &[50, 3, 16, 16]);
+        assert_eq!(ds.test_images.shape().dims(), &[20, 3, 16, 16]);
+        assert_eq!(ds.train_len(), 50);
+        assert_eq!(ds.test_len(), 20);
+        // every class present
+        for c in 0..10 {
+            assert_eq!(ds.train_labels.iter().filter(|&&l| l == c).count(), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = synthetic_cifar10(8, 2, 1, 7);
+        let b = synthetic_cifar10(8, 2, 1, 7);
+        assert!(a.train_images.allclose(&b.train_images, 0.0));
+        assert_eq!(a.train_labels, b.train_labels);
+        let c = synthetic_cifar10(8, 2, 1, 8);
+        assert!(!a.train_images.allclose(&c.train_images, 0.0));
+    }
+
+    #[test]
+    fn values_bounded() {
+        let ds = synthetic_cifar10(8, 3, 1, 2);
+        assert!(ds.train_images.max() <= 1.0);
+        assert!(ds.train_images.min() >= -1.0);
+        assert!(!ds.train_images.has_non_finite());
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // mean image of class 0 (red disc) must differ from class 1 (green
+        // square) by a wide margin
+        let ds = synthetic_cifar10(16, 20, 1, 3);
+        let mut mean0 = Tensor::zeros(&[3 * 16 * 16]);
+        let mut mean1 = Tensor::zeros(&[3 * 16 * 16]);
+        let (mut n0, mut n1) = (0, 0);
+        for (i, &l) in ds.train_labels.iter().enumerate() {
+            let img = ds.train_images.slice_axis(0, i, i + 1).reshape(&[3 * 16 * 16]).unwrap();
+            if l == 0 {
+                mean0.add_assign(&img);
+                n0 += 1;
+            } else if l == 1 {
+                mean1.add_assign(&img);
+                n1 += 1;
+            }
+        }
+        let d = mean0.scale(1.0 / n0 as f32).sub(&mean1.scale(1.0 / n1 as f32));
+        assert!(d.frob_norm() > 1.0, "class means too close: {}", d.frob_norm());
+    }
+
+    #[test]
+    fn texture_classes_share_mean_but_differ_in_variance() {
+        // classes 80..89 and 90..99 in the 100-class set use the texture
+        // palettes: their channel means match but variances differ
+        let ds = synthetic_cifar100(16, 10, 1, 4);
+        let stats = |class: usize| -> (f32, f32) {
+            let mut vals = Vec::new();
+            for (i, &l) in ds.train_labels.iter().enumerate() {
+                if l == class {
+                    let img = ds.train_images.slice_axis(0, i, i + 1);
+                    vals.extend_from_slice(img.data());
+                }
+            }
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            (mean, var)
+        };
+        let (m_low, v_low) = stats(80); // texture amplitude 0.45
+        let (m_high, v_high) = stats(90); // texture amplitude 0.9
+        assert!((m_low - m_high).abs() < 0.06, "means {m_low} vs {m_high}");
+        assert!(v_high > 1.5 * v_low, "variances {v_high} vs {v_low}");
+    }
+
+    #[test]
+    fn imagenet_variant_has_more_classes_and_spread() {
+        let ds = synthetic_imagenet(16, 2, 1, 5);
+        assert_eq!(ds.classes, 20);
+        assert_eq!(ds.train_len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn tiny_resolution_panics() {
+        ImageDataset::generate(ImageDatasetConfig {
+            resolution: 4,
+            ..ImageDatasetConfig::default()
+        });
+    }
+}

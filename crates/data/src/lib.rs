@@ -1,0 +1,28 @@
+//! # qn-data
+//!
+//! Synthetic stand-ins for the paper's datasets, plus batching utilities.
+//!
+//! The reproduction environment has no CIFAR-10/100, ImageNet or WMT14
+//! corpora, so this crate generates **procedural class-conditional data**
+//! with the properties the paper's experiments rely on:
+//!
+//! - [`ImageDataset`] — classes defined by shape × palette × texture
+//!   combinations. Several class pairs differ only in *texture variance*
+//!   (same mean colour), a second-order statistic that linear neurons cannot
+//!   separate but quadratic neurons can — preserving the paper's
+//!   expressivity comparison.
+//! - [`TranslationDataset`] — a stochastic synthetic language pair with
+//!   dictionary mapping, adjective–noun reordering, compound splitting and
+//!   suffix morphology, detokenizable to cased, punctuated, partly-Unicode
+//!   strings so Table II's four BLEU evaluation settings are all
+//!   meaningful.
+//! - [`DataLoader`] — shuffled mini-batches with the paper's CIFAR
+//!   augmentation (pad-and-random-crop, horizontal flip).
+
+mod image;
+mod loader;
+mod translation;
+
+pub use image::{synthetic_cifar10, synthetic_cifar100, synthetic_imagenet, ImageDataset, ImageDatasetConfig};
+pub use loader::{augment_batch, DataLoader};
+pub use translation::{SentencePair, TranslationConfig, TranslationDataset, BOS, EOS, PAD};

@@ -1,0 +1,156 @@
+use qn_tensor::{Rng, Tensor};
+
+/// Shuffled mini-batch iterator over an image dataset.
+///
+/// # Example
+///
+/// ```
+/// use qn_data::{synthetic_cifar10, DataLoader};
+/// use qn_tensor::Rng;
+///
+/// let ds = synthetic_cifar10(8, 4, 1, 0);
+/// let mut rng = Rng::seed_from(1);
+/// let batches: Vec<_> = DataLoader::new(&ds.train_images, &ds.train_labels, 16)
+///     .epoch(&mut rng)
+///     .collect();
+/// assert_eq!(batches.len(), 3); // 40 samples, batch 16 -> 16+16+8
+/// ```
+#[derive(Debug)]
+pub struct DataLoader<'a> {
+    images: &'a Tensor,
+    labels: &'a [usize],
+    batch_size: usize,
+}
+
+impl<'a> DataLoader<'a> {
+    /// Creates a loader over `[N, …]` images with aligned labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leading dim differs from `labels.len()` or
+    /// `batch_size == 0`.
+    pub fn new(images: &'a Tensor, labels: &'a [usize], batch_size: usize) -> Self {
+        assert_eq!(
+            images.shape().dim(0),
+            labels.len(),
+            "images/labels count mismatch"
+        );
+        assert!(batch_size > 0, "batch_size must be positive");
+        DataLoader {
+            images,
+            labels,
+            batch_size,
+        }
+    }
+
+    /// One shuffled pass over the data, yielding `(images, labels)` batches.
+    pub fn epoch(&self, rng: &mut Rng) -> impl Iterator<Item = (Tensor, Vec<usize>)> + '_ {
+        let mut order: Vec<usize> = (0..self.labels.len()).collect();
+        rng.shuffle(&mut order);
+        let batch = self.batch_size;
+        let images = self.images;
+        let labels = self.labels;
+        (0..order.len().div_ceil(batch)).map(move |b| {
+            let idx = &order[b * batch..((b + 1) * batch).min(order.len())];
+            let imgs = images.select_rows(idx);
+            let labs: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            (imgs, labs)
+        })
+    }
+
+    /// Deterministic, unshuffled batches (for evaluation).
+    pub fn batches(&self) -> impl Iterator<Item = (Tensor, Vec<usize>)> + '_ {
+        let batch = self.batch_size;
+        let n = self.labels.len();
+        (0..n.div_ceil(batch)).map(move |b| {
+            let lo = b * batch;
+            let hi = ((b + 1) * batch).min(n);
+            let idx: Vec<usize> = (lo..hi).collect();
+            (self.images.select_rows(&idx), self.labels[lo..hi].to_vec())
+        })
+    }
+}
+
+/// The paper's CIFAR augmentation: zero-pad by `pad`, random crop back to
+/// the original size, and random horizontal flip.
+pub fn augment_batch(images: &Tensor, pad: usize, rng: &mut Rng) -> Tensor {
+    let (b, c, h, w) = images.dims4();
+    let padded = images.pad_spatial(pad);
+    let mut out = Tensor::zeros(&[b, c, h, w]);
+    for bi in 0..b {
+        let img = padded.slice_axis(0, bi, bi + 1);
+        let top = rng.below(2 * pad + 1);
+        let left = rng.below(2 * pad + 1);
+        let mut crop = img.crop_spatial(top, left, h, w);
+        if rng.chance(0.5) {
+            crop = crop.flip_horizontal();
+        }
+        out.data_mut()[bi * c * h * w..(bi + 1) * c * h * w].copy_from_slice(crop.data());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Tensor, Vec<usize>) {
+        (
+            Tensor::from_fn(&[10, 1, 4, 4], |i| i as f32),
+            (0..10).collect(),
+        )
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let (images, labels) = toy();
+        let loader = DataLoader::new(&images, &labels, 3);
+        let mut rng = Rng::seed_from(1);
+        let mut seen: Vec<usize> = loader.epoch(&mut rng).flat_map(|(_, l)| l).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_are_correct() {
+        let (images, labels) = toy();
+        let loader = DataLoader::new(&images, &labels, 4);
+        let mut rng = Rng::seed_from(2);
+        let sizes: Vec<usize> = loader.epoch(&mut rng).map(|(im, _)| im.shape().dim(0)).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn eval_batches_are_ordered() {
+        let (images, labels) = toy();
+        let loader = DataLoader::new(&images, &labels, 4);
+        let labs: Vec<usize> = loader.batches().flat_map(|(_, l)| l).collect();
+        assert_eq!(labs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn augmentation_preserves_shape_and_content_scale() {
+        let mut rng = Rng::seed_from(3);
+        let images = Tensor::rand_uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let aug = augment_batch(&images, 2, &mut rng);
+        assert_eq!(aug.shape().dims(), images.shape().dims());
+        // crops/flips never create values outside the input range
+        assert!(aug.max() <= 1.0 && aug.min() >= -1.0);
+    }
+
+    #[test]
+    fn augmentation_varies_across_calls() {
+        let mut rng = Rng::seed_from(4);
+        let images = Tensor::rand_uniform(&[2, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let a = augment_batch(&images, 2, &mut rng);
+        let b = augment_batch(&images, 2, &mut rng);
+        assert!(!a.allclose(&b, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn misaligned_labels_panic() {
+        let images = Tensor::zeros(&[3, 1, 4, 4]);
+        DataLoader::new(&images, &[0, 1], 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! A synthetic language pair standing in for WMT14 En→De.
+//!
+//! The "source language" draws from a small vocabulary of cased, partly
+//! Unicode word forms; the "target language" is produced by a stochastic
+//! transducer applying four phenomena that make the task attention-worthy:
+//! dictionary mapping, adjective–noun reordering, compound splitting
+//! (one source token → two target tokens) and suffix morphology (a suffix
+//! token conditioned on the *preceding* word class). Sentences end with
+//! sampled punctuation so BLEU tokenization settings (13a vs international,
+//! cased vs uncased) measurably differ.
+
+use qn_tensor::Rng;
+
+/// Padding token id.
+pub const PAD: usize = 0;
+/// Beginning-of-sequence token id.
+pub const BOS: usize = 1;
+/// End-of-sequence token id.
+pub const EOS: usize = 2;
+
+const SPECIALS: usize = 3;
+
+/// Word classes driving the transduction rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WordClass {
+    Article,
+    Noun,
+    Adjective,
+    Verb,
+    Compound,
+}
+
+/// source form, word class, target form(s)
+const LEXICON: [(&str, WordClass, &[&str]); 24] = [
+    ("the", WordClass::Article, &["der"]),
+    ("a", WordClass::Article, &["ein"]),
+    ("dog", WordClass::Noun, &["Hund"]),
+    ("cat", WordClass::Noun, &["Katze"]),
+    ("house", WordClass::Noun, &["Haus"]),
+    ("tree", WordClass::Noun, &["Baum"]),
+    ("river", WordClass::Noun, &["Fluß"]),
+    ("street", WordClass::Noun, &["Straße"]),
+    ("king", WordClass::Noun, &["König"]),
+    ("door", WordClass::Noun, &["Tür"]),
+    ("big", WordClass::Adjective, &["groß"]),
+    ("small", WordClass::Adjective, &["klein"]),
+    ("fast", WordClass::Adjective, &["schnell"]),
+    ("green", WordClass::Adjective, &["grün"]),
+    ("old", WordClass::Adjective, &["alt"]),
+    ("runs", WordClass::Verb, &["läuft"]),
+    ("sees", WordClass::Verb, &["sieht"]),
+    ("opens", WordClass::Verb, &["öffnet"]),
+    ("builds", WordClass::Verb, &["baut"]),
+    ("finds", WordClass::Verb, &["findet"]),
+    ("doghouse", WordClass::Compound, &["Hunde", "Haus"]),
+    ("streetlight", WordClass::Compound, &["Straßen", "Licht"]),
+    ("riverbank", WordClass::Compound, &["Fluß", "Ufer"]),
+    ("kingdom", WordClass::Compound, &["König", "Reich"]),
+];
+
+const SUFFIX: &str = "chen";
+const PUNCT: [&str; 4] = [".", "!", "?", "\u{2026}"]; // "…" is non-ASCII: 13a keeps it glued, international splits it
+
+/// One sentence pair as token-id sequences (no BOS/EOS framing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentencePair {
+    /// Source token ids.
+    pub source: Vec<usize>,
+    /// Target token ids.
+    pub target: Vec<usize>,
+}
+
+/// Configuration for the synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationConfig {
+    /// Training sentence pairs.
+    pub train_pairs: usize,
+    /// Test sentence pairs.
+    pub test_pairs: usize,
+    /// Minimum clause count (each clause is article-adjective-noun-verb).
+    pub min_clauses: usize,
+    /// Maximum clause count.
+    pub max_clauses: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TranslationConfig {
+    fn default() -> Self {
+        TranslationConfig {
+            train_pairs: 600,
+            test_pairs: 80,
+            min_clauses: 1,
+            max_clauses: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated corpus with vocabulary tables and detokenizers.
+#[derive(Debug, Clone)]
+pub struct TranslationDataset {
+    /// Training pairs.
+    pub train: Vec<SentencePair>,
+    /// Test pairs.
+    pub test: Vec<SentencePair>,
+    src_vocab: Vec<String>,
+    tgt_vocab: Vec<String>,
+}
+
+impl TranslationDataset {
+    /// Generates a corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_clauses == 0` or `min_clauses > max_clauses`.
+    pub fn generate(cfg: TranslationConfig) -> Self {
+        assert!(
+            cfg.min_clauses >= 1 && cfg.min_clauses <= cfg.max_clauses,
+            "clause range invalid"
+        );
+        let mut src_vocab: Vec<String> = vec!["<pad>".into(), "<bos>".into(), "<eos>".into()];
+        let mut tgt_vocab = src_vocab.clone();
+        for (src, _, _) in LEXICON {
+            src_vocab.push(src.to_string());
+        }
+        for (_, _, tgts) in LEXICON {
+            for t in tgts.iter().copied() {
+                if !tgt_vocab.contains(&t.to_string()) {
+                    tgt_vocab.push(t.to_string());
+                }
+            }
+        }
+        tgt_vocab.push(SUFFIX.to_string());
+        for p in PUNCT {
+            src_vocab.push(p.to_string());
+            tgt_vocab.push(p.to_string());
+        }
+        let ds_src_id = |s: &str, v: &[String]| v.iter().position(|w| w == s).expect("in vocab");
+
+        let mut rng = Rng::seed_from(cfg.seed);
+        let gen_pair = |rng: &mut Rng| -> SentencePair {
+            let clauses = cfg.min_clauses + rng.below(cfg.max_clauses - cfg.min_clauses + 1);
+            let mut src = Vec::new();
+            let mut tgt = Vec::new();
+            for _ in 0..clauses {
+                let art = rng.below(2); // the, a
+                let adj = 10 + rng.below(5);
+                let use_compound = rng.chance(0.25);
+                let noun = if use_compound { 20 + rng.below(4) } else { 2 + rng.below(8) };
+                let verb = 15 + rng.below(5);
+                // source order: article adjective noun verb
+                for &i in &[art, adj, noun, verb] {
+                    src.push(ds_src_id(LEXICON[i].0, &src_vocab));
+                }
+                // target: article, then NOUN BEFORE ADJECTIVE (reordering),
+                // compounds split, diminutive suffix after noun with p=0.3
+                tgt.push(ds_src_id(LEXICON[art].2[0], &tgt_vocab));
+                for t in LEXICON[noun].2.iter().copied() {
+                    tgt.push(ds_src_id(t, &tgt_vocab));
+                }
+                if rng.chance(0.3) && LEXICON[noun].1 == WordClass::Noun {
+                    tgt.push(ds_src_id(SUFFIX, &tgt_vocab));
+                }
+                tgt.push(ds_src_id(LEXICON[adj].2[0], &tgt_vocab));
+                tgt.push(ds_src_id(LEXICON[verb].2[0], &tgt_vocab));
+            }
+            let punct = PUNCT[rng.below(PUNCT.len())];
+            src.push(ds_src_id(punct, &src_vocab));
+            tgt.push(ds_src_id(punct, &tgt_vocab));
+            SentencePair { source: src, target: tgt }
+        };
+
+        let train: Vec<SentencePair> = (0..cfg.train_pairs).map(|_| gen_pair(&mut rng)).collect();
+        let test: Vec<SentencePair> = (0..cfg.test_pairs).map(|_| gen_pair(&mut rng)).collect();
+        TranslationDataset {
+            train,
+            test,
+            src_vocab,
+            tgt_vocab,
+        }
+    }
+
+    /// Source vocabulary size (including specials).
+    pub fn src_vocab_len(&self) -> usize {
+        self.src_vocab.len()
+    }
+
+    /// Target vocabulary size (including specials).
+    pub fn tgt_vocab_len(&self) -> usize {
+        self.tgt_vocab.len()
+    }
+
+    /// Longest source/target sequence in the corpus (without framing).
+    pub fn max_len(&self) -> usize {
+        self.train
+            .iter()
+            .chain(self.test.iter())
+            .map(|p| p.source.len().max(p.target.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders target token ids as a detokenized string: words joined with
+    /// spaces, punctuation attached to the previous word, and the first word
+    /// title-cased (as real detokenizers do) — the form BLEU tokenizers
+    /// re-split. Title-casing makes the cased/uncased Table II settings
+    /// diverge whenever a hypothesis starts with a word the reference has
+    /// mid-sentence.
+    pub fn detokenize_target(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        let mut first_word = true;
+        for &id in ids {
+            if id < SPECIALS || id >= self.tgt_vocab.len() {
+                continue;
+            }
+            let w = &self.tgt_vocab[id];
+            if PUNCT.contains(&w.as_str()) {
+                out.push_str(w);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                if first_word {
+                    let mut chars = w.chars();
+                    if let Some(c) = chars.next() {
+                        out.extend(c.to_uppercase());
+                        out.push_str(chars.as_str());
+                    }
+                    first_word = false;
+                } else {
+                    out.push_str(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Looks up a target word form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn tgt_word(&self, id: usize) -> &str {
+        &self.tgt_vocab[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sizes_and_determinism() {
+        let cfg = TranslationConfig {
+            train_pairs: 20,
+            test_pairs: 5,
+            ..TranslationConfig::default()
+        };
+        let a = TranslationDataset::generate(cfg);
+        let b = TranslationDataset::generate(cfg);
+        assert_eq!(a.train.len(), 20);
+        assert_eq!(a.test.len(), 5);
+        assert_eq!(a.train, b.train);
+    }
+
+    #[test]
+    fn token_ids_in_range() {
+        let ds = TranslationDataset::generate(TranslationConfig {
+            train_pairs: 50,
+            test_pairs: 10,
+            ..TranslationConfig::default()
+        });
+        for p in ds.train.iter().chain(ds.test.iter()) {
+            for &t in &p.source {
+                assert!(t >= SPECIALS && t < ds.src_vocab_len());
+            }
+            for &t in &p.target {
+                assert!(t >= SPECIALS && t < ds.tgt_vocab_len());
+            }
+        }
+    }
+
+    #[test]
+    fn target_reorders_noun_before_adjective() {
+        // for a single simple clause "the big dog runs." the target must be
+        // "der Hund [chen] groß läuft." — noun precedes adjective
+        let ds = TranslationDataset::generate(TranslationConfig {
+            train_pairs: 200,
+            test_pairs: 1,
+            min_clauses: 1,
+            max_clauses: 1,
+            seed: 3,
+        });
+        let mut checked = 0;
+        for p in &ds.train {
+            let s = ds.detokenize_target(&p.target);
+            // adjective forms never appear immediately after the article
+            for art in ["Der", "Ein"] {
+                if let Some(pos) = s.find(art) {
+                    let rest = &s[pos + art.len() + 1..];
+                    let first_word = rest.split(' ').next().unwrap_or("");
+                    for adj in ["groß", "klein", "schnell", "grün", "alt"] {
+                        assert_ne!(first_word, adj, "adjective directly after article in {s:?}");
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn compounds_split_into_two_target_tokens() {
+        let ds = TranslationDataset::generate(TranslationConfig {
+            train_pairs: 300,
+            test_pairs: 1,
+            min_clauses: 1,
+            max_clauses: 1,
+            seed: 4,
+        });
+        // find a pair whose source contains "doghouse"
+        let dog_id = 3 + 20; // specials + lexicon index of doghouse
+        let pair = ds
+            .train
+            .iter()
+            .find(|p| p.source.contains(&dog_id))
+            .expect("compound appears in 300 sentences");
+        let s = ds.detokenize_target(&pair.target);
+        assert!(s.contains("Hunde Haus"), "compound not split: {s:?}");
+    }
+
+    #[test]
+    fn detokenization_attaches_punctuation() {
+        let ds = TranslationDataset::generate(TranslationConfig {
+            train_pairs: 5,
+            test_pairs: 1,
+            ..TranslationConfig::default()
+        });
+        let s = ds.detokenize_target(&ds.train[0].target);
+        assert!(
+            s.ends_with('.') || s.ends_with('!') || s.ends_with('?') || s.ends_with('\u{2026}')
+        );
+        assert!(!s.contains(" ."));
+        // first word is title-cased
+        assert!(s.chars().next().map(char::is_uppercase).unwrap_or(false));
+    }
+
+    #[test]
+    fn vocabulary_contains_unicode_forms() {
+        let ds = TranslationDataset::generate(TranslationConfig::default());
+        let joined: String = (0..ds.tgt_vocab_len()).map(|i| ds.tgt_word(i).to_string()).collect();
+        assert!(joined.contains('ß') || joined.contains('ö') || joined.contains('ü'));
+    }
+}

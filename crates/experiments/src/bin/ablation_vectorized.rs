@@ -1,0 +1,57 @@
+//! Ablation: the paper's §III-B contribution — reusing the intermediate
+//! features fᵏ as outputs — vs the same neuron emitting only the scalar y.
+
+use qn_core::NeuronSpec;
+use qn_data::synthetic_cifar10;
+use qn_experiments::{full_scale, train_classifier, Report, TrainConfig};
+use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+use qn_nn::Module;
+
+fn main() {
+    let full = full_scale();
+    let (res, per_class, epochs, width, depth) =
+        if full { (16, 60, 8, 6, 20) } else { (12, 40, 5, 4, 8) };
+    let mut report = Report::new(
+        "ablation_vectorized",
+        "Ablation — vectorized output (fᵏ reuse) vs scalar-output quadratic neuron",
+    );
+    report.line(&format!(
+        "ResNet-{depth} (width {width}) on synthetic CIFAR-10 at {res}x{res}, {epochs} epochs, \
+k = 4. Both nets produce the same feature-map widths; the scalar variant needs (k+1)x more \
+neurons (and parameters) to do so.\n"
+    ));
+    let data = synthetic_cifar10(res, per_class, 15, 89);
+    let mut rows = Vec::new();
+    for (name, neuron) in [
+        ("vectorized {y, fᵏ} (ours)", NeuronSpec::EfficientQuadratic { rank: 4 }),
+        ("scalar y only", NeuronSpec::EfficientQuadraticScalar { rank: 4 }),
+        ("linear baseline", NeuronSpec::Linear),
+    ] {
+        let net = ResNet::cifar(ResNetConfig {
+            depth,
+            base_width: width,
+            num_classes: 10,
+            neuron,
+            placement: NeuronPlacement::All,
+            seed: 97,
+        });
+        let result = train_classifier(
+            &net,
+            &data,
+            TrainConfig { epochs, seed: 101, ..TrainConfig::default() },
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", net.param_count()),
+            format!("{}", net.costs(&[1, 3, res, res]).macs),
+            format!("{:.1}%", result.test_accuracy * 100.0),
+        ]);
+        eprintln!("done: {name}");
+    }
+    report.table(&["neuron", "net params", "net MACs", "test acc"], &rows);
+    report.line("\nShape to verify: the vectorized form reaches comparable or better accuracy \
+than the scalar form at a fraction of its parameters/MACs — the fᵏ features carry usable \
+information (paper §III-B).");
+    let path = report.save().expect("write report");
+    println!("\nreport written to {}", path.display());
+}

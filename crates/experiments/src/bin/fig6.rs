@@ -1,0 +1,110 @@
+//! Fig. 6: training stability of ResNet-18 with kervolutional neurons
+//! (KNN-n: first n conv layers use the polynomial kernel of Wang et al.
+//! [14]) vs the proposed quadratic neuron in all layers.
+
+use qn_core::NeuronSpec;
+use qn_data::synthetic_imagenet;
+use qn_experiments::{full_scale, train_classifier, Report, TrainConfig};
+use qn_autograd::Graph;
+use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+use qn_nn::Module;
+
+fn main() {
+    let full = full_scale();
+    let (res, per_class, test_per_class, epochs, width, degree) =
+        if full { (16, 40, 10, 8, 4, 9) } else { (12, 20, 8, 5, 4, 9) };
+    let mut report = Report::new(
+        "fig6",
+        "Fig. 6 — training stability: KNN-n [14] vs proposed neuron (all layers)",
+    );
+    report.line(&format!(
+        "ResNet-18 (width {width}) on 20-class synthetic ImageNet ({res}x{res}, \
+{per_class}/class), polynomial degree p={degree}, {epochs} epochs. The paper observes \
+KNN-3 trains stably while KNN-11/KNN-15 fluctuate or diverge; ours is stable in all layers.\n"
+    ));
+    let data = synthetic_imagenet(res, per_class, test_per_class, 23);
+    let mut rows = Vec::new();
+    let configs: Vec<(String, NeuronSpec, NeuronPlacement)> = vec![
+        (
+            "ours (all layers)".into(),
+            NeuronSpec::EfficientQuadratic { rank: 9 },
+            NeuronPlacement::All,
+        ),
+        ("KNN-3".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(3)),
+        ("KNN-7".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(7)),
+        ("KNN-11".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(11)),
+        ("KNN-15".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(15)),
+    ];
+    for (name, neuron, placement) in configs {
+        let net = ResNet::imagenet18(ResNetConfig {
+            depth: 18,
+            base_width: width,
+            num_classes: 20,
+            neuron,
+            placement,
+            seed: 29,
+        });
+        let result = train_classifier(
+            &net,
+            &data,
+            TrainConfig {
+                epochs,
+                lr: 0.1,
+                seed: 31,
+                clip: None, // the paper's recipe has no gradient clipping
+                ..TrainConfig::default()
+            },
+        );
+        // the paper's "extreme values during testing": largest |logit| on
+        // the test set grows with kervolutional depth
+        let (max_logit, test_unstable) = {
+            let mut g = Graph::new();
+            let x = g.leaf(data.test_images.slice_axis(0, 0, data.test_labels.len().min(64)));
+            let y = net.forward(&mut g, x);
+            let unstable = g.value(y).has_non_finite();
+            (g.value(y).map(f32::abs).max(), unstable)
+        };
+        let losses: Vec<String> = result
+            .curve
+            .iter()
+            .map(|s| {
+                if s.loss.is_finite() {
+                    format!("{:.2}", s.loss)
+                } else {
+                    "∞".into()
+                }
+            })
+            .collect();
+        // instability score: max epoch-to-epoch loss increase
+        let mut worst_jump = 0.0f32;
+        for w in result.curve.windows(2) {
+            if w[0].loss.is_finite() && w[1].loss.is_finite() {
+                worst_jump = worst_jump.max(w[1].loss - w[0].loss);
+            }
+        }
+        rows.push(vec![
+            name.clone(),
+            losses.join(" → "),
+            format!("{:.1}%", result.test_accuracy * 100.0),
+            format!("{:.2}", worst_jump),
+            if test_unstable { "NaN".into() } else { format!("{max_logit:.1}") },
+            if result.diverged {
+                "DIVERGED (train)".into()
+            } else if test_unstable {
+                "UNSTABLE (inference)".into()
+            } else {
+                "stable".into()
+            },
+        ]);
+        eprintln!("done: {name}");
+    }
+    report.table(
+        &["configuration", "train loss per epoch", "test acc", "worst loss jump", "max |test logit|", "status"],
+        &rows,
+    );
+    report.line("\nPaper shape to verify: instability (loss jumps or divergence) grows with the \
+number of kervolutional layers, while the proposed neuron trains stably when deployed in \
+every layer.");
+    let path = report.save().expect("write report");
+    println!("\nreport written to {}", path.display());
+}

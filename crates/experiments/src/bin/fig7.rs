@@ -1,0 +1,72 @@
+//! Fig. 7: distribution of linear vs quadratic (Λᵏ) parameters per layer of
+//! a ResNet-20 trained on synthetic CIFAR-100.
+
+use qn_core::NeuronSpec;
+use qn_data::synthetic_cifar100;
+use qn_experiments::{full_scale, train_classifier, Report, TrainConfig};
+use qn_metrics::stats::summarize;
+use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+
+fn main() {
+    let full = full_scale();
+    let (res, per_class, epochs, width, depth) =
+        if full { (16, 10, 8, 6, 20) } else { (12, 8, 6, 4, 14) };
+    let mut report = Report::new(
+        "fig7",
+        "Fig. 7 — per-layer parameter distributions after training (synthetic CIFAR-100)",
+    );
+    report.line(&format!(
+        "ResNet-{depth} (width {width}), 100 classes, {per_class}/class at {res}x{res}, \
+{epochs} epochs, k = 9 truncated to patch length where needed.\n"
+    ));
+    let data = synthetic_cifar100(res, per_class, 2, 47);
+    let net = ResNet::cifar(ResNetConfig {
+        depth,
+        base_width: width,
+        num_classes: 100,
+        neuron: NeuronSpec::EfficientQuadratic { rank: 9 },
+        placement: NeuronPlacement::All,
+        seed: 53,
+    });
+    let result = train_classifier(
+        &net,
+        &data,
+        TrainConfig { epochs, seed: 59, ..TrainConfig::default() },
+    );
+    report.line(&format!(
+        "final train acc {:.1}%, test acc {:.1}%\n",
+        result.curve.last().map(|s| s.accuracy * 100.0).unwrap_or(0.0),
+        result.test_accuracy * 100.0
+    ));
+    let mut rows = Vec::new();
+    let mut lambda_spreads = Vec::new();
+    for (layer, (lin, lam)) in net.layer_parameter_snapshots().iter().enumerate() {
+        let ls = summarize(lin);
+        let qs = summarize(lam);
+        lambda_spreads.push(qs.p95 - qs.p5);
+        rows.push(vec![
+            format!("{}", layer + 1),
+            format!("[{:+.3}, {:+.3}]", ls.p5, ls.p95),
+            format!("{:.3}", ls.std),
+            format!("[{:+.4}, {:+.4}]", qs.p5, qs.p95),
+            format!("{:.4}", qs.std),
+        ]);
+    }
+    report.table(
+        &["layer", "linear p5–p95", "linear std", "quadratic Λ p5–p95", "quadratic Λ std"],
+        &rows,
+    );
+    let max_spread = lambda_spreads.iter().cloned().fold(0.0f32, f32::max);
+    let min_spread = lambda_spreads.iter().cloned().fold(f32::INFINITY, f32::min);
+    report.line(&format!(
+        "\nΛ spread varies {:.1}x across depth (min {:.4}, max {:.4}). Paper shape to verify: \
+quadratic parameters have much larger variance-of-spread across layers than linear ones — \
+significant in some layers, near-zero in others — suggesting quadratic neurons are not \
+equally needed at every depth (and first-layer-only deployment is not optimal either).",
+        max_spread / min_spread.max(1e-9),
+        min_spread,
+        max_spread
+    ));
+    let path = report.save().expect("write report");
+    println!("\nreport written to {}", path.display());
+}

@@ -1,0 +1,123 @@
+//! Fig. 8: visualization of the linear response `wᵀx + b` and the quadratic
+//! response `y₂ᵏ = xᵀQᵏΛᵏ(Qᵏ)ᵀx` of a trained first-layer quadratic
+//! convolution, plus a frequency-energy statistic quantifying the paper's
+//! observation that quadratic responses capture low-frequency shape.
+
+use qn_core::NeuronSpec;
+use qn_data::synthetic_cifar10;
+use qn_experiments::{train_classifier, Report, TrainConfig};
+use qn_metrics::pgm::{low_frequency_fraction, write_pgm};
+use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+use qn_nn::Module;
+use qn_tensor::{im2col, Conv2dSpec, Tensor};
+
+fn main() {
+    let res = 16usize;
+    let data = synthetic_cifar10(res, 30, 8, 61);
+    let net = ResNet::cifar(ResNetConfig {
+        depth: 8,
+        base_width: 8,
+        num_classes: 10,
+        neuron: NeuronSpec::EfficientQuadratic { rank: 9 },
+        placement: NeuronPlacement::All,
+        seed: 67,
+    });
+    let mut report = Report::new(
+        "fig8",
+        "Fig. 8 — linear vs quadratic response maps of a trained first layer",
+    );
+    let result = train_classifier(
+        &net,
+        &data,
+        TrainConfig { epochs: 6, seed: 71, ..TrainConfig::default() },
+    );
+    report.line(&format!(
+        "ResNet-8 quadratic (k=9), trained 6 epochs, test acc {:.1}%. Maps are \
+response magnitudes of the stem neuron with the strongest Λ (linear: |wᵀx+b|, \
+quadratic: |y₂ᵏ|), so edge-sign oscillation registers as high-frequency content.\n",
+        result.test_accuracy * 100.0
+    ));
+    // extract stem parameters (quad.q / quad.lambda / quad.w / quad.b of the
+    // first conv): recompute responses directly from patches
+    let params = net.params();
+    let q = params.iter().find(|p| p.name() == "quad.q").expect("stem q");
+    let lam = params.iter().find(|p| p.name() == qn_core::LAMBDA_PARAM_NAME).expect("stem lambda");
+    let w = params.iter().find(|p| p.name() == "quad.w").expect("stem w");
+    let b = params.iter().find(|p| p.name() == "quad.b").expect("stem b");
+    let (qv, lv, wv, bv) = (q.value(), lam.value(), w.value(), b.value());
+    let (m, k) = lv.dims2();
+
+    let spec = Conv2dSpec::new(3, 1, 1);
+    // pick the stem neuron whose Λ row has the largest magnitude
+    let neuron = (0..m)
+        .max_by(|&a, &b| {
+            let mag = |j: usize| -> f32 { (0..k).map(|i| lv.get(&[j, i]).abs()).sum() };
+            mag(a).partial_cmp(&mag(b)).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0);
+    let mut rows = Vec::new();
+    let mut lin_frac_sum = 0.0f32;
+    let mut quad_frac_sum = 0.0f32;
+    let images = 6usize;
+    for img_idx in 0..images {
+        let image = data.test_images.slice_axis(0, img_idx, img_idx + 1);
+        let cols = im2col(&image, spec); // [res*res, 27]
+        let mut linear_map = Tensor::zeros(&[res, res]);
+        let mut quad_map = Tensor::zeros(&[res, res]);
+        for pos in 0..res * res {
+            let patch = cols.slice_axis(0, pos, pos + 1); // [1, n]
+            let mut lin = bv.get(&[neuron]);
+            for i in 0..patch.numel() {
+                lin += wv.get(&[neuron, i]) * patch.data()[i];
+            }
+            let mut quad = 0.0f32;
+            for ki in 0..k {
+                let mut f = 0.0f32;
+                for i in 0..patch.numel() {
+                    f += qv.get(&[neuron * k + ki, i]) * patch.data()[i];
+                }
+                quad += lv.get(&[neuron, ki]) * f * f;
+            }
+            linear_map.set(&[pos / res, pos % res], lin.abs());
+            quad_map.set(&[pos / res, pos % res], quad.abs());
+        }
+        let gray = {
+            let mut t = Tensor::zeros(&[res, res]);
+            for y in 0..res {
+                for x in 0..res {
+                    let v = (0..3).map(|c| image.get(&[0, c, y, x])).sum::<f32>() / 3.0;
+                    t.set(&[y, x], v);
+                }
+            }
+            t
+        };
+        let dir = std::path::Path::new("results");
+        let _ = std::fs::create_dir_all(dir);
+        write_pgm(&gray, &dir.join(format!("fig8_input_{img_idx}.pgm"))).expect("write input");
+        write_pgm(&linear_map, &dir.join(format!("fig8_linear_{img_idx}.pgm"))).expect("write linear");
+        write_pgm(&quad_map, &dir.join(format!("fig8_quadratic_{img_idx}.pgm"))).expect("write quad");
+        let lf = low_frequency_fraction(&linear_map);
+        let qf = low_frequency_fraction(&quad_map);
+        lin_frac_sum += lf;
+        quad_frac_sum += qf;
+        rows.push(vec![
+            format!("image {img_idx} (class {})", data.test_labels[img_idx]),
+            format!("{:.3}", lf),
+            format!("{:.3}", qf),
+            if qf > lf { "quadratic smoother ✓".into() } else { "linear smoother".into() },
+        ]);
+    }
+    report.table(
+        &["input", "linear low-freq fraction", "quadratic low-freq fraction", "verdict"],
+        &rows,
+    );
+    report.line(&format!(
+        "\nMean low-frequency energy fraction: linear {:.3}, quadratic {:.3}. Paper shape to \
+verify: the quadratic response concentrates on low-frequency (whole-object/shape) structure \
+while the linear response is edge/texture dominated. PGM maps written to results/fig8_*.pgm.",
+        lin_frac_sum / images as f32,
+        quad_frac_sum / images as f32
+    ));
+    let path = report.save().expect("write report");
+    println!("\nreport written to {}", path.display());
+}

@@ -1,0 +1,30 @@
+//! # qn-experiments
+//!
+//! Reproduction harnesses for every table and figure of the paper's
+//! evaluation section. Each experiment is a binary in this crate
+//! (`cargo run --release -p qn-experiments --bin <id>`); this library holds
+//! the shared machinery:
+//!
+//! - [`TrainConfig`] / [`train_classifier`] — the paper's CIFAR training
+//!   recipe (SGD + momentum + weight decay, step decay, pad-crop-flip
+//!   augmentation, separate `Λᵏ` learning rate) at CPU-feasible scale.
+//! - [`train_transformer`] — the Table II recipe (Adam + Noam warmup,
+//!   label smoothing, greedy decoding for BLEU).
+//! - [`Report`] — markdown emission into `results/`.
+//!
+//! Scale note: experiments default to laptop-quick settings; set `QN_FULL=1`
+//! for the larger configurations recorded in `EXPERIMENTS.md`.
+
+mod report;
+mod train;
+
+pub use report::Report;
+pub use train::{
+    evaluate_classifier, train_classifier, train_transformer, EpochStats, TrainConfig,
+    TrainResult, TransformerTrainConfig, TransformerTrainResult,
+};
+
+/// `true` when the environment requests full-scale experiment settings.
+pub fn full_scale() -> bool {
+    std::env::var("QN_FULL").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,102 @@
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+/// Collects experiment output as markdown, mirrors it to stdout, and writes
+/// it under `results/`.
+///
+/// # Example
+///
+/// ```
+/// use qn_experiments::Report;
+///
+/// let mut r = Report::new("demo", "Demo experiment");
+/// r.line("some finding");
+/// r.table(&["col a", "col b"], &[vec!["1".into(), "2".into()]]);
+/// assert!(r.markdown().contains("| col a | col b |"));
+/// ```
+#[derive(Debug)]
+pub struct Report {
+    id: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report with a title header.
+    pub fn new(id: &str, title: &str) -> Self {
+        let mut body = String::new();
+        let _ = writeln!(body, "# {title}\n");
+        Report {
+            id: id.to_string(),
+            body,
+        }
+    }
+
+    /// Appends a paragraph line.
+    pub fn line(&mut self, text: &str) {
+        println!("{text}");
+        let _ = writeln!(self.body, "{text}");
+    }
+
+    /// Appends a markdown table.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let _ = writeln!(out, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        print!("{out}");
+        self.body.push_str(&out);
+        self.body.push('\n');
+    }
+
+    /// The accumulated markdown.
+    pub fn markdown(&self) -> &str {
+        &self.body
+    }
+
+    /// Writes the report to `results/<id>.md` relative to the workspace
+    /// root (or the current directory as fallback).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn save(&self) -> io::Result<PathBuf> {
+        let mut dir = PathBuf::from("results");
+        if !dir.exists() {
+            // fall back to the workspace root when invoked from a crate dir
+            let alt = PathBuf::from("../../results");
+            if alt.exists() {
+                dir = alt;
+            } else {
+                std::fs::create_dir_all(&dir)?;
+            }
+        }
+        let path = dir.join(format!("{}.md", self.id));
+        std::fs::write(&path, &self.body)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut r = Report::new("t", "T");
+        r.table(&["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]]);
+        assert!(r.markdown().contains("| a | b |"));
+        assert!(r.markdown().contains("| 3 | 4 |"));
+        assert!(r.markdown().contains("|---|---|"));
+    }
+
+    #[test]
+    fn lines_accumulate() {
+        let mut r = Report::new("t", "T");
+        r.line("hello");
+        r.line("world");
+        assert!(r.markdown().contains("hello\nworld"));
+    }
+}

@@ -1,0 +1,248 @@
+use qn_tensor::Tensor;
+
+/// Eigendecomposition of a real symmetric matrix, `M = Q Λ Qᵀ`.
+///
+/// Produced by [`eigh`]. Eigenpairs are sorted by **descending eigenvalue
+/// magnitude** — the order used by the paper's top-k selection (principal
+/// components first).
+#[derive(Debug, Clone)]
+pub struct Eigh {
+    /// Eigenvalues, `|values[0]| >= |values[1]| >= …`.
+    pub values: Vec<f32>,
+    /// `n × n` matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Tensor,
+}
+
+impl Eigh {
+    /// Rebuilds `Q Λ Qᵀ`.
+    pub fn reconstruct(&self) -> Tensor {
+        let (n, _) = self.vectors.dims2();
+        let mut ql = self.vectors.clone();
+        for i in 0..n {
+            for j in 0..n {
+                let v = ql.get(&[i, j]) * self.values[j];
+                ql.set(&[i, j], v);
+            }
+        }
+        ql.matmul_transb(&self.vectors)
+    }
+
+    /// Largest off-diagonal magnitude of `QᵀQ - I` — an orthonormality
+    /// residual useful in tests.
+    pub fn orthonormality_residual(&self) -> f32 {
+        let qtq = self.vectors.matmul_transa(&self.vectors);
+        let (n, _) = qtq.dims2();
+        let mut worst = 0.0f32;
+        for i in 0..n {
+            for j in 0..n {
+                let target = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((qtq.get(&[i, j]) - target).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a real symmetric matrix.
+///
+/// Runs sweeps of Jacobi rotations until the off-diagonal Frobenius mass
+/// drops below `1e-9 · ‖M‖` or `max_sweeps` is reached. For the matrix sizes
+/// quadratic neurons use (n = C·K², typically ≤ a few hundred) this is fast
+/// and extremely robust.
+///
+/// The input is symmetrized first (`(M + Mᵀ)/2`), so mildly asymmetric input
+/// — e.g. a trained unconstrained matrix — is handled per Lemma 1.
+///
+/// # Panics
+///
+/// Panics if `m` is not 2-D square.
+pub fn eigh(m: &Tensor, max_sweeps: usize) -> Eigh {
+    let (n, c) = m.dims2();
+    assert_eq!(n, c, "eigh requires a square matrix, got {n}x{c}");
+    // working copy, symmetrized
+    let mut a: Vec<f32> = {
+        let t = m.transpose2();
+        m.data()
+            .iter()
+            .zip(t.data().iter())
+            .map(|(&x, &y)| 0.5 * (x + y))
+            .collect()
+    };
+    let mut q = Tensor::eye(n).into_vec();
+    let norm = m.frob_norm().max(1e-20);
+    let tol = 1e-9 * norm;
+
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apr = a[p * n + r];
+                if apr.abs() <= f32::MIN_POSITIVE {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let arr = a[r * n + r];
+                let theta = 0.5 * (arr - app) as f64 / apr as f64;
+                let t = if theta.abs() > 1e12 {
+                    0.5 / theta
+                } else {
+                    let s = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    s / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let cos = 1.0 / (t * t + 1.0).sqrt();
+                let sin = t * cos;
+                let (cos, sin) = (cos as f32, sin as f32);
+                // rotate rows/cols p and r of A
+                for kk in 0..n {
+                    let akp = a[kk * n + p];
+                    let akr = a[kk * n + r];
+                    a[kk * n + p] = cos * akp - sin * akr;
+                    a[kk * n + r] = sin * akp + cos * akr;
+                }
+                for kk in 0..n {
+                    let apk = a[p * n + kk];
+                    let ark = a[r * n + kk];
+                    a[p * n + kk] = cos * apk - sin * ark;
+                    a[r * n + kk] = sin * apk + cos * ark;
+                }
+                // accumulate rotations into Q (columns are eigenvectors)
+                for kk in 0..n {
+                    let qkp = q[kk * n + p];
+                    let qkr = q[kk * n + r];
+                    q[kk * n + p] = cos * qkp - sin * qkr;
+                    q[kk * n + r] = sin * qkp + cos * qkr;
+                }
+            }
+        }
+    }
+
+    // extract eigenvalues and sort by |λ| descending, permuting columns of Q
+    let mut order: Vec<usize> = (0..n).collect();
+    let values: Vec<f32> = (0..n).map(|i| a[i * n + i]).collect();
+    order.sort_by(|&x, &y| {
+        values[y]
+            .abs()
+            .partial_cmp(&values[x].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let sorted_values: Vec<f32> = order.iter().map(|&i| values[i]).collect();
+    let mut vectors = Tensor::zeros(&[n, n]);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors.set(&[row, new_col], q[row * n + old_col]);
+        }
+    }
+    Eigh {
+        values: sorted_values,
+        vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_tensor::Rng;
+
+    fn random_symmetric(n: usize, rng: &mut Rng) -> Tensor {
+        let m = Tensor::randn(&[n, n], rng);
+        m.add(&m.transpose2()).scale(0.5)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut d = Tensor::zeros(&[3, 3]);
+        d.set(&[0, 0], 2.0);
+        d.set(&[1, 1], -5.0);
+        d.set(&[2, 2], 1.0);
+        let e = eigh(&d, 100);
+        assert!((e.values[0] - -5.0).abs() < 1e-5);
+        assert!((e.values[1] - 2.0).abs() < 1e-5);
+        assert!((e.values[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]).unwrap();
+        let e = eigh(&m, 100);
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+        // eigenvector for 3 is (1,1)/sqrt(2) up to sign
+        let v0 = (e.vectors.get(&[0, 0]), e.vectors.get(&[1, 0]));
+        assert!((v0.0.abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((v0.0 - v0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let mut rng = Rng::seed_from(31);
+        for &n in &[2usize, 5, 10, 20] {
+            let m = random_symmetric(n, &mut rng);
+            let e = eigh(&m, 200);
+            assert!(
+                e.reconstruct().allclose(&m, 2e-3 * (n as f32)),
+                "reconstruction failed for n={n}"
+            );
+            assert!(
+                e.orthonormality_residual() < 1e-3,
+                "orthonormality failed for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_by_magnitude() {
+        let mut rng = Rng::seed_from(32);
+        let m = random_symmetric(12, &mut rng);
+        let e = eigh(&m, 200);
+        for w in e.values.windows(2) {
+            assert!(w[0].abs() >= w[1].abs() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let mut rng = Rng::seed_from(33);
+        let m = random_symmetric(7, &mut rng);
+        let e = eigh(&m, 200);
+        for j in 0..7 {
+            let v = e.vectors.slice_axis(1, j, j + 1); // [7, 1]
+            let mv = m.matmul(&v);
+            let lv = v.scale(e.values[j]);
+            assert!(mv.allclose(&lv, 1e-3), "Mv != λv for pair {j}");
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut rng = Rng::seed_from(34);
+        let m = random_symmetric(9, &mut rng);
+        let trace: f32 = (0..9).map(|i| m.get(&[i, i])).sum();
+        let e = eigh(&m, 200);
+        let sum: f32 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-3, "{trace} vs {sum}");
+    }
+
+    #[test]
+    fn asymmetric_input_is_symmetrized() {
+        let mut rng = Rng::seed_from(35);
+        let m = Tensor::randn(&[6, 6], &mut rng);
+        let e = eigh(&m, 200);
+        let s = m.add(&m.transpose2()).scale(0.5);
+        assert!(e.reconstruct().allclose(&s, 5e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        eigh(&Tensor::zeros(&[2, 3]), 10);
+    }
+}

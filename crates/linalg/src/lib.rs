@@ -1,0 +1,208 @@
+//! # qn-linalg
+//!
+//! Dense symmetric linear algebra for the quadratic-neuron library:
+//!
+//! - [`symmetrize`] — Lemma 1 of the paper: any quadratic form `xᵀMx` equals
+//!   `xᵀM'x` with `M' = (M + Mᵀ)/2` symmetric.
+//! - [`eigh`] — cyclic Jacobi eigendecomposition of a real symmetric matrix,
+//!   returning eigenpairs sorted by **descending eigenvalue magnitude** (the
+//!   order the paper's top-k selection uses).
+//! - [`spectral_top_k`] — the Eckart–Young-optimal rank-k approximation
+//!   `Mᵏ = QᵏΛᵏ(Qᵏ)ᵀ` of a symmetric matrix.
+//! - [`random_orthonormal`] / [`gram_schmidt`] — orthonormal initializers for
+//!   the `Qᵏ` factor of the efficient quadratic neuron.
+//!
+//! # Example
+//!
+//! ```
+//! use qn_tensor::{Rng, Tensor};
+//! use qn_linalg::{eigh, spectral_top_k, symmetrize};
+//!
+//! # fn main() -> Result<(), qn_tensor::TensorError> {
+//! let mut rng = Rng::seed_from(1);
+//! let m = Tensor::randn(&[5, 5], &mut rng);
+//! let s = symmetrize(&m);
+//! let eig = eigh(&s, 200);
+//! // QΛQᵀ reconstructs the symmetric matrix
+//! let rebuilt = eig.reconstruct();
+//! assert!(rebuilt.allclose(&s, 1e-3));
+//! // rank-2 truncation is the best rank-2 approximation in Frobenius norm
+//! let approx = spectral_top_k(&s, 2);
+//! assert_eq!(approx.q.shape().dims(), &[5, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod eig;
+mod ortho;
+
+pub use eig::{eigh, Eigh};
+pub use ortho::{gram_schmidt, random_orthonormal};
+
+use qn_tensor::Tensor;
+
+/// Lemma 1: replaces `M` by the symmetric matrix `(M + Mᵀ)/2`, which induces
+/// the same quadratic form `xᵀMx` for all `x`.
+///
+/// # Panics
+///
+/// Panics if `m` is not square.
+pub fn symmetrize(m: &Tensor) -> Tensor {
+    let (r, c) = m.dims2();
+    assert_eq!(r, c, "symmetrize requires a square matrix, got {r}x{c}");
+    m.add(&m.transpose2()).scale(0.5)
+}
+
+/// Evaluates the quadratic form `xᵀMx` directly (O(n²) reference used in
+/// tests and by the general quadratic neuron).
+///
+/// # Panics
+///
+/// Panics if dims are inconsistent.
+pub fn quadratic_form(x: &Tensor, m: &Tensor) -> f32 {
+    let n = x.numel();
+    let (r, c) = m.dims2();
+    assert_eq!(r, n, "matrix rows {r} != vector length {n}");
+    assert_eq!(c, n, "matrix cols {c} != vector length {n}");
+    let xd = x.data();
+    let md = m.data();
+    let mut acc = 0.0f32;
+    for i in 0..n {
+        let xi = xd[i];
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &md[i * n..(i + 1) * n];
+        let mut inner = 0.0f32;
+        for (j, &mij) in row.iter().enumerate() {
+            inner += mij * xd[j];
+        }
+        acc += xi * inner;
+    }
+    acc
+}
+
+/// The rank-k spectral truncation `Mᵏ = QᵏΛᵏ(Qᵏ)ᵀ` of a symmetric matrix,
+/// keeping the `k` eigenvalues of largest magnitude (the paper's top-k
+/// selection, optimal by Eckart–Young–Mirsky for the Frobenius norm).
+#[derive(Debug, Clone)]
+pub struct SpectralTopK {
+    /// `n × k` matrix of the retained eigenvectors (orthonormal columns).
+    pub q: Tensor,
+    /// The `k` retained eigenvalues (diagonal of `Λᵏ`).
+    pub lambda: Vec<f32>,
+}
+
+impl SpectralTopK {
+    /// Rebuilds the `n × n` approximation `QᵏΛᵏ(Qᵏ)ᵀ`.
+    pub fn reconstruct(&self) -> Tensor {
+        let (n, k) = self.q.dims2();
+        // scale columns of Q by lambda, then multiply by Qᵀ
+        let mut ql = self.q.clone();
+        for i in 0..n {
+            for j in 0..k {
+                let v = ql.get(&[i, j]) * self.lambda[j];
+                ql.set(&[i, j], v);
+            }
+        }
+        ql.matmul_transb(&self.q)
+    }
+}
+
+/// Computes the top-k spectral approximation of a symmetric matrix.
+///
+/// # Panics
+///
+/// Panics if `m` is not square or `k` is zero or exceeds `n`.
+pub fn spectral_top_k(m: &Tensor, k: usize) -> SpectralTopK {
+    let (n, c) = m.dims2();
+    assert_eq!(n, c, "spectral_top_k requires a square matrix");
+    assert!(k >= 1 && k <= n, "rank k={k} must be in 1..={n}");
+    let eig = eigh(m, 200);
+    SpectralTopK {
+        q: eig.vectors.slice_axis(1, 0, k),
+        lambda: eig.values[..k].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_tensor::Rng;
+
+    #[test]
+    fn symmetrize_is_symmetric_and_preserves_form() {
+        let mut rng = Rng::seed_from(3);
+        let m = Tensor::randn(&[6, 6], &mut rng);
+        let s = symmetrize(&m);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((s.get(&[i, j]) - s.get(&[j, i])).abs() < 1e-6);
+            }
+        }
+        for _ in 0..10 {
+            let x = Tensor::randn(&[6], &mut rng);
+            let a = quadratic_form(&x, &m);
+            let b = quadratic_form(&x, &s);
+            assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quadratic_form_known_value() {
+        // M = [[1, 2], [3, 4]], x = [1, 1] -> 1 + 2 + 3 + 4 = 10
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let x = Tensor::ones(&[2]);
+        assert!((quadratic_form(&x, &m) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_full_rank_reconstructs() {
+        let mut rng = Rng::seed_from(5);
+        let s = symmetrize(&Tensor::randn(&[5, 5], &mut rng));
+        let approx = spectral_top_k(&s, 5);
+        assert!(approx.reconstruct().allclose(&s, 1e-3));
+    }
+
+    #[test]
+    fn top_k_of_rank_one_matrix_is_exact() {
+        // M = v vᵀ has rank 1; the k=1 truncation must be exact.
+        let mut rng = Rng::seed_from(6);
+        let v = Tensor::randn(&[6, 1], &mut rng);
+        let m = v.matmul_transb(&v);
+        let approx = spectral_top_k(&m, 1);
+        assert!(approx.reconstruct().allclose(&m, 1e-3));
+        assert_eq!(approx.lambda.len(), 1);
+    }
+
+    #[test]
+    fn eckart_young_beats_random_rank_k() {
+        let mut rng = Rng::seed_from(7);
+        let s = symmetrize(&Tensor::randn(&[8, 8], &mut rng));
+        let k = 3;
+        let spectral_err = s.sub(&spectral_top_k(&s, k).reconstruct()).frob_norm();
+        for trial in 0..10 {
+            let q = crate::random_orthonormal(8, k, &mut rng);
+            // best symmetric approx within span(q): Q (Qᵀ S Q) Qᵀ
+            let core = q.matmul_transa(&s.matmul(&q)); // wrong orientation? q is n x k
+            let proj = q.matmul(&core).matmul_transb(&q);
+            let rand_err = s.sub(&proj).frob_norm();
+            assert!(
+                spectral_err <= rand_err + 1e-3,
+                "trial {trial}: spectral {spectral_err} > random {rand_err}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn symmetrize_non_square_panics() {
+        symmetrize(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn top_k_zero_rank_panics() {
+        spectral_top_k(&Tensor::eye(3), 0);
+    }
+}

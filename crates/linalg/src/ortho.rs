@@ -1,0 +1,119 @@
+use qn_tensor::{Rng, Tensor};
+
+/// Orthonormalizes the columns of an `n × k` matrix with modified
+/// Gram–Schmidt. Columns that collapse to (near) zero are replaced by fresh
+/// random directions and re-orthogonalized so the result always has full
+/// column rank.
+///
+/// # Panics
+///
+/// Panics if `m` is not 2-D or `k > n`.
+pub fn gram_schmidt(m: &Tensor, rng: &mut Rng) -> Tensor {
+    let (n, k) = m.dims2();
+    assert!(k <= n, "cannot orthonormalize {k} columns in dimension {n}");
+    let mut cols: Vec<Vec<f32>> = (0..k)
+        .map(|j| (0..n).map(|i| m.get(&[i, j])).collect())
+        .collect();
+    for j in 0..k {
+        let mut attempts = 0;
+        loop {
+            // subtract projections onto previous columns
+            for p in 0..j {
+                let dot: f32 = cols[j]
+                    .iter()
+                    .zip(cols[p].iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                let prev = cols[p].clone();
+                for (v, &pv) in cols[j].iter_mut().zip(prev.iter()) {
+                    *v -= dot * pv;
+                }
+            }
+            let norm: f32 = cols[j].iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-6 {
+                for v in &mut cols[j] {
+                    *v /= norm;
+                }
+                break;
+            }
+            attempts += 1;
+            assert!(attempts < 100, "gram_schmidt failed to find a direction");
+            for v in &mut cols[j] {
+                *v = rng.normal();
+            }
+        }
+    }
+    let mut out = Tensor::zeros(&[n, k]);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            out.set(&[i, j], v);
+        }
+    }
+    out
+}
+
+/// Samples an `n × k` matrix with orthonormal columns (Haar-ish via
+/// Gram–Schmidt on Gaussian columns) — the initializer used for the `Qᵏ`
+/// factor of the efficient quadratic neuron.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn random_orthonormal(n: usize, k: usize, rng: &mut Rng) -> Tensor {
+    let m = Tensor::randn(&[n, k], rng);
+    gram_schmidt(&m, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(q: &Tensor) -> f32 {
+        let qtq = q.matmul_transa(q);
+        let (k, _) = qtq.dims2();
+        let mut worst = 0.0f32;
+        for i in 0..k {
+            for j in 0..k {
+                let target = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((qtq.get(&[i, j]) - target).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn random_orthonormal_has_orthonormal_columns() {
+        let mut rng = Rng::seed_from(41);
+        for &(n, k) in &[(4usize, 2usize), (10, 10), (30, 5)] {
+            let q = random_orthonormal(n, k, &mut rng);
+            assert_eq!(q.shape().dims(), &[n, k]);
+            assert!(residual(&q) < 1e-4, "residual too large for ({n}, {k})");
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_fixes_duplicate_columns() {
+        let mut rng = Rng::seed_from(42);
+        // two identical columns: second must be replaced by a fresh direction
+        let m = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let q = gram_schmidt(&m, &mut rng);
+        assert!(residual(&q) < 1e-4);
+    }
+
+    #[test]
+    fn gram_schmidt_preserves_first_direction() {
+        let mut rng = Rng::seed_from(43);
+        let m = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0, 0.0, 0.0], &[3, 2]).unwrap();
+        let q = gram_schmidt(&m, &mut rng);
+        // first column must be e1 (normalized [2,0,0])
+        assert!((q.get(&[0, 0]).abs() - 1.0).abs() < 1e-5);
+        assert!(q.get(&[1, 0]).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot orthonormalize")]
+    fn too_many_columns_panics() {
+        let mut rng = Rng::seed_from(44);
+        random_orthonormal(2, 3, &mut rng);
+    }
+}

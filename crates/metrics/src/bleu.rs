@@ -1,0 +1,208 @@
+//! Corpus BLEU with the evaluation settings of the paper's Table II.
+
+use std::collections::HashMap;
+
+/// Tokenization scheme applied before n-gram matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tokenization {
+    /// 13a-style: split ASCII punctuation off words (the mteval/sacrebleu
+    /// default).
+    Thirteen,
+    /// International: split on Unicode category boundaries — every
+    /// non-alphanumeric codepoint (ASCII or not) becomes its own token.
+    International,
+}
+
+/// Tokenizes `s` under the given scheme; `cased == false` lowercases first.
+pub fn tokenize(s: &str, scheme: Tokenization, cased: bool) -> Vec<String> {
+    let text = if cased { s.to_string() } else { s.to_lowercase() };
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        let is_break = match scheme {
+            Tokenization::Thirteen => ch.is_ascii_punctuation(),
+            Tokenization::International => !ch.is_alphanumeric() && !ch.is_whitespace(),
+        };
+        if ch.is_whitespace() {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        } else if is_break {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            tokens.push(ch.to_string());
+        } else {
+            current.push(ch);
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
+    let mut map: HashMap<&[String], usize> = HashMap::new();
+    if tokens.len() >= n {
+        for w in tokens.windows(n) {
+            *map.entry(w).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Corpus-level BLEU-4 (percent, 0–100) with brevity penalty and add-one
+/// smoothing for higher-order n-grams (Lin & Och smoothing-1), matching the
+/// behaviour expected for short synthetic sentences.
+///
+/// # Panics
+///
+/// Panics if `hypotheses.len() != references.len()`.
+pub fn corpus_bleu(
+    hypotheses: &[String],
+    references: &[String],
+    scheme: Tokenization,
+    cased: bool,
+) -> f32 {
+    assert_eq!(
+        hypotheses.len(),
+        references.len(),
+        "hypothesis/reference count mismatch"
+    );
+    if hypotheses.is_empty() {
+        return 0.0;
+    }
+    let hyp_tok: Vec<Vec<String>> = hypotheses
+        .iter()
+        .map(|h| tokenize(h, scheme, cased))
+        .collect();
+    let ref_tok: Vec<Vec<String>> = references
+        .iter()
+        .map(|r| tokenize(r, scheme, cased))
+        .collect();
+
+    let mut hyp_len = 0usize;
+    let mut ref_len = 0usize;
+    let mut matched = [0usize; 4];
+    let mut total = [0usize; 4];
+    for (h, r) in hyp_tok.iter().zip(ref_tok.iter()) {
+        hyp_len += h.len();
+        ref_len += r.len();
+        for n in 1..=4 {
+            let hc = ngram_counts(h, n);
+            let rc = ngram_counts(r, n);
+            for (gram, &count) in &hc {
+                let clip = rc.get(gram).copied().unwrap_or(0);
+                matched[n - 1] += count.min(clip);
+            }
+            total[n - 1] += h.len().saturating_sub(n - 1);
+        }
+    }
+    if total[0] == 0 {
+        return 0.0;
+    }
+    let mut log_precision = 0.0f64;
+    for n in 0..4 {
+        let (m, t) = if n == 0 {
+            (matched[0] as f64, total[0] as f64)
+        } else {
+            // smoothing-1: add one to numerator and denominator for n > 1
+            ((matched[n] + 1) as f64, (total[n] + 1) as f64)
+        };
+        if m == 0.0 {
+            return 0.0;
+        }
+        log_precision += (m / t).ln() / 4.0;
+    }
+    let bp = if hyp_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len.max(1) as f64).exp()
+    };
+    (bp * log_precision.exp() * 100.0) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_13a_splits_ascii_punct_only() {
+        let t = tokenize("der Hund läuft.", Tokenization::Thirteen, true);
+        assert_eq!(t, vec!["der", "Hund", "läuft", "."]);
+        // international additionally has no effect here (no non-ASCII punct)
+        let t2 = tokenize("große-Tür!", Tokenization::Thirteen, true);
+        assert_eq!(t2, vec!["große", "-", "Tür", "!"]);
+    }
+
+    #[test]
+    fn international_splits_unicode_punctuation() {
+        let s = "Haus\u{201E}quote\u{201C}"; // German low/high quotes
+        let thirteen = tokenize(s, Tokenization::Thirteen, true);
+        let international = tokenize(s, Tokenization::International, true);
+        assert!(international.len() > thirteen.len());
+        assert!(international.contains(&"\u{201E}".to_string()));
+    }
+
+    #[test]
+    fn uncased_lowercases() {
+        let t = tokenize("Der Hund", Tokenization::Thirteen, false);
+        assert_eq!(t, vec!["der", "hund"]);
+    }
+
+    #[test]
+    fn perfect_hypothesis_scores_100() {
+        let refs = vec!["der große Hund läuft schnell heute.".to_string()];
+        let bleu = corpus_bleu(&refs, &refs, Tokenization::Thirteen, true);
+        assert!((bleu - 100.0).abs() < 0.5, "bleu {bleu}");
+    }
+
+    #[test]
+    fn disjoint_hypothesis_scores_0() {
+        let hyp = vec!["aaa bbb ccc ddd".to_string()];
+        let refs = vec!["www xxx yyy zzz".to_string()];
+        assert_eq!(corpus_bleu(&hyp, &refs, Tokenization::Thirteen, true), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_unigram_case() {
+        // hyp: "a b c d", ref: "a b x y": p1 = 2/4, p2 = (1+1)/(3+1),
+        // p3 = (0+1)/(2+1), p4 = (0+1)/(1+1), BP = 1
+        let hyp = vec!["a b c d".to_string()];
+        let refs = vec!["a b x y".to_string()];
+        let expected = (0.5f64 * 0.5 * (1.0 / 3.0) * 0.5).powf(0.25) * 100.0;
+        let bleu = corpus_bleu(&hyp, &refs, Tokenization::Thirteen, true);
+        assert!((bleu as f64 - expected).abs() < 0.1, "{bleu} vs {expected}");
+    }
+
+    #[test]
+    fn brevity_penalty_applies_to_short_hypotheses() {
+        let long_ref = vec!["a b c d e f g h".to_string()];
+        let short_hyp = vec!["a b c d".to_string()];
+        let full_hyp = vec!["a b c d e f g h".to_string()];
+        let short = corpus_bleu(&short_hyp, &long_ref, Tokenization::Thirteen, true);
+        let full = corpus_bleu(&full_hyp, &long_ref, Tokenization::Thirteen, true);
+        assert!(short < full * 0.6, "{short} vs {full}");
+    }
+
+    #[test]
+    fn casing_changes_score() {
+        let hyp = vec!["der hund läuft heute schnell.".to_string()];
+        let refs = vec!["Der Hund läuft heute schnell.".to_string()];
+        let cased = corpus_bleu(&hyp, &refs, Tokenization::Thirteen, true);
+        let uncased = corpus_bleu(&hyp, &refs, Tokenization::Thirteen, false);
+        assert!(uncased > cased, "{uncased} vs {cased}");
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_corpora_panic() {
+        corpus_bleu(
+            &["a".to_string()],
+            &["a".to_string(), "b".to_string()],
+            Tokenization::Thirteen,
+            true,
+        );
+    }
+}

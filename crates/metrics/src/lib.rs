@@ -1,0 +1,91 @@
+//! # qn-metrics
+//!
+//! Evaluation metrics and reporting utilities for the reproduction:
+//!
+//! - [`accuracy`] / [`top_k_accuracy`] — classification metrics (Figs. 4–6).
+//! - [`bleu`] — corpus BLEU with the paper's Table II evaluation settings:
+//!   13a-style vs international tokenization, cased vs uncased.
+//! - [`stats`] — quantiles/histograms for the parameter-distribution study
+//!   (Fig. 7).
+//! - [`pgm`] — grayscale image output for the response visualization
+//!   (Fig. 8) plus a low/high-frequency energy split quantifying the
+//!   paper's "quadratic responses are low-frequency" observation.
+
+pub mod bleu;
+pub mod pgm;
+pub mod stats;
+
+use qn_tensor::Tensor;
+
+/// Top-1 accuracy of logits `[B, C]` against integer labels, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or the batch sizes differ.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "batch size mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Top-k accuracy of logits `[B, C]` against integer labels.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `logits` is not 2-D, or batch sizes differ.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert!(k >= 1, "k must be positive");
+    let (b, c) = logits.dims2();
+    assert_eq!(b, labels.len(), "batch size mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let target = row[label];
+        let better = row.iter().filter(|&&v| v > target).count();
+        if better < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(
+            vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4],
+            &[3, 2],
+        )
+        .unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn top_k_reduces_to_top1() {
+        let logits = Tensor::from_vec(vec![0.5, 0.3, 0.2, 0.1, 0.7, 0.2], &[2, 3]).unwrap();
+        assert_eq!(top_k_accuracy(&logits, &[0, 1], 1), accuracy(&logits, &[0, 1]));
+        assert_eq!(top_k_accuracy(&logits, &[1, 2], 2), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+}

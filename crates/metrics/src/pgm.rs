@@ -1,0 +1,147 @@
+//! Grayscale PGM output and frequency-energy analysis for the response
+//! visualization experiment (Fig. 8).
+
+use qn_tensor::Tensor;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders a 2-D tensor as an ASCII PGM (P2) string, min–max normalized to
+/// 0–255.
+///
+/// # Panics
+///
+/// Panics if `image` is not 2-D.
+pub fn to_pgm(image: &Tensor) -> String {
+    let (h, w) = image.dims2();
+    let lo = image.min();
+    let hi = image.max();
+    let range = (hi - lo).max(1e-12);
+    let mut out = String::new();
+    let _ = writeln!(out, "P2\n{w} {h}\n255");
+    for y in 0..h {
+        let row: Vec<String> = (0..w)
+            .map(|x| {
+                let v = ((image.get(&[y, x]) - lo) / range * 255.0).round() as u32;
+                v.min(255).to_string()
+            })
+            .collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Writes a 2-D tensor to a PGM file.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+///
+/// # Panics
+///
+/// Panics if `image` is not 2-D.
+pub fn write_pgm(image: &Tensor, path: &Path) -> io::Result<()> {
+    std::fs::write(path, to_pgm(image))
+}
+
+/// Splits an image's energy into low- and high-frequency halves using a
+/// separable Haar-style decomposition: the low band is a 2×2 box-filtered
+/// image, the high band the residual. Returns
+/// `(low_energy, high_energy)` (sums of squares).
+///
+/// The paper's Fig. 8 observes that quadratic responses concentrate on
+/// low-frequency shape information; this statistic quantifies that: a
+/// higher `low / (low + high)` fraction means a smoother, shape-dominated
+/// response.
+///
+/// # Panics
+///
+/// Panics if `image` is not 2-D or smaller than 2×2.
+pub fn frequency_split(image: &Tensor) -> (f32, f32) {
+    let (h, w) = image.dims2();
+    assert!(h >= 2 && w >= 2, "image too small for frequency analysis");
+    // centre the image so constant offsets do not dominate the low band
+    let mean = image.mean();
+    let centred = image.add_scalar(-mean);
+    let mut low = Tensor::zeros(&[h, w]);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            let mut count = 0.0f32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let yy = (y + dy).min(h - 1);
+                    let xx = (x + dx).min(w - 1);
+                    acc += centred.get(&[yy, xx]);
+                    count += 1.0;
+                }
+            }
+            low.set(&[y, x], acc / count);
+        }
+    }
+    let high = centred.sub(&low);
+    let le: f32 = low.data().iter().map(|&v| v * v).sum();
+    let he: f32 = high.data().iter().map(|&v| v * v).sum();
+    (le, he)
+}
+
+/// Fraction of energy in the low band, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `image` is not 2-D or smaller than 2×2.
+pub fn low_frequency_fraction(image: &Tensor) -> f32 {
+    let (le, he) = frequency_split(image);
+    le / (le + he).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_tensor::Rng;
+
+    #[test]
+    fn pgm_header_and_range() {
+        let img = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25], &[2, 2]).unwrap();
+        let pgm = to_pgm(&img);
+        assert!(pgm.starts_with("P2\n2 2\n255"));
+        assert!(pgm.contains("255"));
+        assert!(pgm.contains("0"));
+    }
+
+    #[test]
+    fn constant_image_does_not_divide_by_zero() {
+        let img = Tensor::full(&[3, 3], 7.0);
+        let pgm = to_pgm(&img);
+        assert!(pgm.lines().count() >= 4);
+    }
+
+    #[test]
+    fn smooth_image_is_low_frequency() {
+        // smooth gradient vs checkerboard
+        let smooth = Tensor::from_fn(&[8, 8], |i| (i / 8) as f32 / 8.0);
+        let checker = Tensor::from_fn(&[8, 8], |i| ((i / 8 + i % 8) % 2) as f32);
+        assert!(low_frequency_fraction(&smooth) > 0.8);
+        assert!(low_frequency_fraction(&checker) < 0.4);
+        assert!(low_frequency_fraction(&smooth) > low_frequency_fraction(&checker));
+    }
+
+    #[test]
+    fn energy_is_conserved_between_bands() {
+        let mut rng = Rng::seed_from(1);
+        let img = Tensor::randn(&[6, 6], &mut rng);
+        let (le, he) = frequency_split(&img);
+        assert!(le >= 0.0 && he >= 0.0);
+        assert!(le + he > 0.0);
+    }
+
+    #[test]
+    fn write_pgm_round_trips_to_disk() {
+        let img = Tensor::from_fn(&[4, 4], |i| i as f32);
+        let dir = std::env::temp_dir().join("qn_pgm_test.pgm");
+        write_pgm(&img, &dir).expect("write pgm");
+        let content = std::fs::read_to_string(&dir).expect("read back");
+        assert!(content.starts_with("P2"));
+        let _ = std::fs::remove_file(&dir);
+    }
+}

@@ -1,0 +1,112 @@
+//! Distribution summaries for the parameter-distribution study (Fig. 7).
+
+/// Summary statistics of a scalar sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f32,
+    /// Sample standard deviation (population).
+    pub std: f32,
+    /// Minimum.
+    pub min: f32,
+    /// Maximum.
+    pub max: f32,
+    /// 5th percentile.
+    pub p5: f32,
+    /// Median.
+    pub p50: f32,
+    /// 95th percentile.
+    pub p95: f32,
+}
+
+/// Computes summary statistics.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn summarize(values: &[f32]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarize an empty sample");
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Summary {
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        p5: quantile(&sorted, 0.05),
+        p50: quantile(&sorted, 0.50),
+        p95: quantile(&sorted, 0.95),
+    }
+}
+
+/// Linear-interpolated quantile of a **sorted** sample, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` out of range.
+pub fn quantile(sorted: &[f32], q: f32) -> f32 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f32;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Fixed-width histogram over `[lo, hi]` with `bins` buckets; values outside
+/// the range clamp to the edge buckets.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram(values: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(lo < hi, "histogram range must be non-empty");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &v in values {
+        let idx = (((v - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.std - (2.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile(&sorted, 0.0), 0.0);
+        assert_eq!(quantile(&sorted, 0.5), 5.0);
+        assert_eq!(quantile(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let h = histogram(&[-5.0, 0.1, 0.2, 0.6, 99.0], 0.0, 1.0, 2);
+        assert_eq!(h, vec![3, 2]); // -5 clamps low, 99 clamps high
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_summary_panics() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # qn-models
+//!
+//! The model zoo of the reproduction: CIFAR-style ResNets (depths 20–110),
+//! an ImageNet-style ResNet-18, and a Transformer encoder–decoder — all with
+//! **pluggable neuron kinds** via [`qn_core::NeuronSpec`], so the same
+//! architecture can be instantiated with linear convolutions, the proposed
+//! efficient quadratic neuron, or any comparator family from the paper's
+//! Table I.
+//!
+//! - [`ResNet`] — Figs. 4, 5, 6 and 7 of the paper.
+//! - [`Transformer`] — Table II (quadratic projections inside multi-head
+//!   attention).
+//!
+//! # Example
+//!
+//! ```
+//! use qn_core::NeuronSpec;
+//! use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+//! use qn_nn::Module;
+//!
+//! let net = ResNet::cifar(ResNetConfig {
+//!     depth: 20,
+//!     base_width: 4,
+//!     num_classes: 10,
+//!     neuron: NeuronSpec::EfficientQuadratic { rank: 3 },
+//!     placement: NeuronPlacement::All,
+//!     seed: 0,
+//! });
+//! assert!(net.param_count() > 0);
+//! ```
+
+mod resnet;
+mod transformer;
+
+pub use resnet::{NeuronPlacement, ResNet, ResNetConfig};
+pub use transformer::{Transformer, TransformerConfig};

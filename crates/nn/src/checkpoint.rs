@@ -1,0 +1,197 @@
+//! Plain-text model checkpointing.
+//!
+//! Parameters are serialized in declaration order as a simple line format
+//! (`name shape… : values…`), so any module stack can round-trip its weights
+//! without a serialization framework. Loading matches strictly by order and
+//! shape, which is the right contract for the deterministic builders in this
+//! workspace.
+
+use qn_autograd::Parameter;
+use qn_tensor::Tensor;
+use std::fmt::Write as FmtWrite;
+use std::io;
+use std::path::Path;
+
+/// Serializes parameters to the checkpoint text format.
+pub fn to_string(params: &[Parameter]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "quadranet-checkpoint v1 {}", params.len());
+    for p in params {
+        let v = p.value();
+        let dims: Vec<String> = v.shape().dims().iter().map(|d| d.to_string()).collect();
+        let name = if p.name().is_empty() { "_" } else { p.name() };
+        let _ = write!(out, "{name} {} :", dims.join(" "));
+        for x in v.data() {
+            let _ = write!(out, " {x}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes a checkpoint file.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn save(params: &[Parameter], path: &Path) -> io::Result<()> {
+    std::fs::write(path, to_string(params))
+}
+
+/// Error from [`from_str`]/[`load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadCheckpointError {
+    /// Header missing or malformed.
+    BadHeader,
+    /// Parameter count in the file differs from the model's.
+    CountMismatch {
+        /// Parameters expected by the model.
+        expected: usize,
+        /// Parameters found in the file.
+        found: usize,
+    },
+    /// A parameter line failed to parse or its shape/values disagree.
+    BadEntry(usize),
+    /// A stored shape differs from the model's parameter shape.
+    ShapeMismatch(usize),
+}
+
+impl std::fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadCheckpointError::BadHeader => write!(f, "missing or malformed checkpoint header"),
+            LoadCheckpointError::CountMismatch { expected, found } => {
+                write!(f, "checkpoint has {found} parameters, model expects {expected}")
+            }
+            LoadCheckpointError::BadEntry(i) => write!(f, "malformed checkpoint entry {i}"),
+            LoadCheckpointError::ShapeMismatch(i) => {
+                write!(f, "checkpoint entry {i} has a different shape than the model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadCheckpointError {}
+
+/// Restores parameter values from checkpoint text (order- and
+/// shape-matched).
+///
+/// # Errors
+///
+/// Returns [`LoadCheckpointError`] on any format, count or shape mismatch.
+pub fn from_str(text: &str, params: &[Parameter]) -> Result<(), LoadCheckpointError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(LoadCheckpointError::BadHeader)?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("quadranet-checkpoint") || hp.next() != Some("v1") {
+        return Err(LoadCheckpointError::BadHeader);
+    }
+    let count: usize = hp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(LoadCheckpointError::BadHeader)?;
+    if count != params.len() {
+        return Err(LoadCheckpointError::CountMismatch {
+            expected: params.len(),
+            found: count,
+        });
+    }
+    for (i, (line, p)) in lines.zip(params.iter()).enumerate() {
+        let (head, values) = line.split_once(" :").ok_or(LoadCheckpointError::BadEntry(i))?;
+        let mut parts = head.split_whitespace();
+        let _name = parts.next().ok_or(LoadCheckpointError::BadEntry(i))?;
+        let dims: Vec<usize> = parts
+            .map(|d| d.parse().map_err(|_| LoadCheckpointError::BadEntry(i)))
+            .collect::<Result<_, _>>()?;
+        if dims != p.value().shape().dims() {
+            return Err(LoadCheckpointError::ShapeMismatch(i));
+        }
+        let data: Vec<f32> = values
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| LoadCheckpointError::BadEntry(i)))
+            .collect::<Result<_, _>>()?;
+        let t = Tensor::from_vec(data, &dims).map_err(|_| LoadCheckpointError::BadEntry(i))?;
+        p.set_value(t);
+    }
+    Ok(())
+}
+
+/// Loads a checkpoint file into the given parameters.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading, or format errors wrapped as
+/// `io::ErrorKind::InvalidData`.
+pub fn load(path: &Path, params: &[Parameter]) -> io::Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    from_str(&text, params).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_tensor::Rng;
+
+    fn params(seed: u64) -> Vec<Parameter> {
+        let mut rng = Rng::seed_from(seed);
+        vec![
+            Parameter::named("a", Tensor::randn(&[2, 3], &mut rng)),
+            Parameter::named("b", Tensor::randn(&[4], &mut rng)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = params(1);
+        let text = to_string(&src);
+        let dst = params(2);
+        assert!(!dst[0].value().allclose(&src[0].value(), 1e-6));
+        from_str(&text, &dst).expect("load");
+        assert!(dst[0].value().allclose(&src[0].value(), 1e-6));
+        assert!(dst[1].value().allclose(&src[1].value(), 1e-6));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let src = params(1);
+        let text = to_string(&src);
+        let dst = vec![params(2).remove(0)];
+        assert!(matches!(
+            from_str(&text, &dst),
+            Err(LoadCheckpointError::CountMismatch { expected: 1, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let src = params(1);
+        let text = to_string(&src);
+        let dst = vec![
+            Parameter::named("a", Tensor::zeros(&[3, 2])), // transposed shape
+            Parameter::named("b", Tensor::zeros(&[4])),
+        ];
+        assert!(matches!(
+            from_str(&text, &dst),
+            Err(LoadCheckpointError::ShapeMismatch(0))
+        ));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            from_str("garbage", &params(1)),
+            Err(LoadCheckpointError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let src = params(3);
+        let path = std::env::temp_dir().join("qn_ckpt_test.txt");
+        save(&src, &path).expect("save");
+        let dst = params(4);
+        load(&path, &dst).expect("load");
+        assert!(dst[0].value().allclose(&src[0].value(), 1e-6));
+        let _ = std::fs::remove_file(&path);
+    }
+}

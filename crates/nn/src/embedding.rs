@@ -1,0 +1,91 @@
+//! Token embedding.
+
+use qn_autograd::{Graph, Parameter, Var};
+use qn_tensor::{Rng, Tensor};
+
+/// Token-embedding table `[vocab, dim]` with scaled-normal initialization.
+///
+/// Not a [`Module`](crate::Module): lookup takes token ids, not a tape node.
+///
+/// # Example
+///
+/// ```
+/// use qn_autograd::Graph;
+/// use qn_nn::Embedding;
+/// use qn_tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let emb = Embedding::new(100, 16, &mut rng);
+/// let mut g = Graph::new();
+/// let v = emb.forward(&mut g, &[3, 14, 15]);
+/// assert_eq!(g.value(v).shape().dims(), &[3, 16]);
+/// ```
+#[derive(Debug)]
+pub struct Embedding {
+    weight: Parameter,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates a table of `vocab × dim` embeddings, `N(0, 1/sqrt(dim))`.
+    pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Self {
+        let std = 1.0 / (dim as f32).sqrt();
+        let weight = Parameter::named(
+            "embedding.weight",
+            Tensor::from_fn(&[vocab, dim], |_| rng.normal() * std),
+        );
+        Embedding { weight, vocab, dim }
+    }
+
+    /// Looks up `ids`, returning a `[ids.len(), dim]` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn forward(&self, g: &mut Graph, ids: &[usize]) -> Var {
+        let w = g.param(&self.weight);
+        g.embedding(w, ids)
+    }
+
+    /// The table parameter.
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.vocab * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_shape_and_grad() {
+        let mut rng = Rng::seed_from(1);
+        let emb = Embedding::new(10, 4, &mut rng);
+        let mut g = Graph::new();
+        let v = emb.forward(&mut g, &[1, 1, 7]);
+        assert_eq!(g.value(v).shape().dims(), &[3, 4]);
+        let s = g.sum_all(v);
+        g.backward(s);
+        let grad = emb.weight().grad();
+        // row 1 used twice
+        let row1: f32 = grad.data()[4..8].iter().sum();
+        assert!((row1 - 8.0).abs() < 1e-5);
+        assert_eq!(emb.param_count(), 40);
+    }
+}

@@ -1,0 +1,70 @@
+//! Weight initializers.
+
+use qn_tensor::{Rng, Tensor};
+
+/// Kaiming (He) normal initialization: `N(0, sqrt(2 / fan_in))` — the
+/// standard choice for ReLU networks, used by every conv/linear layer here.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.normal() * std)
+}
+
+/// Kaiming uniform initialization: `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform(dims: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(dims, -bound, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialization over `fan_in + fan_out` — used for
+/// attention projections.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(dims, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_normal_std_scales_with_fan_in() {
+        let mut rng = Rng::seed_from(1);
+        let t = kaiming_normal(&[200, 50], 50, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        let expected = 2.0 / 50.0;
+        assert!(mean.abs() < 0.01);
+        assert!((var - expected).abs() < 0.2 * expected, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn kaiming_uniform_bounded() {
+        let mut rng = Rng::seed_from(2);
+        let bound = (6.0f32 / 10.0).sqrt();
+        let t = kaiming_uniform(&[100], 10, &mut rng);
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn xavier_bounded() {
+        let mut rng = Rng::seed_from(3);
+        let bound = (6.0f32 / 30.0).sqrt();
+        let t = xavier_uniform(&[10, 20], 10, 20, &mut rng);
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+}

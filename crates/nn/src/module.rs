@@ -1,0 +1,61 @@
+use qn_autograd::{Graph, Parameter, Var};
+
+/// Cost report for one layer on a given input shape: multiply–accumulate
+/// count and the produced output shape.
+///
+/// Used by the experiment harnesses to regenerate the paper's parameter and
+/// FLOP axes (Figs. 4–5, Tables I–II) without running a forward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Costs {
+    /// Number of multiply–accumulate operations for one forward pass.
+    pub macs: u64,
+    /// Shape of the layer output for the given input shape.
+    pub output: Vec<usize>,
+}
+
+impl Costs {
+    /// A zero-cost, shape-preserving report (activations, reshapes, …).
+    pub fn passthrough(input: &[usize]) -> Self {
+        Costs {
+            macs: 0,
+            output: input.to_vec(),
+        }
+    }
+}
+
+/// A neural-network layer: forward pass, parameters and cost accounting.
+///
+/// Implementations are object-safe so models can hold heterogeneous
+/// `Box<dyn Module>` stacks built from pluggable neuron kinds.
+pub trait Module {
+    /// Runs the layer on the tape, returning the output node.
+    fn forward(&self, g: &mut Graph, x: Var) -> Var;
+
+    /// The trainable parameters (cloned handles that alias layer storage).
+    fn params(&self) -> Vec<Parameter>;
+
+    /// MAC count and output shape for the given input shape.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `input` has the wrong rank for the
+    /// layer.
+    fn costs(&self, input: &[usize]) -> Costs;
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_keeps_shape() {
+        let c = Costs::passthrough(&[2, 3]);
+        assert_eq!(c.macs, 0);
+        assert_eq!(c.output, vec![2, 3]);
+    }
+}

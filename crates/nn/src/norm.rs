@@ -1,0 +1,168 @@
+//! Normalization layers.
+
+use crate::{Costs, Module};
+use qn_autograd::{Graph, Parameter, Var};
+use qn_tensor::Tensor;
+use std::cell::RefCell;
+
+/// Batch normalization over `[B, C, H, W]` with running statistics.
+///
+/// In training mode (graph built with [`Graph::training`]) the layer
+/// normalizes with batch statistics and folds them into its running mean and
+/// variance with the configured momentum; in inference mode it uses the
+/// running statistics.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: RefCell<Tensor>,
+    running_var: RefCell<Tensor>,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels
+    /// (γ = 1, β = 0, running mean = 0, running var = 1).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Parameter::named("bn.gamma", Tensor::ones(&[channels])),
+            beta: Parameter::named("bn.beta", Tensor::zeros(&[channels])),
+            running_mean: RefCell::new(Tensor::zeros(&[channels])),
+            running_var: RefCell::new(Tensor::ones(&[channels])),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+        }
+    }
+
+    /// Snapshot of the running mean.
+    pub fn running_mean(&self) -> Tensor {
+        self.running_mean.borrow().clone()
+    }
+
+    /// Snapshot of the running variance.
+    pub fn running_var(&self) -> Tensor {
+        self.running_var.borrow().clone()
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        let rm = self.running_mean.borrow().clone();
+        let rv = self.running_var.borrow().clone();
+        let (y, stats) = g.batch_norm2d(x, gamma, beta, &rm, &rv, self.eps);
+        if let Some((mean, var)) = stats {
+            let m = self.momentum;
+            let new_mean = rm.scale(1.0 - m).add(&mean.scale(m));
+            let new_var = rv.scale(1.0 - m).add(&var.scale(m));
+            *self.running_mean.borrow_mut() = new_mean;
+            *self.running_var.borrow_mut() = new_var;
+        }
+        y
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        Costs::passthrough(input)
+    }
+}
+
+/// Layer normalization over the trailing dimension with learned affine
+/// parameters — the Transformer's normalizer.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Parameter,
+    beta: Parameter,
+    eps: f32,
+    width: usize,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over a trailing dim of `width`.
+    pub fn new(width: usize) -> Self {
+        LayerNorm {
+            gamma: Parameter::named("ln.gamma", Tensor::ones(&[width])),
+            beta: Parameter::named("ln.beta", Tensor::zeros(&[width])),
+            eps: 1e-5,
+            width,
+        }
+    }
+
+    /// Normalized width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        g.layer_norm(x, gamma, beta, self.eps)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        Costs::passthrough(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_tensor::Rng;
+
+    #[test]
+    fn batch_norm_updates_running_stats_in_training() {
+        let mut rng = Rng::seed_from(1);
+        let bn = BatchNorm2d::new(3);
+        let before = bn.running_mean();
+        let mut g = Graph::training(0);
+        let x = g.leaf(Tensor::randn(&[4, 3, 4, 4], &mut rng).add_scalar(5.0));
+        let _ = bn.forward(&mut g, x);
+        let after = bn.running_mean();
+        assert!(!after.allclose(&before, 1e-6), "running mean must move");
+        // moved toward +5 with momentum 0.1
+        assert!(after.mean() > 0.3 && after.mean() < 0.7);
+    }
+
+    #[test]
+    fn batch_norm_inference_leaves_stats() {
+        let mut rng = Rng::seed_from(2);
+        let bn = BatchNorm2d::new(2);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::randn(&[2, 2, 3, 3], &mut rng));
+        let _ = bn.forward(&mut g, x);
+        assert!(bn.running_mean().allclose(&Tensor::zeros(&[2]), 0.0));
+        assert!(bn.running_var().allclose(&Tensor::ones(&[2]), 0.0));
+    }
+
+    #[test]
+    fn layer_norm_module_runs() {
+        let mut rng = Rng::seed_from(3);
+        let ln = LayerNorm::new(6);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::randn(&[2, 4, 6], &mut rng).scale(5.0));
+        let y = ln.forward(&mut g, x);
+        assert_eq!(g.value(y).shape().dims(), &[2, 4, 6]);
+        // rows normalized
+        let row = g.value(y).slice_axis(0, 0, 1).slice_axis(1, 0, 1);
+        assert!(row.mean().abs() < 1e-4);
+        assert_eq!(ln.params().len(), 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! Optimizers with parameter groups and gradient clipping.
+
+use qn_autograd::Parameter;
+use qn_tensor::Tensor;
+
+/// Configuration for [`Sgd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Base learning rate (used by groups without an override).
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+struct Group {
+    params: Vec<Parameter>,
+    lr_override: Option<f32>,
+    weight_decay_override: Option<f32>,
+    velocity: Vec<Tensor>,
+}
+
+/// Stochastic gradient descent with momentum, weight decay and parameter
+/// groups.
+///
+/// Groups may override the learning rate — the paper trains the quadratic
+/// eigenvalues `Λᵏ` at 1e-4…1e-6 while the rest of the network uses 0.1.
+/// [`Sgd::step`] takes a schedule factor that scales every group's rate,
+/// so step-decay applies uniformly.
+///
+/// # Example
+///
+/// ```
+/// use qn_autograd::Parameter;
+/// use qn_nn::{Sgd, SgdConfig};
+/// use qn_tensor::Tensor;
+///
+/// let p = Parameter::new(Tensor::ones(&[2]));
+/// p.accumulate_grad(&Tensor::ones(&[2]));
+/// let mut opt = Sgd::new(SgdConfig { lr: 0.5, momentum: 0.0, weight_decay: 0.0 });
+/// opt.add_group(vec![p.clone()], None, None);
+/// opt.step(1.0);
+/// assert_eq!(p.value().data(), &[0.5, 0.5]);
+/// ```
+pub struct Sgd {
+    config: SgdConfig,
+    groups: Vec<Group>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with no parameter groups.
+    pub fn new(config: SgdConfig) -> Self {
+        Sgd {
+            config,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter group with optional learning-rate and weight-decay
+    /// overrides.
+    pub fn add_group(
+        &mut self,
+        params: Vec<Parameter>,
+        lr_override: Option<f32>,
+        weight_decay_override: Option<f32>,
+    ) {
+        let velocity = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape().dims()))
+            .collect();
+        self.groups.push(Group {
+            params,
+            lr_override,
+            weight_decay_override,
+            velocity,
+        });
+    }
+
+    /// Applies one update. `schedule` scales every group's learning rate
+    /// (pass the current decay factor, 1.0 for none).
+    pub fn step(&mut self, schedule: f32) {
+        for group in &mut self.groups {
+            let lr = group.lr_override.unwrap_or(self.config.lr) * schedule;
+            let wd = group
+                .weight_decay_override
+                .unwrap_or(self.config.weight_decay);
+            let momentum = self.config.momentum;
+            for (p, vel) in group.params.iter().zip(group.velocity.iter_mut()) {
+                p.update(|value, grad| {
+                    for i in 0..value.numel() {
+                        let g = grad.data()[i] + wd * value.data()[i];
+                        let v = momentum * vel.data()[i] + g;
+                        vel.data_mut()[i] = v;
+                        value.data_mut()[i] -= lr * v;
+                    }
+                });
+            }
+        }
+    }
+
+    /// Zeroes every parameter's gradient accumulator.
+    pub fn zero_grad(&self) {
+        for group in &self.groups {
+            for p in &group.params {
+                p.zero_grad();
+            }
+        }
+    }
+
+    /// All parameters across groups (clone handles).
+    pub fn params(&self) -> Vec<Parameter> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.params.iter().cloned())
+            .collect()
+    }
+}
+
+/// Configuration for [`Adam`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Base learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.98,
+            eps: 1e-9,
+        }
+    }
+}
+
+struct AdamGroup {
+    params: Vec<Parameter>,
+    lr_override: Option<f32>,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+/// Adam optimizer (β₂ = 0.98, ε = 1e-9 defaults per "Attention Is All You
+/// Need") with parameter groups for the quadratic `Λᵏ` learning rate.
+pub struct Adam {
+    config: AdamConfig,
+    groups: Vec<AdamGroup>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer with no parameter groups.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam {
+            config,
+            groups: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Adds a parameter group with an optional learning-rate override.
+    pub fn add_group(&mut self, params: Vec<Parameter>, lr_override: Option<f32>) {
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape().dims()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape().dims()))
+            .collect();
+        self.groups.push(AdamGroup {
+            params,
+            lr_override,
+            m,
+            v,
+        });
+    }
+
+    /// Applies one update; `schedule` scales every group's rate (e.g. a Noam
+    /// warmup factor).
+    pub fn step(&mut self, schedule: f32) {
+        self.t += 1;
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let eps = self.config.eps;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        for group in &mut self.groups {
+            let lr = group.lr_override.unwrap_or(self.config.lr) * schedule;
+            for ((p, m), v) in group
+                .params
+                .iter()
+                .zip(group.m.iter_mut())
+                .zip(group.v.iter_mut())
+            {
+                p.update(|value, grad| {
+                    for i in 0..value.numel() {
+                        let g = grad.data()[i];
+                        let mi = b1 * m.data()[i] + (1.0 - b1) * g;
+                        let vi = b2 * v.data()[i] + (1.0 - b2) * g * g;
+                        m.data_mut()[i] = mi;
+                        v.data_mut()[i] = vi;
+                        let mhat = mi / bias1;
+                        let vhat = vi / bias2;
+                        value.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Zeroes every parameter's gradient accumulator.
+    pub fn zero_grad(&self) {
+        for group in &self.groups {
+            for p in &group.params {
+                p.zero_grad();
+            }
+        }
+    }
+}
+
+/// Clips the global L2 norm of all gradients to `max_norm`, returning the
+/// pre-clip norm.
+pub fn clip_grad_norm(params: &[Parameter], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        let g = p.grad();
+        total += g.dot(&g);
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            let scaled = p.grad().scale(scale);
+            p.zero_grad();
+            p.accumulate_grad(&scaled);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_param(x0: f32) -> Parameter {
+        Parameter::new(Tensor::from_vec(vec![x0], &[1]).unwrap())
+    }
+
+    /// Minimizes f(x) = x² with the given closure producing one step.
+    fn run_opt(mut step: impl FnMut(&Parameter), p: &Parameter, iters: usize) -> f32 {
+        for _ in 0..iters {
+            p.zero_grad();
+            let x = p.value().data()[0];
+            p.accumulate_grad(&Tensor::from_vec(vec![2.0 * x], &[1]).unwrap());
+            step(p);
+        }
+        p.value().data()[0]
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let p = quad_param(5.0);
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        opt.add_group(vec![p.clone()], None, None);
+        let x = run_opt(|_| opt.step(1.0), &p, 50);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let p1 = quad_param(5.0);
+        let mut plain = Sgd::new(SgdConfig { lr: 0.02, momentum: 0.0, weight_decay: 0.0 });
+        plain.add_group(vec![p1.clone()], None, None);
+        let x_plain = run_opt(|_| plain.step(1.0), &p1, 20);
+
+        let p2 = quad_param(5.0);
+        let mut mom = Sgd::new(SgdConfig { lr: 0.02, momentum: 0.9, weight_decay: 0.0 });
+        mom.add_group(vec![p2.clone()], None, None);
+        let x_mom = run_opt(|_| mom.step(1.0), &p2, 20);
+        assert!(x_mom.abs() < x_plain.abs(), "{x_mom} vs {x_plain}");
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let p = quad_param(1.0);
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        opt.add_group(vec![p.clone()], None, None);
+        // zero gradient: only decay acts
+        opt.step(1.0);
+        let x = p.value().data()[0];
+        assert!((x - (1.0 - 0.1 * 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_lr_override_is_respected() {
+        let fast = quad_param(1.0);
+        let slow = quad_param(1.0);
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        opt.add_group(vec![fast.clone()], None, None);
+        opt.add_group(vec![slow.clone()], Some(1e-4), None);
+        fast.accumulate_grad(&Tensor::ones(&[1]));
+        slow.accumulate_grad(&Tensor::ones(&[1]));
+        opt.step(1.0);
+        assert!((fast.value().data()[0] - 0.9).abs() < 1e-6);
+        assert!((slow.value().data()[0] - (1.0 - 1e-4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_factor_scales_all_groups() {
+        let p = quad_param(1.0);
+        let mut opt = Sgd::new(SgdConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0 });
+        opt.add_group(vec![p.clone()], None, None);
+        p.accumulate_grad(&Tensor::ones(&[1]));
+        opt.step(0.1);
+        assert!((p.value().data()[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let p = quad_param(5.0);
+        let mut opt = Adam::new(AdamConfig { lr: 0.3, ..AdamConfig::default() });
+        opt.add_group(vec![p.clone()], None);
+        let x = run_opt(|_| opt.step(1.0), &p, 100);
+        assert!(x.abs() < 0.1, "x = {x}");
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_large_gradients() {
+        let p = Parameter::new(Tensor::zeros(&[4]));
+        p.accumulate_grad(&Tensor::full(&[4], 10.0)); // norm 20
+        let before = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((before - 20.0).abs() < 1e-4);
+        let after = p.grad().frob_norm();
+        assert!((after - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients() {
+        let p = Parameter::new(Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::full(&[2], 0.1));
+        clip_grad_norm(&[p.clone()], 5.0);
+        assert!(p.grad().allclose(&Tensor::full(&[2], 0.1), 1e-6));
+    }
+}

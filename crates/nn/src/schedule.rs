@@ -1,0 +1,88 @@
+//! Learning-rate schedules.
+
+/// Step decay: multiplies the base rate by `gamma` at each milestone epoch —
+/// the CIFAR ResNet schedule of the paper (decay 0.1 at epochs 90 and 135).
+///
+/// # Example
+///
+/// ```
+/// use qn_nn::StepDecay;
+///
+/// let sched = StepDecay::new(vec![90, 135], 0.1);
+/// assert_eq!(sched.factor(0), 1.0);
+/// assert_eq!(sched.factor(90), 0.1);
+/// assert!((sched.factor(135) - 0.01).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepDecay {
+    milestones: Vec<usize>,
+    gamma: f32,
+}
+
+impl StepDecay {
+    /// Creates a schedule decaying by `gamma` at each epoch in `milestones`.
+    pub fn new(milestones: Vec<usize>, gamma: f32) -> Self {
+        StepDecay { milestones, gamma }
+    }
+
+    /// Decay factor at `epoch` (multiply the base learning rate by this).
+    pub fn factor(&self, epoch: usize) -> f32 {
+        let passed = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.gamma.powi(passed as i32)
+    }
+}
+
+/// The "Noam" warmup schedule of *Attention Is All You Need*:
+/// `d_model^-0.5 · min(step^-0.5, step · warmup^-1.5)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoamSchedule {
+    d_model: usize,
+    warmup: usize,
+}
+
+impl NoamSchedule {
+    /// Creates a schedule for the given model width and warmup steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model == 0` or `warmup == 0`.
+    pub fn new(d_model: usize, warmup: usize) -> Self {
+        assert!(d_model > 0 && warmup > 0, "d_model and warmup must be positive");
+        NoamSchedule { d_model, warmup }
+    }
+
+    /// Learning rate at 1-based `step`.
+    pub fn lr(&self, step: usize) -> f32 {
+        let step = step.max(1) as f32;
+        let w = self.warmup as f32;
+        (self.d_model as f32).powf(-0.5) * step.powf(-0.5).min(step * w.powf(-1.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_decay_applies_milestones() {
+        let s = StepDecay::new(vec![10, 20], 0.5);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(19), 0.5);
+        assert_eq!(s.factor(20), 0.25);
+        assert_eq!(s.factor(100), 0.25);
+    }
+
+    #[test]
+    fn noam_warms_up_then_decays() {
+        let s = NoamSchedule::new(64, 100);
+        assert!(s.lr(1) < s.lr(50));
+        assert!(s.lr(50) < s.lr(100));
+        assert!(s.lr(100) > s.lr(400));
+        // peak at warmup boundary
+        let peak = s.lr(100);
+        for step in [1usize, 10, 1000, 4000] {
+            assert!(s.lr(step) <= peak + 1e-9);
+        }
+    }
+}

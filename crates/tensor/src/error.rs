@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible tensor construction and reshaping.
+///
+/// Hot-path arithmetic (`matmul`, elementwise ops, …) panics on shape
+/// mismatch instead — those are programmer errors, documented per method
+/// under `# Panics` — while data-dependent entry points (`from_vec`,
+/// `reshape`, …) return `Result<_, TensorError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the dims.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// A zero-sized dimension where one is not allowed.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape tensor of shape {from:?} into {to:?}: element counts differ"
+            ),
+            TensorError::EmptyShape => write!(f, "shape must have at least one element"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "buffer length 5 does not match shape element count 6"
+        );
+    }
+
+    #[test]
+    fn display_reshape_mismatch() {
+        let e = TensorError::ReshapeMismatch {
+            from: vec![2, 3],
+            to: vec![4],
+        };
+        assert!(e.to_string().contains("[2, 3]"));
+        assert!(e.to_string().contains("[4]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! # qn-tensor
+//!
+//! Dense, contiguous, row-major `f32` tensors and the numeric kernels the rest
+//! of the `quadranet` workspace builds on: matrix multiplication, im2col
+//! convolution, pooling, broadcasting helpers and reductions.
+//!
+//! The crate is deliberately small and dependency-free (only `rand` for
+//! initialization) so that the quadratic-neuron library reproduces the paper's
+//! system from scratch rather than delegating to an existing framework.
+//!
+//! # Example
+//!
+//! ```
+//! use qn_tensor::{Rng, Tensor};
+//!
+//! # fn main() -> Result<(), qn_tensor::TensorError> {
+//! let mut rng = Rng::seed_from(42);
+//! let a = Tensor::randn(&[2, 3], &mut rng);
+//! let b = Tensor::randn(&[3, 4], &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape().dims(), &[2, 4]);
+//! let back = Tensor::from_vec(vec![1.0; 8], &[2, 4])?;
+//! let grad_a = back.matmul_transb(&b); // dC/dA = gB^T
+//! assert_eq!(grad_a.shape().dims(), &[2, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod conv;
+mod error;
+mod pool;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dSpec};
+pub use error::TensorError;
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;

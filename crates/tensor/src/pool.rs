@@ -1,0 +1,251 @@
+use crate::Tensor;
+
+/// Geometry of a 2-D pooling window (square, non-padded).
+///
+/// # Example
+///
+/// ```
+/// use qn_tensor::PoolSpec;
+///
+/// let spec = PoolSpec::new(2, 2);
+/// assert_eq!(spec.output_hw(8, 8), (4, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Window side length.
+    pub window: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "window and stride must be positive");
+        PoolSpec { window, stride }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the window.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.window && w >= self.window,
+            "input {h}x{w} smaller than window {}",
+            self.window
+        );
+        (
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        )
+    }
+}
+
+/// Max pooling over `[B, C, H, W]`; returns the pooled tensor and the flat
+/// argmax index of each output element (for the backward pass).
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or smaller than the window.
+pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> (Tensor, Vec<usize>) {
+    let (b, c, h, w) = input.dims4();
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    let mut arg = vec![0usize; b * c * oh * ow];
+    let data = input.data();
+    for bi in 0..b {
+        for ci in 0..c {
+            let img = (bi * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let idx = img + iy * w + ix;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((bi * c + ci) * oh + oy) * ow + ox;
+                    out.data_mut()[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// winning input position.
+///
+/// # Panics
+///
+/// Panics if `grad.numel() != argmax.len()`.
+pub fn max_pool2d_backward(
+    grad: &Tensor,
+    argmax: &[usize],
+    input_dims: (usize, usize, usize, usize),
+) -> Tensor {
+    assert_eq!(grad.numel(), argmax.len(), "grad/argmax length mismatch");
+    let (b, c, h, w) = input_dims;
+    let mut out = Tensor::zeros(&[b, c, h, w]);
+    for (g, &idx) in grad.data().iter().zip(argmax.iter()) {
+        out.data_mut()[idx] += g;
+    }
+    out
+}
+
+/// Average pooling over `[B, C, H, W]`.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or smaller than the window.
+pub fn avg_pool2d(input: &Tensor, spec: PoolSpec) -> Tensor {
+    let (b, c, h, w) = input.dims4();
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    let norm = 1.0 / (spec.window * spec.window) as f32;
+    let data = input.data();
+    for bi in 0..b {
+        for ci in 0..c {
+            let img = (bi * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            acc += data[img + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
+                        }
+                    }
+                    let o = ((bi * c + ci) * oh + oy) * ow + ox;
+                    out.data_mut()[o] = acc * norm;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its window.
+///
+/// # Panics
+///
+/// Panics if `grad`'s spatial dims are inconsistent with the geometry.
+pub fn avg_pool2d_backward(
+    grad: &Tensor,
+    spec: PoolSpec,
+    input_dims: (usize, usize, usize, usize),
+) -> Tensor {
+    let (b, c, h, w) = input_dims;
+    let (oh, ow) = spec.output_hw(h, w);
+    let (gb, gc, goh, gow) = grad.dims4();
+    assert_eq!((gb, gc, goh, gow), (b, c, oh, ow), "grad geometry mismatch");
+    let mut out = Tensor::zeros(&[b, c, h, w]);
+    let norm = 1.0 / (spec.window * spec.window) as f32;
+    let gdata = grad.data();
+    for bi in 0..b {
+        for ci in 0..c {
+            let img = (bi * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gdata[((bi * c + ci) * oh + oy) * ow + ox] * norm;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            out.data_mut()
+                                [img + (oy * spec.stride + ky) * w + ox * spec.stride + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (y, arg) = max_pool2d(&x, PoolSpec::new(2, 2));
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let (_, arg) = max_pool2d(&x, PoolSpec::new(2, 2));
+        let g = Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]).unwrap();
+        let back = max_pool2d_backward(&g, &arg, (1, 1, 2, 2));
+        assert_eq!(back.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = avg_pool2d(&x, PoolSpec::new(2, 2));
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads() {
+        let g = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap();
+        let back = avg_pool2d_backward(&g, PoolSpec::new(2, 2), (1, 1, 2, 2));
+        assert_eq!(back.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_via_window() {
+        let mut rng = Rng::seed_from(20);
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        let y = avg_pool2d(&x, PoolSpec::new(4, 4));
+        assert_eq!(y.shape().dims(), &[2, 3, 1, 1]);
+        for bi in 0..2 {
+            for ci in 0..3 {
+                let manual = x.slice_axis(0, bi, bi + 1).slice_axis(1, ci, ci + 1).mean();
+                assert!((y.get(&[bi, ci, 0, 0]) - manual).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_pool_adjoint_property() {
+        let mut rng = Rng::seed_from(21);
+        let dims = (2usize, 2usize, 6usize, 6usize);
+        let spec = PoolSpec::new(2, 2);
+        let x = Tensor::randn(&[dims.0, dims.1, dims.2, dims.3], &mut rng);
+        let y = avg_pool2d(&x, spec);
+        let g = Tensor::randn(y.shape().dims(), &mut rng);
+        let lhs = y.dot(&g);
+        let rhs = x.dot(&avg_pool2d_backward(&g, spec, dims));
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than window")]
+    fn pool_window_too_large_panics() {
+        PoolSpec::new(4, 1).output_hw(3, 3);
+    }
+}

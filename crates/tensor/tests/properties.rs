@@ -1,0 +1,102 @@
+//! Property-based tests of tensor algebra laws.
+
+use proptest::prelude::*;
+use qn_tensor::{col2im, im2col, Conv2dSpec, Rng, Tensor};
+
+fn tensor_strategy(numel: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, numel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn addition_commutes(a in tensor_strategy(12), b in tensor_strategy(12)) {
+        let ta = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 4]).unwrap();
+        prop_assert!(ta.add(&tb).allclose(&tb.add(&ta), 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(6), b in tensor_strategy(8), c in tensor_strategy(8)
+    ) {
+        let ta = Tensor::from_vec(a, &[3, 2]).unwrap();
+        let tb = Tensor::from_vec(b, &[2, 4]).unwrap();
+        let tc = Tensor::from_vec(c, &[2, 4]).unwrap();
+        let lhs = ta.matmul(&tb.add(&tc));
+        let rhs = ta.matmul(&tb).add(&ta.matmul(&tc));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_associates(a in tensor_strategy(4), b in tensor_strategy(6), c in tensor_strategy(6)) {
+        let ta = Tensor::from_vec(a, &[2, 2]).unwrap();
+        let tb = Tensor::from_vec(b, &[2, 3]).unwrap();
+        let tc = Tensor::from_vec(c, &[3, 2]).unwrap();
+        let lhs = ta.matmul(&tb).matmul(&tc);
+        let rhs = ta.matmul(&tb.matmul(&tc));
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in tensor_strategy(15)) {
+        let t = Tensor::from_vec(a, &[3, 5]).unwrap();
+        prop_assert!(t.transpose2().transpose2().allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in tensor_strategy(6), b in tensor_strategy(8)) {
+        let ta = Tensor::from_vec(a, &[3, 2]).unwrap();
+        let tb = Tensor::from_vec(b, &[2, 4]).unwrap();
+        let lhs = ta.matmul(&tb).transpose2();
+        let rhs = tb.transpose2().matmul(&ta.transpose2());
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrips(a in tensor_strategy(6), b in tensor_strategy(9)) {
+        let ta = Tensor::from_vec(a, &[3, 2]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 3]).unwrap();
+        let c = Tensor::concat(&[&ta, &tb], 1);
+        prop_assert!(c.slice_axis(1, 0, 2).allclose(&ta, 0.0));
+        prop_assert!(c.slice_axis(1, 2, 5).allclose(&tb, 0.0));
+    }
+
+    #[test]
+    fn sum_axis_agrees_with_total(a in tensor_strategy(24)) {
+        let t = Tensor::from_vec(a, &[2, 3, 4]).unwrap();
+        for axis in 0..3 {
+            let partial = t.sum_axis(axis).sum();
+            prop_assert!((partial - t.sum()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let dims = (1usize, 2usize, 5usize, 5usize);
+        let x = Tensor::randn(&[dims.0, dims.1, dims.2, dims.3], &mut rng);
+        let cols = im2col(&x, spec);
+        let y = Tensor::randn(cols.shape().dims(), &mut rng);
+        let lhs = cols.dot(&y);
+        let rhs = x.dot(&col2im(&y, spec, dims));
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(a in tensor_strategy(10), b in tensor_strategy(10)) {
+        let ta = Tensor::from_vec(a, &[10]).unwrap();
+        let tb = Tensor::from_vec(b, &[10]).unwrap();
+        prop_assert!(ta.add(&tb).frob_norm() <= ta.frob_norm() + tb.frob_norm() + 1e-4);
+    }
+
+    #[test]
+    fn flip_preserves_channel_sums(a in tensor_strategy(2 * 3 * 4 * 4)) {
+        let t = Tensor::from_vec(a, &[2, 3, 4, 4]).unwrap();
+        let f = t.flip_horizontal();
+        prop_assert!((f.sum() - t.sum()).abs() < 1e-3);
+        prop_assert!(f.flip_horizontal().allclose(&t, 0.0));
+    }
+}

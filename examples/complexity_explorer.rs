@@ -1,0 +1,35 @@
+//! Interactive Table-I explorer: prints the parameter/MAC cost of every
+//! neuron family for a chosen input width `n` and rank `k`.
+//!
+//! Run with: `cargo run --release --example complexity_explorer -- 256 9`
+
+use quadranet::core::complexity::NeuronFamily;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(256);
+    let k: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(9);
+    println!("neuron complexity at n = {n}, k = {k}\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "family", "params", "MACs", "outputs", "params/out", "MACs/out"
+    );
+    for family in NeuronFamily::all() {
+        let c = family.complexity(n, k);
+        println!(
+            "{:<18} {:>10} {:>10} {:>8} {:>12.2} {:>12.2}",
+            family.label(),
+            c.params,
+            c.macs,
+            c.outputs,
+            c.params_per_output(),
+            c.macs_per_output()
+        );
+    }
+    let ours = NeuronFamily::EfficientQuadratic.complexity(n, k);
+    let linear = NeuronFamily::Linear.complexity(n, k);
+    println!(
+        "\nproposed neuron overhead over linear, per output: {:.3}%",
+        (ours.params_per_output() / linear.params_per_output() - 1.0) * 100.0
+    );
+}

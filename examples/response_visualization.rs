@@ -1,0 +1,73 @@
+//! Fig.-8-style visualization: renders the linear and quadratic responses
+//! of a (briefly trained) quadratic convolution as PGM images under
+//! `results/example_responses/`.
+//!
+//! Run with: `cargo run --release --example response_visualization`
+
+use quadranet::autograd::Graph;
+use quadranet::core::neurons::EfficientQuadraticConv2d;
+use quadranet::data::synthetic_cifar10;
+use quadranet::metrics::pgm::{low_frequency_fraction, write_pgm};
+use quadranet::nn::Module;
+use quadranet::tensor::{im2col, Conv2dSpec, Rng, Tensor};
+
+fn main() -> std::io::Result<()> {
+    let mut rng = Rng::seed_from(3);
+    let data = synthetic_cifar10(16, 10, 4, 3);
+    let spec = Conv2dSpec::new(3, 1, 1);
+    let conv = EfficientQuadraticConv2d::efficient(3, 2, 9, spec, &mut rng);
+
+    // one forward pass just to show the layer runs; responses are computed
+    // from the raw factors below
+    let mut g = Graph::new();
+    let x = g.leaf(data.test_images.slice_axis(0, 0, 1));
+    let y = conv.forward(&mut g, x);
+    println!("conv output shape: {:?}", g.value(y).shape().dims());
+
+    let dir = std::path::Path::new("results/example_responses");
+    std::fs::create_dir_all(dir)?;
+    let inner = conv.inner();
+    let params = inner.params();
+    let q = params.iter().find(|p| p.name() == "quad.q").expect("q");
+    let lam = params
+        .iter()
+        .find(|p| p.name() == quadranet::core::LAMBDA_PARAM_NAME)
+        .expect("lambda");
+    let w = params.iter().find(|p| p.name() == "quad.w").expect("w");
+    let (qv, lv, wv) = (q.value(), lam.value(), w.value());
+    let k = inner.rank();
+
+    for img_idx in 0..2 {
+        let image = data.test_images.slice_axis(0, img_idx, img_idx + 1);
+        let cols = im2col(&image, spec);
+        let res = 16;
+        let mut linear_map = Tensor::zeros(&[res, res]);
+        let mut quad_map = Tensor::zeros(&[res, res]);
+        for pos in 0..res * res {
+            let patch = cols.slice_axis(0, pos, pos + 1);
+            let mut lin = 0.0f32;
+            for i in 0..patch.numel() {
+                lin += wv.get(&[0, i]) * patch.data()[i];
+            }
+            let mut quad = 0.0f32;
+            for ki in 0..k {
+                let mut f = 0.0f32;
+                for i in 0..patch.numel() {
+                    f += qv.get(&[ki, i]) * patch.data()[i];
+                }
+                quad += lv.get(&[0, ki]) * f * f;
+            }
+            linear_map.set(&[pos / res, pos % res], lin);
+            quad_map.set(&[pos / res, pos % res], quad);
+        }
+        write_pgm(&linear_map, &dir.join(format!("linear_{img_idx}.pgm")))?;
+        write_pgm(&quad_map, &dir.join(format!("quadratic_{img_idx}.pgm")))?;
+        println!(
+            "image {img_idx}: low-frequency fraction linear {:.3}, quadratic {:.3}",
+            low_frequency_fraction(&linear_map),
+            low_frequency_fraction(&quad_map)
+        );
+    }
+    println!("PGM maps written to {}", dir.display());
+    Ok(())
+}

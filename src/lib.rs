@@ -1,0 +1,55 @@
+//! # quadranet
+//!
+//! A pure-Rust reproduction of *"Computational and Storage Efficient Quadratic
+//! Neurons for Deep Neural Networks"* (DATE 2024, arXiv:2306.07294).
+//!
+//! The workspace implements the paper's efficient quadratic neuron
+//! `y = xᵀQᵏΛᵏ(Qᵏ)ᵀx + wᵀx + b` with vectorized output `{y, fᵏ}`, every
+//! comparator neuron family from the paper's Table I, and the full training
+//! substrate (tensors, reverse-mode autodiff, layers, optimizers, synthetic
+//! datasets, ResNets and Transformers) needed to regenerate each table and
+//! figure of the evaluation section.
+//!
+//! This umbrella crate re-exports the member crates under stable names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `qn-tensor` | dense `f32` tensors, matmul, im2col convolution |
+//! | [`linalg`] | `qn-linalg` | symmetric eigendecomposition, spectral top-k |
+//! | [`autograd`] | `qn-autograd` | tape-based reverse-mode differentiation |
+//! | [`nn`] | `qn-nn` | layers, losses, optimizers, LR schedules |
+//! | [`core`] | `qn-core` | the paper's neuron + all comparator neurons |
+//! | [`data`] | `qn-data` | synthetic CIFAR / ImageNet / translation data |
+//! | [`models`] | `qn-models` | ResNet family and Transformer |
+//! | [`metrics`] | `qn-metrics` | accuracy, BLEU, parameter/MAC counting |
+//! | [`experiments`] | `qn-experiments` | per-table / per-figure harnesses |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quadranet::core::neurons::EfficientQuadraticLinear;
+//! use quadranet::autograd::Graph;
+//! use quadranet::nn::Module;
+//! use quadranet::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), quadranet::tensor::TensorError> {
+//! // A layer of efficient quadratic neurons: 8 inputs, rank k = 3,
+//! // 2 neurons, each emitting k + 1 = 4 channels -> 8 outputs.
+//! let mut rng = quadranet::tensor::Rng::seed_from(7);
+//! let layer = EfficientQuadraticLinear::new(8, 2, 3, &mut rng);
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::randn(&[4, 8], &mut rng));
+//! let y = layer.forward(&mut g, x);
+//! assert_eq!(g.value(y).shape().dims(), &[4, 8]);
+//! # Ok(())
+//! # }
+//! ```
+pub use qn_autograd as autograd;
+pub use qn_core as core;
+pub use qn_data as data;
+pub use qn_experiments as experiments;
+pub use qn_linalg as linalg;
+pub use qn_metrics as metrics;
+pub use qn_models as models;
+pub use qn_nn as nn;
+pub use qn_tensor as tensor;

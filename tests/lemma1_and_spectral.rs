@@ -1,0 +1,82 @@
+//! Cross-crate property tests for the paper's mathematical claims:
+//! Lemma 1 (symmetrization preserves the quadratic form), the spectral
+//! rank-k truncation (Eckart–Young optimality) and the compression
+//! pipeline built on them.
+
+use proptest::prelude::*;
+use quadranet::core::compress::{compress_general_layer, compression_error};
+use quadranet::core::neurons::GeneralQuadraticLinear;
+use quadranet::linalg::{eigh, quadratic_form, spectral_top_k, symmetrize};
+use quadranet::nn::Module;
+use quadranet::tensor::{Rng, Tensor};
+
+fn tensor_from(values: &[f32], n: usize) -> Tensor {
+    Tensor::from_vec(values[..n * n].to_vec(), &[n, n]).expect("sizes consistent")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 1: xᵀMx == xᵀ((M+Mᵀ)/2)x for arbitrary M and x.
+    #[test]
+    fn lemma1_symmetrization_preserves_form(
+        values in prop::collection::vec(-2.0f32..2.0, 36),
+        xs in prop::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let m = tensor_from(&values, 6);
+        let s = symmetrize(&m);
+        let x = Tensor::from_vec(xs, &[6]).expect("sizes consistent");
+        let a = quadratic_form(&x, &m);
+        let b = quadratic_form(&x, &s);
+        prop_assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    /// Eigendecomposition reconstructs the symmetrized matrix and its
+    /// eigenvalues are magnitude-sorted.
+    #[test]
+    fn eigh_reconstructs_and_sorts(values in prop::collection::vec(-1.5f32..1.5, 25)) {
+        let s = symmetrize(&tensor_from(&values, 5));
+        let e = eigh(&s, 200);
+        prop_assert!(e.reconstruct().allclose(&s, 2e-2));
+        for w in e.values.windows(2) {
+            prop_assert!(w[0].abs() >= w[1].abs() - 1e-5);
+        }
+    }
+
+    /// Rank-k spectral truncation error never increases with k, and the
+    /// rank-k error is optimal vs a random projection of the same rank.
+    #[test]
+    fn eckart_young_truncation(values in prop::collection::vec(-1.0f32..1.0, 36), seed in 0u64..1000) {
+        let s = symmetrize(&tensor_from(&values, 6));
+        let mut prev = f32::INFINITY;
+        for k in 1..=6usize {
+            let err = s.sub(&spectral_top_k(&s, k).reconstruct()).frob_norm();
+            prop_assert!(err <= prev + 1e-4, "error increased at k={k}");
+            prev = err;
+        }
+        // optimality vs a random orthonormal basis at k=2
+        let mut rng = Rng::seed_from(seed);
+        let q = quadranet::linalg::random_orthonormal(6, 2, &mut rng);
+        let core = q.matmul_transa(&s.matmul(&q));
+        let proj = q.matmul(&core).matmul_transb(&q);
+        let rand_err = s.sub(&proj).frob_norm();
+        let opt_err = s.sub(&spectral_top_k(&s, 2).reconstruct()).frob_norm();
+        prop_assert!(opt_err <= rand_err + 1e-3);
+    }
+}
+
+#[test]
+fn compression_pipeline_end_to_end() {
+    let mut rng = Rng::seed_from(5);
+    let src = GeneralQuadraticLinear::new(10, 3, &mut rng);
+    let mut prev = f32::INFINITY;
+    for k in [1usize, 3, 5, 10] {
+        let compressed = compress_general_layer(&src, k);
+        let err = compression_error(&src, &compressed);
+        assert!(err <= prev + 1e-4, "compression error increased at k={k}");
+        prev = err;
+        // parameter reduction is monotone in k too
+        assert!(compressed.param_count() < src.param_count() || k == 10);
+    }
+    assert!(prev < 1e-2, "full-rank compression must be exact, err={prev}");
+}

@@ -1,0 +1,128 @@
+//! Integration tests across `qn-core`, `qn-nn` and `qn-models`: every
+//! neuron family builds into the same architectures, runs, trains, and its
+//! measured costs agree with the Table I formulas.
+
+use proptest::prelude::*;
+use quadranet::autograd::Graph;
+use quadranet::core::complexity::NeuronFamily;
+use quadranet::core::neurons::{EfficientQuadraticLinear, LowRankQuadraticLinear};
+use quadranet::core::NeuronSpec;
+use quadranet::models::{NeuronPlacement, ResNet, ResNetConfig};
+use quadranet::nn::Module;
+use quadranet::tensor::{Rng, Tensor};
+
+fn all_specs() -> Vec<NeuronSpec> {
+    vec![
+        NeuronSpec::Linear,
+        NeuronSpec::EfficientQuadratic { rank: 3 },
+        NeuronSpec::EfficientQuadraticScalar { rank: 3 },
+        NeuronSpec::LowRank { rank: 2 },
+        NeuronSpec::Quad1,
+        NeuronSpec::Quad2,
+        NeuronSpec::Factorized,
+        NeuronSpec::Kervolution { degree: 3, offset: 1.0 },
+    ]
+}
+
+#[test]
+fn every_family_builds_a_resnet_and_classifies() {
+    let mut rng = Rng::seed_from(1);
+    let x = Tensor::randn(&[2, 3, 12, 12], &mut rng);
+    for spec in all_specs() {
+        let net = ResNet::cifar(ResNetConfig {
+            depth: 8,
+            base_width: 4,
+            num_classes: 7,
+            neuron: spec,
+            placement: NeuronPlacement::All,
+            seed: 3,
+        });
+        // training mode: BatchNorm must normalize with batch statistics,
+        // otherwise kervolution's powered activations saturate the softmax
+        // and zero out gradients (the Fig. 6 pathology, tested separately)
+        let mut g = Graph::training(0);
+        let xv = g.leaf(x.clone());
+        let y = net.forward(&mut g, xv);
+        assert_eq!(
+            g.value(y).shape().dims(),
+            &[2, 7],
+            "family {} wrong output",
+            spec.label()
+        );
+        assert!(!g.value(y).has_non_finite(), "family {}", spec.label());
+        // gradients flow to every parameter
+        let loss = g.softmax_cross_entropy(y, &[0, 1], 0.0);
+        g.backward(loss);
+        let grads_nonzero = net
+            .params()
+            .iter()
+            .filter(|p| p.grad().frob_norm() > 0.0)
+            .count();
+        assert!(
+            grads_nonzero > net.params().len() / 2,
+            "family {}: only {grads_nonzero}/{} params got gradient",
+            spec.label(),
+            net.params().len()
+        );
+        for p in net.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Layer-measured MACs and params match the Table I closed forms for
+    /// arbitrary (n, k, units, batch).
+    #[test]
+    fn costs_match_formulas(n in 4usize..40, k in 1usize..4, units in 1usize..4, batch in 1usize..4) {
+        let mut rng = Rng::seed_from((n * 31 + k * 7 + units) as u64);
+        let ours = EfficientQuadraticLinear::new(n, units, k, &mut rng);
+        let c = ours.costs(&[batch, n]);
+        let f = NeuronFamily::EfficientQuadratic.complexity(n as u64, k as u64);
+        prop_assert_eq!(c.macs, batch as u64 * units as u64 * f.macs);
+        prop_assert_eq!(
+            ours.param_count() as u64,
+            units as u64 * (f.params + 1) // + bias, excluded from Table I
+        );
+
+        let lowrank = LowRankQuadraticLinear::new(n, units, k, &mut rng);
+        let lf = NeuronFamily::LowRank.complexity(n as u64, k as u64);
+        prop_assert_eq!(lowrank.param_count() as u64, units as u64 * lf.params);
+        prop_assert_eq!(lowrank.costs(&[batch, n]).macs, batch as u64 * units as u64 * lf.macs);
+    }
+
+    /// The symmetric factorization always stores strictly fewer parameters
+    /// than the unsymmetric form of [18] at the same rank — the paper's
+    /// halving claim.
+    #[test]
+    fn ours_always_cheaper_than_lowrank(n in 2usize..200, k in 1usize..10) {
+        let k = k.min(n);
+        let ours = NeuronFamily::EfficientQuadratic.complexity(n as u64, k as u64);
+        let lr = NeuronFamily::LowRank.complexity(n as u64, k as u64);
+        prop_assert!(ours.params < lr.params);
+        prop_assert!(ours.macs <= lr.macs + 2 * k as u64);
+    }
+}
+
+#[test]
+fn vectorized_output_orders_channels_per_neuron() {
+    // channel layout [y, f1..fk] per neuron, verified against manual slices
+    let mut rng = Rng::seed_from(9);
+    let layer = EfficientQuadraticLinear::new(5, 2, 3, &mut rng);
+    let x = Tensor::randn(&[1, 5], &mut rng);
+    let mut g = Graph::new();
+    let xv = g.leaf(x.clone());
+    let out = layer.forward(&mut g, xv);
+    assert_eq!(g.value(out).shape().dims(), &[1, 8]);
+    // the f part of neuron 0 is columns 1..4 and must equal Q₀ᵀx
+    let q = layer.params()[0].value();
+    for i in 0..3 {
+        let mut f = 0.0f32;
+        for p in 0..5 {
+            f += q.get(&[i, p]) * x.get(&[0, p]);
+        }
+        assert!((g.value(out).get(&[0, 1 + i]) - f).abs() < 1e-4);
+    }
+}
