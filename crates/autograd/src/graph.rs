@@ -148,7 +148,7 @@ impl Graph {
                 pgrads.len(),
                 parents.len()
             );
-            for (&p, pg) in parents.iter().zip(pgrads.into_iter()) {
+            for (&p, pg) in parents.iter().zip(pgrads) {
                 match &mut self.nodes[p].grad {
                     Some(g) => g.add_assign(&pg),
                     slot @ None => *slot = Some(pg),

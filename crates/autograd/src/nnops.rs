@@ -173,13 +173,13 @@ impl Graph {
         let mut inv_std = vec![0.0f32; rows];
         {
             let od = out.data_mut();
-            for r in 0..rows {
+            for (r, istd_slot) in inv_std.iter_mut().enumerate() {
                 let base = r * d;
                 let row = &xv.data()[base..base + d];
                 let mean = row.iter().sum::<f32>() / d as f32;
                 let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
                 let istd = 1.0 / (var + eps).sqrt();
-                inv_std[r] = istd;
+                *istd_slot = istd;
                 for j in 0..d {
                     let xh = (row[j] - mean) * istd;
                     xhat[base + j] = xh;
@@ -196,15 +196,13 @@ impl Graph {
                 let mut dgamma = vec![0.0f32; d];
                 let mut dbeta = vec![0.0f32; d];
                 let mut dx = vec![0.0f32; gd.len()];
-                for r in 0..rows {
+                for (r, &istd) in inv_std.iter().enumerate() {
                     let base = r * d;
                     // accumulate affine grads
                     for j in 0..d {
                         dgamma[j] += gd[base + j] * xhat[base + j];
                         dbeta[j] += gd[base + j];
                     }
-                    // dxhat = g * gamma
-                    let istd = inv_std[r];
                     let mut sum_dxhat = 0.0f32;
                     let mut sum_dxhat_xhat = 0.0f32;
                     for j in 0..d {
@@ -258,9 +256,9 @@ impl Graph {
             let mut var = vec![0.0f32; c];
             let hw = h * w;
             for bi in 0..b {
-                for ci in 0..c {
+                for (ci, mc) in mean.iter_mut().enumerate() {
                     let base = (bi * c + ci) * hw;
-                    mean[ci] += xv.data()[base..base + hw].iter().sum::<f32>();
+                    *mc += xv.data()[base..base + hw].iter().sum::<f32>();
                 }
             }
             for v in &mut mean {
@@ -340,8 +338,7 @@ impl Graph {
                         }
                     }
                 } else {
-                    for ci in 0..c {
-                        let istd = inv_std[ci];
+                    for (ci, &istd) in inv_std.iter().enumerate() {
                         let gam = gv.data()[ci];
                         for bi in 0..b {
                             let base = (bi * c + ci) * hw;

@@ -235,9 +235,9 @@ impl Graph {
                 let mut db = vec![0.0f32; c];
                 let hw = h * w;
                 for bi in 0..b {
-                    for ci in 0..c {
+                    for (ci, dbc) in db.iter_mut().enumerate() {
                         let base = (bi * c + ci) * hw;
-                        db[ci] += g.data()[base..base + hw].iter().sum::<f32>();
+                        *dbc += g.data()[base..base + hw].iter().sum::<f32>();
                     }
                 }
                 vec![
@@ -267,9 +267,9 @@ impl Graph {
                 let da = g.mul_channel(&sv);
                 let mut ds = vec![0.0f32; c];
                 for bi in 0..b {
-                    for ci in 0..c {
+                    for (ci, dsc) in ds.iter_mut().enumerate() {
                         let base = (bi * c + ci) * hw;
-                        ds[ci] += g.data()[base..base + hw]
+                        *dsc += g.data()[base..base + hw]
                             .iter()
                             .zip(&av.data()[base..base + hw])
                             .map(|(&gi, &ai)| gi * ai)

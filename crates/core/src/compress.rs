@@ -210,7 +210,7 @@ mod adaptive_tests {
     #[test]
     fn prune_zeroes_small_entries_only() {
         let p = lambda(&[0.5, 0.001, -0.002, 0.3], 2, 2);
-        let n = prune_lambda(&[p.clone()], 0.01);
+        let n = prune_lambda(std::slice::from_ref(&p), 0.01);
         assert_eq!(n, 2);
         let v = p.value();
         assert_eq!(v.get(&[0, 1]), 0.0);

@@ -125,7 +125,7 @@ impl TranslationDataset {
             src_vocab.push(src.to_string());
         }
         for (_, _, tgts) in LEXICON {
-            for t in tgts.iter().copied() {
+            for t in tgts {
                 if !tgt_vocab.contains(&t.to_string()) {
                     tgt_vocab.push(t.to_string());
                 }

@@ -168,7 +168,7 @@ impl ResNet {
     /// Panics if `depth` is not of the form `6n + 2` with `n >= 1`.
     pub fn cifar(config: ResNetConfig) -> Self {
         assert!(
-            config.depth >= 8 && (config.depth - 2) % 6 == 0,
+            config.depth >= 8 && (config.depth - 2).is_multiple_of(6),
             "CIFAR ResNet depth must be 6n + 2, got {}",
             config.depth
         );

@@ -36,10 +36,10 @@ pub struct TransformerConfig {
 
 impl TransformerConfig {
     fn validate(&self) {
-        assert!(self.d_model % self.heads == 0, "d_model must divide by heads");
+        assert!(self.d_model.is_multiple_of(self.heads), "d_model must divide by heads");
         if let Some(k) = self.quadratic_rank {
             assert!(
-                self.d_model % (k + 1) == 0,
+                self.d_model.is_multiple_of(k + 1),
                 "d_model {} must divide by rank+1 = {}",
                 self.d_model,
                 k + 1

@@ -351,7 +351,7 @@ mod tests {
     fn clip_grad_norm_caps_large_gradients() {
         let p = Parameter::new(Tensor::zeros(&[4]));
         p.accumulate_grad(&Tensor::full(&[4], 10.0)); // norm 20
-        let before = clip_grad_norm(&[p.clone()], 1.0);
+        let before = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((before - 20.0).abs() < 1e-4);
         let after = p.grad().frob_norm();
         assert!((after - 1.0).abs() < 1e-4);
@@ -361,7 +361,7 @@ mod tests {
     fn clip_grad_norm_leaves_small_gradients() {
         let p = Parameter::new(Tensor::zeros(&[2]));
         p.accumulate_grad(&Tensor::full(&[2], 0.1));
-        clip_grad_norm(&[p.clone()], 5.0);
+        clip_grad_norm(std::slice::from_ref(&p), 5.0);
         assert!(p.grad().allclose(&Tensor::full(&[2], 0.1), 1e-6));
     }
 }

@@ -1,0 +1,357 @@
+//! Offline stand-in for the parts of the [`proptest`] crate this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so this shim provides a
+//! deterministic randomized-testing core with the same surface syntax:
+//!
+//! - the [`proptest!`] macro with `#![proptest_config(...)]` headers and
+//!   `arg in strategy` bindings,
+//! - [`strategy::Strategy`] implemented for numeric ranges and
+//!   [`collection::vec`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`] returning soft failures with the
+//!   failing case's seed in the panic message.
+//!
+//! Differences from real proptest: no shrinking (the failing input is
+//! printed instead, so generated values must be `Clone + Debug`), and case
+//! generation is seeded from the test's module path so runs are
+//! reproducible without a persistence file.
+
+// `proptest!`'s surface syntax requires `#[test]` on each property, so the
+// macro's doc example necessarily contains one; the example drives the
+// generated fn explicitly instead.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod config {
+    /// Mirror of `proptest::test_runner::Config` for the fields the
+    /// workspace sets.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Value generator: the shim's equivalent of `proptest::strategy::Strategy`.
+    ///
+    /// Real proptest separates strategies from value trees to support
+    /// shrinking; the shim generates concrete values directly.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Constant strategy (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Vec`s of a fixed length (the only size shape the
+    /// workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `proptest::collection::vec` limited to exact lengths.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::config::ProptestConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Soft test-case failure produced by `prop_assert!`-family macros.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives the case loop for one property: owns the config and the
+    /// deterministic per-test RNG.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Seeds the RNG from the test's fully qualified name so each
+        /// property gets an independent, reproducible stream.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves after a
+    /// glob import of the prelude, as with real proptest.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!` syntax:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// (Doctests compile but do not run `#[test]` items; the macro's behaviour
+/// is exercised by this crate's unit tests.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = [$cfg]; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = [$crate::config::ProptestConfig::default()]; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = [$cfg:expr];) => {};
+    (cfg = [$cfg:expr];
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::config::ProptestConfig = $cfg;
+            let total = config.cases;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..total {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng());)+
+                // Snapshot inputs (the body may move them); only a failing
+                // case pays for Debug-formatting the snapshot.
+                let __qn_snapshot = ($(::std::clone::Clone::clone(&$arg),)+);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    let ($($arg,)+) = __qn_snapshot;
+                    let mut inputs = ::std::string::String::new();
+                    $(inputs.push_str(&::std::format!(
+                        "\n    {} = {:?}", stringify!($arg), &$arg
+                    ));)+
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}\n  inputs:{}",
+                        case + 1,
+                        total,
+                        stringify!($name),
+                        err,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ cfg = [$cfg]; $($rest)* }
+    };
+}
+
+/// Soft assertion: fails the current case with the location and condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("{} ({}:{})", ::std::format_args!($($fmt)*), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Soft equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            ::std::format_args!($($fmt)*)
+        );
+    }};
+}
+
+/// Soft inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Skips the rest of the case when the assumption fails. Unlike real
+/// proptest the skipped case still counts toward the case total.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f32..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_has_exact_len(v in prop::collection::vec(0.0f32..1.0, 17)) {
+            prop_assert_eq!(v.len(), 17);
+            prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    // the nested `#[test]` comes from proptest!'s required syntax; the fn is
+    // driven explicitly below rather than by the harness
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[test]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}
