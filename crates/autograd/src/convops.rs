@@ -1,7 +1,10 @@
 //! Convolution and pooling ops (im2col lowering shared with quadratic convs).
 
 use crate::graph::{Graph, Var};
-use qn_tensor::{avg_pool2d, avg_pool2d_backward, col2im, im2col, max_pool2d, max_pool2d_backward, Conv2dSpec, PoolSpec, Tensor};
+use qn_tensor::{
+    avg_pool2d, avg_pool2d_backward, col2im, im2col, max_pool2d, max_pool2d_backward, Conv2dSpec,
+    PoolSpec, Tensor,
+};
 
 impl Graph {
     /// Lowers `[B, C, H, W]` to patch rows `[B·OH·OW, C·K·K]` (differentiable

@@ -1,0 +1,1007 @@
+//! Dual-mode execution: the [`Exec`] context abstraction and the tape-free
+//! [`EagerExec`] arena.
+//!
+//! Every layer's forward pass is written once against [`Exec`]. Running it
+//! on a [`Graph`] records the differentiation tape (training); running it on
+//! an [`EagerExec`] evaluates the same arithmetic eagerly with **no** tape
+//! nodes, no backward closures and none of the operand clones the tape
+//! retains for the backward pass (inference/serving).
+//!
+//! [`Var`] handles are indices into whichever context produced them; a `Var`
+//! from one context is meaningless in another.
+//!
+//! # Example
+//!
+//! ```
+//! use qn_autograd::{EagerExec, Exec, Graph};
+//! use qn_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), qn_tensor::TensorError> {
+//! let x = Tensor::from_vec(vec![1.0, -2.0], &[2])?;
+//! // taped
+//! let mut g = Graph::new();
+//! let v = g.leaf(x.clone());
+//! let y = g.relu(v);
+//! // tape-free
+//! let mut e = EagerExec::new();
+//! let v2 = e.leaf(x);
+//! let y2 = e.relu(v2);
+//! assert!(g.value(y).allclose(e.value(y2), 0.0));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::graph::{Graph, Var};
+use crate::nnops::{batch_norm_apply, layer_norm_forward, softmax_last};
+use crate::ops::{add_bcast_forward, mul_bcast_forward};
+use crate::Parameter;
+use qn_tensor::{avg_pool2d, im2col, max_pool2d, Conv2dSpec, PoolSpec, Tensor};
+
+/// Execution context for a forward pass: either the differentiation tape
+/// ([`Graph`]) or the allocation-light eager arena ([`EagerExec`]).
+///
+/// The op set mirrors [`Graph`]'s inherent forward ops one-to-one; both
+/// implementations produce bitwise-identical values (the equivalence
+/// property suites in `qn-nn` and `qn-core` assert this for every layer and
+/// neuron family). Ops panic on shape mismatch exactly like their taped
+/// counterparts — see each [`Graph`] method for the per-op contract.
+///
+/// Loss functions (`softmax_cross_entropy*`) and [`Graph::backward`] remain
+/// tape-only: they exist to produce gradients.
+pub trait Exec {
+    /// Registers an input/constant tensor, returning its handle.
+    fn leaf(&mut self, t: Tensor) -> Var;
+
+    /// Registers a parameter's current value. On a [`Graph`] the leaf is
+    /// bound so `backward` flushes its gradient; eagerly it is just a value.
+    fn param(&mut self, p: &Parameter) -> Var;
+
+    /// Value of a node.
+    fn value(&self, v: Var) -> &Tensor;
+
+    /// Whether stochastic/normalization layers should use training
+    /// behaviour. Always `false` for [`EagerExec`].
+    fn is_training(&self) -> bool;
+
+    /// Elementwise sum of two same-shape nodes.
+    fn add(&mut self, a: Var, b: Var) -> Var;
+    /// Elementwise difference `a - b`.
+    fn sub(&mut self, a: Var, b: Var) -> Var;
+    /// Elementwise (Hadamard) product.
+    fn mul(&mut self, a: Var, b: Var) -> Var;
+    /// Multiplies every element by a constant.
+    fn scale(&mut self, a: Var, s: f32) -> Var;
+    /// Adds a constant to every element.
+    fn add_scalar(&mut self, a: Var, s: f32) -> Var;
+    /// Elementwise negation.
+    fn neg(&mut self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+    /// Elementwise square.
+    fn square(&mut self, a: Var) -> Var;
+    /// Elementwise integer power `xᵖ` (`p >= 1`).
+    fn powi(&mut self, a: Var, p: i32) -> Var;
+    /// Rectified linear unit.
+    fn relu(&mut self, a: Var) -> Var;
+    /// Hyperbolic tangent.
+    fn tanh(&mut self, a: Var) -> Var;
+    /// Logistic sigmoid.
+    fn sigmoid(&mut self, a: Var) -> Var;
+
+    /// Adds `b` (a trailing-suffix shape of `a`) broadcast over leading dims.
+    fn add_bcast(&mut self, a: Var, b: Var) -> Var;
+    /// Multiplies by `b` broadcast over leading dims (suffix rule).
+    fn mul_bcast(&mut self, a: Var, b: Var) -> Var;
+    /// Adds a per-channel bias `[C]` to a `[B, C, H, W]` activation.
+    fn add_channel(&mut self, a: Var, bias: Var) -> Var;
+    /// Multiplies a `[B, C, H, W]` activation by a per-channel scale `[C]`.
+    fn mul_channel(&mut self, a: Var, scale: Var) -> Var;
+
+    /// Reshapes to `dims` (element count must match).
+    fn reshape(&mut self, a: Var, dims: &[usize]) -> Var;
+    /// Permutes axes.
+    fn permute(&mut self, a: Var, axes: &[usize]) -> Var;
+    /// Concatenates nodes along `axis`.
+    fn concat(&mut self, parts: &[Var], axis: usize) -> Var;
+    /// Copies the half-open `[start, end)` range of `axis`.
+    fn slice_axis(&mut self, a: Var, axis: usize, start: usize, end: usize) -> Var;
+
+    /// Sum of all elements, as a `[1]` tensor.
+    fn sum_all(&mut self, a: Var) -> Var;
+    /// Mean of all elements, as a `[1]` tensor.
+    fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).numel() as f32;
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n)
+    }
+    /// Sums over `axis`, removing it.
+    fn sum_axis(&mut self, a: Var, axis: usize) -> Var;
+    /// Mean over `axis`, removing it.
+    fn mean_axis(&mut self, a: Var, axis: usize) -> Var {
+        let n = self.value(a).shape().dim(axis) as f32;
+        let s = self.sum_axis(a, axis);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Matrix product `a @ b` of `[M, K] × [K, N]`.
+    fn matmul(&mut self, a: Var, b: Var) -> Var;
+    /// Matrix product `a @ bᵀ` of `[M, K] × [N, K]ᵀ`.
+    fn matmul_transb(&mut self, a: Var, b: Var) -> Var;
+    /// Batched matrix product of `[N, M, K] × [N, K, P]`.
+    fn bmm(&mut self, a: Var, b: Var) -> Var;
+
+    /// Lowers `[B, C, H, W]` to patch rows `[B·OH·OW, C·K·K]`.
+    fn im2col(&mut self, x: Var, spec: Conv2dSpec) -> Var;
+    /// 2-D convolution of `[B, C, H, W]` with filters `[OC, C, K, K]`.
+    fn conv2d(&mut self, x: Var, weight: Var, spec: Conv2dSpec) -> Var;
+    /// Max pooling with a square window.
+    fn max_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var;
+    /// Average pooling with a square window.
+    fn avg_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var;
+    /// Global average pooling: `[B, C, H, W] -> [B, C]`.
+    fn global_avg_pool(&mut self, x: Var) -> Var;
+
+    /// Numerically-stable softmax over the last axis.
+    fn softmax_last(&mut self, x: Var) -> Var;
+    /// Layer normalization over the last axis with affine `gamma`/`beta`.
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var;
+    /// Batch normalization over `[B, C, H, W]`. In training mode (tape only)
+    /// returns the batch statistics for the caller's running-stat update; in
+    /// inference mode normalizes with the provided running statistics and
+    /// returns `None`.
+    fn batch_norm2d(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+    ) -> (Var, Option<(Tensor, Tensor)>);
+    /// Embedding lookup: gathers rows of `weight` (`[V, D]`) by token id.
+    fn embedding(&mut self, weight: Var, ids: &[usize]) -> Var;
+    /// Inverted dropout; identity in inference mode.
+    fn dropout(&mut self, x: Var, p: f32) -> Var;
+
+    // ----- fused composites -----------------------------------------------
+    //
+    // Composite ops with a default decomposition into the primitives above.
+    // The tape uses the defaults (so gradients flow through the recorded
+    // primitives); `EagerExec` overrides them with single-pass kernels that
+    // skip the intermediate allocations. Both produce bitwise-identical
+    // values.
+
+    /// The quadratic energy `y₂[r, j] = Σᵢ λ[j, i] · f[r, j·k + i]²` of the
+    /// paper's efficient neuron: `f` is `[rows, m·k]` (per-neuron feature
+    /// groups of width `k`), `lambda` is `[m, k]`; returns `[rows, m]`.
+    fn weighted_square_sum(&mut self, f: Var, lambda: Var, neurons: usize, k: usize) -> Var {
+        let rows = self.value(f).shape().dim(0);
+        let f3 = self.reshape(f, &[rows, neurons, k]);
+        let fsq = self.square(f3);
+        let weighted = self.mul_bcast(fsq, lambda);
+        self.sum_axis(weighted, 2)
+    }
+
+    /// Interleaves scalar outputs `y` (`[rows, m]`) with their feature
+    /// groups `f` (`[rows, m·k]`) neuron-major into `[rows, m·(k+1)]`:
+    /// `[y₀, f₀…, y₁, f₁…, …]` — the paper's vectorized output layout.
+    fn interleave_last(&mut self, y: Var, f: Var, k: usize) -> Var {
+        let (rows, m) = self.value(y).dims2();
+        let f3 = self.reshape(f, &[rows, m, k]);
+        let y3 = self.reshape(y, &[rows, m, 1]);
+        let out3 = self.concat(&[y3, f3], 2);
+        self.reshape(out3, &[rows, m * (k + 1)])
+    }
+
+    /// Reinterprets patch-major rows `[B·OH·OW, C]` (the output of a dense
+    /// layer applied to im2col patches) as a `[B, C, OH, OW]` feature map.
+    fn rows_to_nchw(&mut self, v: Var, b: usize, oh: usize, ow: usize, c: usize) -> Var {
+        let r = self.reshape(v, &[b, oh, ow, c]);
+        self.permute(r, &[0, 3, 1, 2])
+    }
+}
+
+impl Exec for Graph {
+    fn leaf(&mut self, t: Tensor) -> Var {
+        Graph::leaf(self, t)
+    }
+    fn param(&mut self, p: &Parameter) -> Var {
+        Graph::param(self, p)
+    }
+    fn value(&self, v: Var) -> &Tensor {
+        Graph::value(self, v)
+    }
+    fn is_training(&self) -> bool {
+        Graph::is_training(self)
+    }
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        Graph::add(self, a, b)
+    }
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        Graph::sub(self, a, b)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        Graph::mul(self, a, b)
+    }
+    fn scale(&mut self, a: Var, s: f32) -> Var {
+        Graph::scale(self, a, s)
+    }
+    fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        Graph::add_scalar(self, a, s)
+    }
+    fn neg(&mut self, a: Var) -> Var {
+        Graph::neg(self, a)
+    }
+    fn square(&mut self, a: Var) -> Var {
+        Graph::square(self, a)
+    }
+    fn powi(&mut self, a: Var, p: i32) -> Var {
+        Graph::powi(self, a, p)
+    }
+    fn relu(&mut self, a: Var) -> Var {
+        Graph::relu(self, a)
+    }
+    fn tanh(&mut self, a: Var) -> Var {
+        Graph::tanh(self, a)
+    }
+    fn sigmoid(&mut self, a: Var) -> Var {
+        Graph::sigmoid(self, a)
+    }
+    fn add_bcast(&mut self, a: Var, b: Var) -> Var {
+        Graph::add_bcast(self, a, b)
+    }
+    fn mul_bcast(&mut self, a: Var, b: Var) -> Var {
+        Graph::mul_bcast(self, a, b)
+    }
+    fn add_channel(&mut self, a: Var, bias: Var) -> Var {
+        Graph::add_channel(self, a, bias)
+    }
+    fn mul_channel(&mut self, a: Var, scale: Var) -> Var {
+        Graph::mul_channel(self, a, scale)
+    }
+    fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
+        Graph::reshape(self, a, dims)
+    }
+    fn permute(&mut self, a: Var, axes: &[usize]) -> Var {
+        Graph::permute(self, a, axes)
+    }
+    fn concat(&mut self, parts: &[Var], axis: usize) -> Var {
+        Graph::concat(self, parts, axis)
+    }
+    fn slice_axis(&mut self, a: Var, axis: usize, start: usize, end: usize) -> Var {
+        Graph::slice_axis(self, a, axis, start, end)
+    }
+    fn sum_all(&mut self, a: Var) -> Var {
+        Graph::sum_all(self, a)
+    }
+    fn mean_all(&mut self, a: Var) -> Var {
+        Graph::mean_all(self, a)
+    }
+    fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
+        Graph::sum_axis(self, a, axis)
+    }
+    fn mean_axis(&mut self, a: Var, axis: usize) -> Var {
+        Graph::mean_axis(self, a, axis)
+    }
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        Graph::matmul(self, a, b)
+    }
+    fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
+        Graph::matmul_transb(self, a, b)
+    }
+    fn bmm(&mut self, a: Var, b: Var) -> Var {
+        Graph::bmm(self, a, b)
+    }
+    fn im2col(&mut self, x: Var, spec: Conv2dSpec) -> Var {
+        Graph::im2col(self, x, spec)
+    }
+    fn conv2d(&mut self, x: Var, weight: Var, spec: Conv2dSpec) -> Var {
+        Graph::conv2d(self, x, weight, spec)
+    }
+    fn max_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
+        Graph::max_pool2d(self, x, spec)
+    }
+    fn avg_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
+        Graph::avg_pool2d(self, x, spec)
+    }
+    fn global_avg_pool(&mut self, x: Var) -> Var {
+        Graph::global_avg_pool(self, x)
+    }
+    fn softmax_last(&mut self, x: Var) -> Var {
+        Graph::softmax_last(self, x)
+    }
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        Graph::layer_norm(self, x, gamma, beta, eps)
+    }
+    fn batch_norm2d(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+    ) -> (Var, Option<(Tensor, Tensor)>) {
+        Graph::batch_norm2d(self, x, gamma, beta, running_mean, running_var, eps)
+    }
+    fn embedding(&mut self, weight: Var, ids: &[usize]) -> Var {
+        Graph::embedding(self, weight, ids)
+    }
+    fn dropout(&mut self, x: Var, p: f32) -> Var {
+        Graph::dropout(self, x, p)
+    }
+}
+
+/// Tape-free eager execution arena for inference.
+///
+/// Holds only the computed activation tensors — no gradients, parents or
+/// backward closures — so a forward pass allocates a fraction of what the
+/// tape does. [`EagerExec::reset`] clears the arena while keeping its
+/// capacity, letting a serving loop (see `InferenceSession` in `qn-models`)
+/// reuse the same context across requests.
+///
+/// Parameter snapshots are **recycled** across resets: `param` moves a
+/// weight tensor out of an internal cache instead of cloning the parameter
+/// storage, and `reset` moves it back — so steady-state serving copies no
+/// weights at all. The cache is keyed by parameter storage identity
+/// (holding the [`Parameter`] handle, so identity cannot be recycled) and
+/// invalidated by [`Parameter::version`], so a weight update between
+/// requests triggers exactly one fresh snapshot.
+///
+/// Always in inference mode: dropout is the identity and batch norm uses
+/// running statistics.
+#[derive(Default)]
+pub struct EagerExec {
+    values: Vec<Tensor>,
+    /// `(parameter handle, version, snapshot)` of parameters not currently
+    /// in the arena. Holding the handle keeps the storage alive, so
+    /// identity can never be recycled to a different parameter (no
+    /// pointer-reuse aliasing). Linear scan: models hold tens of
+    /// parameters, not thousands.
+    param_cache: Vec<(Parameter, u64, Tensor)>,
+    /// `(arena slot, parameter handle, version)` of parameters pushed
+    /// since the last reset, so their snapshots can be reclaimed.
+    param_slots: Vec<(usize, Parameter, u64)>,
+}
+
+impl EagerExec {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        EagerExec::default()
+    }
+
+    /// Clears all values while retaining the arena's capacity; parameter
+    /// snapshots move back into the recycle cache.
+    pub fn reset(&mut self) {
+        for (slot, param, version) in self.param_slots.drain(..) {
+            let t = std::mem::replace(&mut self.values[slot], Tensor::zeros(&[1]));
+            self.param_cache.push((param, version, t));
+        }
+        self.values.clear();
+    }
+
+    /// Number of values held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the arena holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Removes the value of `v` from the arena, transferring ownership to
+    /// the caller (the slot is replaced by an empty placeholder). Used by
+    /// serving code to extract the output without a final copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this arena.
+    pub fn take(&mut self, v: Var) -> Tensor {
+        // if the caller extracts a parameter leaf, it must not be recycled
+        self.param_slots.retain(|(slot, _, _)| *slot != v.id);
+        std::mem::replace(&mut self.values[v.id], Tensor::zeros(&[1]))
+    }
+
+    fn push(&mut self, value: Tensor) -> Var {
+        let id = self.values.len();
+        self.values.push(value);
+        Var { id }
+    }
+}
+
+impl Exec for EagerExec {
+    fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t)
+    }
+
+    fn param(&mut self, p: &Parameter) -> Var {
+        let version = p.version();
+        let snapshot = match self
+            .param_cache
+            .iter()
+            .position(|(cp, v, _)| cp.same_storage(p) && *v == version)
+        {
+            Some(i) => self.param_cache.swap_remove(i).2,
+            None => {
+                // drop only *stale* snapshots of this parameter; same-version
+                // copies stay cached (weight sharing uses several per pass)
+                self.param_cache
+                    .retain(|(cp, v, _)| !cp.same_storage(p) || *v == version);
+                p.value()
+            }
+        };
+        let var = self.push(snapshot);
+        self.param_slots.push((var.id, p.clone(), version));
+        var
+    }
+
+    fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.id]
+    }
+
+    fn is_training(&self) -> bool {
+        false
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v)
+    }
+
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v)
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v)
+    }
+
+    fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v)
+    }
+
+    fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).add_scalar(s);
+        self.push(v)
+    }
+
+    fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v)
+    }
+
+    fn powi(&mut self, a: Var, p: i32) -> Var {
+        assert!(p >= 1, "powi requires p >= 1, got {p}");
+        let v = self.value(a).map(|x| x.powi(p));
+        self.push(v)
+    }
+
+    fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v)
+    }
+
+    fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.tanh());
+        self.push(v)
+    }
+
+    fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v)
+    }
+
+    fn add_bcast(&mut self, a: Var, b: Var) -> Var {
+        let v = add_bcast_forward(self.value(a), self.value(b));
+        self.push(v)
+    }
+
+    fn mul_bcast(&mut self, a: Var, b: Var) -> Var {
+        let v = mul_bcast_forward(self.value(a), self.value(b));
+        self.push(v)
+    }
+
+    fn add_channel(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.value(a).add_channel(self.value(bias));
+        self.push(v)
+    }
+
+    fn mul_channel(&mut self, a: Var, scale: Var) -> Var {
+        let v = self.value(a).mul_channel(self.value(scale));
+        self.push(v)
+    }
+
+    fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
+        if self.value(a).shape().dims() == dims {
+            // shape is unchanged: reuse the node, no copy
+            return a;
+        }
+        let v = self
+            .value(a)
+            .reshape(dims)
+            .unwrap_or_else(|e| panic!("reshape: {e}"));
+        self.push(v)
+    }
+
+    fn permute(&mut self, a: Var, axes: &[usize]) -> Var {
+        let v = self.value(a).permute(axes);
+        self.push(v)
+    }
+
+    fn concat(&mut self, parts: &[Var], axis: usize) -> Var {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let refs: Vec<&Tensor> = parts.iter().map(|v| self.value(*v)).collect();
+        let v = Tensor::concat(&refs, axis);
+        self.push(v)
+    }
+
+    fn slice_axis(&mut self, a: Var, axis: usize, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_axis(axis, start, end);
+        self.push(v)
+    }
+
+    fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(vec![self.value(a).sum()], &[1]).expect("scalar");
+        self.push(v)
+    }
+
+    fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
+        let v = self.value(a).sum_axis(axis);
+        self.push(v)
+    }
+
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v)
+    }
+
+    fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_transb(self.value(b));
+        self.push(v)
+    }
+
+    fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = crate::matops::bmm_forward(self.value(a), self.value(b));
+        self.push(v)
+    }
+
+    fn im2col(&mut self, x: Var, spec: Conv2dSpec) -> Var {
+        let v = im2col(self.value(x), spec);
+        self.push(v)
+    }
+
+    fn conv2d(&mut self, x: Var, weight: Var, spec: Conv2dSpec) -> Var {
+        // Fused lowering: im2col, then dot products written directly in
+        // [B, OC, OH, OW] layout — same arithmetic as the taped
+        // im2col → matmul_transb → reshape → permute pipeline, minus two
+        // full-tensor copies.
+        let (b, c, h, w) = self.value(x).dims4();
+        let (oc, wc, kh, kw) = self.value(weight).dims4();
+        assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
+        assert_eq!(kh, spec.kernel, "conv2d kernel mismatch");
+        assert_eq!(kw, spec.kernel, "conv2d kernel mismatch");
+        let (oh, ow) = spec.output_hw(h, w);
+        let cols = im2col(self.value(x), spec); // [B*OH*OW, n]
+        let n = c * kh * kw;
+        let wdata = self.value(weight).data(); // [OC, n] row-major
+        let mut out = Tensor::zeros(&[b, oc, oh, ow]);
+        let hw = oh * ow;
+        {
+            let od = out.data_mut();
+            for bi in 0..b {
+                for pos in 0..hw {
+                    let row = &cols.data()[(bi * hw + pos) * n..(bi * hw + pos + 1) * n];
+                    for j in 0..oc {
+                        let wrow = &wdata[j * n..(j + 1) * n];
+                        let mut acc = 0.0f32;
+                        for (&a, &wv) in row.iter().zip(wrow.iter()) {
+                            acc += a * wv;
+                        }
+                        od[(bi * oc + j) * hw + pos] = acc;
+                    }
+                }
+            }
+        }
+        self.push(out)
+    }
+
+    fn max_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
+        let (v, _argmax) = max_pool2d(self.value(x), spec);
+        self.push(v)
+    }
+
+    fn avg_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
+        let v = avg_pool2d(self.value(x), spec);
+        self.push(v)
+    }
+
+    fn global_avg_pool(&mut self, x: Var) -> Var {
+        let (b, c, h, w) = self.value(x).dims4();
+        assert_eq!(h, w, "global_avg_pool expects square feature maps");
+        // single pass, same summation order as avg_pool2d over a full window
+        let norm = 1.0 / (h * w) as f32;
+        let data = self.value(x).data();
+        let mut out = Tensor::zeros(&[b, c]);
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                let mut acc = 0.0f32;
+                for &v in &data[base..base + h * w] {
+                    acc += v;
+                }
+                out.data_mut()[bi * c + ci] = acc * norm;
+            }
+        }
+        self.push(out)
+    }
+
+    fn softmax_last(&mut self, x: Var) -> Var {
+        let v = softmax_last(self.value(x));
+        self.push(v)
+    }
+
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        // shared forward kernel, with no x̂ / 1/σ capture (nothing to
+        // backprop)
+        let out = layer_norm_forward(
+            self.value(x),
+            self.value(gamma),
+            self.value(beta),
+            eps,
+            None,
+        );
+        self.push(out)
+    }
+
+    fn batch_norm2d(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+    ) -> (Var, Option<(Tensor, Tensor)>) {
+        // Inference-only: normalize with running statistics through the
+        // shared kernel, without materializing x̂ or batch moments.
+        let xv = self.value(x);
+        let gv = self.value(gamma);
+        let bv = self.value(beta);
+        let c = xv.dims4().1;
+        assert_eq!(gv.numel(), c, "gamma width {} != {c}", gv.numel());
+        assert_eq!(bv.numel(), c, "beta width {} != {c}", bv.numel());
+        let inv_std: Vec<f32> = running_var
+            .data()
+            .iter()
+            .map(|&v| 1.0 / (v + eps).sqrt())
+            .collect();
+        let out = batch_norm_apply(xv, gv, bv, running_mean.data(), &inv_std, None);
+        (self.push(out), None)
+    }
+
+    fn embedding(&mut self, weight: Var, ids: &[usize]) -> Var {
+        let wv = self.value(weight);
+        let (v, _d) = wv.dims2();
+        for &id in ids {
+            assert!(id < v, "token id {id} out of range for vocab {v}");
+        }
+        let out = wv.select_rows(ids);
+        self.push(out)
+    }
+
+    fn dropout(&mut self, x: Var, p: f32) -> Var {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0, 1), got {p}"
+        );
+        // inference mode: identity (no new node needed)
+        x
+    }
+
+    fn weighted_square_sum(&mut self, f: Var, lambda: Var, neurons: usize, k: usize) -> Var {
+        // single pass over f: same per-term expression and summation order as
+        // the default square → mul_bcast → sum_axis decomposition
+        let fv = self.value(f);
+        let lv = self.value(lambda);
+        let (rows, mk) = fv.dims2();
+        assert_eq!(mk, neurons * k, "feature width {mk} != {neurons}·{k}");
+        assert_eq!(lv.numel(), neurons * k, "lambda size mismatch");
+        let mut out = Tensor::zeros(&[rows, neurons]);
+        {
+            let od = out.data_mut();
+            let fd = fv.data();
+            let ld = lv.data();
+            for r in 0..rows {
+                for j in 0..neurons {
+                    let base = r * mk + j * k;
+                    let mut acc = 0.0f32;
+                    for i in 0..k {
+                        let x = fd[base + i];
+                        acc += x * x * ld[j * k + i];
+                    }
+                    od[r * neurons + j] = acc;
+                }
+            }
+        }
+        self.push(out)
+    }
+
+    fn interleave_last(&mut self, y: Var, f: Var, k: usize) -> Var {
+        let yv = self.value(y);
+        let fv = self.value(f);
+        let (rows, m) = yv.dims2();
+        assert_eq!(fv.numel(), rows * m * k, "feature size mismatch");
+        let mut out = Tensor::zeros(&[rows, m * (k + 1)]);
+        {
+            let od = out.data_mut();
+            let yd = yv.data();
+            let fd = fv.data();
+            for r in 0..rows {
+                for j in 0..m {
+                    let dst = r * m * (k + 1) + j * (k + 1);
+                    od[dst] = yd[r * m + j];
+                    od[dst + 1..dst + 1 + k]
+                        .copy_from_slice(&fd[r * m * k + j * k..r * m * k + (j + 1) * k]);
+                }
+            }
+        }
+        self.push(out)
+    }
+
+    fn rows_to_nchw(&mut self, v: Var, b: usize, oh: usize, ow: usize, c: usize) -> Var {
+        let vv = self.value(v);
+        assert_eq!(vv.numel(), b * oh * ow * c, "rows_to_nchw size mismatch");
+        let mut out = Tensor::zeros(&[b, c, oh, ow]);
+        let hw = oh * ow;
+        {
+            let od = out.data_mut();
+            let vd = vv.data();
+            for bi in 0..b {
+                for pos in 0..hw {
+                    let row = &vd[(bi * hw + pos) * c..(bi * hw + pos + 1) * c];
+                    for (ci, &x) in row.iter().enumerate() {
+                        od[(bi * c + ci) * hw + pos] = x;
+                    }
+                }
+            }
+        }
+        self.push(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_tensor::Rng;
+
+    /// Runs `f` on both contexts and asserts identical outputs.
+    fn both(f: impl Fn(&mut dyn Exec) -> Var) -> (Tensor, Tensor) {
+        let mut g = Graph::new();
+        let tv = f(&mut g);
+        let mut e = EagerExec::new();
+        let ev = f(&mut e);
+        (g.value(tv).clone(), e.value(ev).clone())
+    }
+
+    #[test]
+    fn elementwise_ops_match_tape() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        for op in [
+            |cx: &mut dyn Exec, v: Var| cx.relu(v),
+            |cx: &mut dyn Exec, v: Var| cx.tanh(v),
+            |cx: &mut dyn Exec, v: Var| cx.sigmoid(v),
+            |cx: &mut dyn Exec, v: Var| cx.square(v),
+            |cx: &mut dyn Exec, v: Var| cx.powi(v, 3),
+            |cx: &mut dyn Exec, v: Var| cx.scale(v, -2.5),
+            |cx: &mut dyn Exec, v: Var| cx.add_scalar(v, 0.7),
+            |cx: &mut dyn Exec, v: Var| cx.neg(v),
+        ] {
+            let (t, e) = both(|cx| {
+                let v = cx.leaf(x.clone());
+                op(cx, v)
+            });
+            assert!(t.allclose(&e, 0.0));
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_tape_exactly() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let w = Tensor::randn(&[5, 3, 3, 3], &mut rng);
+        for spec in [Conv2dSpec::new(3, 1, 1), Conv2dSpec::new(3, 2, 0)] {
+            let (t, e) = both(|cx| {
+                let xv = cx.leaf(x.clone());
+                let wv = cx.leaf(w.clone());
+                cx.conv2d(xv, wv, spec)
+            });
+            assert_eq!(t.shape().dims(), e.shape().dims());
+            assert!(t.allclose(&e, 0.0), "fused conv must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn norms_and_softmax_match_tape() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[2, 4, 8], &mut rng).scale(3.0);
+        let gamma = Tensor::rand_uniform(&[8], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn(&[8], &mut rng);
+        let (t, e) = both(|cx| {
+            let xv = cx.leaf(x.clone());
+            let gv = cx.leaf(gamma.clone());
+            let bv = cx.leaf(beta.clone());
+            cx.layer_norm(xv, gv, bv, 1e-5)
+        });
+        assert!(t.allclose(&e, 0.0));
+        let (t, e) = both(|cx| {
+            let xv = cx.leaf(x.clone());
+            cx.softmax_last(xv)
+        });
+        assert!(t.allclose(&e, 0.0));
+    }
+
+    #[test]
+    fn batch_norm_inference_matches_tape() {
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        let gamma = Tensor::rand_uniform(&[3], 0.5, 1.5, &mut rng);
+        let beta = Tensor::randn(&[3], &mut rng);
+        let rm = Tensor::randn(&[3], &mut rng);
+        let rv = Tensor::rand_uniform(&[3], 0.5, 2.0, &mut rng);
+        let (t, e) = both(|cx| {
+            let xv = cx.leaf(x.clone());
+            let gv = cx.leaf(gamma.clone());
+            let bv = cx.leaf(beta.clone());
+            let (y, stats) = cx.batch_norm2d(xv, gv, bv, &rm, &rv, 1e-5);
+            assert!(stats.is_none());
+            y
+        });
+        assert!(t.allclose(&e, 0.0));
+    }
+
+    #[test]
+    fn pooling_and_shape_ops_match_tape() {
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        for op in [
+            |cx: &mut dyn Exec, v: Var| cx.max_pool2d(v, PoolSpec::new(2, 2)),
+            |cx: &mut dyn Exec, v: Var| cx.avg_pool2d(v, PoolSpec::new(3, 3)),
+            |cx: &mut dyn Exec, v: Var| cx.global_avg_pool(v),
+            |cx: &mut dyn Exec, v: Var| cx.reshape(v, &[6, 36]),
+            |cx: &mut dyn Exec, v: Var| cx.permute(v, &[0, 2, 3, 1]),
+            |cx: &mut dyn Exec, v: Var| cx.slice_axis(v, 1, 1, 3),
+            |cx: &mut dyn Exec, v: Var| cx.im2col(v, Conv2dSpec::new(3, 1, 1)),
+            |cx: &mut dyn Exec, v: Var| cx.sum_axis(v, 2),
+            |cx: &mut dyn Exec, v: Var| cx.mean_axis(v, 1),
+            |cx: &mut dyn Exec, v: Var| cx.sum_all(v),
+            |cx: &mut dyn Exec, v: Var| cx.mean_all(v),
+        ] {
+            let (t, e) = both(|cx| {
+                let v = cx.leaf(x.clone());
+                op(cx, v)
+            });
+            assert!(t.allclose(&e, 0.0));
+        }
+    }
+
+    #[test]
+    fn matmuls_and_bcast_match_tape() {
+        let mut rng = Rng::seed_from(6);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 5], &mut rng);
+        let bt = Tensor::randn(&[5, 4], &mut rng);
+        let bias = Tensor::randn(&[4], &mut rng);
+        let (t, e) = both(|cx| {
+            let av = cx.leaf(a.clone());
+            let bv = cx.leaf(b.clone());
+            cx.matmul(av, bv)
+        });
+        assert!(t.allclose(&e, 0.0));
+        let (t, e) = both(|cx| {
+            let av = cx.leaf(a.clone());
+            let bv = cx.leaf(bt.clone());
+            cx.matmul_transb(av, bv)
+        });
+        assert!(t.allclose(&e, 0.0));
+        type BcastOp = fn(&mut dyn Exec, Var, Var) -> Var;
+        let bcast_ops: [BcastOp; 2] =
+            [|cx, a, b| cx.add_bcast(a, b), |cx, a, b| cx.mul_bcast(a, b)];
+        for op in bcast_ops {
+            let (t, e) = both(|cx| {
+                let av = cx.leaf(a.clone());
+                let bv = cx.leaf(bias.clone());
+                op(cx, av, bv)
+            });
+            assert!(t.allclose(&e, 0.0));
+        }
+        let a3 = Tensor::randn(&[2, 3, 4], &mut rng);
+        let b3 = Tensor::randn(&[2, 4, 2], &mut rng);
+        let (t, e) = both(|cx| {
+            let av = cx.leaf(a3.clone());
+            let bv = cx.leaf(b3.clone());
+            cx.bmm(av, bv)
+        });
+        assert!(t.allclose(&e, 0.0));
+    }
+
+    #[test]
+    fn eager_dropout_and_embedding() {
+        let mut rng = Rng::seed_from(7);
+        let mut e = EagerExec::new();
+        let x = e.leaf(Tensor::randn(&[2, 2], &mut rng));
+        let y = e.dropout(x, 0.5);
+        assert_eq!(x, y, "eager dropout is the identity");
+        let w = e.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let emb = e.embedding(w, &[1, 0]);
+        assert_eq!(e.value(emb).data(), &[3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn reset_retains_capacity_and_take_moves() {
+        let mut e = EagerExec::new();
+        let v = e.leaf(Tensor::ones(&[4]));
+        let w = e.relu(v);
+        assert_eq!(e.len(), 2);
+        let out = e.take(w);
+        assert_eq!(out.data(), &[1.0, 1.0, 1.0, 1.0]);
+        e.reset();
+        assert!(e.is_empty());
+        // arena is reusable after reset
+        let v2 = e.leaf(Tensor::zeros(&[2]));
+        assert_eq!(v2.id, 0);
+    }
+
+    #[test]
+    fn eager_param_is_not_bound() {
+        let p = Parameter::new(Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let mut e = EagerExec::new();
+        let v = e.param(&p);
+        assert_eq!(e.value(v).data(), &[2.0]);
+        assert!(!e.is_training());
+    }
+
+    #[test]
+    fn eager_param_snapshots_recycle_and_invalidate() {
+        let p = Parameter::new(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let mut e = EagerExec::new();
+        let v = e.param(&p);
+        assert_eq!(e.value(v).data(), &[1.0, 2.0]);
+        // recycled across reset: same value, no stale data
+        e.reset();
+        let v = e.param(&p);
+        assert_eq!(e.value(v).data(), &[1.0, 2.0]);
+        // a weight update invalidates the cached snapshot
+        e.reset();
+        p.update(|value, _| value.map_inplace(|x| x + 10.0));
+        let v = e.param(&p);
+        assert_eq!(e.value(v).data(), &[11.0, 12.0]);
+        // weight sharing: the same parameter twice in one pass
+        e.reset();
+        let a = e.param(&p);
+        let b = e.param(&p);
+        assert_eq!(e.value(a).data(), &[11.0, 12.0]);
+        assert_eq!(e.value(b).data(), &[11.0, 12.0]);
+        e.reset();
+        let v = e.param(&p);
+        assert_eq!(e.value(v).data(), &[11.0, 12.0]);
+        // taking a param leaf out of the arena must not poison the cache
+        let t = e.take(v);
+        assert_eq!(t.data(), &[11.0, 12.0]);
+        e.reset();
+        let v = e.param(&p);
+        assert_eq!(e.value(v).data(), &[11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "token id 9 out of range")]
+    fn eager_embedding_bounds_checked() {
+        let mut e = EagerExec::new();
+        let w = e.leaf(Tensor::zeros(&[3, 2]));
+        e.embedding(w, &[9]);
+    }
+}

@@ -12,20 +12,12 @@ use qn_tensor::Tensor;
 ///
 /// `f32` arithmetic limits attainable precision; `eps` around `1e-2` and
 /// `tol` around `2e-2` are appropriate.
-pub fn gradcheck(
-    build: impl Fn(&mut Graph, Var) -> Var,
-    x: &Tensor,
-    eps: f32,
-    tol: f32,
-) -> bool {
+pub fn gradcheck(build: impl Fn(&mut Graph, Var) -> Var, x: &Tensor, eps: f32, tol: f32) -> bool {
     let mut g = Graph::new();
     let v = g.leaf(x.clone());
     let out = build(&mut g, v);
     g.backward(out);
-    let analytic = g
-        .grad(v)
-        .expect("input must receive a gradient")
-        .clone();
+    let analytic = g.grad(v).expect("input must receive a gradient").clone();
 
     let eval = |t: &Tensor| -> f32 {
         let mut g = Graph::new();

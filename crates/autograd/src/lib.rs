@@ -8,6 +8,12 @@
 //! contributing node, including [`Parameter`] leaves whose gradients are
 //! flushed back into persistent storage so an optimizer can consume them.
 //!
+//! Execution is **dual-mode**: the [`Exec`] trait abstracts over the op
+//! set, implemented by both [`Graph`] (taped, differentiable) and
+//! [`EagerExec`] (tape-free, allocation-light — the inference path).
+//! Forward code written against `&mut dyn Exec` runs identically on
+//! either context.
+//!
 //! The op set is exactly what the quadratic-neuron paper's models need:
 //! dense and im2col convolution primitives, broadcast arithmetic, batched
 //! matmul and softmax for attention, fused batch/layer norm, the elementwise
@@ -32,6 +38,7 @@
 //! ```
 
 mod convops;
+mod exec;
 mod gradcheck;
 mod graph;
 mod matops;
@@ -39,6 +46,7 @@ mod nnops;
 mod ops;
 mod param;
 
+pub use exec::{EagerExec, Exec};
 pub use gradcheck::{gradcheck, gradcheck_multi};
 pub use graph::{Graph, Var};
 pub use param::Parameter;

@@ -46,7 +46,12 @@ impl Graph {
     ) -> Var {
         let lv = self.value(logits).clone();
         let (b, c) = lv.dims2();
-        assert_eq!(targets.len(), b, "target count {} != batch {b}", targets.len());
+        assert_eq!(
+            targets.len(),
+            b,
+            "target count {} != batch {b}",
+            targets.len()
+        );
         for &t in targets {
             assert!(t < c, "target {t} out of range for {c} classes");
         }
@@ -102,8 +107,18 @@ impl Graph {
     ) -> Var {
         let lv = self.value(logits).clone();
         let (b, c) = lv.dims2();
-        assert_eq!(targets.len(), b, "target count {} != batch {b}", targets.len());
-        assert_eq!(weights.len(), b, "weight count {} != batch {b}", weights.len());
+        assert_eq!(
+            targets.len(),
+            b,
+            "target count {} != batch {b}",
+            targets.len()
+        );
+        assert_eq!(
+            weights.len(),
+            b,
+            "weight count {} != batch {b}",
+            weights.len()
+        );
         let wsum: f32 = weights.iter().sum();
         assert!(wsum > 0.0, "all weights are zero");
         for &t in targets {
@@ -168,25 +183,9 @@ impl Graph {
         assert_eq!(gv.numel(), d, "gamma width {} != {d}", gv.numel());
         assert_eq!(bv.numel(), d, "beta width {} != {d}", bv.numel());
         let rows = xv.numel() / d;
-        let mut out = xv.clone();
         let mut xhat = vec![0.0f32; xv.numel()];
         let mut inv_std = vec![0.0f32; rows];
-        {
-            let od = out.data_mut();
-            for (r, istd_slot) in inv_std.iter_mut().enumerate() {
-                let base = r * d;
-                let row = &xv.data()[base..base + d];
-                let mean = row.iter().sum::<f32>() / d as f32;
-                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-                let istd = 1.0 / (var + eps).sqrt();
-                *istd_slot = istd;
-                for j in 0..d {
-                    let xh = (row[j] - mean) * istd;
-                    xhat[base + j] = xh;
-                    od[base + j] = xh * gv.data()[j] + bv.data()[j];
-                }
-            }
-        }
+        let out = layer_norm_forward(&xv, &gv, &bv, eps, Some((&mut xhat, &mut inv_std)));
         let xshape = xv.shape().dims().to_vec();
         self.push(
             out,
@@ -213,7 +212,8 @@ impl Graph {
                     for j in 0..d {
                         let dxh = gd[base + j] * gv.data()[j];
                         dx[base + j] = istd
-                            * (dxh - sum_dxhat / d as f32
+                            * (dxh
+                                - sum_dxhat / d as f32
                                 - xhat[base + j] * sum_dxhat_xhat / d as f32);
                     }
                 }
@@ -282,21 +282,8 @@ impl Graph {
         };
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
         let hw = h * w;
-        let mut out = xv.clone();
         let mut xhat = vec![0.0f32; xv.numel()];
-        {
-            let od = out.data_mut();
-            for bi in 0..b {
-                for ci in 0..c {
-                    let base = (bi * c + ci) * hw;
-                    for j in 0..hw {
-                        let xh = (xv.data()[base + j] - mean[ci]) * inv_std[ci];
-                        xhat[base + j] = xh;
-                        od[base + j] = xh * gv.data()[ci] + bv.data()[ci];
-                    }
-                }
-            }
-        }
+        let out = batch_norm_apply(&xv, &gv, &bv, &mean, &inv_std, Some(&mut xhat));
         let stats = if training {
             Some((
                 Tensor::from_vec(mean.clone(), &[c]).expect("width consistent"),
@@ -396,14 +383,23 @@ impl Graph {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn dropout(&mut self, x: Var, p: f32) -> Var {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0, 1), got {p}"
+        );
         if !self.is_training() || p == 0.0 {
             return self.scale(x, 1.0);
         }
         let n = self.value(x).numel();
         let keep = 1.0 - p;
         let mask: Vec<f32> = (0..n)
-            .map(|_| if self.rng.chance(keep) { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if self.rng.chance(keep) {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(mask, self.value(x).shape().dims()).expect("mask shape");
         let mv = mask.clone();
@@ -414,6 +410,80 @@ impl Graph {
             Some(Box::new(move |g: &Tensor| vec![g.mul(&mv)])),
         )
     }
+}
+
+/// Forward layer normalization shared by the taped and eager execution
+/// paths; when `capture` is provided, also records `x̂` and the per-row
+/// `1/σ` for the backward pass.
+///
+/// # Panics
+///
+/// Panics if the trailing dim of `x` differs from `gamma`/`beta`.
+pub(crate) fn layer_norm_forward(
+    xv: &Tensor,
+    gv: &Tensor,
+    bv: &Tensor,
+    eps: f32,
+    mut capture: Option<(&mut [f32], &mut [f32])>,
+) -> Tensor {
+    let d = *xv.shape().dims().last().expect("non-empty shape");
+    assert_eq!(gv.numel(), d, "gamma width {} != {d}", gv.numel());
+    assert_eq!(bv.numel(), d, "beta width {} != {d}", bv.numel());
+    let rows = xv.numel() / d;
+    let mut out = xv.clone();
+    let od = out.data_mut();
+    for r in 0..rows {
+        let base = r * d;
+        let row = &xv.data()[base..base + d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        for j in 0..d {
+            let xh = (row[j] - mean) * istd;
+            if let Some((xhat, _)) = capture.as_mut() {
+                xhat[base + j] = xh;
+            }
+            od[base + j] = xh * gv.data()[j] + bv.data()[j];
+        }
+        if let Some((_, inv_std)) = capture.as_mut() {
+            inv_std[r] = istd;
+        }
+    }
+    out
+}
+
+/// Per-channel batch-norm application `x̂ γ + β` with the given mean and
+/// `1/σ`, shared by the taped and eager execution paths; records `x̂` when
+/// `xhat` is provided (the backward pass needs it).
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D.
+pub(crate) fn batch_norm_apply(
+    xv: &Tensor,
+    gv: &Tensor,
+    bv: &Tensor,
+    mean: &[f32],
+    inv_std: &[f32],
+    mut xhat: Option<&mut [f32]>,
+) -> Tensor {
+    let (b, c, h, w) = xv.dims4();
+    let hw = h * w;
+    let mut out = xv.clone();
+    let od = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            for j in 0..hw {
+                let xh = (xv.data()[base + j] - mean[ci]) * inv_std[ci];
+                if let Some(x) = xhat.as_deref_mut() {
+                    x[base + j] = xh;
+                }
+                od[base + j] = xh * gv.data()[ci] + bv.data()[ci];
+            }
+        }
+    }
+    out
 }
 
 /// Stable softmax over the last axis (free function shared with the loss).
@@ -624,10 +694,21 @@ mod tests {
     fn batch_norm_training_normalizes_channels() {
         let mut rng = Rng::seed_from(7);
         let mut g = Graph::training(0);
-        let x = g.leaf(Tensor::randn(&[4, 3, 5, 5], &mut rng).scale(3.0).add_scalar(-1.0));
+        let x = g.leaf(
+            Tensor::randn(&[4, 3, 5, 5], &mut rng)
+                .scale(3.0)
+                .add_scalar(-1.0),
+        );
         let gamma = g.leaf(Tensor::ones(&[3]));
         let beta = g.leaf(Tensor::zeros(&[3]));
-        let (y, stats) = g.batch_norm2d(x, gamma, beta, &Tensor::zeros(&[3]), &Tensor::ones(&[3]), 1e-5);
+        let (y, stats) = g.batch_norm2d(
+            x,
+            gamma,
+            beta,
+            &Tensor::zeros(&[3]),
+            &Tensor::ones(&[3]),
+            1e-5,
+        );
         assert!(stats.is_some());
         let yv = g.value(y);
         // per-channel mean ~0, var ~1
@@ -640,7 +721,8 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }
@@ -669,8 +751,14 @@ mod tests {
             |g, v| {
                 let gamma = g.leaf(Tensor::from_vec(vec![1.2, 0.7], &[2]).unwrap());
                 let beta = g.leaf(Tensor::from_vec(vec![0.1, -0.2], &[2]).unwrap());
-                let (y, _) =
-                    g.batch_norm2d(v, gamma, beta, &Tensor::zeros(&[2]), &Tensor::ones(&[2]), 1e-5);
+                let (y, _) = g.batch_norm2d(
+                    v,
+                    gamma,
+                    beta,
+                    &Tensor::zeros(&[2]),
+                    &Tensor::ones(&[2]),
+                    1e-5,
+                );
                 let sq = g.square(y);
                 g.sum_all(sq)
             },

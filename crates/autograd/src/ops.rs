@@ -32,9 +32,7 @@ impl Graph {
         self.push(
             value,
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.mul(&bv), g.mul(&av)]
-            })),
+            Some(Box::new(move |g: &Tensor| vec![g.mul(&bv), g.mul(&av)])),
         )
     }
 
@@ -142,19 +140,7 @@ impl Graph {
     ///
     /// Panics if `b`'s shape is not a trailing suffix of `a`'s.
     pub fn add_bcast(&mut self, a: Var, b: Var) -> Var {
-        let (value, lead) = {
-            let av = self.value(a);
-            let bv = self.value(b);
-            let lead = bcast_lead(av, bv);
-            let mut out = av.clone();
-            let bl = bv.numel();
-            for chunk in out.data_mut().chunks_mut(bl) {
-                for (o, &x) in chunk.iter_mut().zip(bv.data()) {
-                    *o += x;
-                }
-            }
-            (out, lead)
-        };
+        let value = add_bcast_forward(self.value(a), self.value(b));
         let bshape = self.value(b).shape().dims().to_vec();
         self.push(
             value,
@@ -167,7 +153,6 @@ impl Graph {
                         *o += x;
                     }
                 }
-                let _ = lead;
                 vec![
                     g.clone(),
                     Tensor::from_vec(db, &bshape).expect("suffix shape consistent"),
@@ -185,14 +170,7 @@ impl Graph {
     pub fn mul_bcast(&mut self, a: Var, b: Var) -> Var {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
-        bcast_lead(&av, &bv);
-        let mut out = av.clone();
-        let bl = bv.numel();
-        for chunk in out.data_mut().chunks_mut(bl) {
-            for (o, &x) in chunk.iter_mut().zip(bv.data()) {
-                *o *= x;
-            }
-        }
+        let out = mul_bcast_forward(&av, &bv);
         let bshape = bv.shape().dims().to_vec();
         self.push(
             out,
@@ -441,6 +419,34 @@ impl Graph {
     }
 }
 
+/// Forward computation of [`Graph::add_bcast`], shared with the eager
+/// execution path.
+pub(crate) fn add_bcast_forward(av: &Tensor, bv: &Tensor) -> Tensor {
+    bcast_lead(av, bv);
+    let mut out = av.clone();
+    let bl = bv.numel();
+    for chunk in out.data_mut().chunks_mut(bl) {
+        for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Forward computation of [`Graph::mul_bcast`], shared with the eager
+/// execution path.
+pub(crate) fn mul_bcast_forward(av: &Tensor, bv: &Tensor) -> Tensor {
+    bcast_lead(av, bv);
+    let mut out = av.clone();
+    let bl = bv.numel();
+    for chunk in out.data_mut().chunks_mut(bl) {
+        for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+            *o *= x;
+        }
+    }
+    out
+}
+
 /// Validates the suffix-broadcast contract and returns the number of leading
 /// broadcast elements.
 fn bcast_lead(a: &Tensor, b: &Tensor) -> usize {
@@ -485,11 +491,51 @@ mod tests {
     fn gradcheck_elementwise() {
         let mut rng = Rng::seed_from(1);
         let x = Tensor::randn(&[3, 4], &mut rng);
-        assert!(gradcheck(|g, v| { let y = g.square(v); g.sum_all(y) }, &x, 1e-2, 2e-2));
-        assert!(gradcheck(|g, v| { let y = g.tanh(v); g.sum_all(y) }, &x, 1e-2, 2e-2));
-        assert!(gradcheck(|g, v| { let y = g.sigmoid(v); g.sum_all(y) }, &x, 1e-2, 2e-2));
-        assert!(gradcheck(|g, v| { let y = g.powi(v, 3); g.sum_all(y) }, &x, 1e-2, 5e-2));
-        assert!(gradcheck(|g, v| { let y = g.scale(v, -2.5); g.sum_all(y) }, &x, 1e-2, 2e-2));
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.square(v);
+                g.sum_all(y)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.tanh(v);
+                g.sum_all(y)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.sigmoid(v);
+                g.sum_all(y)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.powi(v, 3);
+                g.sum_all(y)
+            },
+            &x,
+            1e-2,
+            5e-2
+        ));
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.scale(v, -2.5);
+                g.sum_all(y)
+            },
+            &x,
+            1e-2,
+            2e-2
+        ));
     }
 
     #[test]
@@ -497,7 +543,15 @@ mod tests {
         let mut rng = Rng::seed_from(2);
         // keep values away from 0 so finite differences are valid
         let x = Tensor::randn(&[3, 3], &mut rng).map(|v| if v.abs() < 0.2 { v + 0.5 } else { v });
-        assert!(gradcheck(|g, v| { let y = g.relu(v); g.sum_all(y) }, &x, 1e-3, 2e-2));
+        assert!(gradcheck(
+            |g, v| {
+                let y = g.relu(v);
+                g.sum_all(y)
+            },
+            &x,
+            1e-3,
+            2e-2
+        ));
     }
 
     #[test]
@@ -610,16 +664,19 @@ mod tests {
         let mut rng = Rng::seed_from(6);
         let x = Tensor::randn(&[3, 4, 2], &mut rng);
         for axis in 0..3 {
-            assert!(gradcheck(
-                move |g, v| {
-                    let s = g.sum_axis(v, axis);
-                    let sq = g.square(s);
-                    g.sum_all(sq)
-                },
-                &x,
-                1e-2,
-                3e-2
-            ), "axis {axis}");
+            assert!(
+                gradcheck(
+                    move |g, v| {
+                        let s = g.sum_axis(v, axis);
+                        let sq = g.square(s);
+                        g.sum_all(sq)
+                    },
+                    &x,
+                    1e-2,
+                    3e-2
+                ),
+                "axis {axis}"
+            );
         }
     }
 

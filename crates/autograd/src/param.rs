@@ -30,6 +30,9 @@ pub struct Parameter {
 struct Inner {
     value: Tensor,
     grad: Tensor,
+    /// Bumped on every value mutation; lets snapshot caches (the eager
+    /// execution arena) detect staleness without comparing tensors.
+    version: u64,
 }
 
 impl fmt::Debug for Parameter {
@@ -50,7 +53,11 @@ impl Parameter {
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().dims());
         Parameter {
-            inner: Rc::new(RefCell::new(Inner { value, grad })),
+            inner: Rc::new(RefCell::new(Inner {
+                value,
+                grad,
+                version: 0,
+            })),
             name: Rc::from(""),
         }
     }
@@ -95,6 +102,15 @@ impl Parameter {
             "set_value shape mismatch"
         );
         inner.value = value;
+        inner.version += 1;
+    }
+
+    /// Monotonic counter bumped on every value mutation
+    /// ([`Parameter::set_value`] / [`Parameter::update`]) — snapshot caches
+    /// (the eager execution arena) pair it with
+    /// [`Parameter::same_storage`] identity to detect stale copies.
+    pub fn version(&self) -> u64 {
+        self.inner.borrow().version
     }
 
     /// Adds `g` into the gradient accumulator.
@@ -117,6 +133,7 @@ impl Parameter {
     pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
         let inner = &mut *self.inner.borrow_mut();
         f(&mut inner.value, &inner.grad);
+        inner.version += 1;
     }
 
     /// `true` if two handles alias the same storage.

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qn_autograd::Graph;
 use qn_core::neurons::{
-    EfficientQuadraticLinear, FactorizedQuadraticLinear, KervolutionLinear,
-    LowRankQuadraticLinear, Quad1Linear, Quad2Linear,
+    EfficientQuadraticLinear, FactorizedQuadraticLinear, KervolutionLinear, LowRankQuadraticLinear,
+    Quad1Linear, Quad2Linear,
 };
 use qn_nn::{Linear, Module};
 use qn_tensor::{Rng, Tensor};
@@ -18,12 +18,24 @@ fn bench(c: &mut Criterion) {
     let x = Tensor::randn(&[32, n], &mut rng);
     let layers: Vec<(&str, Box<dyn Module>)> = vec![
         ("linear", Box::new(Linear::new(n, units, false, &mut rng))),
-        ("ours_k9", Box::new(EfficientQuadraticLinear::new(n, units, k, &mut rng))),
-        ("lowrank_k9", Box::new(LowRankQuadraticLinear::new(n, units, k, &mut rng))),
+        (
+            "ours_k9",
+            Box::new(EfficientQuadraticLinear::new(n, units, k, &mut rng)),
+        ),
+        (
+            "lowrank_k9",
+            Box::new(LowRankQuadraticLinear::new(n, units, k, &mut rng)),
+        ),
         ("quad1", Box::new(Quad1Linear::new(n, units, &mut rng))),
         ("quad2", Box::new(Quad2Linear::new(n, units, &mut rng))),
-        ("factorized", Box::new(FactorizedQuadraticLinear::new(n, units, &mut rng))),
-        ("kervolution", Box::new(KervolutionLinear::new(n, units, 1.0, 3, &mut rng))),
+        (
+            "factorized",
+            Box::new(FactorizedQuadraticLinear::new(n, units, &mut rng)),
+        ),
+        (
+            "kervolution",
+            Box::new(KervolutionLinear::new(n, units, 1.0, 3, &mut rng)),
+        ),
     ];
     let mut group = c.benchmark_group("neuron_forward");
     group.sample_size(10);

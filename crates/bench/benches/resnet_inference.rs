@@ -1,11 +1,13 @@
 //! Figs. 4–5 model-level benchmark: end-to-end inference cost of the ResNet
 //! family with linear vs quadratic neurons.
+//!
+//! Runs on the tape-free [`InferenceSession`] path so the numbers measure
+//! inference arithmetic, not autograd tape bookkeeping (the taped/eager
+//! comparison itself lives in the `tape_vs_eager` bench).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qn_autograd::Graph;
 use qn_core::NeuronSpec;
-use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
-use qn_nn::Module;
+use qn_models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
 use qn_tensor::{Rng, Tensor};
 
 fn bench(c: &mut Criterion) {
@@ -26,18 +28,10 @@ fn bench(c: &mut Criterion) {
                 placement: NeuronPlacement::All,
                 seed: 5,
             });
-            group.bench_with_input(
-                BenchmarkId::new(name, depth),
-                &net,
-                |b, net| {
-                    b.iter(|| {
-                        let mut g = Graph::new();
-                        let xv = g.leaf(x.clone());
-                        let y = net.forward(&mut g, xv);
-                        std::hint::black_box(g.value(y).sum())
-                    })
-                },
-            );
+            let mut session = InferenceSession::new(&net);
+            group.bench_with_input(BenchmarkId::new(name, depth), &x, |b, x| {
+                b.iter(|| std::hint::black_box(session.predict_batch(x).sum()))
+            });
         }
     }
     group.finish();

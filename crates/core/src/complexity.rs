@@ -78,7 +78,10 @@ impl NeuronFamily {
     /// families.
     pub fn complexity(&self, n: u64, k: u64) -> Complexity {
         assert!(n > 0, "neuron needs at least one input");
-        if matches!(self, NeuronFamily::LowRank | NeuronFamily::EfficientQuadratic) {
+        if matches!(
+            self,
+            NeuronFamily::LowRank | NeuronFamily::EfficientQuadratic
+        ) {
             assert!(k >= 1 && k <= n, "rank k={k} must be in 1..={n}");
         }
         match self {
@@ -202,8 +205,12 @@ mod tests {
         // Table I: ours has per-output complexity n + k/(k+1), i.e. bounded
         // in k, unlike [18] whose cost is proportional to k.
         let n = 256u64;
-        let at_k1 = NeuronFamily::EfficientQuadratic.complexity(n, 1).params_per_output();
-        let at_k16 = NeuronFamily::EfficientQuadratic.complexity(n, 16).params_per_output();
+        let at_k1 = NeuronFamily::EfficientQuadratic
+            .complexity(n, 1)
+            .params_per_output();
+        let at_k16 = NeuronFamily::EfficientQuadratic
+            .complexity(n, 16)
+            .params_per_output();
         assert!((at_k16 - at_k1).abs() < 1.0);
         let lr_k1 = NeuronFamily::LowRank.complexity(n, 1).params_per_output();
         let lr_k16 = NeuronFamily::LowRank.complexity(n, 16).params_per_output();

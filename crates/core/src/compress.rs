@@ -45,7 +45,10 @@ pub fn compress_general_layer(src: &GeneralQuadraticLinear, k: usize) -> Efficie
 
 /// Worst-case Frobenius error of the rank-k quadratic matrices against the
 /// symmetrized originals — the quantity the Eckart–Young theorem bounds.
-pub fn compression_error(src: &GeneralQuadraticLinear, compressed: &EfficientQuadraticLinear) -> f32 {
+pub fn compression_error(
+    src: &GeneralQuadraticLinear,
+    compressed: &EfficientQuadraticLinear,
+) -> f32 {
     let mut worst = 0.0f32;
     for j in 0..src.neurons() {
         let sym = symmetrize(&src.matrix(j));
@@ -86,7 +89,10 @@ mod tests {
         let mut prev = f32::INFINITY;
         for k in [1usize, 2, 4, 8] {
             let err = compression_error(&src, &compress_general_layer(&src, k));
-            assert!(err <= prev + 1e-4, "error increased at k={k}: {err} > {prev}");
+            assert!(
+                err <= prev + 1e-4,
+                "error increased at k={k}: {err} > {prev}"
+            );
             prev = err;
         }
         assert!(prev < 1e-2, "full-rank error should vanish, got {prev}");

@@ -1,6 +1,6 @@
 use crate::complexity::NeuronFamily;
 use crate::LAMBDA_PARAM_NAME;
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_linalg::random_orthonormal;
 use qn_nn::{kaiming_normal, Costs, Module};
 use qn_tensor::{Rng, Tensor};
@@ -171,7 +171,7 @@ impl EfficientQuadraticLinear {
         let q = self.q.value(); // [m*k, n]
         let lam = self.lambda.value();
         let qj = q.slice_axis(0, j * self.k, (j + 1) * self.k); // [k, n]
-        // Σ_i λ_i q_i q_iᵀ
+                                                                // Σ_i λ_i q_i q_iᵀ
         let mut out = Tensor::zeros(&[self.n, self.n]);
         for i in 0..self.k {
             let qi = qj.slice_axis(0, i, i + 1); // [1, n]
@@ -183,30 +183,32 @@ impl EfficientQuadraticLinear {
     }
 
     /// Splits the forward computation so subclasses of behaviour (scalar vs
-    /// vectorized) share the quadratic evaluation.
-    fn forward_parts(&self, g: &mut Graph, x: Var) -> (Var, Var) {
+    /// vectorized) share the quadratic evaluation. Returns `(y, f)` with
+    /// `f` kept flat as `[B, m·k]`.
+    fn forward_parts(&self, g: &mut dyn Exec, x: Var) -> (Var, Var) {
         let q = g.param(&self.q);
         let f = g.matmul_transb(x, q); // [B, m*k]
-        let f3 = g.reshape(f, &[g.value(f).shape().dim(0), self.m, self.k]);
-        let fsq = g.square(f3);
         let lam = g.param(&self.lambda);
-        let weighted = g.mul_bcast(fsq, lam);
-        let y2 = g.sum_axis(weighted, 2); // [B, m]
+        let y2 = g.weighted_square_sum(f, lam, self.m, self.k); // [B, m]
         let w = g.param(&self.w);
         let xw = g.matmul_transb(x, w);
         let b = g.param(&self.b);
         let y1 = g.add_bcast(xw, b);
         let y = g.add(y1, y2);
-        (y, f3)
+        (y, f)
     }
 }
 
 impl Module for EfficientQuadraticLinear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         // accept [B, n] or [B, T, n]: flatten leading dims like Linear does
         let dims = g.value(x).shape().dims().to_vec();
+        assert!(
+            !dims.is_empty(),
+            "EfficientQuadraticLinear expects an input of rank >= 1"
+        );
         assert_eq!(
-            *dims.last().expect("non-empty shape"),
+            dims[dims.len() - 1],
             self.n,
             "expected {} inputs, got shape {:?}",
             self.n,
@@ -214,15 +216,14 @@ impl Module for EfficientQuadraticLinear {
         );
         let lead: usize = dims[..dims.len() - 1].iter().product();
         let x = g.reshape(x, &[lead, self.n]);
-        let (y, f3) = self.forward_parts(g, x);
+        let (y, f) = self.forward_parts(g, x);
         let mut out_dims = dims;
         *out_dims.last_mut().expect("non-empty") = self.out_features();
         if !self.vectorized {
             return g.reshape(y, &out_dims);
         }
-        let y3 = g.reshape(y, &[lead, self.m, 1]);
-        let out3 = g.concat(&[y3, f3], 2); // [lead, m, k+1]
-        g.reshape(out3, &out_dims)
+        let out = g.interleave_last(y, f, self.k); // [lead, m*(k+1)]
+        g.reshape(out, &out_dims)
     }
 
     fn params(&self) -> Vec<Parameter> {
@@ -250,7 +251,7 @@ impl Module for EfficientQuadraticLinear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qn_autograd::gradcheck;
+    use qn_autograd::{gradcheck, Graph};
 
     /// Naive per-sample reference implementing the paper's equations
     /// directly.

@@ -1,5 +1,5 @@
 use crate::complexity::NeuronFamily;
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_nn::{kaiming_normal, Costs, Module};
 use qn_tensor::{Rng, Tensor};
 
@@ -74,7 +74,7 @@ impl GeneralQuadraticLinear {
 }
 
 impl Module for GeneralQuadraticLinear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let batch = g.value(x).shape().dim(0);
         let mats = g.param(&self.mats);
         let mut units = Vec::with_capacity(self.m);
@@ -140,7 +140,7 @@ impl NoLinearQuadraticLinear {
 }
 
 impl Module for NoLinearQuadraticLinear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         self.inner.forward(g, x)
     }
 
@@ -156,7 +156,7 @@ impl Module for NoLinearQuadraticLinear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qn_autograd::gradcheck;
+    use qn_autograd::{gradcheck, Graph};
     use qn_linalg::quadratic_form;
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::complexity::NeuronFamily;
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_nn::{kaiming_normal, Costs, Module};
 use qn_tensor::Rng;
 
@@ -30,7 +30,10 @@ impl KervolutionLinear {
     pub fn new(in_features: usize, units: usize, c: f32, p: i32, rng: &mut Rng) -> Self {
         assert!(p >= 1, "polynomial degree must be >= 1, got {p}");
         KervolutionLinear {
-            w: Parameter::named("kerv.w", kaiming_normal(&[units, in_features], in_features, rng)),
+            w: Parameter::named(
+                "kerv.w",
+                kaiming_normal(&[units, in_features], in_features, rng),
+            ),
             c,
             p,
             n: in_features,
@@ -45,7 +48,7 @@ impl KervolutionLinear {
 }
 
 impl Module for KervolutionLinear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let w = g.param(&self.w);
         let z = g.matmul_transb(x, w);
         let z = g.add_scalar(z, self.c);
@@ -69,7 +72,7 @@ impl Module for KervolutionLinear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qn_autograd::gradcheck;
+    use qn_autograd::{gradcheck, Graph};
     use qn_tensor::Tensor;
 
     #[test]

@@ -1,5 +1,5 @@
 use super::EfficientQuadraticLinear;
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_nn::{Costs, Module};
 use qn_tensor::{Conv2dSpec, Rng};
 
@@ -74,14 +74,17 @@ impl<L: Module> PatchConv2d<L> {
 }
 
 impl<L: Module> Module for PatchConv2d<L> {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let (b, c, h, w) = g.value(x).dims4();
-        assert_eq!(c, self.in_channels, "expected {} channels, got {c}", self.in_channels);
+        assert_eq!(
+            c, self.in_channels,
+            "expected {} channels, got {c}",
+            self.in_channels
+        );
         let (oh, ow) = self.spec.output_hw(h, w);
         let cols = g.im2col(x, self.spec); // [B*OH*OW, n]
         let y = self.inner.forward(g, cols); // [B*OH*OW, out]
-        let y = g.reshape(y, &[b, oh, ow, self.out_channels]);
-        g.permute(y, &[0, 3, 1, 2])
+        g.rows_to_nchw(y, b, oh, ow, self.out_channels)
     }
 
     fn params(&self) -> Vec<Parameter> {
@@ -131,7 +134,7 @@ impl EfficientQuadraticConv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qn_autograd::gradcheck;
+    use qn_autograd::{gradcheck, Graph};
     use qn_tensor::Tensor;
 
     #[test]

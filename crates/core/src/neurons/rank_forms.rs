@@ -3,7 +3,7 @@
 //! \[21\].
 
 use crate::complexity::NeuronFamily;
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_nn::{kaiming_normal, Costs, Module};
 use qn_tensor::Rng;
 #[cfg(test)]
@@ -43,7 +43,7 @@ impl FactorizedQuadraticLinear {
 }
 
 impl Module for FactorizedQuadraticLinear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let w1 = g.param(&self.w1);
         let w2 = g.param(&self.w2);
         let a = g.matmul_transb(x, w1);
@@ -86,7 +86,10 @@ impl LowRankQuadraticLinear {
     ///
     /// Panics if `k == 0` or `k > in_features`.
     pub fn new(in_features: usize, units: usize, k: usize, rng: &mut Rng) -> Self {
-        assert!(k >= 1 && k <= in_features, "rank k={k} must be in 1..={in_features}");
+        assert!(
+            k >= 1 && k <= in_features,
+            "rank k={k} must be in 1..={in_features}"
+        );
         LowRankQuadraticLinear {
             q1: quad_weight("lowrank.q1", units * k, in_features, rng),
             q2: quad_weight("lowrank.q2", units * k, in_features, rng),
@@ -104,7 +107,7 @@ impl LowRankQuadraticLinear {
 }
 
 impl Module for LowRankQuadraticLinear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let batch = g.value(x).shape().dim(0);
         let q1 = g.param(&self.q1);
         let q2 = g.param(&self.q2);
@@ -161,7 +164,7 @@ impl Quad1Linear {
 }
 
 impl Module for Quad1Linear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let w1 = g.param(&self.w1);
         let w2 = g.param(&self.w2);
         let w3 = g.param(&self.w3);
@@ -212,7 +215,7 @@ impl Quad2Linear {
 }
 
 impl Module for Quad2Linear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let w1 = g.param(&self.w1);
         let w2 = g.param(&self.w2);
         let w3 = g.param(&self.w3);
@@ -240,7 +243,7 @@ impl Module for Quad2Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qn_autograd::gradcheck;
+    use qn_autograd::{gradcheck, Graph};
 
     fn dotrow(w: &Tensor, j: usize, x: &Tensor, bi: usize, n: usize) -> f32 {
         (0..n).map(|i| w.get(&[j, i]) * x.get(&[bi, i])).sum()
@@ -354,8 +357,14 @@ mod tests {
     fn param_counts_match_table1() {
         let mut rng = Rng::seed_from(6);
         let n = 10;
-        assert_eq!(FactorizedQuadraticLinear::new(n, 1, &mut rng).param_count(), 2 * n);
-        assert_eq!(LowRankQuadraticLinear::new(n, 1, 3, &mut rng).param_count(), 2 * 3 * n + n);
+        assert_eq!(
+            FactorizedQuadraticLinear::new(n, 1, &mut rng).param_count(),
+            2 * n
+        );
+        assert_eq!(
+            LowRankQuadraticLinear::new(n, 1, 3, &mut rng).param_count(),
+            2 * 3 * n + n
+        );
         assert_eq!(Quad1Linear::new(n, 1, &mut rng).param_count(), 3 * n);
         assert_eq!(Quad2Linear::new(n, 1, &mut rng).param_count(), 3 * n);
     }

@@ -98,7 +98,8 @@ impl NeuronSpec {
             NeuronSpec::EfficientQuadratic { rank } => {
                 let actual = self.actual_channels(target_channels);
                 let filters = actual / (rank + 1);
-                let layer = EfficientQuadraticConv2d::efficient(in_channels, filters, *rank, conv, rng);
+                let layer =
+                    EfficientQuadraticConv2d::efficient(in_channels, filters, *rank, conv, rng);
                 (Box::new(layer), actual)
             }
             NeuronSpec::EfficientQuadraticScalar { rank } => {
@@ -175,7 +176,10 @@ mod tests {
             NeuronSpec::Quad1,
             NeuronSpec::Quad2,
             NeuronSpec::Factorized,
-            NeuronSpec::Kervolution { degree: 3, offset: 1.0 },
+            NeuronSpec::Kervolution {
+                degree: 3,
+                offset: 1.0,
+            },
         ];
         for spec in specs {
             let (layer, actual) = spec.build_conv(2, 8, conv, &mut rng);
@@ -220,7 +224,10 @@ mod tests {
             NeuronSpec::Quad1,
             NeuronSpec::Quad2,
             NeuronSpec::Factorized,
-            NeuronSpec::Kervolution { degree: 3, offset: 1.0 },
+            NeuronSpec::Kervolution {
+                degree: 3,
+                offset: 1.0,
+            },
         ]
         .iter()
         .map(|s| s.label())

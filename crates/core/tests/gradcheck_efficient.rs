@@ -49,13 +49,8 @@ fn factors_forward_matches_layer() {
     let (q, lam, w, b) = factor_tensors(&mut rng);
     let x = Tensor::randn(&[2, N], &mut rng);
 
-    let layer = EfficientQuadraticLinear::from_factors(
-        q.clone(),
-        lam.clone(),
-        w.clone(),
-        b.clone(),
-        true,
-    );
+    let layer =
+        EfficientQuadraticLinear::from_factors(q.clone(), lam.clone(), w.clone(), b.clone(), true);
     let expected = {
         let mut g = Graph::new();
         let xv = g.leaf(x.clone());

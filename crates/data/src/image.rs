@@ -69,19 +69,21 @@ fn shape_mask(shape: usize, res: usize, cx: f32, cy: f32, size: f32, x: usize, y
     let fx = (x as f32 + 0.5) / res as f32 - cx;
     let fy = (y as f32 + 0.5) / res as f32 - cy;
     match shape % SHAPES {
-        0 => fx * fx + fy * fy < size * size, // disc
+        0 => fx * fx + fy * fy < size * size,    // disc
         1 => fx.abs() < size && fy.abs() < size, // square
         2 => fy > -size && fy < size && fx.abs() < (size - fy) * 0.8, // triangle
         3 => fx.abs() < size * 0.35 || fy.abs() < size * 0.35, // cross
         4 => ((fy + 1.0) * res as f32 * 0.5) as usize % 4 < 2 && fy.abs() < size * 1.4, // h-stripes
         5 => ((fx + 1.0) * res as f32 * 0.5) as usize % 4 < 2 && fx.abs() < size * 1.4, // v-stripes
-        6 => (fx + fy).abs() < size * 0.5, // diagonal bar
+        6 => (fx + fy).abs() < size * 0.5,       // diagonal bar
         7 => {
             let r2 = fx * fx + fy * fy;
             r2 < size * size && r2 > size * size * 0.3 // ring
         }
-        8 => (((fx + 1.0) * res as f32 * 0.5) as usize % 4 < 2)
-            ^ (((fy + 1.0) * res as f32 * 0.5) as usize % 4 < 2), // checker
+        8 => {
+            (((fx + 1.0) * res as f32 * 0.5) as usize % 4 < 2)
+                ^ (((fy + 1.0) * res as f32 * 0.5) as usize % 4 < 2)
+        } // checker
         _ => {
             let gx = ((fx + 1.0) * res as f32 * 0.5) as usize % 5;
             let gy = ((fy + 1.0) * res as f32 * 0.5) as usize % 5;
@@ -180,7 +182,12 @@ impl ImageDataset {
 }
 
 /// A 10-class CIFAR-10 stand-in at the given resolution and size.
-pub fn synthetic_cifar10(resolution: usize, train_per_class: usize, test_per_class: usize, seed: u64) -> ImageDataset {
+pub fn synthetic_cifar10(
+    resolution: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> ImageDataset {
     ImageDataset::generate(ImageDatasetConfig {
         classes: 10,
         resolution,
@@ -192,7 +199,12 @@ pub fn synthetic_cifar10(resolution: usize, train_per_class: usize, test_per_cla
 }
 
 /// A 100-class CIFAR-100 stand-in (all shape × palette combinations).
-pub fn synthetic_cifar100(resolution: usize, train_per_class: usize, test_per_class: usize, seed: u64) -> ImageDataset {
+pub fn synthetic_cifar100(
+    resolution: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> ImageDataset {
     ImageDataset::generate(ImageDatasetConfig {
         classes: 100,
         resolution,
@@ -205,7 +217,12 @@ pub fn synthetic_cifar100(resolution: usize, train_per_class: usize, test_per_cl
 
 /// A higher-variability 20-class ImageNet stand-in for the training-
 /// stability experiment (Fig. 6).
-pub fn synthetic_imagenet(resolution: usize, train_per_class: usize, test_per_class: usize, seed: u64) -> ImageDataset {
+pub fn synthetic_imagenet(
+    resolution: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> ImageDataset {
     ImageDataset::generate(ImageDatasetConfig {
         classes: 20,
         resolution,
@@ -260,7 +277,11 @@ mod tests {
         let mut mean1 = Tensor::zeros(&[3 * 16 * 16]);
         let (mut n0, mut n1) = (0, 0);
         for (i, &l) in ds.train_labels.iter().enumerate() {
-            let img = ds.train_images.slice_axis(0, i, i + 1).reshape(&[3 * 16 * 16]).unwrap();
+            let img = ds
+                .train_images
+                .slice_axis(0, i, i + 1)
+                .reshape(&[3 * 16 * 16])
+                .unwrap();
             if l == 0 {
                 mean0.add_assign(&img);
                 n0 += 1;
@@ -269,8 +290,14 @@ mod tests {
                 n1 += 1;
             }
         }
-        let d = mean0.scale(1.0 / n0 as f32).sub(&mean1.scale(1.0 / n1 as f32));
-        assert!(d.frob_norm() > 1.0, "class means too close: {}", d.frob_norm());
+        let d = mean0
+            .scale(1.0 / n0 as f32)
+            .sub(&mean1.scale(1.0 / n1 as f32));
+        assert!(
+            d.frob_norm() > 1.0,
+            "class means too close: {}",
+            d.frob_norm()
+        );
     }
 
     #[test]
@@ -287,7 +314,8 @@ mod tests {
                 }
             }
             let mean = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             (mean, var)
         };
         let (m_low, v_low) = stats(80); // texture amplitude 0.45

@@ -23,6 +23,8 @@ mod image;
 mod loader;
 mod translation;
 
-pub use image::{synthetic_cifar10, synthetic_cifar100, synthetic_imagenet, ImageDataset, ImageDatasetConfig};
+pub use image::{
+    synthetic_cifar10, synthetic_cifar100, synthetic_imagenet, ImageDataset, ImageDatasetConfig,
+};
 pub use loader::{augment_batch, DataLoader};
 pub use translation::{SentencePair, TranslationConfig, TranslationDataset, BOS, EOS, PAD};

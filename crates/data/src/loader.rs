@@ -116,7 +116,10 @@ mod tests {
         let (images, labels) = toy();
         let loader = DataLoader::new(&images, &labels, 4);
         let mut rng = Rng::seed_from(2);
-        let sizes: Vec<usize> = loader.epoch(&mut rng).map(|(im, _)| im.shape().dim(0)).collect();
+        let sizes: Vec<usize> = loader
+            .epoch(&mut rng)
+            .map(|(im, _)| im.shape().dim(0))
+            .collect();
         assert_eq!(sizes, vec![4, 4, 2]);
     }
 

@@ -147,7 +147,11 @@ impl TranslationDataset {
                 let art = rng.below(2); // the, a
                 let adj = 10 + rng.below(5);
                 let use_compound = rng.chance(0.25);
-                let noun = if use_compound { 20 + rng.below(4) } else { 2 + rng.below(8) };
+                let noun = if use_compound {
+                    20 + rng.below(4)
+                } else {
+                    2 + rng.below(8)
+                };
                 let verb = 15 + rng.below(5);
                 // source order: article adjective noun verb
                 for &i in &[art, adj, noun, verb] {
@@ -168,7 +172,10 @@ impl TranslationDataset {
             let punct = PUNCT[rng.below(PUNCT.len())];
             src.push(ds_src_id(punct, &src_vocab));
             tgt.push(ds_src_id(punct, &tgt_vocab));
-            SentencePair { source: src, target: tgt }
+            SentencePair {
+                source: src,
+                target: tgt,
+            }
         };
 
         let train: Vec<SentencePair> = (0..cfg.train_pairs).map(|_| gen_pair(&mut rng)).collect();
@@ -349,7 +356,9 @@ mod tests {
     #[test]
     fn vocabulary_contains_unicode_forms() {
         let ds = TranslationDataset::generate(TranslationConfig::default());
-        let joined: String = (0..ds.tgt_vocab_len()).map(|i| ds.tgt_word(i).to_string()).collect();
+        let joined: String = (0..ds.tgt_vocab_len())
+            .map(|i| ds.tgt_word(i).to_string())
+            .collect();
         assert!(joined.contains('ß') || joined.contains('ö') || joined.contains('ü'));
     }
 }

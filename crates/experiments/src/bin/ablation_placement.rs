@@ -12,8 +12,11 @@ use qn_nn::Module;
 
 fn main() {
     let full = full_scale();
-    let (res, per_class, epochs, width, depth) =
-        if full { (16, 60, 8, 6, 20) } else { (12, 40, 6, 4, 8) };
+    let (res, per_class, epochs, width, depth) = if full {
+        (16, 60, 8, 6, 20)
+    } else {
+        (12, 40, 6, 4, 8)
+    };
     let mut report = Report::new(
         "ablation_placement",
         "Ablation — quadratic-neuron placement across layers",
@@ -51,7 +54,11 @@ k = 4. Conv layers are indexed in forward order (ResNet-{depth} has {} of them).
         let result = train_classifier(
             &net,
             &data,
-            TrainConfig { epochs, seed: 109, ..TrainConfig::default() },
+            TrainConfig {
+                epochs,
+                seed: 109,
+                ..TrainConfig::default()
+            },
         );
         // adaptive pruning: zero small Λ entries and re-evaluate
         let (lambda, _) = net.param_groups();
@@ -62,8 +69,7 @@ k = 4. Conv layers are indexed in forward order (ResNet-{depth} has {} of them).
             reports.iter().map(|r| r.effective_rank).sum::<f32>() / reports.len() as f32
         };
         let pruned = prune_lambda(&lambda, 1e-3);
-        let pruned_acc =
-            evaluate_classifier(&net, &data.test_images, &data.test_labels, 32);
+        let pruned_acc = evaluate_classifier(&net, &data.test_images, &data.test_labels, 32);
         rows.push(vec![
             name,
             format!("{}", net.param_count()),
@@ -74,12 +80,21 @@ k = 4. Conv layers are indexed in forward order (ResNet-{depth} has {} of them).
         ]);
     }
     report.table(
-        &["placement", "params", "test acc", "mean effective rank", "Λ pruned (|λ|≤1e-3)", "acc after pruning"],
+        &[
+            "placement",
+            "params",
+            "test acc",
+            "mean effective rank",
+            "Λ pruned (|λ|≤1e-3)",
+            "acc after pruning",
+        ],
         &rows,
     );
-    report.line("\nShape to verify: all-layer deployment is at least as good as partial \
+    report.line(
+        "\nShape to verify: all-layer deployment is at least as good as partial \
 placements (the paper argues first-layer-only deployment [14,17] is suboptimal), and pruning \
-near-zero Λ entries costs little accuracy — quadratic capacity is unevenly used across depth.");
+near-zero Λ entries costs little accuracy — quadratic capacity is unevenly used across depth.",
+    );
     let path = report.save().expect("write report");
     println!("\nreport written to {}", path.display());
 }

@@ -1,5 +1,5 @@
 //! Ablation: effect of the decomposition rank k (the paper fixes k = 9 but
-//! highlights that, unlike [18], cost does not grow with k — so higher k
+//! highlights that, unlike \[18\], cost does not grow with k — so higher k
 //! buys expressivity nearly for free).
 
 use qn_core::complexity::NeuronFamily;
@@ -11,8 +11,11 @@ use qn_nn::Module;
 
 fn main() {
     let full = full_scale();
-    let (res, per_class, epochs, width, depth) =
-        if full { (16, 60, 8, 6, 20) } else { (12, 40, 5, 4, 8) };
+    let (res, per_class, epochs, width, depth) = if full {
+        (16, 60, 8, 6, 20)
+    } else {
+        (12, 40, 5, 4, 8)
+    };
     let mut report = Report::new("ablation_rank", "Ablation — decomposition rank k");
     report.line(&format!(
         "ResNet-{depth} (width {width}) on synthetic CIFAR-10 at {res}x{res}, {epochs} epochs.\n"
@@ -32,7 +35,11 @@ fn main() {
         let result = train_classifier(
             &net,
             &data,
-            TrainConfig { epochs, seed: 83, ..TrainConfig::default() },
+            TrainConfig {
+                epochs,
+                seed: 83,
+                ..TrainConfig::default()
+            },
         );
         rows.push(vec![
             format!("k = {k}"),
@@ -44,11 +51,19 @@ fn main() {
         eprintln!("done: k={k}");
     }
     report.table(
-        &["rank", "params/output (n=108)", "net params", "net MACs", "test acc"],
+        &[
+            "rank",
+            "params/output (n=108)",
+            "net params",
+            "net MACs",
+            "test acc",
+        ],
         &rows,
     );
-    report.line("\nShape to verify: per-output cost is nearly flat in k (Table I), so larger k \
-is affordable; accuracy should be no worse (typically better) at k = 9 than k = 1.");
+    report.line(
+        "\nShape to verify: per-output cost is nearly flat in k (Table I), so larger k \
+is affordable; accuracy should be no worse (typically better) at k = 9 than k = 1.",
+    );
     let path = report.save().expect("write report");
     println!("\nreport written to {}", path.display());
 }

@@ -9,8 +9,11 @@ use qn_nn::Module;
 
 fn main() {
     let full = full_scale();
-    let (res, per_class, epochs, width, depth) =
-        if full { (16, 60, 8, 6, 20) } else { (12, 40, 5, 4, 8) };
+    let (res, per_class, epochs, width, depth) = if full {
+        (16, 60, 8, 6, 20)
+    } else {
+        (12, 40, 5, 4, 8)
+    };
     let mut report = Report::new(
         "ablation_vectorized",
         "Ablation — vectorized output (fᵏ reuse) vs scalar-output quadratic neuron",
@@ -23,8 +26,14 @@ neurons (and parameters) to do so.\n"
     let data = synthetic_cifar10(res, per_class, 15, 89);
     let mut rows = Vec::new();
     for (name, neuron) in [
-        ("vectorized {y, fᵏ} (ours)", NeuronSpec::EfficientQuadratic { rank: 4 }),
-        ("scalar y only", NeuronSpec::EfficientQuadraticScalar { rank: 4 }),
+        (
+            "vectorized {y, fᵏ} (ours)",
+            NeuronSpec::EfficientQuadratic { rank: 4 },
+        ),
+        (
+            "scalar y only",
+            NeuronSpec::EfficientQuadraticScalar { rank: 4 },
+        ),
         ("linear baseline", NeuronSpec::Linear),
     ] {
         let net = ResNet::cifar(ResNetConfig {
@@ -38,7 +47,11 @@ neurons (and parameters) to do so.\n"
         let result = train_classifier(
             &net,
             &data,
-            TrainConfig { epochs, seed: 101, ..TrainConfig::default() },
+            TrainConfig {
+                epochs,
+                seed: 101,
+                ..TrainConfig::default()
+            },
         );
         rows.push(vec![
             name.to_string(),
@@ -49,9 +62,11 @@ neurons (and parameters) to do so.\n"
         eprintln!("done: {name}");
     }
     report.table(&["neuron", "net params", "net MACs", "test acc"], &rows);
-    report.line("\nShape to verify: the vectorized form reaches comparable or better accuracy \
+    report.line(
+        "\nShape to verify: the vectorized form reaches comparable or better accuracy \
 than the scalar form at a fraction of its parameters/MACs — the fᵏ features carry usable \
-information (paper §III-B).");
+information (paper §III-B).",
+    );
     let path = report.save().expect("write report");
     println!("\nreport written to {}", path.display());
 }

@@ -18,8 +18,11 @@ fn main() {
     } else {
         vec![8, 20, 32]
     };
-    let (res, per_class, test_per_class, epochs, width) =
-        if full { (16, 60, 20, 12, 8) } else { (12, 50, 15, 8, 4) };
+    let (res, per_class, test_per_class, epochs, width) = if full {
+        (16, 60, 20, 12, 8)
+    } else {
+        (12, 50, 15, 8, 4)
+    };
 
     let mut report = Report::new("fig4", "Fig. 4 — ResNet family: base vs proposed quadratic");
     report.line(&format!(
@@ -65,21 +68,34 @@ fn main() {
                 format!("{:.3}M", paper_params as f64 / 1e6),
                 format!("{:.1}M", paper_macs as f64 / 1e6),
                 format!("{:.1}%", result.test_accuracy * 100.0),
-                format!("{:.1}%", result.curve.last().map(|s| s.accuracy).unwrap_or(0.0) * 100.0),
+                format!(
+                    "{:.1}%",
+                    result.curve.last().map(|s| s.accuracy).unwrap_or(0.0) * 100.0
+                ),
                 format!("{:.0}s", start.elapsed().as_secs_f32()),
             ]);
             eprintln!("done: ResNet-{depth} {name}");
         }
     }
     report.table(
-        &["network", "neuron", "paper-scale params", "paper-scale MACs", "test acc", "train acc", "time"],
+        &[
+            "network",
+            "neuron",
+            "paper-scale params",
+            "paper-scale MACs",
+            "test acc",
+            "train acc",
+            "time",
+        ],
         &rows,
     );
     // headline comparisons, mirroring the paper's annotations
-    report.line("\nPaper shape to verify: quadratic ResNet-d matches or beats the accuracy of a \
+    report.line(
+        "\nPaper shape to verify: quadratic ResNet-d matches or beats the accuracy of a \
 deeper linear baseline, so the same accuracy is reached with ~30-50% fewer parameters/MACs \
 (paper: quad ResNet-32 > linear ResNet-44 at -29.3% params; quad ResNet-56 ≈ linear \
-ResNet-110 at -49.8% params).");
+ResNet-110 at -49.8% params).",
+    );
     let path = report.save().expect("write report");
     println!("\nreport written to {}", path.display());
 }

@@ -1,5 +1,5 @@
 //! Fig. 5: the proposed neuron vs prior quadratic neurons — Quad-1 (Fan et
-//! al. [19]) and Quad-2 (Xu et al. / QuadraLib [21]) — on the ResNet family.
+//! al. \[19\]) and Quad-2 (Xu et al. / QuadraLib \[21\]) — on the ResNet family.
 
 use qn_core::NeuronSpec;
 use qn_data::synthetic_cifar10;
@@ -10,8 +10,11 @@ use qn_nn::Module;
 fn main() {
     let full = full_scale();
     let depths: Vec<usize> = if full { vec![20, 32, 56] } else { vec![8, 20] };
-    let (res, per_class, test_per_class, epochs, width) =
-        if full { (16, 60, 20, 12, 8) } else { (12, 50, 15, 8, 4) };
+    let (res, per_class, test_per_class, epochs, width) = if full {
+        (16, 60, 20, 12, 8)
+    } else {
+        (12, 50, 15, 8, 4)
+    };
 
     let mut report = Report::new(
         "fig5",
@@ -40,13 +43,21 @@ Paper-scale columns analytic at width 16, 32x32.\n"
                 seed: 17,
             };
             let net = ResNet::cifar(cfg.clone());
-            let paper_net = ResNet::cifar(ResNetConfig { base_width: 16, ..cfg.clone() });
+            let paper_net = ResNet::cifar(ResNetConfig {
+                base_width: 16,
+                ..cfg.clone()
+            });
             let paper_params = paper_net.param_count();
             let paper_macs = paper_net.costs(&[1, 3, 32, 32]).macs;
             let result = train_classifier(
                 &net,
                 &data,
-                TrainConfig { epochs, lr, seed: 19, ..TrainConfig::default() },
+                TrainConfig {
+                    epochs,
+                    lr,
+                    seed: 19,
+                    ..TrainConfig::default()
+                },
             );
             rows.push(vec![
                 format!("ResNet-{depth}"),
@@ -60,12 +71,21 @@ Paper-scale columns analytic at width 16, 32x32.\n"
         }
     }
     report.table(
-        &["network", "neuron", "paper-scale params", "paper-scale MACs", "test acc", "status"],
+        &[
+            "network",
+            "neuron",
+            "paper-scale params",
+            "paper-scale MACs",
+            "test acc",
+            "status",
+        ],
         &rows,
     );
-    report.line("\nPaper shape to verify: at matched depth, ours reaches at least the accuracy \
+    report.line(
+        "\nPaper shape to verify: at matched depth, ours reaches at least the accuracy \
 of quad-1/quad-2 with ~24% fewer parameters and MACs (the 3n-per-output cost of [19]/[21] vs \
-our n + k/(k+1)); [21] degrades on deeper networks.");
+our n + k/(k+1)); [21] degrades on deeper networks.",
+    );
     let path = report.save().expect("write report");
     println!("\nreport written to {}", path.display());
 }

@@ -1,18 +1,21 @@
 //! Fig. 6: training stability of ResNet-18 with kervolutional neurons
 //! (KNN-n: first n conv layers use the polynomial kernel of Wang et al.
-//! [14]) vs the proposed quadratic neuron in all layers.
+//! \[14\]) vs the proposed quadratic neuron in all layers.
 
+use qn_autograd::Graph;
 use qn_core::NeuronSpec;
 use qn_data::synthetic_imagenet;
 use qn_experiments::{full_scale, train_classifier, Report, TrainConfig};
-use qn_autograd::Graph;
 use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
 use qn_nn::Module;
 
 fn main() {
     let full = full_scale();
-    let (res, per_class, test_per_class, epochs, width, degree) =
-        if full { (16, 40, 10, 8, 4, 9) } else { (12, 20, 8, 5, 4, 9) };
+    let (res, per_class, test_per_class, epochs, width, degree) = if full {
+        (16, 40, 10, 8, 4, 9)
+    } else {
+        (12, 20, 8, 5, 4, 9)
+    };
     let mut report = Report::new(
         "fig6",
         "Fig. 6 — training stability: KNN-n [14] vs proposed neuron (all layers)",
@@ -30,10 +33,38 @@ KNN-3 trains stably while KNN-11/KNN-15 fluctuate or diverge; ours is stable in 
             NeuronSpec::EfficientQuadratic { rank: 9 },
             NeuronPlacement::All,
         ),
-        ("KNN-3".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(3)),
-        ("KNN-7".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(7)),
-        ("KNN-11".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(11)),
-        ("KNN-15".into(), NeuronSpec::Kervolution { degree, offset: 0.5 }, NeuronPlacement::FirstN(15)),
+        (
+            "KNN-3".into(),
+            NeuronSpec::Kervolution {
+                degree,
+                offset: 0.5,
+            },
+            NeuronPlacement::FirstN(3),
+        ),
+        (
+            "KNN-7".into(),
+            NeuronSpec::Kervolution {
+                degree,
+                offset: 0.5,
+            },
+            NeuronPlacement::FirstN(7),
+        ),
+        (
+            "KNN-11".into(),
+            NeuronSpec::Kervolution {
+                degree,
+                offset: 0.5,
+            },
+            NeuronPlacement::FirstN(11),
+        ),
+        (
+            "KNN-15".into(),
+            NeuronSpec::Kervolution {
+                degree,
+                offset: 0.5,
+            },
+            NeuronPlacement::FirstN(15),
+        ),
     ];
     for (name, neuron, placement) in configs {
         let net = ResNet::imagenet18(ResNetConfig {
@@ -59,7 +90,10 @@ KNN-3 trains stably while KNN-11/KNN-15 fluctuate or diverge; ours is stable in 
         // the test set grows with kervolutional depth
         let (max_logit, test_unstable) = {
             let mut g = Graph::new();
-            let x = g.leaf(data.test_images.slice_axis(0, 0, data.test_labels.len().min(64)));
+            let x = g.leaf(
+                data.test_images
+                    .slice_axis(0, 0, data.test_labels.len().min(64)),
+            );
             let y = net.forward(&mut g, x);
             let unstable = g.value(y).has_non_finite();
             (g.value(y).map(f32::abs).max(), unstable)
@@ -87,7 +121,11 @@ KNN-3 trains stably while KNN-11/KNN-15 fluctuate or diverge; ours is stable in 
             losses.join(" → "),
             format!("{:.1}%", result.test_accuracy * 100.0),
             format!("{:.2}", worst_jump),
-            if test_unstable { "NaN".into() } else { format!("{max_logit:.1}") },
+            if test_unstable {
+                "NaN".into()
+            } else {
+                format!("{max_logit:.1}")
+            },
             if result.diverged {
                 "DIVERGED (train)".into()
             } else if test_unstable {
@@ -99,12 +137,21 @@ KNN-3 trains stably while KNN-11/KNN-15 fluctuate or diverge; ours is stable in 
         eprintln!("done: {name}");
     }
     report.table(
-        &["configuration", "train loss per epoch", "test acc", "worst loss jump", "max |test logit|", "status"],
+        &[
+            "configuration",
+            "train loss per epoch",
+            "test acc",
+            "worst loss jump",
+            "max |test logit|",
+            "status",
+        ],
         &rows,
     );
-    report.line("\nPaper shape to verify: instability (loss jumps or divergence) grows with the \
+    report.line(
+        "\nPaper shape to verify: instability (loss jumps or divergence) grows with the \
 number of kervolutional layers, while the proposed neuron trains stably when deployed in \
-every layer.");
+every layer.",
+    );
     let path = report.save().expect("write report");
     println!("\nreport written to {}", path.display());
 }

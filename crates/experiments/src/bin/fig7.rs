@@ -9,8 +9,11 @@ use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
 
 fn main() {
     let full = full_scale();
-    let (res, per_class, epochs, width, depth) =
-        if full { (16, 10, 8, 6, 20) } else { (12, 8, 6, 4, 14) };
+    let (res, per_class, epochs, width, depth) = if full {
+        (16, 10, 8, 6, 20)
+    } else {
+        (12, 8, 6, 4, 14)
+    };
     let mut report = Report::new(
         "fig7",
         "Fig. 7 — per-layer parameter distributions after training (synthetic CIFAR-100)",
@@ -31,11 +34,19 @@ fn main() {
     let result = train_classifier(
         &net,
         &data,
-        TrainConfig { epochs, seed: 59, ..TrainConfig::default() },
+        TrainConfig {
+            epochs,
+            seed: 59,
+            ..TrainConfig::default()
+        },
     );
     report.line(&format!(
         "final train acc {:.1}%, test acc {:.1}%\n",
-        result.curve.last().map(|s| s.accuracy * 100.0).unwrap_or(0.0),
+        result
+            .curve
+            .last()
+            .map(|s| s.accuracy * 100.0)
+            .unwrap_or(0.0),
         result.test_accuracy * 100.0
     ));
     let mut rows = Vec::new();
@@ -53,7 +64,13 @@ fn main() {
         ]);
     }
     report.table(
-        &["layer", "linear p5–p95", "linear std", "quadratic Λ p5–p95", "quadratic Λ std"],
+        &[
+            "layer",
+            "linear p5–p95",
+            "linear std",
+            "quadratic Λ p5–p95",
+            "quadratic Λ std",
+        ],
         &rows,
     );
     let max_spread = lambda_spreads.iter().cloned().fold(0.0f32, f32::max);

@@ -29,7 +29,11 @@ fn main() {
     let result = train_classifier(
         &net,
         &data,
-        TrainConfig { epochs: 6, seed: 71, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 6,
+            seed: 71,
+            ..TrainConfig::default()
+        },
     );
     report.line(&format!(
         "ResNet-8 quadratic (k=9), trained 6 epochs, test acc {:.1}%. Maps are \
@@ -40,10 +44,22 @@ quadratic: |y₂ᵏ|), so edge-sign oscillation registers as high-frequency cont
     // extract stem parameters (quad.q / quad.lambda / quad.w / quad.b of the
     // first conv): recompute responses directly from patches
     let params = net.params();
-    let q = params.iter().find(|p| p.name() == "quad.q").expect("stem q");
-    let lam = params.iter().find(|p| p.name() == qn_core::LAMBDA_PARAM_NAME).expect("stem lambda");
-    let w = params.iter().find(|p| p.name() == "quad.w").expect("stem w");
-    let b = params.iter().find(|p| p.name() == "quad.b").expect("stem b");
+    let q = params
+        .iter()
+        .find(|p| p.name() == "quad.q")
+        .expect("stem q");
+    let lam = params
+        .iter()
+        .find(|p| p.name() == qn_core::LAMBDA_PARAM_NAME)
+        .expect("stem lambda");
+    let w = params
+        .iter()
+        .find(|p| p.name() == "quad.w")
+        .expect("stem w");
+    let b = params
+        .iter()
+        .find(|p| p.name() == "quad.b")
+        .expect("stem b");
     let (qv, lv, wv, bv) = (q.value(), lam.value(), w.value(), b.value());
     let (m, k) = lv.dims2();
 
@@ -52,7 +68,9 @@ quadratic: |y₂ᵏ|), so edge-sign oscillation registers as high-frequency cont
     let neuron = (0..m)
         .max_by(|&a, &b| {
             let mag = |j: usize| -> f32 { (0..k).map(|i| lv.get(&[j, i]).abs()).sum() };
-            mag(a).partial_cmp(&mag(b)).unwrap_or(std::cmp::Ordering::Equal)
+            mag(a)
+                .partial_cmp(&mag(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
         })
         .unwrap_or(0);
     let mut rows = Vec::new();
@@ -94,8 +112,13 @@ quadratic: |y₂ᵏ|), so edge-sign oscillation registers as high-frequency cont
         let dir = std::path::Path::new("results");
         let _ = std::fs::create_dir_all(dir);
         write_pgm(&gray, &dir.join(format!("fig8_input_{img_idx}.pgm"))).expect("write input");
-        write_pgm(&linear_map, &dir.join(format!("fig8_linear_{img_idx}.pgm"))).expect("write linear");
-        write_pgm(&quad_map, &dir.join(format!("fig8_quadratic_{img_idx}.pgm"))).expect("write quad");
+        write_pgm(&linear_map, &dir.join(format!("fig8_linear_{img_idx}.pgm")))
+            .expect("write linear");
+        write_pgm(
+            &quad_map,
+            &dir.join(format!("fig8_quadratic_{img_idx}.pgm")),
+        )
+        .expect("write quad");
         let lf = low_frequency_fraction(&linear_map);
         let qf = low_frequency_fraction(&quad_map);
         lin_frac_sum += lf;
@@ -104,11 +127,20 @@ quadratic: |y₂ᵏ|), so edge-sign oscillation registers as high-frequency cont
             format!("image {img_idx} (class {})", data.test_labels[img_idx]),
             format!("{:.3}", lf),
             format!("{:.3}", qf),
-            if qf > lf { "quadratic smoother ✓".into() } else { "linear smoother".into() },
+            if qf > lf {
+                "quadratic smoother ✓".into()
+            } else {
+                "linear smoother".into()
+            },
         ]);
     }
     report.table(
-        &["input", "linear low-freq fraction", "quadratic low-freq fraction", "verdict"],
+        &[
+            "input",
+            "linear low-freq fraction",
+            "quadratic low-freq fraction",
+            "verdict",
+        ],
         &rows,
     );
     report.line(&format!(

@@ -4,8 +4,8 @@
 
 use qn_core::complexity::NeuronFamily;
 use qn_core::neurons::{
-    EfficientQuadraticLinear, FactorizedQuadraticLinear, GeneralQuadraticLinear,
-    KervolutionLinear, LowRankQuadraticLinear, NoLinearQuadraticLinear, Quad1Linear, Quad2Linear,
+    EfficientQuadraticLinear, FactorizedQuadraticLinear, GeneralQuadraticLinear, KervolutionLinear,
+    LowRankQuadraticLinear, NoLinearQuadraticLinear, Quad1Linear, Quad2Linear,
 };
 use qn_experiments::Report;
 use qn_nn::{Linear, Module};
@@ -35,9 +35,11 @@ fn measured(family: NeuronFamily, n: usize, k: usize, rng: &mut Rng) -> (u64, u6
 fn main() {
     let mut report = Report::new("table1", "Table I — neuron complexity summary");
     let mut rng = Rng::seed_from(0);
-    report.line("Closed-form per-neuron complexity (params / MACs / outputs), and the same \
+    report.line(
+        "Closed-form per-neuron complexity (params / MACs / outputs), and the same \
 quantities measured from the instrumented layer implementations. `per-out` is the cost \
-amortized over the neuron's outputs (k+1 for ours, 1 elsewhere).\n");
+amortized over the neuron's outputs (k+1 for ours, 1 elsewhere).\n",
+    );
     for &(n, k) in &[(16usize, 3usize), (64, 9), (256, 9), (1024, 9)] {
         report.line(&format!("\n## n = {n}, k = {k}\n"));
         let mut rows = Vec::new();
@@ -56,7 +58,15 @@ amortized over the neuron's outputs (k+1 for ours, 1 elsewhere).\n");
             ]);
         }
         report.table(
-            &["neuron", "params", "MACs", "outputs", "params/out", "MACs/out", "measured (p/m)"],
+            &[
+                "neuron",
+                "params",
+                "MACs",
+                "outputs",
+                "params/out",
+                "MACs/out",
+                "measured (p/m)",
+            ],
             &rows,
         );
     }

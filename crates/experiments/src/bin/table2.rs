@@ -71,7 +71,11 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
     let bres = train_transformer(
         &baseline,
         &data,
-        TransformerTrainConfig { epochs, seed: 41, ..TransformerTrainConfig::default() },
+        TransformerTrainConfig {
+            epochs,
+            seed: 41,
+            ..TransformerTrainConfig::default()
+        },
     );
     let bb = eval_all(&bres.hypotheses, &bres.references);
     rows.push(vec![
@@ -83,7 +87,11 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
         format!("{:.2}", bb[3]),
         format!("{:.3}M", base_params as f64 / 1e6),
     ]);
-    eprintln!("baseline BLEU(13a,cased) = {:.2}, final loss {:.3}", bb[0], bres.losses.last().unwrap());
+    eprintln!(
+        "baseline BLEU(13a,cased) = {:.2}, final loss {:.3}",
+        bb[0],
+        bres.losses.last().unwrap()
+    );
 
     let mut quad_params = 0usize;
     for lambda_lr in [1e-3f32, 1e-4, 1e-5] {
@@ -110,7 +118,10 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
             format!("{:.2}", qb[3]),
             format!("{:.3}M", quad_params as f64 / 1e6),
         ]);
-        eprintln!("quadratic Λ-lr {lambda_lr:.0e}: BLEU(13a,cased) = {:.2}", qb[0]);
+        eprintln!(
+            "quadratic Λ-lr {lambda_lr:.0e}: BLEU(13a,cased) = {:.2}",
+            qb[0]
+        );
     }
     report.table(
         &[

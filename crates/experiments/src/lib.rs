@@ -20,8 +20,8 @@ mod train;
 
 pub use report::Report;
 pub use train::{
-    evaluate_classifier, train_classifier, train_transformer, EpochStats, TrainConfig,
-    TrainResult, TransformerTrainConfig, TransformerTrainResult,
+    evaluate_classifier, train_classifier, train_transformer, EpochStats, TrainConfig, TrainResult,
+    TransformerTrainConfig, TransformerTrainResult,
 };
 
 /// `true` when the environment requests full-scale experiment settings.

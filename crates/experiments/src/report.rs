@@ -42,7 +42,11 @@ impl Report {
     pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", header.join(" | "));
-        let _ = writeln!(out, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
         for row in rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
@@ -86,7 +90,10 @@ mod tests {
     #[test]
     fn table_renders_markdown() {
         let mut r = Report::new("t", "T");
-        r.table(&["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]]);
+        r.table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
         assert!(r.markdown().contains("| a | b |"));
         assert!(r.markdown().contains("| 3 | 4 |"));
         assert!(r.markdown().contains("|---|---|"));

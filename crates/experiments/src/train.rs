@@ -1,7 +1,7 @@
 use qn_autograd::Graph;
 use qn_data::{augment_batch, DataLoader, ImageDataset, TranslationDataset};
 use qn_metrics::accuracy;
-use qn_models::{ResNet, Transformer};
+use qn_models::{InferenceSession, ResNet, Transformer};
 use qn_nn::{clip_grad_norm, Adam, AdamConfig, Module, NoamSchedule, Sgd, SgdConfig, StepDecay};
 use qn_tensor::{Rng, Tensor};
 
@@ -140,6 +140,10 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
 }
 
 /// Inference-mode accuracy of a classifier over a labelled set.
+///
+/// Runs on the tape-free path: one [`InferenceSession`] is reused across
+/// all batches, so evaluation measures inference cost rather than autograd
+/// bookkeeping.
 pub fn evaluate_classifier(
     net: &ResNet,
     images: &Tensor,
@@ -147,13 +151,12 @@ pub fn evaluate_classifier(
     batch_size: usize,
 ) -> f32 {
     let loader = DataLoader::new(images, labels, batch_size);
+    let mut session = InferenceSession::new(net);
     let mut correct_weighted = 0.0f32;
     let mut total = 0usize;
     for (batch, labs) in loader.batches() {
-        let mut g = Graph::new();
-        let x = g.leaf(batch);
-        let logits = net.forward(&mut g, x);
-        correct_weighted += accuracy(g.value(logits), &labs) * labs.len() as f32;
+        let logits = session.predict_batch(&batch);
+        correct_weighted += accuracy(&logits, &labs) * labs.len() as f32;
         total += labs.len();
     }
     correct_weighted / total.max(1) as f32

@@ -15,7 +15,11 @@ pub enum Tokenization {
 
 /// Tokenizes `s` under the given scheme; `cased == false` lowercases first.
 pub fn tokenize(s: &str, scheme: Tokenization, cased: bool) -> Vec<String> {
-    let text = if cased { s.to_string() } else { s.to_lowercase() };
+    let text = if cased {
+        s.to_string()
+    } else {
+        s.to_lowercase()
+    };
     let mut tokens = Vec::new();
     let mut current = String::new();
     for ch in text.chars() {

@@ -66,11 +66,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits = Tensor::from_vec(
-            vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4],
-            &[3, 2],
-        )
-        .unwrap();
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
     }
@@ -78,7 +74,10 @@ mod tests {
     #[test]
     fn top_k_reduces_to_top1() {
         let logits = Tensor::from_vec(vec![0.5, 0.3, 0.2, 0.1, 0.7, 0.2], &[2, 3]).unwrap();
-        assert_eq!(top_k_accuracy(&logits, &[0, 1], 1), accuracy(&logits, &[0, 1]));
+        assert_eq!(
+            top_k_accuracy(&logits, &[0, 1], 1),
+            accuracy(&logits, &[0, 1])
+        );
         assert_eq!(top_k_accuracy(&logits, &[1, 2], 2), 1.0);
         assert_eq!(top_k_accuracy(&logits, &[2, 0], 1), 0.0);
     }

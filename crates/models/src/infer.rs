@@ -1,0 +1,240 @@
+//! Tape-free inference sessions for serving-style workloads.
+
+use qn_autograd::{EagerExec, Exec};
+use qn_nn::Module;
+use qn_tensor::{Tensor, TensorError};
+
+/// A reusable tape-free execution session around a model.
+///
+/// Owns an [`EagerExec`] arena that is reset — not reallocated — between
+/// requests, so a serving loop pays no autograd bookkeeping (no tape nodes,
+/// backward closures or operand clones) and reuses its activation arena
+/// across calls. Works with any [`Module`]: a full [`ResNet`](crate::ResNet),
+/// a single layer, or a custom stack.
+///
+/// For requests whose shape comes from untrusted input, construct the
+/// session with [`InferenceSession::with_sample_shape`] and use the `try_*`
+/// entry points: they return [`TensorError::ShapeMismatch`] instead of
+/// panicking on a malformed request.
+///
+/// # Example
+///
+/// ```
+/// use qn_core::NeuronSpec;
+/// use qn_models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
+/// use qn_tensor::{Rng, Tensor};
+///
+/// let net = ResNet::cifar(ResNetConfig {
+///     depth: 8,
+///     base_width: 4,
+///     num_classes: 10,
+///     neuron: NeuronSpec::EfficientQuadratic { rank: 3 },
+///     placement: NeuronPlacement::All,
+///     seed: 0,
+/// });
+/// let mut session = InferenceSession::new(&net);
+/// let mut rng = Rng::seed_from(1);
+/// // one sample: [C, H, W] in, [classes] out
+/// let logits = session.predict(&Tensor::randn(&[3, 16, 16], &mut rng));
+/// assert_eq!(logits.shape().dims(), &[10]);
+/// // a batch: [B, C, H, W] in, [B, classes] out
+/// let batch = session.predict_batch(&Tensor::randn(&[4, 3, 16, 16], &mut rng));
+/// assert_eq!(batch.shape().dims(), &[4, 10]);
+/// ```
+pub struct InferenceSession<'m> {
+    model: &'m dyn Module,
+    cx: EagerExec,
+    sample_shape: Option<Vec<usize>>,
+}
+
+impl<'m> InferenceSession<'m> {
+    /// Creates a session around `model` with no input validation: the
+    /// `try_*` entry points then perform no shape checks and behave exactly
+    /// like [`InferenceSession::predict`] / [`predict_batch`]
+    /// (`Err` is never returned). Use
+    /// [`InferenceSession::with_sample_shape`] when requests are untrusted.
+    ///
+    /// [`predict_batch`]: InferenceSession::predict_batch
+    pub fn new(model: &'m dyn Module) -> Self {
+        InferenceSession {
+            model,
+            cx: EagerExec::new(),
+            sample_shape: None,
+        }
+    }
+
+    /// Creates a session that validates every request against the
+    /// **per-sample** shape `dims` (batch dimension excluded) — e.g.
+    /// `[3, 32, 32]` for a CIFAR classifier.
+    pub fn with_sample_shape(model: &'m dyn Module, dims: &[usize]) -> Self {
+        InferenceSession {
+            model,
+            cx: EagerExec::new(),
+            sample_shape: Some(dims.to_vec()),
+        }
+    }
+
+    /// The model served by this session.
+    pub fn model(&self) -> &dyn Module {
+        self.model
+    }
+
+    /// Runs one sample (no batch dimension) through the tape-free path and
+    /// strips the batch dimension from the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's shape does not fit the model (each layer's
+    /// shape contract applies); use [`InferenceSession::try_predict`] for
+    /// untrusted input.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        let mut dims = Vec::with_capacity(x.shape().dims().len() + 1);
+        dims.push(1);
+        dims.extend_from_slice(x.shape().dims());
+        let batched = x
+            .reshape(&dims)
+            .expect("adding a batch dim preserves numel");
+        let y = self.predict_batch(&batched);
+        let ydims = y.shape().dims().to_vec();
+        y.reshape(&ydims[1..])
+            .expect("stripping the batch dim preserves numel")
+    }
+
+    /// Runs a batch (leading batch dimension) through the tape-free path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's shape does not fit the model; use
+    /// [`InferenceSession::try_predict_batch`] for untrusted input.
+    pub fn predict_batch(&mut self, x: &Tensor) -> Tensor {
+        self.cx.reset();
+        let v = self.cx.leaf(x.clone());
+        let y = self.model.forward(&mut self.cx, v);
+        self.cx.take(y)
+    }
+
+    /// Validating variant of [`InferenceSession::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the sample's shape differs
+    /// from the shape configured via
+    /// [`InferenceSession::with_sample_shape`].
+    pub fn try_predict(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
+        if let Some(expected) = &self.sample_shape {
+            if x.shape().dims() != expected.as_slice() {
+                return Err(TensorError::ShapeMismatch {
+                    expected: expected.clone(),
+                    actual: x.shape().dims().to_vec(),
+                });
+            }
+        }
+        Ok(self.predict(x))
+    }
+
+    /// Validating variant of [`InferenceSession::predict_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the batch's trailing dims
+    /// differ from the configured per-sample shape (or the input has no
+    /// batch dimension).
+    pub fn try_predict_batch(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
+        if let Some(expected) = &self.sample_shape {
+            let dims = x.shape().dims();
+            if dims.len() != expected.len() + 1 || dims[1..] != expected[..] {
+                let mut want = vec![dims.first().copied().unwrap_or(1)];
+                want.extend_from_slice(expected);
+                return Err(TensorError::ShapeMismatch {
+                    expected: want,
+                    actual: dims.to_vec(),
+                });
+            }
+        }
+        Ok(self.predict_batch(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NeuronPlacement, ResNet, ResNetConfig};
+    use qn_autograd::Graph;
+    use qn_core::NeuronSpec;
+    use qn_tensor::Rng;
+
+    fn tiny_net(neuron: NeuronSpec) -> ResNet {
+        ResNet::cifar(ResNetConfig {
+            depth: 8,
+            base_width: 4,
+            num_classes: 10,
+            neuron,
+            placement: NeuronPlacement::All,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn predict_matches_taped_forward() {
+        for neuron in [
+            NeuronSpec::Linear,
+            NeuronSpec::EfficientQuadratic { rank: 3 },
+        ] {
+            let net = tiny_net(neuron);
+            let mut rng = Rng::seed_from(7);
+            let x = Tensor::randn(&[2, 3, 16, 16], &mut rng);
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let yv = qn_nn::Module::forward(&net, &mut g, xv);
+            let taped = g.value(yv).clone();
+            let mut session = InferenceSession::new(&net);
+            let eager = session.predict_batch(&x);
+            assert!(taped.allclose(&eager, 1e-6), "{neuron:?}");
+        }
+    }
+
+    #[test]
+    fn predict_strips_batch_dim() {
+        let net = tiny_net(NeuronSpec::Linear);
+        let mut rng = Rng::seed_from(8);
+        let mut session = InferenceSession::new(&net);
+        let y = session.predict(&Tensor::randn(&[3, 16, 16], &mut rng));
+        assert_eq!(y.shape().dims(), &[10]);
+    }
+
+    #[test]
+    fn session_is_reusable_across_requests() {
+        let net = tiny_net(NeuronSpec::EfficientQuadratic { rank: 3 });
+        let mut rng = Rng::seed_from(9);
+        let mut session = InferenceSession::new(&net);
+        let x = Tensor::randn(&[1, 3, 16, 16], &mut rng);
+        let first = session.predict_batch(&x);
+        for _ in 0..3 {
+            let again = session.predict_batch(&x);
+            assert!(first.allclose(&again, 0.0), "deterministic across reuse");
+        }
+    }
+
+    #[test]
+    fn try_predict_rejects_malformed_shapes() {
+        let net = tiny_net(NeuronSpec::Linear);
+        let mut rng = Rng::seed_from(10);
+        let mut session = InferenceSession::with_sample_shape(&net, &[3, 16, 16]);
+        // good sample passes
+        assert!(session
+            .try_predict(&Tensor::randn(&[3, 16, 16], &mut rng))
+            .is_ok());
+        // wrong rank and wrong extent are rejected, not panicking
+        for bad in [vec![16usize, 16], vec![1, 16, 16], vec![3, 8, 16]] {
+            let err = session.try_predict(&Tensor::zeros(&bad)).unwrap_err();
+            assert!(matches!(err, TensorError::ShapeMismatch { .. }), "{bad:?}");
+        }
+        // batch variants
+        assert!(session
+            .try_predict_batch(&Tensor::randn(&[2, 3, 16, 16], &mut rng))
+            .is_ok());
+        assert!(session
+            .try_predict_batch(&Tensor::zeros(&[3, 16, 16]))
+            .is_err());
+    }
+}

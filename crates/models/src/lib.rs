@@ -10,6 +10,9 @@
 //! - [`ResNet`] — Figs. 4, 5, 6 and 7 of the paper.
 //! - [`Transformer`] — Table II (quadratic projections inside multi-head
 //!   attention).
+//! - [`InferenceSession`] — the tape-free serving path: reusable eager
+//!   execution around any model, with validating `try_*` entry points for
+//!   untrusted request shapes.
 //!
 //! # Example
 //!
@@ -29,8 +32,10 @@
 //! assert!(net.param_count() > 0);
 //! ```
 
+mod infer;
 mod resnet;
 mod transformer;
 
+pub use infer::InferenceSession;
 pub use resnet::{NeuronPlacement, ResNet, ResNetConfig};
 pub use transformer::{Transformer, TransformerConfig};

@@ -1,4 +1,4 @@
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_core::NeuronSpec;
 use qn_nn::{BatchNorm2d, Conv2d, Costs, GlobalAvgPool, Linear, Module};
 use qn_tensor::{Conv2dSpec, Rng};
@@ -85,7 +85,13 @@ impl BasicBlock {
         let shortcut = if stride != 1 || in_c != out {
             // projection shortcut stays linear (the paper replaces the 3×3
             // feature convolutions, not the 1×1 identity projections)
-            let proj = Conv2d::new(in_c, out, Conv2dSpec::new(1, stride, 0), false, &mut builder.rng);
+            let proj = Conv2d::new(
+                in_c,
+                out,
+                Conv2dSpec::new(1, stride, 0),
+                false,
+                &mut builder.rng,
+            );
             Some((proj, BatchNorm2d::new(out)))
         } else {
             None
@@ -102,7 +108,7 @@ impl BasicBlock {
 }
 
 impl Module for BasicBlock {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let out = self.conv1.forward(g, x);
         let out = self.bn1.forward(g, out);
         let out = g.relu(out);
@@ -259,7 +265,7 @@ impl ResNet {
 }
 
 impl Module for ResNet {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let mut v = self.stem.forward(g, x);
         v = self.stem_bn.forward(g, v);
         v = g.relu(v);
@@ -299,6 +305,7 @@ impl Module for ResNet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qn_autograd::Graph;
     use qn_tensor::Tensor;
 
     fn tiny_config(neuron: NeuronSpec) -> ResNetConfig {
@@ -325,7 +332,10 @@ mod tests {
 
     #[test]
     fn forward_shapes_linear_and_quadratic() {
-        for neuron in [NeuronSpec::Linear, NeuronSpec::EfficientQuadratic { rank: 3 }] {
+        for neuron in [
+            NeuronSpec::Linear,
+            NeuronSpec::EfficientQuadratic { rank: 3 },
+        ] {
             let net = ResNet::cifar(tiny_config(neuron));
             let mut rng = Rng::seed_from(2);
             let mut g = Graph::new();
@@ -357,7 +367,10 @@ mod tests {
     fn first_n_placement_limits_neuron_layers() {
         let knn3 = ResNet::cifar(ResNetConfig {
             placement: NeuronPlacement::FirstN(3),
-            neuron: NeuronSpec::Kervolution { degree: 3, offset: 1.0 },
+            neuron: NeuronSpec::Kervolution {
+                degree: 3,
+                offset: 1.0,
+            },
             ..tiny_config(NeuronSpec::Linear)
         });
         let all_linear = ResNet::cifar(tiny_config(NeuronSpec::Linear));
@@ -372,14 +385,19 @@ mod tests {
         let net = ResNet::cifar(tiny_config(NeuronSpec::EfficientQuadratic { rank: 3 }));
         let (lambda, other) = net.param_groups();
         assert!(!lambda.is_empty());
-        assert!(lambda.iter().all(|p| p.name() == qn_core::LAMBDA_PARAM_NAME));
+        assert!(lambda
+            .iter()
+            .all(|p| p.name() == qn_core::LAMBDA_PARAM_NAME));
         assert!(other.len() > lambda.len());
     }
 
     #[test]
     fn deeper_nets_cost_more() {
         let d8 = ResNet::cifar(tiny_config(NeuronSpec::Linear));
-        let d20 = ResNet::cifar(ResNetConfig { depth: 20, ..tiny_config(NeuronSpec::Linear) });
+        let d20 = ResNet::cifar(ResNetConfig {
+            depth: 20,
+            ..tiny_config(NeuronSpec::Linear)
+        });
         assert!(d20.param_count() > d8.param_count());
         let c8 = d8.costs(&[1, 3, 16, 16]);
         let c20 = d20.costs(&[1, 3, 16, 16]);
@@ -401,6 +419,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "6n + 2")]
     fn invalid_depth_panics() {
-        ResNet::cifar(ResNetConfig { depth: 21, ..tiny_config(NeuronSpec::Linear) });
+        ResNet::cifar(ResNetConfig {
+            depth: 21,
+            ..tiny_config(NeuronSpec::Linear)
+        });
     }
 }

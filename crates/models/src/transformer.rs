@@ -1,8 +1,8 @@
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{EagerExec, Exec, Graph, Parameter, Var};
 use qn_core::neurons::EfficientQuadraticLinear;
 use qn_data::{BOS, EOS, PAD};
 use qn_nn::{Embedding, LayerNorm, Linear, Module};
-use qn_tensor::{Rng, Tensor};
+use qn_tensor::{Rng, Tensor, TensorError};
 
 /// Configuration for [`Transformer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +36,10 @@ pub struct TransformerConfig {
 
 impl TransformerConfig {
     fn validate(&self) {
-        assert!(self.d_model.is_multiple_of(self.heads), "d_model must divide by heads");
+        assert!(
+            self.d_model.is_multiple_of(self.heads),
+            "d_model must divide by heads"
+        );
         if let Some(k) = self.quadratic_rank {
             assert!(
                 self.d_model.is_multiple_of(k + 1),
@@ -82,7 +85,7 @@ impl Mha {
     }
 
     /// `x_q: [B, Tq, D]`, `x_kv: [B, Tk, D]`, additive mask `[B·H, Tq, Tk]`.
-    fn forward(&self, g: &mut Graph, x_q: Var, x_kv: Var, mask: Option<&Tensor>) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x_q: Var, x_kv: Var, mask: Option<&Tensor>) -> Var {
         let (b, tq, d) = {
             let s = g.value(x_q).shape().dims().to_vec();
             (s[0], s[1], s[2])
@@ -90,7 +93,7 @@ impl Mha {
         let tk = g.value(x_kv).shape().dim(1);
         let h = self.heads;
         let dh = d / h;
-        let split = |g: &mut Graph, x: Var, t: usize| -> Var {
+        let split = |g: &mut dyn Exec, x: Var, t: usize| -> Var {
             let x4 = g.reshape(x, &[b, t, h, dh]);
             let x4 = g.permute(x4, &[0, 2, 1, 3]); // [B, H, T, dh]
             g.reshape(x4, &[b * h, t, dh])
@@ -138,7 +141,7 @@ impl FeedForward {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let h = self.lin1.forward(g, x);
         let h = g.relu(h);
         self.lin2.forward(g, h)
@@ -170,7 +173,7 @@ impl EncoderLayer {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: Var, mask: Option<&Tensor>) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var, mask: Option<&Tensor>) -> Var {
         let n = self.ln1.forward(g, x);
         let a = self.attn.forward(g, n, n, mask);
         let a = g.dropout(a, self.dropout);
@@ -215,7 +218,7 @@ impl DecoderLayer {
 
     fn forward(
         &self,
-        g: &mut Graph,
+        g: &mut dyn Exec,
         x: Var,
         memory: Var,
         self_mask: Option<&Tensor>,
@@ -296,10 +299,7 @@ impl Transformer {
 
     /// All trainable parameters.
     pub fn params(&self) -> Vec<Parameter> {
-        let mut ps = vec![
-            self.src_emb.weight().clone(),
-            self.tgt_emb.weight().clone(),
-        ];
+        let mut ps = vec![self.src_emb.weight().clone(), self.tgt_emb.weight().clone()];
         for l in &self.encoder {
             ps.extend(l.params());
         }
@@ -321,13 +321,7 @@ impl Transformer {
         qn_core::split_lambda_params(self.params())
     }
 
-    fn embed(
-        &self,
-        g: &mut Graph,
-        emb: &Embedding,
-        batch: &[Vec<usize>],
-        len: usize,
-    ) -> Var {
+    fn embed(&self, g: &mut dyn Exec, emb: &Embedding, batch: &[Vec<usize>], len: usize) -> Var {
         let b = batch.len();
         let mut flat = Vec::with_capacity(b * len);
         for seq in batch {
@@ -381,7 +375,7 @@ impl Transformer {
     /// Runs encoder + decoder, returning logits `[B, T_tgt, V]` for decoder
     /// inputs `tgt_in` (already BOS-prefixed and padded by the caller to a
     /// common length).
-    pub fn forward(&self, g: &mut Graph, src: &[Vec<usize>], tgt_in: &[Vec<usize>]) -> Var {
+    pub fn forward(&self, g: &mut dyn Exec, src: &[Vec<usize>], tgt_in: &[Vec<usize>]) -> Var {
         let ts = src.iter().map(Vec::len).max().unwrap_or(1);
         let tt = tgt_in.iter().map(Vec::len).max().unwrap_or(1);
         let src_mask = self.padding_mask(src, ts, ts);
@@ -403,12 +397,7 @@ impl Transformer {
     /// Teacher-forced training loss over a batch of (source, target) pairs
     /// with label smoothing. Decoder input is `BOS ⧺ target`, the prediction
     /// target `target ⧺ EOS`; PAD positions carry zero weight.
-    pub fn loss(
-        &self,
-        g: &mut Graph,
-        pairs: &[(&[usize], &[usize])],
-        label_smoothing: f32,
-    ) -> Var {
+    pub fn loss(&self, g: &mut Graph, pairs: &[(&[usize], &[usize])], label_smoothing: f32) -> Var {
         let src: Vec<Vec<usize>> = pairs.iter().map(|(s, _)| s.to_vec()).collect();
         let tt = pairs.iter().map(|(_, t)| t.len() + 1).max().unwrap_or(1);
         let mut tgt_in = Vec::with_capacity(pairs.len());
@@ -440,15 +429,24 @@ impl Transformer {
 
     /// Greedy decoding of one source sentence (no BOS/EOS framing in the
     /// input); stops at EOS or `max_len` tokens.
+    ///
+    /// Runs tape-free: each step evaluates the forward pass on a reused
+    /// [`EagerExec`] arena instead of recording an autograd tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source token id is outside the source vocabulary; use
+    /// [`Transformer::try_greedy_decode`] for ids from untrusted requests.
     pub fn greedy_decode(&self, src: &[usize], max_len: usize) -> Vec<usize> {
+        let mut cx = EagerExec::new();
         let mut out = Vec::new();
         for _ in 0..max_len {
-            let mut g = Graph::new();
+            cx.reset();
             let mut tgt_in = vec![BOS];
             tgt_in.extend_from_slice(&out);
-            let logits = self.forward(&mut g, &[src.to_vec()], &[tgt_in.clone()]);
+            let logits = self.forward(&mut cx, &[src.to_vec()], &[tgt_in.clone()]);
             let t = tgt_in.len();
-            let last = g.value(logits).slice_axis(1, t - 1, t); // [1, 1, V]
+            let last = cx.value(logits).slice_axis(1, t - 1, t); // [1, 1, V]
             let v = self.config.tgt_vocab;
             let row = last.reshape(&[1, v]).expect("logit row");
             let next = row.argmax_rows()[0];
@@ -459,6 +457,29 @@ impl Transformer {
         }
         out
     }
+
+    /// Validating variant of [`Transformer::greedy_decode`] for serving:
+    /// rejects out-of-vocabulary source token ids instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfRange`] for the first source id at
+    /// or beyond `src_vocab`.
+    pub fn try_greedy_decode(
+        &self,
+        src: &[usize],
+        max_len: usize,
+    ) -> Result<Vec<usize>, TensorError> {
+        for &t in src {
+            if t >= self.config.src_vocab {
+                return Err(TensorError::IndexOutOfRange {
+                    index: t,
+                    bound: self.config.src_vocab,
+                });
+            }
+        }
+        Ok(self.greedy_decode(src, max_len))
+    }
 }
 
 /// Sinusoidal positional-encoding table `[max_len, d]`.
@@ -467,7 +488,10 @@ fn sinusoidal_pe(max_len: usize, d: usize) -> Tensor {
     for pos in 0..max_len {
         for i in 0..d {
             let angle = pos as f32 / 10000f32.powf((2 * (i / 2)) as f32 / d as f32);
-            pe.set(&[pos, i], if i % 2 == 0 { angle.sin() } else { angle.cos() });
+            pe.set(
+                &[pos, i],
+                if i % 2 == 0 { angle.sin() } else { angle.cos() },
+            );
         }
     }
     pe

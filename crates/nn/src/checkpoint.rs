@@ -61,11 +61,17 @@ impl std::fmt::Display for LoadCheckpointError {
         match self {
             LoadCheckpointError::BadHeader => write!(f, "missing or malformed checkpoint header"),
             LoadCheckpointError::CountMismatch { expected, found } => {
-                write!(f, "checkpoint has {found} parameters, model expects {expected}")
+                write!(
+                    f,
+                    "checkpoint has {found} parameters, model expects {expected}"
+                )
             }
             LoadCheckpointError::BadEntry(i) => write!(f, "malformed checkpoint entry {i}"),
             LoadCheckpointError::ShapeMismatch(i) => {
-                write!(f, "checkpoint entry {i} has a different shape than the model")
+                write!(
+                    f,
+                    "checkpoint entry {i} has a different shape than the model"
+                )
             }
         }
     }
@@ -97,7 +103,9 @@ pub fn from_str(text: &str, params: &[Parameter]) -> Result<(), LoadCheckpointEr
         });
     }
     for (i, (line, p)) in lines.zip(params.iter()).enumerate() {
-        let (head, values) = line.split_once(" :").ok_or(LoadCheckpointError::BadEntry(i))?;
+        let (head, values) = line
+            .split_once(" :")
+            .ok_or(LoadCheckpointError::BadEntry(i))?;
         let mut parts = head.split_whitespace();
         let _name = parts.next().ok_or(LoadCheckpointError::BadEntry(i))?;
         let dims: Vec<usize> = parts
@@ -158,7 +166,10 @@ mod tests {
         let dst = vec![params(2).remove(0)];
         assert!(matches!(
             from_str(&text, &dst),
-            Err(LoadCheckpointError::CountMismatch { expected: 1, found: 2 })
+            Err(LoadCheckpointError::CountMismatch {
+                expected: 1,
+                found: 2
+            })
         ));
     }
 

@@ -1,6 +1,6 @@
 //! Token embedding.
 
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_tensor::{Rng, Tensor};
 
 /// Token-embedding table `[vocab, dim]` with scaled-normal initialization.
@@ -43,7 +43,7 @@ impl Embedding {
     /// # Panics
     ///
     /// Panics if any id is out of range.
-    pub fn forward(&self, g: &mut Graph, ids: &[usize]) -> Var {
+    pub fn forward(&self, g: &mut dyn Exec, ids: &[usize]) -> Var {
         let w = g.param(&self.weight);
         g.embedding(w, ids)
     }
@@ -72,6 +72,7 @@ impl Embedding {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qn_autograd::Graph;
 
     #[test]
     fn lookup_shape_and_grad() {

@@ -49,7 +49,10 @@ mod tests {
         let var = t.map(|v| (v - mean) * (v - mean)).mean();
         let expected = 2.0 / 50.0;
         assert!(mean.abs() < 0.01);
-        assert!((var - expected).abs() < 0.2 * expected, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < 0.2 * expected,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! sequential composition.
 
 use crate::{kaiming_normal, Costs, Module};
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_tensor::{Conv2dSpec, PoolSpec, Rng, Tensor};
 
 /// Fully-connected layer `y = xWᵀ + b` with weight stored `[out, in]`.
@@ -58,12 +58,13 @@ impl Linear {
 }
 
 impl Module for Linear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         // accept [B, in] or [B, T, in]: flatten leading dims
         let dims = g.value(x).shape().dims().to_vec();
+        assert!(!dims.is_empty(), "Linear expects an input of rank >= 1");
         let lead: usize = dims[..dims.len() - 1].iter().product();
         assert_eq!(
-            *dims.last().expect("non-empty"),
+            dims[dims.len() - 1],
             self.in_features,
             "Linear expected trailing dim {}, got {:?}",
             self.in_features,
@@ -155,7 +156,7 @@ impl Conv2d {
 }
 
 impl Module for Conv2d {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let w = g.param(&self.weight);
         let mut y = g.conv2d(x, w, self.spec);
         if let Some(b) = &self.bias {
@@ -191,7 +192,7 @@ impl Module for Conv2d {
 pub struct Relu;
 
 impl Module for Relu {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         g.relu(x)
     }
 
@@ -209,7 +210,7 @@ impl Module for Relu {
 pub struct Tanh;
 
 impl Module for Tanh {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         g.tanh(x)
     }
 
@@ -238,7 +239,7 @@ impl MaxPool2d {
 }
 
 impl Module for MaxPool2d {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         g.max_pool2d(x, self.spec)
     }
 
@@ -271,7 +272,7 @@ impl AvgPool2d {
 }
 
 impl Module for AvgPool2d {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         g.avg_pool2d(x, self.spec)
     }
 
@@ -293,7 +294,7 @@ impl Module for AvgPool2d {
 pub struct GlobalAvgPool;
 
 impl Module for GlobalAvgPool {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         g.global_avg_pool(x)
     }
 
@@ -314,7 +315,7 @@ impl Module for GlobalAvgPool {
 pub struct Flatten;
 
 impl Module for Flatten {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let dims = g.value(x).shape().dims().to_vec();
         let b = dims[0];
         let rest: usize = dims[1..].iter().product();
@@ -352,7 +353,7 @@ impl Dropout {
 }
 
 impl Module for Dropout {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         g.dropout(x, self.p)
     }
 
@@ -413,7 +414,7 @@ impl Sequential {
 }
 
 impl Module for Sequential {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let mut v = x;
         for layer in &self.layers {
             v = layer.forward(g, v);
@@ -443,7 +444,7 @@ impl Module for Sequential {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qn_autograd::gradcheck;
+    use qn_autograd::{gradcheck, Graph};
 
     #[test]
     fn linear_forward_shape_and_bias() {

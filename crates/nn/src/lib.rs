@@ -4,7 +4,9 @@
 //! initialization, optimizers and learning-rate schedules.
 //!
 //! The central abstraction is the [`Module`] trait: a layer that can run a
-//! forward pass on a [`Graph`](qn_autograd::Graph), expose its
+//! forward pass in any [`Exec`](qn_autograd::Exec) execution context —
+//! taped on a [`Graph`](qn_autograd::Graph) for training, or tape-free on
+//! an [`EagerExec`](qn_autograd::EagerExec) for inference — expose its
 //! [`Parameter`](qn_autograd::Parameter)s, and report its cost
 //! ([`Costs`]: multiply–accumulate operations and output shape) for the
 //! paper's parameter/FLOP accounting.
@@ -46,7 +48,9 @@ mod schedule;
 
 pub use embedding::Embedding;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
-pub use layers::{AvgPool2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential, Tanh};
+pub use layers::{
+    AvgPool2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential, Tanh,
+};
 pub use module::{Costs, Module};
 pub use norm::{BatchNorm2d, LayerNorm};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, Sgd, SgdConfig};

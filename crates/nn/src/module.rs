@@ -1,4 +1,4 @@
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 
 /// Cost report for one layer on a given input shape: multiply–accumulate
 /// count and the produced output shape.
@@ -27,9 +27,26 @@ impl Costs {
 ///
 /// Implementations are object-safe so models can hold heterogeneous
 /// `Box<dyn Module>` stacks built from pluggable neuron kinds.
+///
+/// The forward pass is written once against the [`Exec`] execution context
+/// and therefore runs in **both** modes: on a
+/// [`Graph`](qn_autograd::Graph) it records the differentiation tape
+/// (training), and on an [`EagerExec`](qn_autograd::EagerExec) it evaluates
+/// tape-free (inference) — same arithmetic, no autograd bookkeeping.
 pub trait Module {
-    /// Runs the layer on the tape, returning the output node.
-    fn forward(&self, g: &mut Graph, x: Var) -> Var;
+    /// Runs the layer in the given execution context, returning the output
+    /// node. Pass a `&mut Graph` to record the tape, or a `&mut EagerExec`
+    /// for the allocation-light inference path.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` violates the layer's input contract
+    /// (wrong rank, trailing width or channel count) — forward is a hot
+    /// path and shape errors here are programmer errors. Serving code that
+    /// receives shapes from untrusted requests should validate first, e.g.
+    /// via `InferenceSession::try_predict` in `qn-models`, which returns a
+    /// `TensorError` instead.
+    fn forward(&self, cx: &mut dyn Exec, x: Var) -> Var;
 
     /// The trainable parameters (cloned handles that alias layer storage).
     fn params(&self) -> Vec<Parameter>;

@@ -1,13 +1,13 @@
 //! Normalization layers.
 
 use crate::{Costs, Module};
-use qn_autograd::{Graph, Parameter, Var};
+use qn_autograd::{Exec, Parameter, Var};
 use qn_tensor::Tensor;
 use std::cell::RefCell;
 
 /// Batch normalization over `[B, C, H, W]` with running statistics.
 ///
-/// In training mode (graph built with [`Graph::training`]) the layer
+/// In training mode (graph built with [`Graph::training`](qn_autograd::Graph::training)) the layer
 /// normalizes with batch statistics and folds them into its running mean and
 /// variance with the configured momentum; in inference mode it uses the
 /// running statistics.
@@ -54,7 +54,7 @@ impl BatchNorm2d {
 }
 
 impl Module for BatchNorm2d {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
         let rm = self.running_mean.borrow().clone();
@@ -107,7 +107,7 @@ impl LayerNorm {
 }
 
 impl Module for LayerNorm {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
         g.layer_norm(x, gamma, beta, self.eps)
@@ -125,6 +125,7 @@ impl Module for LayerNorm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qn_autograd::Graph;
     use qn_tensor::Rng;
 
     #[test]

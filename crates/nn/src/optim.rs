@@ -292,12 +292,20 @@ mod tests {
     #[test]
     fn sgd_momentum_accelerates() {
         let p1 = quad_param(5.0);
-        let mut plain = Sgd::new(SgdConfig { lr: 0.02, momentum: 0.0, weight_decay: 0.0 });
+        let mut plain = Sgd::new(SgdConfig {
+            lr: 0.02,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
         plain.add_group(vec![p1.clone()], None, None);
         let x_plain = run_opt(|_| plain.step(1.0), &p1, 20);
 
         let p2 = quad_param(5.0);
-        let mut mom = Sgd::new(SgdConfig { lr: 0.02, momentum: 0.9, weight_decay: 0.0 });
+        let mut mom = Sgd::new(SgdConfig {
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
         mom.add_group(vec![p2.clone()], None, None);
         let x_mom = run_opt(|_| mom.step(1.0), &p2, 20);
         assert!(x_mom.abs() < x_plain.abs(), "{x_mom} vs {x_plain}");
@@ -306,7 +314,11 @@ mod tests {
     #[test]
     fn sgd_weight_decay_shrinks_weights() {
         let p = quad_param(1.0);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
         opt.add_group(vec![p.clone()], None, None);
         // zero gradient: only decay acts
         opt.step(1.0);
@@ -318,7 +330,11 @@ mod tests {
     fn group_lr_override_is_respected() {
         let fast = quad_param(1.0);
         let slow = quad_param(1.0);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
         opt.add_group(vec![fast.clone()], None, None);
         opt.add_group(vec![slow.clone()], Some(1e-4), None);
         fast.accumulate_grad(&Tensor::ones(&[1]));
@@ -331,7 +347,11 @@ mod tests {
     #[test]
     fn schedule_factor_scales_all_groups() {
         let p = quad_param(1.0);
-        let mut opt = Sgd::new(SgdConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
         opt.add_group(vec![p.clone()], None, None);
         p.accumulate_grad(&Tensor::ones(&[1]));
         opt.step(0.1);
@@ -341,7 +361,10 @@ mod tests {
     #[test]
     fn adam_minimizes_quadratic() {
         let p = quad_param(5.0);
-        let mut opt = Adam::new(AdamConfig { lr: 0.3, ..AdamConfig::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.3,
+            ..AdamConfig::default()
+        });
         opt.add_group(vec![p.clone()], None);
         let x = run_opt(|_| opt.step(1.0), &p, 100);
         assert!(x.abs() < 0.1, "x = {x}");

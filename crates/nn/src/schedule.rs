@@ -47,7 +47,10 @@ impl NoamSchedule {
     ///
     /// Panics if `d_model == 0` or `warmup == 0`.
     pub fn new(d_model: usize, warmup: usize) -> Self {
-        assert!(d_model > 0 && warmup > 0, "d_model and warmup must be positive");
+        assert!(
+            d_model > 0 && warmup > 0,
+            "d_model and warmup must be positive"
+        );
         NoamSchedule { d_model, warmup }
     }
 

@@ -1,4 +1,4 @@
-//! Offline stand-in for the parts of the [`criterion`] benchmark harness
+//! Offline stand-in for the parts of the `criterion` benchmark harness
 //! this workspace uses.
 //!
 //! The build environment has no crates.io access, so this shim implements
@@ -213,6 +213,7 @@ mod tests {
     #[test]
     fn bench_function_runs() {
         let mut c = Criterion::default();
-        c.sample_size(2).bench_function("plain", |b| b.iter(|| 1 + 1));
+        c.sample_size(2)
+            .bench_function("plain", |b| b.iter(|| 1 + 1));
     }
 }

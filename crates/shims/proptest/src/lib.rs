@@ -1,10 +1,10 @@
-//! Offline stand-in for the parts of the [`proptest`] crate this workspace
+//! Offline stand-in for the parts of the `proptest` crate this workspace
 //! uses.
 //!
 //! The build environment has no crates.io access, so this shim provides a
 //! deterministic randomized-testing core with the same surface syntax:
 //!
-//! - the [`proptest!`] macro with `#![proptest_config(...)]` headers and
+//! - the `proptest!` macro with `#![proptest_config(...)]` headers and
 //!   `arg in strategy` bindings,
 //! - [`strategy::Strategy`] implemented for numeric ranges and
 //!   [`collection::vec`],

@@ -1,4 +1,4 @@
-//! Offline stand-in for the parts of the [`rand`] crate this workspace uses.
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
 //!
 //! The build environment has no crates.io access, so instead of the real
 //! `rand` we vendor a minimal, API-compatible subset: [`rngs::StdRng`]

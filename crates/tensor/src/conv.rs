@@ -193,10 +193,10 @@ mod tests {
                         for ci in 0..c {
                             for ky in 0..kh {
                                 for kx in 0..kw {
-                                    let iy = (oy * spec.stride + ky) as isize
-                                        - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize
-                                        - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
@@ -236,7 +236,12 @@ mod tests {
     #[test]
     fn im2col_matmul_equals_reference_conv() {
         let mut rng = Rng::seed_from(11);
-        for &(c, k, s, p) in &[(1usize, 3usize, 1usize, 1usize), (2, 3, 2, 1), (3, 1, 1, 0), (2, 5, 1, 2)] {
+        for &(c, k, s, p) in &[
+            (1usize, 3usize, 1usize, 1usize),
+            (2, 3, 2, 1),
+            (3, 1, 1, 0),
+            (2, 5, 1, 2),
+        ] {
             let spec = Conv2dSpec::new(k, s, p);
             let input = Tensor::randn(&[2, c, 7, 6], &mut rng);
             let oc = 4;

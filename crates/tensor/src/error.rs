@@ -25,6 +25,23 @@ pub enum TensorError {
     },
     /// A zero-sized dimension where one is not allowed.
     EmptyShape,
+    /// An input's shape differs from what the consumer expects — returned by
+    /// validating entry points (e.g. `InferenceSession::try_predict`) so a
+    /// malformed request surfaces as an error instead of a panic.
+    ShapeMismatch {
+        /// Shape the consumer expects.
+        expected: Vec<usize>,
+        /// Shape actually provided.
+        actual: Vec<usize>,
+    },
+    /// An index (e.g. a token id in a serving request) is outside its valid
+    /// range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound it must stay below.
+        bound: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -39,6 +56,13 @@ impl fmt::Display for TensorError {
                 "cannot reshape tensor of shape {from:?} into {to:?}: element counts differ"
             ),
             TensorError::EmptyShape => write!(f, "shape must have at least one element"),
+            TensorError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "input shape {actual:?} does not match the expected shape {expected:?}"
+            ),
+            TensorError::IndexOutOfRange { index, bound } => {
+                write!(f, "index {index} out of range (must be < {bound})")
+            }
         }
     }
 }

@@ -25,7 +25,10 @@ impl PoolSpec {
     ///
     /// Panics if `window == 0` or `stride == 0`.
     pub fn new(window: usize, stride: usize) -> Self {
-        assert!(window > 0 && stride > 0, "window and stride must be positive");
+        assert!(
+            window > 0 && stride > 0,
+            "window and stride must be positive"
+        );
         PoolSpec { window, stride }
     }
 
@@ -183,7 +186,10 @@ mod tests {
     #[test]
     fn max_pool_known_values() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

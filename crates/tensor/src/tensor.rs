@@ -570,10 +570,7 @@ impl Tensor {
     ///
     /// Panics if the tensor is empty.
     pub fn max(&self) -> f32 {
-        self.data
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max)
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -737,8 +734,7 @@ impl Tensor {
         let mut out = vec![0.0f32; indices.len() * inner];
         for (d, &i) in indices.iter().enumerate() {
             assert!(i < rows, "row index {i} out of bounds ({rows} rows)");
-            out[d * inner..(d + 1) * inner]
-                .copy_from_slice(&self.data[i * inner..(i + 1) * inner]);
+            out[d * inner..(d + 1) * inner].copy_from_slice(&self.data[i * inner..(i + 1) * inner]);
         }
         Tensor {
             data: out,

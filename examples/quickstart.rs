@@ -85,5 +85,8 @@ fn main() {
         quad.out_features(),
         quad.param_count() as f64 / quad.out_features() as f64
     );
-    assert!(acc > 0.75, "quadratic neurons should solve the covariance task");
+    assert!(
+        acc > 0.75,
+        "quadratic neurons should solve the covariance task"
+    );
 }

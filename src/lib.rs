@@ -16,15 +16,24 @@
 //! |---|---|---|
 //! | [`tensor`] | `qn-tensor` | dense `f32` tensors, matmul, im2col convolution |
 //! | [`linalg`] | `qn-linalg` | symmetric eigendecomposition, spectral top-k |
-//! | [`autograd`] | `qn-autograd` | tape-based reverse-mode differentiation |
+//! | [`autograd`] | `qn-autograd` | tape-based reverse-mode differentiation + tape-free eager execution |
 //! | [`nn`] | `qn-nn` | layers, losses, optimizers, LR schedules |
 //! | [`core`] | `qn-core` | the paper's neuron + all comparator neurons |
 //! | [`data`] | `qn-data` | synthetic CIFAR / ImageNet / translation data |
-//! | [`models`] | `qn-models` | ResNet family and Transformer |
+//! | [`models`] | `qn-models` | ResNet family, Transformer, `InferenceSession` |
 //! | [`metrics`] | `qn-metrics` | accuracy, BLEU, parameter/MAC counting |
 //! | [`experiments`] | `qn-experiments` | per-table / per-figure harnesses |
 //!
+//! Every layer's forward pass is written once against the
+//! [`Exec`](autograd::Exec) execution context and runs in **two modes**:
+//! on the autograd tape ([`Graph`](autograd::Graph)) for training, or
+//! tape-free on an [`EagerExec`](autograd::EagerExec) arena for inference
+//! (wrapped by [`InferenceSession`](models::InferenceSession) for serving).
+//!
 //! # Quickstart
+//!
+//! Training (tape mode): build a [`Graph`](autograd::Graph), run the
+//! forward pass, backpropagate.
 //!
 //! ```
 //! use quadranet::core::neurons::EfficientQuadraticLinear;
@@ -37,12 +46,42 @@
 //! // 2 neurons, each emitting k + 1 = 4 channels -> 8 outputs.
 //! let mut rng = quadranet::tensor::Rng::seed_from(7);
 //! let layer = EfficientQuadraticLinear::new(8, 2, 3, &mut rng);
-//! let mut g = Graph::new();
+//! let mut g = Graph::training(0);
 //! let x = g.leaf(Tensor::randn(&[4, 8], &mut rng));
 //! let y = layer.forward(&mut g, x);
 //! assert_eq!(g.value(y).shape().dims(), &[4, 8]);
+//! let sq = g.square(y);
+//! let loss = g.sum_all(sq);
+//! g.backward(loss); // gradients land in layer.params()
 //! # Ok(())
 //! # }
+//! ```
+//!
+//! Inference (tape-free mode): wrap any model in an
+//! [`InferenceSession`](models::InferenceSession) — no tape nodes, no
+//! backward closures, a reusable activation arena across requests.
+//!
+//! ```
+//! use quadranet::core::NeuronSpec;
+//! use quadranet::models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
+//! use quadranet::tensor::{Rng, Tensor};
+//!
+//! let net = ResNet::cifar(ResNetConfig {
+//!     depth: 8,
+//!     base_width: 4,
+//!     num_classes: 10,
+//!     neuron: NeuronSpec::EfficientQuadratic { rank: 3 },
+//!     placement: NeuronPlacement::All,
+//!     seed: 0,
+//! });
+//! let mut rng = Rng::seed_from(1);
+//! // validate untrusted request shapes instead of panicking:
+//! let mut session = InferenceSession::with_sample_shape(&net, &[3, 16, 16]);
+//! let logits = session
+//!     .try_predict(&Tensor::randn(&[3, 16, 16], &mut rng))
+//!     .expect("shape was validated");
+//! assert_eq!(logits.shape().dims(), &[10]);
+//! assert!(session.try_predict(&Tensor::zeros(&[1, 8, 8])).is_err());
 //! ```
 pub use qn_autograd as autograd;
 pub use qn_core as core;

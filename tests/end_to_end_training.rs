@@ -97,7 +97,11 @@ fn quadratic_layer_solves_covariance_task_linear_cannot() {
         for epoch in 0..60 {
             let mut g = Graph::training(epoch);
             let x = g.leaf(train_x.clone());
-            let h = if quadratic { quad.forward(&mut g, x) } else { x };
+            let h = if quadratic {
+                quad.forward(&mut g, x)
+            } else {
+                x
+            };
             let logits = head.forward(&mut g, h);
             let loss = g.softmax_cross_entropy(logits, &train_y, 0.0);
             g.backward(loss);
@@ -106,7 +110,11 @@ fn quadratic_layer_solves_covariance_task_linear_cannot() {
         }
         let mut g = Graph::new();
         let x = g.leaf(test_x.clone());
-        let h = if quadratic { quad.forward(&mut g, x) } else { x };
+        let h = if quadratic {
+            quad.forward(&mut g, x)
+        } else {
+            x
+        };
         let logits = head.forward(&mut g, h);
         accuracy(g.value(logits), &test_y)
     };

@@ -78,5 +78,8 @@ fn compression_pipeline_end_to_end() {
         // parameter reduction is monotone in k too
         assert!(compressed.param_count() < src.param_count() || k == 10);
     }
-    assert!(prev < 1e-2, "full-rank compression must be exact, err={prev}");
+    assert!(
+        prev < 1e-2,
+        "full-rank compression must be exact, err={prev}"
+    );
 }

@@ -20,7 +20,10 @@ fn all_specs() -> Vec<NeuronSpec> {
         NeuronSpec::Quad1,
         NeuronSpec::Quad2,
         NeuronSpec::Factorized,
-        NeuronSpec::Kervolution { degree: 3, offset: 1.0 },
+        NeuronSpec::Kervolution {
+            degree: 3,
+            offset: 1.0,
+        },
     ]
 }
 
