@@ -35,6 +35,7 @@ use crate::graph::{Graph, Var};
 use crate::nnops::{batch_norm_apply, layer_norm_forward, softmax_last};
 use crate::ops::{add_bcast_forward, mul_bcast_forward};
 use crate::Parameter;
+use crate::PAR_MIN_ELEMS;
 use qn_tensor::{avg_pool2d, im2col, max_pool2d, Conv2dSpec, PoolSpec, Tensor};
 
 /// Execution context for a forward pass: either the differentiation tape
@@ -590,22 +591,27 @@ impl Exec for EagerExec {
         let wdata = self.value(weight).data(); // [OC, n] row-major
         let mut out = Tensor::zeros(&[b, oc, oh, ow]);
         let hw = oh * ow;
-        {
-            let od = out.data_mut();
-            for bi in 0..b {
-                for pos in 0..hw {
+        // Parallel over the batch × out-channel planes: every output plane
+        // is an independent set of dot products, so results are
+        // bit-identical at any thread count.
+        qn_parallel::par_chunks_mut_min(
+            out.data_mut(),
+            hw.max(1),
+            PAR_MIN_ELEMS,
+            |plane, out_plane| {
+                let bi = plane / oc;
+                let j = plane % oc;
+                let wrow = &wdata[j * n..(j + 1) * n];
+                for (pos, o) in out_plane.iter_mut().enumerate() {
                     let row = &cols.data()[(bi * hw + pos) * n..(bi * hw + pos + 1) * n];
-                    for j in 0..oc {
-                        let wrow = &wdata[j * n..(j + 1) * n];
-                        let mut acc = 0.0f32;
-                        for (&a, &wv) in row.iter().zip(wrow.iter()) {
-                            acc += a * wv;
-                        }
-                        od[(bi * oc + j) * hw + pos] = acc;
+                    let mut acc = 0.0f32;
+                    for (&a, &wv) in row.iter().zip(wrow.iter()) {
+                        acc += a * wv;
                     }
+                    *o = acc;
                 }
-            }
-        }
+            },
+        );
         self.push(out)
     }
 
@@ -626,16 +632,16 @@ impl Exec for EagerExec {
         let norm = 1.0 / (h * w) as f32;
         let data = self.value(x).data();
         let mut out = Tensor::zeros(&[b, c]);
-        for bi in 0..b {
-            for ci in 0..c {
+        qn_parallel::par_chunks_mut_min(out.data_mut(), c.max(1), PAR_MIN_ELEMS, |bi, orow| {
+            for (ci, o) in orow.iter_mut().enumerate() {
                 let base = (bi * c + ci) * h * w;
                 let mut acc = 0.0f32;
                 for &v in &data[base..base + h * w] {
                     acc += v;
                 }
-                out.data_mut()[bi * c + ci] = acc * norm;
+                *o = acc * norm;
             }
-        }
+        });
         self.push(out)
     }
 
@@ -712,20 +718,24 @@ impl Exec for EagerExec {
         assert_eq!(lv.numel(), neurons * k, "lambda size mismatch");
         let mut out = Tensor::zeros(&[rows, neurons]);
         {
-            let od = out.data_mut();
             let fd = fv.data();
             let ld = lv.data();
-            for r in 0..rows {
-                for j in 0..neurons {
-                    let base = r * mk + j * k;
-                    let mut acc = 0.0f32;
-                    for i in 0..k {
-                        let x = fd[base + i];
-                        acc += x * x * ld[j * k + i];
+            qn_parallel::par_chunks_mut_min(
+                out.data_mut(),
+                neurons.max(1),
+                PAR_MIN_ELEMS,
+                |r, orow| {
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        let base = r * mk + j * k;
+                        let mut acc = 0.0f32;
+                        for i in 0..k {
+                            let x = fd[base + i];
+                            acc += x * x * ld[j * k + i];
+                        }
+                        *o = acc;
                     }
-                    od[r * neurons + j] = acc;
-                }
-            }
+                },
+            );
         }
         self.push(out)
     }
@@ -737,17 +747,21 @@ impl Exec for EagerExec {
         assert_eq!(fv.numel(), rows * m * k, "feature size mismatch");
         let mut out = Tensor::zeros(&[rows, m * (k + 1)]);
         {
-            let od = out.data_mut();
             let yd = yv.data();
             let fd = fv.data();
-            for r in 0..rows {
-                for j in 0..m {
-                    let dst = r * m * (k + 1) + j * (k + 1);
-                    od[dst] = yd[r * m + j];
-                    od[dst + 1..dst + 1 + k]
-                        .copy_from_slice(&fd[r * m * k + j * k..r * m * k + (j + 1) * k]);
-                }
-            }
+            qn_parallel::par_chunks_mut_min(
+                out.data_mut(),
+                (m * (k + 1)).max(1),
+                PAR_MIN_ELEMS,
+                |r, orow| {
+                    for j in 0..m {
+                        let dst = j * (k + 1);
+                        orow[dst] = yd[r * m + j];
+                        orow[dst + 1..dst + 1 + k]
+                            .copy_from_slice(&fd[r * m * k + j * k..r * m * k + (j + 1) * k]);
+                    }
+                },
+            );
         }
         self.push(out)
     }
@@ -758,16 +772,20 @@ impl Exec for EagerExec {
         let mut out = Tensor::zeros(&[b, c, oh, ow]);
         let hw = oh * ow;
         {
-            let od = out.data_mut();
             let vd = vv.data();
-            for bi in 0..b {
-                for pos in 0..hw {
-                    let row = &vd[(bi * hw + pos) * c..(bi * hw + pos + 1) * c];
-                    for (ci, &x) in row.iter().enumerate() {
-                        od[(bi * c + ci) * hw + pos] = x;
+            qn_parallel::par_chunks_mut_min(
+                out.data_mut(),
+                (c * hw).max(1),
+                PAR_MIN_ELEMS,
+                |bi, oslab| {
+                    for pos in 0..hw {
+                        let row = &vd[(bi * hw + pos) * c..(bi * hw + pos + 1) * c];
+                        for (ci, &x) in row.iter().enumerate() {
+                            oslab[ci * hw + pos] = x;
+                        }
                     }
-                }
-            }
+                },
+            );
         }
         self.push(out)
     }

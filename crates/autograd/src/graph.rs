@@ -123,6 +123,38 @@ impl Graph {
     ///
     /// Panics if `out` is not a single-element tensor.
     pub fn backward(&mut self, out: Var) {
+        self.backward_sweep(out);
+        for (id, p) in &self.bindings {
+            if let Some(g) = &self.nodes[*id].grad {
+                p.accumulate_grad(g);
+            }
+        }
+    }
+
+    /// Runs reverse-mode differentiation like [`Graph::backward`], but
+    /// instead of flushing into the bound [`Parameter`]s, returns each
+    /// binding's gradient as `(parameter, gradient)` pairs in binding
+    /// order (a weight shared across several leaves yields one pair per
+    /// leaf).
+    ///
+    /// This is the data-parallel training primitive: worker shards collect
+    /// their gradients independently, and the caller accumulates them in a
+    /// fixed shard order so the summation stays deterministic — flushing
+    /// concurrently from several threads would make the floating-point
+    /// accumulation order (and thus the result bits) depend on scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not a single-element tensor.
+    pub fn backward_collect(&mut self, out: Var) -> Vec<(Parameter, Tensor)> {
+        self.backward_sweep(out);
+        self.bindings
+            .iter()
+            .filter_map(|(id, p)| self.nodes[*id].grad.clone().map(|g| (p.clone(), g)))
+            .collect()
+    }
+
+    fn backward_sweep(&mut self, out: Var) {
         assert_eq!(
             self.nodes[out.id].value.numel(),
             1,
@@ -153,11 +185,6 @@ impl Graph {
                     Some(g) => g.add_assign(&pg),
                     slot @ None => *slot = Some(pg),
                 }
-            }
-        }
-        for (id, p) in &self.bindings {
-            if let Some(g) = &self.nodes[*id].grad {
-                p.accumulate_grad(g);
             }
         }
     }

@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+pub(crate) use qn_parallel::PAR_MIN_ELEMS;
+
 mod convops;
 mod exec;
 mod gradcheck;

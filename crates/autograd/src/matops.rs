@@ -1,6 +1,7 @@
 //! Matrix and batched-matrix products.
 
 use crate::graph::{Graph, Var};
+use crate::PAR_MIN_ELEMS;
 use qn_tensor::Tensor;
 
 impl Graph {
@@ -74,27 +75,28 @@ fn batch_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
 }
 
 /// `[N, M, K] × [N, K, P] -> [N, M, P]`.
+///
+/// No zero-coefficient skip: `0 × NaN`/`0 × ∞` must propagate per IEEE-754
+/// (attention scores are dense anyway). Parallelized over the batch with
+/// sequential per-row accumulation, so results are bit-identical at any
+/// thread count.
 pub(crate) fn bmm_forward(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, m, k, p) = batch_dims(a, b);
     let mut out = vec![0.0f32; n * m * p];
-    for ni in 0..n {
+    qn_parallel::par_chunks_mut_min(&mut out, (m * p).max(1), PAR_MIN_ELEMS, |ni, oslab| {
         let abase = ni * m * k;
         let bbase = ni * k * p;
-        let obase = ni * m * p;
         for i in 0..m {
             for kk in 0..k {
                 let av = a.data()[abase + i * k + kk];
-                if av == 0.0 {
-                    continue;
-                }
                 let brow = &b.data()[bbase + kk * p..bbase + (kk + 1) * p];
-                let orow = &mut out[obase + i * p..obase + (i + 1) * p];
+                let orow = &mut oslab[i * p..(i + 1) * p];
                 for (o, &bb) in orow.iter_mut().zip(brow) {
                     *o += av * bb;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, m, p]).expect("bmm shape consistent")
 }
 
@@ -103,7 +105,7 @@ fn bmm_transb(g: &Tensor, b: &Tensor) -> Tensor {
     let (n, k, p) = (b.shape().dim(0), b.shape().dim(1), b.shape().dim(2));
     let m = g.shape().dim(1);
     let mut out = vec![0.0f32; n * m * k];
-    for ni in 0..n {
+    qn_parallel::par_chunks_mut_min(&mut out, (m * k).max(1), PAR_MIN_ELEMS, |ni, oslab| {
         for i in 0..m {
             for kk in 0..k {
                 let brow = &b.data()[ni * k * p + kk * p..ni * k * p + (kk + 1) * p];
@@ -112,10 +114,10 @@ fn bmm_transb(g: &Tensor, b: &Tensor) -> Tensor {
                 for (&gg, &bb) in grow.iter().zip(brow) {
                     acc += gg * bb;
                 }
-                out[ni * m * k + i * k + kk] = acc;
+                oslab[i * k + kk] = acc;
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, m, k]).expect("bmm shape consistent")
 }
 
@@ -124,21 +126,18 @@ fn bmm_transa(a: &Tensor, g: &Tensor) -> Tensor {
     let (n, m, k) = (a.shape().dim(0), a.shape().dim(1), a.shape().dim(2));
     let p = g.shape().dim(2);
     let mut out = vec![0.0f32; n * k * p];
-    for ni in 0..n {
+    qn_parallel::par_chunks_mut_min(&mut out, (k * p).max(1), PAR_MIN_ELEMS, |ni, oslab| {
         for i in 0..m {
             for kk in 0..k {
                 let av = a.data()[ni * m * k + i * k + kk];
-                if av == 0.0 {
-                    continue;
-                }
                 let grow = &g.data()[ni * m * p + i * p..ni * m * p + (i + 1) * p];
-                let orow = &mut out[ni * k * p + kk * p..ni * k * p + (kk + 1) * p];
+                let orow = &mut oslab[kk * p..(kk + 1) * p];
                 for (o, &gg) in orow.iter_mut().zip(grow) {
                     *o += av * gg;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, k, p]).expect("bmm shape consistent")
 }
 

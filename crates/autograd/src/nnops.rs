@@ -2,6 +2,7 @@
 //! embedding and dropout.
 
 use crate::graph::{Graph, Var};
+use crate::PAR_MIN_ELEMS;
 use qn_tensor::Tensor;
 
 impl Graph {
@@ -432,6 +433,21 @@ pub(crate) fn layer_norm_forward(
     let rows = xv.numel() / d;
     let mut out = xv.clone();
     let od = out.data_mut();
+    if capture.is_none() {
+        // Inference path: rows are independent, so normalize them in
+        // parallel (bit-identical to the sequential sweep below).
+        qn_parallel::par_chunks_mut_min(od, d.max(1), PAR_MIN_ELEMS, |r, orow| {
+            let base = r * d;
+            let row = &xv.data()[base..base + d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = (row[j] - mean) * istd * gv.data()[j] + bv.data()[j];
+            }
+        });
+        return out;
+    }
     for r in 0..rows {
         let base = r * d;
         let row = &xv.data()[base..base + d];
@@ -471,6 +487,18 @@ pub(crate) fn batch_norm_apply(
     let hw = h * w;
     let mut out = xv.clone();
     let od = out.data_mut();
+    if xhat.is_none() {
+        // Inference path: per-channel affine over disjoint planes, safe to
+        // parallelize over batch × channel.
+        qn_parallel::par_chunks_mut_min(od, hw.max(1), PAR_MIN_ELEMS, |plane, out_plane| {
+            let ci = plane % c;
+            let base = plane * hw;
+            for (j, o) in out_plane.iter_mut().enumerate() {
+                *o = (xv.data()[base + j] - mean[ci]) * inv_std[ci] * gv.data()[ci] + bv.data()[ci];
+            }
+        });
+        return out;
+    }
     for bi in 0..b {
         for ci in 0..c {
             let base = (bi * c + ci) * hw;
@@ -487,25 +515,22 @@ pub(crate) fn batch_norm_apply(
 }
 
 /// Stable softmax over the last axis (free function shared with the loss).
+/// Rows normalize independently, so the sweep runs on the `qn-parallel`
+/// pool for large inputs with bit-identical results at any thread count.
 pub(crate) fn softmax_last(x: &Tensor) -> Tensor {
     let last = *x.shape().dims().last().expect("non-empty shape");
     let mut out = x.clone();
-    let data = out.data_mut();
-    for row in 0..data.len() / last {
-        let base = row * last;
-        let m = data[base..base + last]
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max);
+    qn_parallel::par_chunks_mut_min(out.data_mut(), last.max(1), PAR_MIN_ELEMS, |_, row| {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
-        for v in &mut data[base..base + last] {
+        for v in row.iter_mut() {
             *v = (*v - m).exp();
             sum += *v;
         }
-        for v in &mut data[base..base + last] {
+        for v in row.iter_mut() {
             *v /= sum;
         }
-    }
+    });
     out
 }
 

@@ -1,14 +1,16 @@
 use qn_tensor::Tensor;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 /// A trainable tensor with persistent gradient storage.
 ///
-/// `Parameter` is a shared handle (`Rc<RefCell<…>>`): cloning it aliases the
+/// `Parameter` is a shared handle (`Arc<RwLock<…>>`): cloning it aliases the
 /// same storage, which is how modules hand their weights both to the graph
-/// (via [`crate::Graph::param`]) and to an optimizer. The workspace trains
-/// single-threaded, so `Rc` is sufficient and cheap.
+/// (via [`crate::Graph::param`]) and to an optimizer. The handle is
+/// `Send + Sync`, so one model can serve concurrent shards on the
+/// `qn-parallel` pool (sharded `predict_batch`, data-parallel gradient
+/// accumulation); accesses are short value/gradient copies, so the lock is
+/// uncontended in steady state.
 ///
 /// # Example
 ///
@@ -23,8 +25,8 @@ use std::rc::Rc;
 /// ```
 #[derive(Clone)]
 pub struct Parameter {
-    inner: Rc<RefCell<Inner>>,
-    name: Rc<str>,
+    inner: Arc<RwLock<Inner>>,
+    name: Arc<str>,
 }
 
 struct Inner {
@@ -37,7 +39,7 @@ struct Inner {
 
 impl fmt::Debug for Parameter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.read();
         write!(
             f,
             "Parameter(name={:?}, shape={}, |g|={:.3e})",
@@ -53,20 +55,28 @@ impl Parameter {
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().dims());
         Parameter {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(RwLock::new(Inner {
                 value,
                 grad,
                 version: 0,
             })),
-            name: Rc::from(""),
+            name: Arc::from(""),
         }
     }
 
     /// Like [`Parameter::new`] but tagged with a diagnostic name.
     pub fn named(name: &str, value: Tensor) -> Self {
         let mut p = Parameter::new(value);
-        p.name = Rc::from(name);
+        p.name = Arc::from(name);
         p
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("parameter lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("parameter lock poisoned")
     }
 
     /// The diagnostic name (may be empty).
@@ -76,17 +86,17 @@ impl Parameter {
 
     /// A snapshot copy of the current value.
     pub fn value(&self) -> Tensor {
-        self.inner.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// A snapshot copy of the accumulated gradient.
     pub fn grad(&self) -> Tensor {
-        self.inner.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// Number of scalar parameters.
     pub fn numel(&self) -> usize {
-        self.inner.borrow().value.numel()
+        self.read().value.numel()
     }
 
     /// Overwrites the value (used by initializers and spectral re-projection).
@@ -95,7 +105,7 @@ impl Parameter {
     ///
     /// Panics if the new value has a different shape.
     pub fn set_value(&self, value: Tensor) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(
             inner.value.shape(),
             value.shape(),
@@ -110,7 +120,7 @@ impl Parameter {
     /// (the eager execution arena) pair it with
     /// [`Parameter::same_storage`] identity to detect stale copies.
     pub fn version(&self) -> u64 {
-        self.inner.borrow().version
+        self.read().version
     }
 
     /// Adds `g` into the gradient accumulator.
@@ -119,26 +129,26 @@ impl Parameter {
     ///
     /// Panics if shapes differ.
     pub fn accumulate_grad(&self, g: &Tensor) {
-        self.inner.borrow_mut().grad.add_assign(g);
+        self.write().grad.add_assign(g);
     }
 
     /// Zeroes the gradient accumulator.
     pub fn zero_grad(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         inner.grad = Tensor::zeros(inner.value.shape().dims());
     }
 
     /// Applies an in-place update with access to value and gradient —
     /// the hook optimizers use.
     pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
-        let inner = &mut *self.inner.borrow_mut();
+        let inner = &mut *self.write();
         f(&mut inner.value, &inner.grad);
         inner.version += 1;
     }
 
     /// `true` if two handles alias the same storage.
     pub fn same_storage(&self, other: &Parameter) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 

@@ -1,0 +1,95 @@
+//! Regression tests: non-finite values must propagate through the matmul
+//! ops of **both** execution contexts (taped [`Graph`] and tape-free
+//! [`EagerExec`]), now that the zero-skip fast path is finiteness-guarded.
+
+use qn_autograd::{EagerExec, Exec, Graph, Var};
+use qn_tensor::Tensor;
+
+fn t(data: &[f32], dims: &[usize]) -> Tensor {
+    Tensor::from_vec(data.to_vec(), dims).expect("test tensor")
+}
+
+/// Runs `f` on both contexts and returns both outputs.
+fn both(f: impl Fn(&mut dyn Exec) -> Var) -> (Tensor, Tensor) {
+    let mut g = Graph::new();
+    let tv = f(&mut g);
+    let mut e = EagerExec::new();
+    let ev = f(&mut e);
+    (g.value(tv).clone(), e.value(ev).clone())
+}
+
+#[test]
+fn matmul_propagates_nan_in_both_contexts() {
+    let a = t(&[0.0, 1.0], &[1, 2]);
+    let b = t(&[f32::NAN, 7.0, 2.0, 3.0], &[2, 2]);
+    let (taped, eager) = both(|cx| {
+        let av = cx.leaf(a.clone());
+        let bv = cx.leaf(b.clone());
+        cx.matmul(av, bv)
+    });
+    for out in [&taped, &eager] {
+        assert!(out.data()[0].is_nan(), "0 × NaN must be NaN");
+        assert_eq!(out.data()[1], 3.0, "finite column must stay exact");
+    }
+}
+
+#[test]
+fn matmul_propagates_infinity_in_both_contexts() {
+    let a = t(&[0.0], &[1, 1]);
+    let b = t(&[f32::INFINITY], &[1, 1]);
+    let (taped, eager) = both(|cx| {
+        let av = cx.leaf(a.clone());
+        let bv = cx.leaf(b.clone());
+        cx.matmul(av, bv)
+    });
+    assert!(taped.data()[0].is_nan(), "0 × ∞ must be NaN");
+    assert!(eager.data()[0].is_nan(), "0 × ∞ must be NaN");
+}
+
+#[test]
+fn matmul_transb_propagates_nan_in_both_contexts() {
+    let a = t(&[0.0, 2.0], &[1, 2]);
+    let b = t(&[f32::NAN, 1.0, 3.0, 4.0], &[2, 2]);
+    let (taped, eager) = both(|cx| {
+        let av = cx.leaf(a.clone());
+        let bv = cx.leaf(b.clone());
+        cx.matmul_transb(av, bv)
+    });
+    for out in [&taped, &eager] {
+        assert!(out.data()[0].is_nan());
+        assert_eq!(out.data()[1], 8.0);
+    }
+}
+
+#[test]
+fn bmm_propagates_nan_in_both_contexts() {
+    // batch 0: 0 × NaN; batch 1: finite sanity value.
+    let a = t(&[0.0, 2.0], &[2, 1, 1]);
+    let b = t(&[f32::NAN, 3.0], &[2, 1, 1]);
+    let (taped, eager) = both(|cx| {
+        let av = cx.leaf(a.clone());
+        let bv = cx.leaf(b.clone());
+        cx.bmm(av, bv)
+    });
+    for out in [&taped, &eager] {
+        assert!(out.data()[0].is_nan(), "bmm must not swallow 0 × NaN");
+        assert_eq!(out.data()[1], 6.0);
+    }
+}
+
+#[test]
+fn backward_through_matmul_propagates_nan() {
+    // The backward pass runs matmul_transa/matmul_transb: a NaN in the
+    // upstream value must reach the gradients instead of being zero-masked.
+    let mut g = Graph::new();
+    let a = g.leaf(t(&[0.0, 1.0], &[1, 2]));
+    let b = g.leaf(t(&[f32::NAN, 2.0], &[2, 1]));
+    let y = g.matmul(a, b); // [1, 1] = 0·NaN + 1·2 -> NaN
+    let s = g.sum_all(y);
+    g.backward(s);
+    let da = g.grad(a).expect("grad reaches a");
+    assert!(
+        da.data().iter().any(|v| v.is_nan()),
+        "dA = g @ Bᵀ must carry the NaN"
+    );
+}

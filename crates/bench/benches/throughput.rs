@@ -1,0 +1,136 @@
+//! Batched-inference throughput scaling across the `qn-parallel` pool:
+//! batch-32 quadratic ResNet-20 `predict_batch` at 1/2/4/8 threads.
+//!
+//! Besides the criterion timings, the bench measures samples/sec per thread
+//! count directly, asserts the outputs are bit-identical across thread
+//! counts (the workspace's determinism contract), and records everything in
+//! `BENCH_throughput.json` at the repo root — including the host's actual
+//! core count, since speedups are bounded by physical parallelism. Set
+//! `QN_SMOKE=1` for a CI-sized configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_core::NeuronSpec;
+use qn_models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
+use qn_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn build(smoke: bool) -> (ResNet, Tensor) {
+    let mut rng = Rng::seed_from(41);
+    let (depth, width, res, rank, batch) = if smoke {
+        (8, 4, 12, 3, 8)
+    } else {
+        (20, 8, 16, 9, 32)
+    };
+    let net = ResNet::cifar(ResNetConfig {
+        depth,
+        base_width: width,
+        num_classes: 10,
+        neuron: NeuronSpec::EfficientQuadratic { rank },
+        placement: NeuronPlacement::All,
+        seed: 43,
+    });
+    let input = Tensor::randn(&[batch, 3, res, res], &mut rng);
+    (net, input)
+}
+
+/// Mean seconds per call of `f` over `samples` timed runs (one warmup).
+fn time_mean(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..samples {
+        f();
+    }
+    start.elapsed().as_secs_f64() / samples as f64
+}
+
+fn bit_identical(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bench(c: &mut Criterion) {
+    // Size the pool for the largest measured configuration before first use;
+    // `with_max_threads` then selects the effective count per measurement.
+    qn_parallel::configure_pool_threads(*THREAD_COUNTS.iter().max().expect("non-empty"));
+    let smoke = std::env::var("QN_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let samples = if smoke { 3 } else { 15 };
+    let (net, input) = build(smoke);
+    let batch = input.shape().dim(0);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut session = InferenceSession::new(&net);
+    let reference = qn_parallel::with_max_threads(1, || session.predict_batch(&input));
+
+    let mut records = Vec::new();
+    let mut base_throughput = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let (secs, output) = qn_parallel::with_max_threads(threads, || {
+            let secs = time_mean(samples, || {
+                std::hint::black_box(session.predict_batch(&input).sum());
+            });
+            (secs, session.predict_batch(&input))
+        });
+        assert!(
+            bit_identical(&output, &reference),
+            "outputs must be bit-identical at {threads} threads"
+        );
+        let throughput = batch as f64 / secs;
+        if threads == 1 {
+            base_throughput = throughput;
+        }
+        let speedup = throughput / base_throughput;
+        eprintln!(
+            "throughput/{threads}t: {:.3} ms/batch, {:.1} samples/s, speedup {:.2}x, bit-identical",
+            secs * 1e3,
+            throughput,
+            speedup
+        );
+        records.push(format!(
+            "    {{\n      \"threads\": {threads},\n      \"batch_ms\": {:.4},\n      \
+\"samples_per_sec\": {:.2},\n      \"speedup_vs_1\": {:.3},\n      \
+\"bit_identical\": true\n    }}",
+            secs * 1e3,
+            throughput,
+            speedup
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"model\": \"resnet{}_quadratic\",\n  \
+\"input\": {:?},\n  \"smoke\": {smoke},\n  \"samples\": {samples},\n  \
+\"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        net.config().depth,
+        input.shape().dims(),
+        records.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        eprintln!("recorded {path}");
+    }
+
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(samples);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("predict_batch", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                qn_parallel::with_max_threads(threads, || {
+                    b.iter(|| std::hint::black_box(session.predict_batch(&input).sum()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -281,7 +281,7 @@ mod tests {
                 .train_images
                 .slice_axis(0, i, i + 1)
                 .reshape(&[3 * 16 * 16])
-                .unwrap();
+                .expect("one [1, 3, 16, 16] sample flattens to 3*16*16 elements");
             if l == 0 {
                 mean0.add_assign(&img);
                 n0 += 1;

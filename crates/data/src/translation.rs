@@ -136,7 +136,20 @@ impl TranslationDataset {
             src_vocab.push(p.to_string());
             tgt_vocab.push(p.to_string());
         }
-        let ds_src_id = |s: &str, v: &[String]| v.iter().position(|w| w == s).expect("in vocab");
+        // Panic contract: every token the generator emits comes from
+        // `LEXICON`/`PUNCT`/`SUFFIX`, and both vocabularies were built from
+        // exactly those tables above — a miss therefore means the tables and
+        // the vocab construction went out of sync, which is a programmer
+        // error worth a loud diagnostic rather than a silent fallback id.
+        let ds_src_id = |s: &str, v: &[String]| {
+            v.iter().position(|w| w == s).unwrap_or_else(|| {
+                panic!(
+                    "token {s:?} missing from a vocabulary of {} entries — \
+                     LEXICON/PUNCT/SUFFIX and the vocab construction are out of sync",
+                    v.len()
+                )
+            })
+        };
 
         let mut rng = Rng::seed_from(cfg.seed);
         let gen_pair = |rng: &mut Rng| -> SentencePair {

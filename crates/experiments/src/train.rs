@@ -49,6 +49,21 @@ pub struct TrainConfig {
     pub clip: Option<f32>,
     /// Shuffle / dropout seed.
     pub seed: u64,
+    /// Data-parallel gradient-accumulation shards per step: each mini-batch
+    /// is split into this many contiguous sub-batches whose forward/backward
+    /// passes run concurrently on the `qn-parallel` pool, and whose
+    /// gradients are then accumulated **in shard order**, so for a given
+    /// shard count the loss curve and every gradient are bit-deterministic
+    /// at any thread count. `0` means "one shard per pool thread"; `1` (the
+    /// default) reproduces the single-graph step bit-for-bit.
+    ///
+    /// Shard counts > 1 follow standard unsynchronized data-parallel
+    /// semantics: batch norm normalizes with **per-shard** batch statistics
+    /// (there is no cross-shard stat sync), so the optimization trajectory
+    /// differs slightly from the single-graph baseline, and the
+    /// running-statistics updates — which only feed later inference, never
+    /// the training gradients — are folded in pool-completion order.
+    pub grad_shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -63,7 +78,54 @@ impl Default for TrainConfig {
             augment: true,
             clip: Some(5.0),
             seed: 0,
+            grad_shards: 1,
         }
+    }
+}
+
+/// One shard's contribution to a data-parallel training step.
+struct ShardStep {
+    /// Shard loss, already weighted by `shard_len / batch_len`.
+    weighted_loss: f32,
+    /// Shard accuracy, weighted by `shard_len`.
+    weighted_hits: f32,
+    /// `(parameter, gradient)` pairs from [`qn_autograd::Graph::backward_collect`].
+    grads: Vec<(qn_autograd::Parameter, Tensor)>,
+}
+
+/// Forward/backward over `batch[lo..hi]`, returning weighted loss, weighted
+/// accuracy and the collected (not yet accumulated) gradients.
+fn shard_step(
+    net: &ResNet,
+    images: &Tensor,
+    labels: &[usize],
+    lo: usize,
+    hi: usize,
+    seed: u64,
+) -> ShardStep {
+    let batch_len = labels.len() as f32;
+    let shard_len = (hi - lo) as f32;
+    let mut g = Graph::training(seed);
+    let x = g.leaf(images.slice_axis(0, lo, hi));
+    let logits = net.forward(&mut g, x);
+    let shard_labels = &labels[lo..hi];
+    let loss = g.softmax_cross_entropy(logits, shard_labels, 0.0);
+    // Weight the shard's mean loss by its share of the batch so the summed
+    // gradient equals the full-batch mean-loss gradient.
+    let weighted = g.scale(loss, shard_len / batch_len);
+    let weighted_loss = g.value(weighted).data()[0];
+    if !weighted_loss.is_finite() {
+        return ShardStep {
+            weighted_loss,
+            weighted_hits: 0.0,
+            grads: Vec::new(),
+        };
+    }
+    let grads = g.backward_collect(weighted);
+    ShardStep {
+        weighted_loss,
+        weighted_hits: accuracy(g.value(logits), shard_labels) * shard_len,
+        grads,
     }
 }
 
@@ -87,6 +149,12 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
     let mut diverged = false;
     let mut step_seed = cfg.seed;
 
+    let shards_cfg = if cfg.grad_shards == 0 {
+        qn_parallel::num_threads()
+    } else {
+        cfg.grad_shards
+    };
+
     'epochs: for epoch in 0..cfg.epochs {
         let factor = schedule.factor(epoch);
         let mut loss_sum = 0.0f32;
@@ -99,11 +167,47 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
                 images
             };
             step_seed = step_seed.wrapping_add(1);
-            let mut g = Graph::training(step_seed);
-            let x = g.leaf(images);
-            let logits = net.forward(&mut g, x);
-            let loss = g.softmax_cross_entropy(logits, &labels, 0.0);
-            let loss_val = g.value(loss).data()[0];
+            let batch_len = labels.len();
+            let shards = shards_cfg.min(batch_len).max(1);
+            let (loss_val, batch_acc) = if shards <= 1 {
+                // Single-graph step: bit-for-bit the pre-sharding behaviour.
+                let mut g = Graph::training(step_seed);
+                let x = g.leaf(images);
+                let logits = net.forward(&mut g, x);
+                let loss = g.softmax_cross_entropy(logits, &labels, 0.0);
+                let loss_val = g.value(loss).data()[0];
+                if loss_val.is_finite() {
+                    g.backward(loss);
+                }
+                (loss_val, accuracy(g.value(logits), &labels))
+            } else {
+                // Data-parallel step: shard forward/backward passes run
+                // concurrently, gradients accumulate in shard order below so
+                // the reduction is deterministic at any thread count.
+                let ranges = qn_parallel::split_evenly(batch_len, shards);
+                let images_ref = &images;
+                let labels_ref = labels.as_slice();
+                let steps = qn_parallel::par_map(ranges, |s, (lo, hi)| {
+                    shard_step(
+                        net,
+                        images_ref,
+                        labels_ref,
+                        lo,
+                        hi,
+                        step_seed.wrapping_add(s as u64),
+                    )
+                });
+                let loss_val: f32 = steps.iter().map(|s| s.weighted_loss).sum();
+                let hits: f32 = steps.iter().map(|s| s.weighted_hits).sum();
+                if loss_val.is_finite() {
+                    for step in &steps {
+                        for (p, grad) in &step.grads {
+                            p.accumulate_grad(grad);
+                        }
+                    }
+                }
+                (loss_val, hits / batch_len as f32)
+            };
             if !loss_val.is_finite() {
                 diverged = true;
                 curve.push(EpochStats {
@@ -112,14 +216,13 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
                 });
                 break 'epochs;
             }
-            g.backward(loss);
             if let Some(max_norm) = cfg.clip {
                 clip_grad_norm(&opt.params(), max_norm);
             }
             opt.step(factor);
             opt.zero_grad();
             loss_sum += loss_val;
-            acc_sum += accuracy(g.value(logits), &labels);
+            acc_sum += batch_acc;
             batches += 1;
         }
         curve.push(EpochStats {
@@ -297,6 +400,53 @@ mod tests {
         assert_eq!(result.curve.len(), 2);
         assert!(result.curve[1].loss < result.curve[0].loss + 0.1);
         assert!(result.test_accuracy >= 0.0 && result.test_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn data_parallel_training_is_deterministic_and_tracks_single_shard() {
+        let data = synthetic_cifar10(8, 6, 3, 1);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            augment: false,
+            ..TrainConfig::default()
+        };
+        let run = |shards: usize| {
+            let net = ResNet::cifar(ResNetConfig {
+                depth: 8,
+                base_width: 4,
+                num_classes: 10,
+                neuron: NeuronSpec::EfficientQuadratic { rank: 3 },
+                placement: NeuronPlacement::All,
+                seed: 2,
+            });
+            train_classifier(
+                &net,
+                &data,
+                TrainConfig {
+                    grad_shards: shards,
+                    ..cfg
+                },
+            )
+        };
+        // For a given shard count the loss curve is bit-deterministic:
+        // gradients accumulate in shard order, never in pool-completion
+        // order, and training-mode batch norm never reads the (completion-
+        // ordered) running statistics.
+        let a = run(4);
+        let b = run(4);
+        assert!(!a.diverged && !b.diverged);
+        assert_eq!(a.curve[0].loss.to_bits(), b.curve[0].loss.to_bits());
+        // Sharded training uses per-shard batch-norm statistics
+        // (unsynchronized data parallelism), so it tracks the single-graph
+        // baseline closely but not exactly.
+        let single = run(1);
+        assert!(
+            (a.curve[0].loss - single.curve[0].loss).abs() < 0.2,
+            "sharded loss {} vs single-shard {}",
+            a.curve[0].loss,
+            single.curve[0].loss
+        );
     }
 
     #[test]

@@ -12,6 +12,15 @@ use qn_tensor::{Tensor, TensorError};
 /// across calls. Works with any [`Module`]: a full [`ResNet`](crate::ResNet),
 /// a single layer, or a custom stack.
 ///
+/// Batches are **sharded across the `qn-parallel` worker pool**: the batch
+/// axis is split into contiguous chunks, each chunk runs the full forward
+/// pass on its own persistent worker arena (reset, not reallocated, between
+/// calls), and the chunk outputs are concatenated. Inference is per-sample
+/// independent (batch norm uses running statistics, all other ops act per
+/// sample or per row), so the sharded result is **bit-identical** to the
+/// unsharded one at any thread count — the property suites assert this.
+/// Set `QN_NUM_THREADS=1` to force sequential execution.
+///
 /// For requests whose shape comes from untrusted input, construct the
 /// session with [`InferenceSession::with_sample_shape`] and use the `try_*`
 /// entry points: they return [`TensorError::ShapeMismatch`] instead of
@@ -44,6 +53,10 @@ use qn_tensor::{Tensor, TensorError};
 pub struct InferenceSession<'m> {
     model: &'m dyn Module,
     cx: EagerExec,
+    /// Per-worker arenas for sharded batches, grown on demand and reused
+    /// across calls (index `w` always serves shard `w`, so each arena's
+    /// parameter-snapshot cache stays warm).
+    shard_arenas: Vec<EagerExec>,
     sample_shape: Option<Vec<usize>>,
 }
 
@@ -59,6 +72,7 @@ impl<'m> InferenceSession<'m> {
         InferenceSession {
             model,
             cx: EagerExec::new(),
+            shard_arenas: Vec::new(),
             sample_shape: None,
         }
     }
@@ -70,6 +84,7 @@ impl<'m> InferenceSession<'m> {
         InferenceSession {
             model,
             cx: EagerExec::new(),
+            shard_arenas: Vec::new(),
             sample_shape: Some(dims.to_vec()),
         }
     }
@@ -100,17 +115,53 @@ impl<'m> InferenceSession<'m> {
             .expect("stripping the batch dim preserves numel")
     }
 
-    /// Runs a batch (leading batch dimension) through the tape-free path.
+    /// Runs a batch (leading batch dimension) through the tape-free path,
+    /// sharding the batch axis across the `qn-parallel` pool (bit-identical
+    /// to sequential execution; see the type-level docs).
     ///
     /// # Panics
     ///
     /// Panics if the batch's shape does not fit the model; use
     /// [`InferenceSession::try_predict_batch`] for untrusted input.
     pub fn predict_batch(&mut self, x: &Tensor) -> Tensor {
-        self.cx.reset();
-        let v = self.cx.leaf(x.clone());
-        let y = self.model.forward(&mut self.cx, v);
-        self.cx.take(y)
+        let batch = x.shape().dim(0);
+        let shards = qn_parallel::num_threads().min(batch.max(1));
+        if shards <= 1 {
+            self.cx.reset();
+            let v = self.cx.leaf(x.clone());
+            let y = self.model.forward(&mut self.cx, v);
+            return self.cx.take(y);
+        }
+        if self.shard_arenas.len() < shards {
+            self.shard_arenas.resize_with(shards, EagerExec::new);
+        }
+        let ranges = qn_parallel::split_evenly(batch, shards);
+        let model = self.model;
+        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(shards);
+        outputs.resize_with(shards, || None);
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(shards);
+            let work = self
+                .shard_arenas
+                .iter_mut()
+                .zip(outputs.iter_mut())
+                .zip(ranges.iter());
+            for ((arena, slot), &(lo, hi)) in work {
+                tasks.push(Box::new(move || {
+                    arena.reset();
+                    let v = arena.leaf(x.slice_axis(0, lo, hi));
+                    let y = model.forward(arena, v);
+                    *slot = Some(arena.take(y));
+                }));
+            }
+            qn_parallel::par_scope(tasks);
+        }
+        let parts: Vec<Tensor> = outputs
+            .into_iter()
+            .map(|t| t.expect("par_scope runs every shard"))
+            .collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat(&refs, 0)
     }
 
     /// Validating variant of [`InferenceSession::predict`].

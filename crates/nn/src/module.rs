@@ -28,12 +28,18 @@ impl Costs {
 /// Implementations are object-safe so models can hold heterogeneous
 /// `Box<dyn Module>` stacks built from pluggable neuron kinds.
 ///
+/// `Send + Sync` is a supertrait: a model is shared by reference across the
+/// `qn-parallel` worker pool (sharded `InferenceSession::predict_batch`,
+/// data-parallel gradient accumulation), so layers must keep their interior
+/// state thread-safe — [`Parameter`] is `Arc<RwLock<…>>` and `BatchNorm2d`
+/// guards its running statistics with an `RwLock`.
+///
 /// The forward pass is written once against the [`Exec`] execution context
 /// and therefore runs in **both** modes: on a
 /// [`Graph`](qn_autograd::Graph) it records the differentiation tape
 /// (training), and on an [`EagerExec`](qn_autograd::EagerExec) it evaluates
 /// tape-free (inference) — same arithmetic, no autograd bookkeeping.
-pub trait Module {
+pub trait Module: Send + Sync {
     /// Runs the layer in the given execution context, returning the output
     /// node. Pass a `&mut Graph` to record the tape, or a `&mut EagerExec`
     /// for the allocation-light inference path.

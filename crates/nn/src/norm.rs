@@ -3,7 +3,7 @@
 use crate::{Costs, Module};
 use qn_autograd::{Exec, Parameter, Var};
 use qn_tensor::Tensor;
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 /// Batch normalization over `[B, C, H, W]` with running statistics.
 ///
@@ -15,8 +15,10 @@ use std::cell::RefCell;
 pub struct BatchNorm2d {
     gamma: Parameter,
     beta: Parameter,
-    running_mean: RefCell<Tensor>,
-    running_var: RefCell<Tensor>,
+    // `RwLock`, not `RefCell`: modules are shared across the `qn-parallel`
+    // pool during sharded inference, which only ever reads these.
+    running_mean: RwLock<Tensor>,
+    running_var: RwLock<Tensor>,
     momentum: f32,
     eps: f32,
     channels: usize,
@@ -29,8 +31,8 @@ impl BatchNorm2d {
         BatchNorm2d {
             gamma: Parameter::named("bn.gamma", Tensor::ones(&[channels])),
             beta: Parameter::named("bn.beta", Tensor::zeros(&[channels])),
-            running_mean: RefCell::new(Tensor::zeros(&[channels])),
-            running_var: RefCell::new(Tensor::ones(&[channels])),
+            running_mean: RwLock::new(Tensor::zeros(&[channels])),
+            running_var: RwLock::new(Tensor::ones(&[channels])),
             momentum: 0.1,
             eps: 1e-5,
             channels,
@@ -39,12 +41,18 @@ impl BatchNorm2d {
 
     /// Snapshot of the running mean.
     pub fn running_mean(&self) -> Tensor {
-        self.running_mean.borrow().clone()
+        self.running_mean
+            .read()
+            .expect("running stats lock poisoned")
+            .clone()
     }
 
     /// Snapshot of the running variance.
     pub fn running_var(&self) -> Tensor {
-        self.running_var.borrow().clone()
+        self.running_var
+            .read()
+            .expect("running stats lock poisoned")
+            .clone()
     }
 
     /// Number of normalized channels.
@@ -57,15 +65,30 @@ impl Module for BatchNorm2d {
     fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
-        let rm = self.running_mean.borrow().clone();
-        let rv = self.running_var.borrow().clone();
+        let rm = self.running_mean();
+        let rv = self.running_var();
         let (y, stats) = g.batch_norm2d(x, gamma, beta, &rm, &rv, self.eps);
         if let Some((mean, var)) = stats {
+            // Fold each batch statistic into the *current* running value
+            // under one write-lock acquisition: concurrent training shards
+            // (data-parallel gradient accumulation) then each contribute
+            // their momentum step in completion order instead of racing a
+            // read-modify-write and losing updates.
             let m = self.momentum;
-            let new_mean = rm.scale(1.0 - m).add(&mean.scale(m));
-            let new_var = rv.scale(1.0 - m).add(&var.scale(m));
-            *self.running_mean.borrow_mut() = new_mean;
-            *self.running_var.borrow_mut() = new_var;
+            {
+                let mut rm = self
+                    .running_mean
+                    .write()
+                    .expect("running stats lock poisoned");
+                *rm = rm.scale(1.0 - m).add(&mean.scale(m));
+            }
+            {
+                let mut rv = self
+                    .running_var
+                    .write()
+                    .expect("running stats lock poisoned");
+                *rv = rv.scale(1.0 - m).add(&var.scale(m));
+            }
         }
         y
     }

@@ -1,4 +1,4 @@
-use crate::{Shape, Tensor};
+use crate::{tensor::PAR_MIN_ELEMS, Shape, Tensor};
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding.
 ///
@@ -85,10 +85,13 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
     let mut out = vec![0.0f32; rows * patch];
     let data = input.data();
     let pad = spec.padding as isize;
-    for bi in 0..b {
+    // Each image's patch rows are a disjoint slab of the output, so the
+    // lowering parallelizes over the batch with identical per-row writes at
+    // any thread count.
+    qn_parallel::par_chunks_mut_min(&mut out, oh * ow * patch, PAR_MIN_ELEMS, |bi, slab| {
         for oy in 0..oh {
             for ox in 0..ow {
-                let row = ((bi * oh + oy) * ow + ox) * patch;
+                let row = (oy * ow + ox) * patch;
                 let iy0 = (oy * spec.stride) as isize - pad;
                 let ix0 = (ox * spec.stride) as isize - pad;
                 for ci in 0..c {
@@ -105,13 +108,13 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            out[dst + kx] = data[src_row + ix as usize];
+                            slab[dst + kx] = data[src_row + ix as usize];
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[rows, patch]).expect("im2col sizes are consistent")
 }
 
@@ -136,14 +139,17 @@ pub fn col2im(cols: &Tensor, spec: Conv2dSpec, input_dims: (usize, usize, usize,
     let mut out = vec![0.0f32; b * c * h * w];
     let data = cols.data();
     let pad = spec.padding as isize;
-    for bi in 0..b {
+    // Overlapping patches only ever accumulate into their own image, so the
+    // scatter parallelizes over the batch; the in-image accumulation order
+    // is unchanged, keeping results bit-identical at any thread count.
+    qn_parallel::par_chunks_mut_min(&mut out, c * h * w, PAR_MIN_ELEMS, |bi, img_out| {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((bi * oh + oy) * ow + ox) * patch;
                 let iy0 = (oy * spec.stride) as isize - pad;
                 let ix0 = (ox * spec.stride) as isize - pad;
                 for ci in 0..c {
-                    let img = (bi * c + ci) * h * w;
+                    let img = ci * h * w;
                     for ky in 0..k {
                         let iy = iy0 + ky as isize;
                         if iy < 0 || iy >= h as isize {
@@ -156,13 +162,13 @@ pub fn col2im(cols: &Tensor, spec: Conv2dSpec, input_dims: (usize, usize, usize,
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            out[dst_row + ix as usize] += data[src + kx];
+                            img_out[dst_row + ix as usize] += data[src + kx];
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[b, c, h, w]).expect("col2im sizes are consistent")
 }
 

@@ -1,4 +1,4 @@
-use crate::Tensor;
+use crate::{tensor::PAR_MIN_ELEMS, Tensor};
 
 /// Geometry of a 2-D pooling window (square, non-padded).
 ///
@@ -62,9 +62,17 @@ pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> (Tensor, Vec<usize>) {
     let mut out = Tensor::zeros(&[b, c, oh, ow]);
     let mut arg = vec![0usize; b * c * oh * ow];
     let data = input.data();
-    for bi in 0..b {
-        for ci in 0..c {
-            let img = (bi * c + ci) * h * w;
+    // One unit per (batch, channel) plane: pooled values and argmax indices
+    // for a plane are disjoint output slabs, so the sweep parallelizes over
+    // `b·c` with identical per-plane results at any thread count.
+    qn_parallel::par_chunks_mut_pair_min(
+        out.data_mut(),
+        oh * ow,
+        &mut arg,
+        oh * ow,
+        PAR_MIN_ELEMS,
+        |plane, out_plane, arg_plane| {
+            let img = plane * h * w;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut best = f32::NEG_INFINITY;
@@ -80,13 +88,13 @@ pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> (Tensor, Vec<usize>) {
                             }
                         }
                     }
-                    let o = ((bi * c + ci) * oh + oy) * ow + ox;
-                    out.data_mut()[o] = best;
-                    arg[o] = best_idx;
+                    let o = oy * ow + ox;
+                    out_plane[o] = best;
+                    arg_plane[o] = best_idx;
                 }
             }
-        }
-    }
+        },
+    );
     (out, arg)
 }
 
@@ -121,9 +129,13 @@ pub fn avg_pool2d(input: &Tensor, spec: PoolSpec) -> Tensor {
     let mut out = Tensor::zeros(&[b, c, oh, ow]);
     let norm = 1.0 / (spec.window * spec.window) as f32;
     let data = input.data();
-    for bi in 0..b {
-        for ci in 0..c {
-            let img = (bi * c + ci) * h * w;
+    // Parallel over (batch, channel) planes; window sums stay sequential.
+    qn_parallel::par_chunks_mut_min(
+        out.data_mut(),
+        oh * ow,
+        PAR_MIN_ELEMS,
+        |plane, out_plane| {
+            let img = plane * h * w;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut acc = 0.0f32;
@@ -132,12 +144,11 @@ pub fn avg_pool2d(input: &Tensor, spec: PoolSpec) -> Tensor {
                             acc += data[img + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
                         }
                     }
-                    let o = ((bi * c + ci) * oh + oy) * ow + ox;
-                    out.data_mut()[o] = acc * norm;
+                    out_plane[oy * ow + ox] = acc * norm;
                 }
             }
-        }
-    }
+        },
+    );
     out
 }
 
@@ -159,22 +170,21 @@ pub fn avg_pool2d_backward(
     let mut out = Tensor::zeros(&[b, c, h, w]);
     let norm = 1.0 / (spec.window * spec.window) as f32;
     let gdata = grad.data();
-    for bi in 0..b {
-        for ci in 0..c {
-            let img = (bi * c + ci) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = gdata[((bi * c + ci) * oh + oy) * ow + ox] * norm;
-                    for ky in 0..spec.window {
-                        for kx in 0..spec.window {
-                            out.data_mut()
-                                [img + (oy * spec.stride + ky) * w + ox * spec.stride + kx] += g;
-                        }
+    // Overlapping windows accumulate only within their own plane, so the
+    // scatter parallelizes over (batch, channel) planes with the in-plane
+    // accumulation order unchanged.
+    qn_parallel::par_chunks_mut_min(out.data_mut(), h * w, PAR_MIN_ELEMS, |plane, out_plane| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = gdata[(plane * oh + oy) * ow + ox] * norm;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        out_plane[(oy * spec.stride + ky) * w + ox * spec.stride + kx] += g;
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 

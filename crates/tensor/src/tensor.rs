@@ -1,6 +1,32 @@
 use crate::{Rng, Shape, TensorError};
 use std::fmt;
 
+pub(crate) use qn_parallel::PAR_MIN_ELEMS;
+
+/// Minimum multiply–accumulate count before a matmul fans out to the pool.
+const PAR_MIN_MACS: usize = 32 * 1024;
+
+/// Per-row finiteness of a `[rows, width]` matrix, used to keep the
+/// zero-coefficient skip in the matmul kernels IEEE-754-exact: a `0.0`
+/// coefficient may only skip its RHS row when that row is entirely finite
+/// (`0 × NaN = NaN`, `0 × ∞ = NaN` must propagate).
+///
+/// Always yields exactly `rows` entries — also for `width == 0`, where every
+/// (empty) row is vacuously finite.
+///
+/// The scan costs one pass over the RHS, so callers only build the mask when
+/// the LHS actually contains a `0.0` (the LHS is being read anyway); with no
+/// zero coefficient the skip can never fire and no mask is needed.
+fn finite_rows(data: &[f32], rows: usize, width: usize) -> Vec<bool> {
+    (0..rows)
+        .map(|r| {
+            data[r * width..(r + 1) * width]
+                .iter()
+                .all(|v| v.is_finite())
+        })
+        .collect()
+}
+
 /// A dense, contiguous, row-major `f32` array of arbitrary rank.
 ///
 /// `Tensor` is the single numeric container used throughout `quadranet`.
@@ -247,9 +273,34 @@ impl Tensor {
     // ----- elementwise ----------------------------------------------------
 
     /// Applies `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    ///
+    /// Large tensors are processed in parallel bands on the `qn-parallel`
+    /// pool (each element depends only on itself, so results are identical
+    /// at any thread count); `f` therefore has to be `Sync`.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let n = self.numel();
+        let threads = if n >= PAR_MIN_ELEMS {
+            qn_parallel::num_threads()
+        } else {
+            1
+        };
+        if threads <= 1 {
+            return Tensor {
+                data: self.data.iter().map(|&v| f(v)).collect(),
+                shape: self.shape.clone(),
+            };
+        }
+        let mut out = vec![0.0f32; n];
+        let band = n.div_ceil(threads);
+        qn_parallel::par_chunks_mut(&mut out, band, |bi, chunk| {
+            let start = bi * band;
+            let src = &self.data[start..start + chunk.len()];
+            for (o, &v) in chunk.iter_mut().zip(src) {
+                *o = f(v);
+            }
+        });
         Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: out,
             shape: self.shape.clone(),
         }
     }
@@ -263,22 +314,46 @@ impl Tensor {
 
     /// Combines two same-shape tensors elementwise.
     ///
+    /// Parallelized like [`Tensor::map`], so `f` has to be `Sync`.
+    ///
     /// # Panics
     ///
     /// Panics if shapes differ.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Self {
         assert_eq!(
             self.shape, other.shape,
             "zip shape mismatch: {} vs {}",
             self.shape, other.shape
         );
+        let n = self.numel();
+        let threads = if n >= PAR_MIN_ELEMS {
+            qn_parallel::num_threads()
+        } else {
+            1
+        };
+        if threads <= 1 {
+            return Tensor {
+                data: self
+                    .data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+                shape: self.shape.clone(),
+            };
+        }
+        let mut out = vec![0.0f32; n];
+        let band = n.div_ceil(threads);
+        qn_parallel::par_chunks_mut(&mut out, band, |bi, chunk| {
+            let start = bi * band;
+            let sa = &self.data[start..start + chunk.len()];
+            let sb = &other.data[start..start + chunk.len()];
+            for ((o, &a), &b) in chunk.iter_mut().zip(sa).zip(sb) {
+                *o = f(a, b);
+            }
+        });
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: out,
             shape: self.shape.clone(),
         }
     }
@@ -431,6 +506,12 @@ impl Tensor {
 
     /// Matrix product `self @ other` of `[M, K] × [K, N]`.
     ///
+    /// Large products are parallelized over output rows on the
+    /// `qn-parallel` pool; each row accumulates sequentially over `K`, so
+    /// the result is bit-identical at any thread count. A `0.0` coefficient
+    /// skips its RHS row only when that row is entirely finite, preserving
+    /// IEEE-754 non-finite propagation (`0 × NaN = NaN`).
+    ///
     /// # Panics
     ///
     /// Panics unless both tensors are 2-D with compatible inner dims.
@@ -440,18 +521,29 @@ impl Tensor {
         let (m, k) = self.dims2();
         let (k2, n) = other.dims2();
         assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let skippable = if self.data.contains(&0.0) {
+            finite_rows(&other.data, k, n)
+        } else {
+            vec![false; k] // no zero coefficient: the skip can never fire
+        };
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
+        let row_kernel = |i: usize, orow: &mut [f32]| {
             let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
             for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0 && skippable[p] {
                     continue;
                 }
                 let brow = &other.data[p * n..(p + 1) * n];
                 for (o, &b) in orow.iter_mut().zip(brow.iter()) {
                     *o += a * b;
                 }
+            }
+        };
+        if m * n * k >= PAR_MIN_MACS {
+            qn_parallel::par_chunks_mut(&mut out, n.max(1), row_kernel);
+        } else {
+            for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
+                row_kernel(i, orow);
             }
         }
         Tensor {
@@ -463,6 +555,10 @@ impl Tensor {
     /// Matrix product `selfᵀ @ other` of `[K, M]ᵀ × [K, N]` without
     /// materializing the transpose.
     ///
+    /// Parallelized over output rows with sequential accumulation over `K`
+    /// (bit-identical at any thread count) and the same finiteness-guarded
+    /// zero skip as [`Tensor::matmul`].
+    ///
     /// # Panics
     ///
     /// Panics unless both tensors are 2-D with compatible leading dims.
@@ -472,18 +568,29 @@ impl Tensor {
         let (k, m) = self.dims2();
         let (k2, n) = other.dims2();
         assert_eq!(k, k2, "matmul_transa leading dims differ: {k} vs {k2}");
+        let skippable = if self.data.contains(&0.0) {
+            finite_rows(&other.data, k, n)
+        } else {
+            vec![false; k] // no zero coefficient: the skip can never fire
+        };
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &self.data[p * m..(p + 1) * m];
-            let brow = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
+        let row_kernel = |i: usize, orow: &mut [f32]| {
+            for (p, ok) in skippable.iter().enumerate() {
+                let a = self.data[p * m + i];
+                if a == 0.0 && *ok {
                     continue;
                 }
-                let orow = &mut out[i * n..(i + 1) * n];
+                let brow = &other.data[p * n..(p + 1) * n];
                 for (o, &b) in orow.iter_mut().zip(brow.iter()) {
                     *o += a * b;
                 }
+            }
+        };
+        if m * n * k >= PAR_MIN_MACS {
+            qn_parallel::par_chunks_mut(&mut out, n.max(1), row_kernel);
+        } else {
+            for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
+                row_kernel(i, orow);
             }
         }
         Tensor {
@@ -495,6 +602,10 @@ impl Tensor {
     /// Matrix product `self @ otherᵀ` of `[M, K] × [N, K]ᵀ` without
     /// materializing the transpose.
     ///
+    /// Parallelized over output rows; each output element is one
+    /// sequential dot product, so results are bit-identical at any thread
+    /// count.
+    ///
     /// # Panics
     ///
     /// Panics unless both tensors are 2-D with compatible trailing dims.
@@ -505,15 +616,22 @@ impl Tensor {
         let (n, k2) = other.dims2();
         assert_eq!(k, k2, "matmul_transb trailing dims differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
+        let row_kernel = |i: usize, orow: &mut [f32]| {
             let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
+            for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
                 for (&a, &b) in arow.iter().zip(brow.iter()) {
                     acc += a * b;
                 }
-                out[i * n + j] = acc;
+                *o = acc;
+            }
+        };
+        if m * n * k >= PAR_MIN_MACS {
+            qn_parallel::par_chunks_mut(&mut out, n.max(1), row_kernel);
+        } else {
+            for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
+                row_kernel(i, orow);
             }
         }
         Tensor {

@@ -14,6 +14,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`parallel`] | `qn-parallel` | std-only worker pool: `par_chunks_mut`/`par_map`/`par_join` |
 //! | [`tensor`] | `qn-tensor` | dense `f32` tensors, matmul, im2col convolution |
 //! | [`linalg`] | `qn-linalg` | symmetric eigendecomposition, spectral top-k |
 //! | [`autograd`] | `qn-autograd` | tape-based reverse-mode differentiation + tape-free eager execution |
@@ -83,6 +84,21 @@
 //! assert_eq!(logits.shape().dims(), &[10]);
 //! assert!(session.try_predict(&Tensor::zeros(&[1, 8, 8])).is_err());
 //! ```
+//!
+//! # Scaling
+//!
+//! The hot kernels (matmul family, conv2d, pooling, the fused inference
+//! kernels, batched inference and data-parallel training) run on the
+//! [`parallel`] worker pool, sized from `QN_NUM_THREADS` (default:
+//! [`std::thread::available_parallelism`]; `QN_NUM_THREADS=1` disables
+//! parallelism). Work is only ever split into disjoint output regions with
+//! sequential per-unit accumulation, so **results are bit-identical at any
+//! thread count** — `predict_batch` on one thread and on eight produce the
+//! same bits, which the workspace's property suites assert. Training with
+//! `TrainConfig::grad_shards > 1` shards each mini-batch across the pool
+//! and accumulates gradients in shard order (deterministic per shard
+//! count; batch norm then uses per-shard statistics, the standard
+//! unsynchronized data-parallel semantics).
 pub use qn_autograd as autograd;
 pub use qn_core as core;
 pub use qn_data as data;
@@ -91,4 +107,5 @@ pub use qn_linalg as linalg;
 pub use qn_metrics as metrics;
 pub use qn_models as models;
 pub use qn_nn as nn;
+pub use qn_parallel as parallel;
 pub use qn_tensor as tensor;

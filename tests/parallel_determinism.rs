@@ -1,0 +1,143 @@
+//! Determinism under parallelism: every parallel kernel must produce
+//! **bit-identical** results at any thread count, because work is only ever
+//! split into disjoint output regions with sequential per-unit accumulation
+//! (see the `qn-parallel` crate docs for the contract).
+//!
+//! Each property runs the same computation with the pool capped to one
+//! thread (`with_max_threads(1)`) and uncapped, then compares the outputs
+//! bit-for-bit. Under `QN_NUM_THREADS=1` both sides are sequential and the
+//! comparison is trivial; CI also runs the suite with the cap unset so the
+//! parallel path is exercised wherever the host has cores.
+
+use proptest::prelude::*;
+use quadranet::autograd::{EagerExec, Exec, Graph};
+use quadranet::core::NeuronSpec;
+use quadranet::models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
+use quadranet::tensor::{Conv2dSpec, Tensor};
+
+fn bit_identical(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn vals(numel: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, numel)
+}
+
+fn tiny_net(seed: u64) -> ResNet {
+    ResNet::cifar(ResNetConfig {
+        depth: 8,
+        base_width: 4,
+        num_classes: 10,
+        neuron: NeuronSpec::EfficientQuadratic { rank: 3 },
+        placement: NeuronPlacement::All,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Sizes are chosen above the kernels' parallel thresholds (e.g.
+    // 48·32·40 MACs > 32k) so the pool path actually engages when the host
+    // has more than one thread.
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts(
+        a in vals(48 * 32), b in vals(32 * 40)
+    ) {
+        let ta = Tensor::from_vec(a, &[48, 32]).unwrap();
+        let tb = Tensor::from_vec(b, &[32, 40]).unwrap();
+        let parallel = ta.matmul(&tb);
+        let sequential = qn_parallel::with_max_threads(1, || ta.matmul(&tb));
+        prop_assert!(bit_identical(&parallel, &sequential));
+    }
+
+    #[test]
+    fn matmul_trans_variants_bit_identical_across_thread_counts(
+        a in vals(32 * 48), b in vals(32 * 40)
+    ) {
+        let ta = Tensor::from_vec(a, &[32, 48]).unwrap();
+        let tb = Tensor::from_vec(b, &[32, 40]).unwrap();
+        let pa = ta.matmul_transa(&tb);
+        let sa = qn_parallel::with_max_threads(1, || ta.matmul_transa(&tb));
+        prop_assert!(bit_identical(&pa, &sa));
+        let tbt = Tensor::from_vec(tb.data().to_vec(), &[40, 32]).unwrap();
+        let tat = Tensor::from_vec(ta.data().to_vec(), &[48, 32]).unwrap();
+        let pb = tat.matmul_transb(&tbt);
+        let sb = qn_parallel::with_max_threads(1, || tat.matmul_transb(&tbt));
+        prop_assert!(bit_identical(&pb, &sb));
+    }
+
+    #[test]
+    fn fused_conv2d_bit_identical_across_thread_counts(
+        x in vals(2 * 3 * 12 * 12), w in vals(8 * 3 * 3 * 3)
+    ) {
+        let tx = Tensor::from_vec(x, &[2, 3, 12, 12]).unwrap();
+        let tw = Tensor::from_vec(w, &[8, 3, 3, 3]).unwrap();
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let run = || {
+            let mut e = EagerExec::new();
+            let xv = e.leaf(tx.clone());
+            let wv = e.leaf(tw.clone());
+            let y = e.conv2d(xv, wv, spec);
+            e.take(y)
+        };
+        let parallel = run();
+        let sequential = qn_parallel::with_max_threads(1, run);
+        prop_assert!(bit_identical(&parallel, &sequential));
+    }
+
+    #[test]
+    fn elementwise_map_bit_identical_across_thread_counts(
+        x in vals(20_000)
+    ) {
+        // 20k elements exceeds the elementwise parallel threshold.
+        let tx = Tensor::from_vec(x, &[20_000]).unwrap();
+        let parallel = tx.map(|v| v.tanh() * 0.5 + v * v);
+        let sequential = qn_parallel::with_max_threads(1, || tx.map(|v| v.tanh() * 0.5 + v * v));
+        prop_assert!(bit_identical(&parallel, &sequential));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn predict_batch_bit_identical_across_thread_counts(
+        x in vals(6 * 3 * 16 * 16), seed in 0u64..4
+    ) {
+        let net = tiny_net(seed);
+        let batch = Tensor::from_vec(x, &[6, 3, 16, 16]).unwrap();
+        let mut session = InferenceSession::new(&net);
+        let parallel = session.predict_batch(&batch);
+        let sequential = qn_parallel::with_max_threads(1, || {
+            let mut s = InferenceSession::new(&net);
+            s.predict_batch(&batch)
+        });
+        prop_assert!(
+            bit_identical(&parallel, &sequential),
+            "sharded predict_batch must match the unsharded result bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn tape_eager_equivalence_holds_on_parallel_path(
+        x in vals(4 * 3 * 16 * 16), seed in 0u64..4
+    ) {
+        // The PR 2 tape/eager equivalence property, re-asserted with the
+        // parallel kernels engaged on both sides.
+        let net = tiny_net(seed);
+        let batch = Tensor::from_vec(x, &[4, 3, 16, 16]).unwrap();
+        let mut g = Graph::new();
+        let xv = g.leaf(batch.clone());
+        let yv = quadranet::nn::Module::forward(&net, &mut g, xv);
+        let taped = g.value(yv).clone();
+        let mut session = InferenceSession::new(&net);
+        let eager = session.predict_batch(&batch);
+        prop_assert!(taped.allclose(&eager, 1e-6));
+    }
+}
