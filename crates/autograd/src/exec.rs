@@ -36,7 +36,9 @@ use crate::nnops::{batch_norm_apply, layer_norm_forward, softmax_last};
 use crate::ops::{add_bcast_forward, mul_bcast_forward};
 use crate::Parameter;
 use crate::PAR_MIN_ELEMS;
-use qn_tensor::{avg_pool2d, im2col, max_pool2d, Conv2dSpec, PoolSpec, Tensor};
+use qn_tensor::{
+    avg_pool2d, gemm_batched, im2col, max_pool2d, Conv2dSpec, MatRef, PoolSpec, Tensor,
+};
 
 /// Execution context for a forward pass: either the differentiation tape
 /// ([`Graph`]) or the allocation-light eager arena ([`EagerExec`]).
@@ -576,10 +578,11 @@ impl Exec for EagerExec {
     }
 
     fn conv2d(&mut self, x: Var, weight: Var, spec: Conv2dSpec) -> Var {
-        // Fused lowering: im2col, then dot products written directly in
-        // [B, OC, OH, OW] layout — same arithmetic as the taped
-        // im2col → matmul_transb → reshape → permute pipeline, minus two
-        // full-tensor copies.
+        // Fused lowering through the shared GEMM core: per sample, the
+        // output plane block `[OC, OH·OW]` is `W [OC, n] @ colsᵀ [n, OH·OW]`
+        // with the im2col transpose as a zero-copy stride swap — the same
+        // arithmetic as the taped im2col → matmul_transb → reshape → permute
+        // pipeline (bit-identical), minus two full-tensor copies.
         let (b, c, h, w) = self.value(x).dims4();
         let (oc, wc, kh, kw) = self.value(weight).dims4();
         assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
@@ -588,30 +591,21 @@ impl Exec for EagerExec {
         let (oh, ow) = spec.output_hw(h, w);
         let cols = im2col(self.value(x), spec); // [B*OH*OW, n]
         let n = c * kh * kw;
-        let wdata = self.value(weight).data(); // [OC, n] row-major
-        let mut out = Tensor::zeros(&[b, oc, oh, ow]);
         let hw = oh * ow;
-        // Parallel over the batch × out-channel planes: every output plane
-        // is an independent set of dot products, so results are
-        // bit-identical at any thread count.
-        qn_parallel::par_chunks_mut_min(
-            out.data_mut(),
-            hw.max(1),
-            PAR_MIN_ELEMS,
-            |plane, out_plane| {
-                let bi = plane / oc;
-                let j = plane % oc;
-                let wrow = &wdata[j * n..(j + 1) * n];
-                for (pos, o) in out_plane.iter_mut().enumerate() {
-                    let row = &cols.data()[(bi * hw + pos) * n..(bi * hw + pos + 1) * n];
-                    let mut acc = 0.0f32;
-                    for (&a, &wv) in row.iter().zip(wrow.iter()) {
-                        acc += a * wv;
-                    }
-                    *o = acc;
-                }
-            },
-        );
+        let mut out = Tensor::zeros(&[b, oc, oh, ow]);
+        {
+            let wdata = self.value(weight).data(); // [OC, n] row-major
+            let cdata = cols.data();
+            gemm_batched(
+                out.data_mut(),
+                b,
+                oc,
+                hw,
+                n,
+                |_| MatRef::new(wdata, oc, n),
+                |bi| MatRef::new(&cdata[bi * hw * n..(bi + 1) * hw * n], hw, n).transpose(),
+            );
+        }
         self.push(out)
     }
 

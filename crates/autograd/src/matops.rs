@@ -1,8 +1,14 @@
 //! Matrix and batched-matrix products.
+//!
+//! Everything here routes through the shared `qn-tensor` [`gemm`] core: the
+//! batch dimension of `bmm` is a loop of zero-copy [`MatRef`] subslices, and
+//! the backward passes pass stride-transposed views instead of materializing
+//! (or hand-rolling) transposed kernels. That gives all of them the core's
+//! guarantees for free — bit-identical results at any thread count and the
+//! finiteness-guarded zero-coefficient skip (`0 × NaN` propagates).
 
 use crate::graph::{Graph, Var};
-use crate::PAR_MIN_ELEMS;
-use qn_tensor::Tensor;
+use qn_tensor::{gemm_batched, MatRef, Tensor};
 
 impl Graph {
     /// Matrix product `a @ b` of `[M, K] × [K, N]`.
@@ -74,70 +80,61 @@ fn batch_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
     (n, m, k, p)
 }
 
-/// `[N, M, K] × [N, K, P] -> [N, M, P]`.
-///
-/// No zero-coefficient skip: `0 × NaN`/`0 × ∞` must propagate per IEEE-754
-/// (attention scores are dense anyway). Parallelized over the batch with
-/// sequential per-row accumulation, so results are bit-identical at any
-/// thread count.
+/// `[N, M, K] × [N, K, P] -> [N, M, P]` through the shared GEMM core: one
+/// zero-copy `MatRef` subslice pair per batch element. Bit-identical at any
+/// thread count; the finiteness-guarded zero-coefficient skip (dropped
+/// outright in PR 3) is back via the core's packing step.
 pub(crate) fn bmm_forward(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, m, k, p) = batch_dims(a, b);
     let mut out = vec![0.0f32; n * m * p];
-    qn_parallel::par_chunks_mut_min(&mut out, (m * p).max(1), PAR_MIN_ELEMS, |ni, oslab| {
-        let abase = ni * m * k;
-        let bbase = ni * k * p;
-        for i in 0..m {
-            for kk in 0..k {
-                let av = a.data()[abase + i * k + kk];
-                let brow = &b.data()[bbase + kk * p..bbase + (kk + 1) * p];
-                let orow = &mut oslab[i * p..(i + 1) * p];
-                for (o, &bb) in orow.iter_mut().zip(brow) {
-                    *o += av * bb;
-                }
-            }
-        }
-    });
+    let (ad, bd) = (a.data(), b.data());
+    gemm_batched(
+        &mut out,
+        n,
+        m,
+        p,
+        k,
+        |ni| MatRef::new(&ad[ni * m * k..(ni + 1) * m * k], m, k),
+        |ni| MatRef::new(&bd[ni * k * p..(ni + 1) * k * p], k, p),
+    );
     Tensor::from_vec(out, &[n, m, p]).expect("bmm shape consistent")
 }
 
-/// `g [N, M, P] × bᵀ [N, P, K]` per batch: returns `[N, M, K]`.
+/// `g [N, M, P] × bᵀ [N, P, K]` per batch: returns `[N, M, K]`. The
+/// per-batch transpose of `b` is a stride swap, not a copy.
 fn bmm_transb(g: &Tensor, b: &Tensor) -> Tensor {
     let (n, k, p) = (b.shape().dim(0), b.shape().dim(1), b.shape().dim(2));
     let m = g.shape().dim(1);
     let mut out = vec![0.0f32; n * m * k];
-    qn_parallel::par_chunks_mut_min(&mut out, (m * k).max(1), PAR_MIN_ELEMS, |ni, oslab| {
-        for i in 0..m {
-            for kk in 0..k {
-                let brow = &b.data()[ni * k * p + kk * p..ni * k * p + (kk + 1) * p];
-                let grow = &g.data()[ni * m * p + i * p..ni * m * p + (i + 1) * p];
-                let mut acc = 0.0f32;
-                for (&gg, &bb) in grow.iter().zip(brow) {
-                    acc += gg * bb;
-                }
-                oslab[i * k + kk] = acc;
-            }
-        }
-    });
+    let (gd, bd) = (g.data(), b.data());
+    gemm_batched(
+        &mut out,
+        n,
+        m,
+        k,
+        p,
+        |ni| MatRef::new(&gd[ni * m * p..(ni + 1) * m * p], m, p),
+        |ni| MatRef::new(&bd[ni * k * p..(ni + 1) * k * p], k, p).transpose(),
+    );
     Tensor::from_vec(out, &[n, m, k]).expect("bmm shape consistent")
 }
 
-/// `aᵀ [N, K, M] × g [N, M, P]` per batch: returns `[N, K, P]`.
+/// `aᵀ [N, K, M] × g [N, M, P]` per batch: returns `[N, K, P]`. The
+/// per-batch transpose of `a` is a stride swap, not a copy.
 fn bmm_transa(a: &Tensor, g: &Tensor) -> Tensor {
     let (n, m, k) = (a.shape().dim(0), a.shape().dim(1), a.shape().dim(2));
     let p = g.shape().dim(2);
     let mut out = vec![0.0f32; n * k * p];
-    qn_parallel::par_chunks_mut_min(&mut out, (k * p).max(1), PAR_MIN_ELEMS, |ni, oslab| {
-        for i in 0..m {
-            for kk in 0..k {
-                let av = a.data()[ni * m * k + i * k + kk];
-                let grow = &g.data()[ni * m * p + i * p..ni * m * p + (i + 1) * p];
-                let orow = &mut oslab[kk * p..(kk + 1) * p];
-                for (o, &gg) in orow.iter_mut().zip(grow) {
-                    *o += av * gg;
-                }
-            }
-        }
-    });
+    let (ad, gd) = (a.data(), g.data());
+    gemm_batched(
+        &mut out,
+        n,
+        k,
+        p,
+        m,
+        |ni| MatRef::new(&ad[ni * m * k..(ni + 1) * m * k], m, k).transpose(),
+        |ni| MatRef::new(&gd[ni * m * p..(ni + 1) * m * p], m, p),
+    );
     Tensor::from_vec(out, &[n, k, p]).expect("bmm shape consistent")
 }
 

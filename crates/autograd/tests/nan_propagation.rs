@@ -3,7 +3,7 @@
 //! [`EagerExec`]), now that the zero-skip fast path is finiteness-guarded.
 
 use qn_autograd::{EagerExec, Exec, Graph, Var};
-use qn_tensor::Tensor;
+use qn_tensor::{Conv2dSpec, Tensor};
 
 fn t(data: &[f32], dims: &[usize]) -> Tensor {
     Tensor::from_vec(data.to_vec(), dims).expect("test tensor")
@@ -75,6 +75,64 @@ fn bmm_propagates_nan_in_both_contexts() {
         assert!(out.data()[0].is_nan(), "bmm must not swallow 0 × NaN");
         assert_eq!(out.data()[1], 6.0);
     }
+}
+
+#[test]
+fn bmm_zero_skip_reinstated_stays_exact() {
+    // PR 3 removed bmm's zero-coefficient skip outright; routing bmm
+    // through the shared GEMM core brings it back finiteness-guarded. A
+    // zero attention row over a *finite* value matrix must still produce
+    // exact zeros, while a zero row over a non-finite one must go NaN.
+    let a = t(&[0.0, 0.0, 1.0, 2.0], &[1, 2, 2]); // row 0 is all zeros
+    let b_fin = t(&[3.0, 4.0, 5.0, 6.0], &[1, 2, 2]);
+    let b_nan = t(&[f32::NAN, 4.0, 5.0, 6.0], &[1, 2, 2]);
+    let (taped, eager) = both(|cx| {
+        let av = cx.leaf(a.clone());
+        let bv = cx.leaf(b_fin.clone());
+        cx.bmm(av, bv)
+    });
+    for out in [&taped, &eager] {
+        assert_eq!(&out.data()[..2], &[0.0, 0.0], "skipped zeros stay exact");
+        assert_eq!(&out.data()[2..], &[13.0, 16.0]);
+    }
+    let (taped, eager) = both(|cx| {
+        let av = cx.leaf(a.clone());
+        let bv = cx.leaf(b_nan.clone());
+        cx.bmm(av, bv)
+    });
+    for out in [&taped, &eager] {
+        assert!(out.data()[0].is_nan(), "0 × NaN must survive the skip");
+        assert_eq!(out.data()[1], 0.0, "NaN sits in column 0 only");
+    }
+}
+
+#[test]
+fn conv2d_propagates_nan_in_both_contexts() {
+    // A NaN pixel with an all-zero filter: the im2col product is 0 × NaN,
+    // which must contaminate the output positions whose patch covers the
+    // pixel — in the taped pipeline and the fused eager kernel alike.
+    let mut x = Tensor::zeros(&[1, 1, 4, 4]);
+    x.set(&[0, 0, 0, 0], f32::NAN);
+    let w = Tensor::zeros(&[1, 1, 3, 3]);
+    let spec = Conv2dSpec::new(3, 1, 0);
+    let (taped, eager) = both(|cx| {
+        let xv = cx.leaf(x.clone());
+        let wv = cx.leaf(w.clone());
+        cx.conv2d(xv, wv, spec)
+    });
+    for out in [&taped, &eager] {
+        assert!(out.data()[0].is_nan(), "patch covering the NaN pixel");
+        assert_eq!(out.data()[3], 0.0, "patches past the pixel stay exact");
+    }
+}
+
+#[test]
+fn transa_in_backward_and_tensor_level() {
+    // matmul_transa is not a forward Exec op; it runs inside every matmul
+    // backward. Pin it at the Tensor level too, from this crate's contexts.
+    let a = t(&[0.0, 1.0], &[2, 1]); // aᵀ = [0, 1]
+    let b = t(&[f32::NAN, 2.0], &[2, 1]);
+    assert!(a.matmul_transa(&b).data()[0].is_nan(), "0 × NaN via transa");
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! The packed GEMM core vs. the retained seed kernels
+//! (`qn_tensor::reference`), at the shapes the reproduction actually runs:
+//! ResNet-20 im2col products (the conv hot path, a `matmul_transb`) and
+//! transformer attention products (square `matmul`s per head).
+//!
+//! For every shape the bench measures single-thread GFLOP/s of both
+//! implementations, asserts the outputs are bit-identical (the determinism
+//! contract the refactor preserves), and records everything — including the
+//! packed core's full-pool throughput — in `BENCH_gemm.json` at the repo
+//! root. Set `QN_SMOKE=1` for a CI-sized run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_bench::time_mean;
+use qn_tensor::{reference, Rng, Tensor};
+
+/// (label, m, k, n, lhs-of-transb?): ResNet-20/CIFAR im2col products are
+/// `[B·OH·OW, C·K²] × [OC, C·K²]ᵀ`; attention products are `[T, dh] × [dh, T]`
+/// per head.
+const SHAPES: [(&str, usize, usize, usize, bool); 6] = [
+    ("resnet20_stage1_im2col", 1024, 144, 16, true),
+    ("resnet20_stage2_im2col", 256, 288, 32, true),
+    ("resnet20_stage3_im2col", 64, 576, 64, true),
+    ("attention_scores_t64", 64, 32, 64, false),
+    ("attention_context_t64", 64, 64, 32, false),
+    ("attention_scores_t128", 128, 64, 128, false),
+];
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("QN_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let samples = if smoke { 5 } else { 40 };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rng = Rng::seed_from(61);
+
+    let mut records = Vec::new();
+    for &(label, m, k, n, transb) in &SHAPES {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        // transb stores B as [N, K] (weights row-major); plain matmul as [K, N]
+        let b = if transb {
+            Tensor::randn(&[n, k], &mut rng)
+        } else {
+            Tensor::randn(&[k, n], &mut rng)
+        };
+        let packed = |a: &Tensor, b: &Tensor| {
+            if transb {
+                a.matmul_transb(b)
+            } else {
+                a.matmul(b)
+            }
+        };
+        let naive = |a: &Tensor, b: &Tensor| {
+            if transb {
+                reference::matmul_transb(a, b)
+            } else {
+                reference::matmul(a, b)
+            }
+        };
+        assert!(
+            packed(&a, &b).bit_identical(&naive(&a, &b)),
+            "{label}: packed core must be bit-identical to the seed kernel"
+        );
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let naive_s = time_mean(samples, || {
+            std::hint::black_box(naive(&a, &b).data()[0]);
+        });
+        let packed_1t = qn_parallel::with_max_threads(1, || {
+            time_mean(samples, || {
+                std::hint::black_box(packed(&a, &b).data()[0]);
+            })
+        });
+        let packed_nt = time_mean(samples, || {
+            std::hint::black_box(packed(&a, &b).data()[0]);
+        });
+        let (gf_naive, gf_1t, gf_nt) = (
+            flops / naive_s / 1e9,
+            flops / packed_1t / 1e9,
+            flops / packed_nt / 1e9,
+        );
+        let speedup = gf_1t / gf_naive;
+        eprintln!(
+            "gemm/{label} ({m}x{k}x{n}): naive {gf_naive:.2} GFLOP/s, \
+             packed 1t {gf_1t:.2} GFLOP/s ({speedup:.2}x), \
+             packed {host_cpus}t {gf_nt:.2} GFLOP/s"
+        );
+        records.push(format!(
+            "    {{\n      \"shape\": \"{label}\",\n      \"m\": {m},\n      \"k\": {k},\n      \
+\"n\": {n},\n      \"transb\": {transb},\n      \"naive_gflops\": {gf_naive:.3},\n      \
+\"packed_1t_gflops\": {gf_1t:.3},\n      \"packed_full_pool_gflops\": {gf_nt:.3},\n      \
+\"speedup_1t_vs_naive\": {speedup:.3},\n      \"bit_identical\": true\n    }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"gemm\",\n  \"smoke\": {smoke},\n  \"samples\": {samples},\n  \
+\"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        eprintln!("recorded {path}");
+    }
+
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(samples);
+    let a = Tensor::randn(&[1024, 144], &mut rng);
+    let b = Tensor::randn(&[16, 144], &mut rng);
+    group.bench_function(BenchmarkId::new("packed", "resnet20_stage1"), |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul_transb(&b).data()[0]))
+    });
+    group.bench_function(BenchmarkId::new("naive", "resnet20_stage1"), |bch| {
+        bch.iter(|| std::hint::black_box(reference::matmul_transb(&a, &b).data()[0]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,10 +9,10 @@
 //! `QN_SMOKE=1` for a CI-sized configuration.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_bench::time_mean;
 use qn_core::NeuronSpec;
 use qn_models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
 use qn_tensor::{Rng, Tensor};
-use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -33,24 +33,6 @@ fn build(smoke: bool) -> (ResNet, Tensor) {
     });
     let input = Tensor::randn(&[batch, 3, res, res], &mut rng);
     (net, input)
-}
-
-/// Mean seconds per call of `f` over `samples` timed runs (one warmup).
-fn time_mean(samples: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let start = Instant::now();
-    for _ in 0..samples {
-        f();
-    }
-    start.elapsed().as_secs_f64() / samples as f64
-}
-
-fn bit_identical(a: &Tensor, b: &Tensor) -> bool {
-    a.shape() == b.shape()
-        && a.data()
-            .iter()
-            .zip(b.data().iter())
-            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 fn bench(c: &mut Criterion) {
@@ -78,7 +60,7 @@ fn bench(c: &mut Criterion) {
             (secs, session.predict_batch(&input))
         });
         assert!(
-            bit_identical(&output, &reference),
+            output.bit_identical(&reference),
             "outputs must be bit-identical at {threads} threads"
         );
         let throughput = batch as f64 / secs;

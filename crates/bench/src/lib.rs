@@ -1,1 +1,16 @@
-pub fn placeholder() {}
+//! Shared helpers for the qn-bench benchmark binaries.
+
+use std::time::Instant;
+
+/// Mean seconds per call of `f` over `samples` timed runs (one warmup).
+///
+/// The single timing helper behind every `BENCH_*.json` artifact, so the
+/// recorded numbers stay methodologically comparable across benches.
+pub fn time_mean(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..samples {
+        f();
+    }
+    start.elapsed().as_secs_f64() / samples as f64
+}

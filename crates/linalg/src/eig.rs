@@ -1,4 +1,4 @@
-use qn_tensor::Tensor;
+use qn_tensor::{Tensor, TensorError};
 
 /// Eigendecomposition of a real symmetric matrix, `M = Q Λ Qᵀ`.
 ///
@@ -14,7 +14,14 @@ pub struct Eigh {
 }
 
 impl Eigh {
-    /// Rebuilds `Q Λ Qᵀ`.
+    /// Rebuilds `Q Λ Qᵀ` (the `QΛ` column scaling, then one product with
+    /// `Qᵀ` as a zero-copy stride swap through the shared GEMM core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is not 2-D or `values` is shorter than its
+    /// column count — both impossible for values produced by [`eigh`]; the
+    /// contract only binds hand-constructed instances.
     pub fn reconstruct(&self) -> Tensor {
         let (n, _) = self.vectors.dims2();
         let mut ql = self.vectors.clone();
@@ -29,6 +36,10 @@ impl Eigh {
 
     /// Largest off-diagonal magnitude of `QᵀQ - I` — an orthonormality
     /// residual useful in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is not 2-D (see [`Eigh::reconstruct`]).
     pub fn orthonormality_residual(&self) -> f32 {
         let qtq = self.vectors.matmul_transa(&self.vectors);
         let (n, _) = qtq.dims2();
@@ -55,7 +66,8 @@ impl Eigh {
 ///
 /// # Panics
 ///
-/// Panics if `m` is not 2-D square.
+/// Panics if `m` is not 2-D square; [`try_eigh`] is the validating
+/// counterpart for data-dependent call sites.
 pub fn eigh(m: &Tensor, max_sweeps: usize) -> Eigh {
     let (n, c) = m.dims2();
     assert_eq!(n, c, "eigh requires a square matrix, got {n}x{c}");
@@ -144,6 +156,16 @@ pub fn eigh(m: &Tensor, max_sweeps: usize) -> Eigh {
         values: sorted_values,
         vectors,
     }
+}
+
+/// Validating counterpart of [`eigh`] (continuing the PR 2/PR 3
+/// unwrap/expect audit series into `qn-linalg`): a non-2-D or non-square
+/// input surfaces as [`TensorError::ShapeMismatch`] instead of a panic, so
+/// data-dependent call sites — e.g. decomposing a user-supplied weight
+/// matrix — can recover.
+pub fn try_eigh(m: &Tensor, max_sweeps: usize) -> Result<Eigh, TensorError> {
+    crate::require_square(m)?;
+    Ok(eigh(m, max_sweeps))
 }
 
 #[cfg(test)]
@@ -244,5 +266,19 @@ mod tests {
     #[should_panic(expected = "square")]
     fn non_square_panics() {
         eigh(&Tensor::zeros(&[2, 3]), 10);
+    }
+
+    #[test]
+    fn try_eigh_reports_shape_errors() {
+        assert!(matches!(
+            try_eigh(&Tensor::zeros(&[2, 3]), 10),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            try_eigh(&Tensor::zeros(&[4]), 10),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let e = try_eigh(&Tensor::eye(3), 10).expect("square input");
+        assert_eq!(e.values.len(), 3);
     }
 }

@@ -12,6 +12,12 @@
 //! - [`random_orthonormal`] / [`gram_schmidt`] — orthonormal initializers for
 //!   the `Qᵏ` factor of the efficient quadratic neuron.
 //!
+//! Hot-path entry points panic on malformed shapes with documented `# Panics`
+//! contracts; the validating [`try_eigh`] / [`try_spectral_top_k`] variants
+//! return [`TensorError`] for data-dependent call sites (the workspace's
+//! `try_` audit convention). All products route through the shared
+//! `qn-tensor` [`gemm`] core.
+//!
 //! # Example
 //!
 //! ```
@@ -36,10 +42,25 @@
 mod eig;
 mod ortho;
 
-pub use eig::{eigh, Eigh};
+pub use eig::{eigh, try_eigh, Eigh};
 pub use ortho::{gram_schmidt, random_orthonormal};
 
-use qn_tensor::Tensor;
+use qn_tensor::{gemm, MatMut, MatRef, Tensor, TensorError};
+
+/// Validates that `m` is 2-D square, returning its size `n` — the shared
+/// shape check behind the crate's `try_` entry points, so they all report
+/// the same [`TensorError::ShapeMismatch`] for malformed input.
+pub(crate) fn require_square(m: &Tensor) -> Result<usize, TensorError> {
+    let dims = m.shape().dims();
+    if dims.len() != 2 || dims[0] != dims[1] {
+        let n = dims.first().copied().unwrap_or(0);
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, n],
+            actual: dims.to_vec(),
+        });
+    }
+    Ok(dims[0])
+}
 
 /// Lemma 1: replaces `M` by the symmetric matrix `(M + Mᵀ)/2`, which induces
 /// the same quadratic form `xᵀMx` for all `x`.
@@ -53,33 +74,30 @@ pub fn symmetrize(m: &Tensor) -> Tensor {
     m.add(&m.transpose2()).scale(0.5)
 }
 
-/// Evaluates the quadratic form `xᵀMx` directly (O(n²) reference used in
-/// tests and by the general quadratic neuron).
+/// Evaluates the quadratic form `xᵀMx` as `xᵀ(Mx)` — the matrix–vector
+/// product runs through the shared `qn-tensor` [`gemm`]
+/// core, the final contraction is one sequential dot.
+///
+/// This replaced a hand-rolled loop whose `x[i] == 0.0` skip was **not**
+/// finiteness-guarded (the PR 3 bug class): a zero entry of `x` silently
+/// swallowed NaN/∞ rows of `M`. Through the core, `0 × NaN = NaN`
+/// propagates, and finite results are bit-identical to the unskipped loop.
 ///
 /// # Panics
 ///
-/// Panics if dims are inconsistent.
+/// Panics if `m` is not 2-D square of size `x.numel()`.
 pub fn quadratic_form(x: &Tensor, m: &Tensor) -> f32 {
     let n = x.numel();
     let (r, c) = m.dims2();
     assert_eq!(r, n, "matrix rows {r} != vector length {n}");
     assert_eq!(c, n, "matrix cols {c} != vector length {n}");
-    let xd = x.data();
-    let md = m.data();
-    let mut acc = 0.0f32;
-    for i in 0..n {
-        let xi = xd[i];
-        if xi == 0.0 {
-            continue;
-        }
-        let row = &md[i * n..(i + 1) * n];
-        let mut inner = 0.0f32;
-        for (j, &mij) in row.iter().enumerate() {
-            inner += mij * xd[j];
-        }
-        acc += xi * inner;
-    }
-    acc
+    let mut mx = vec![0.0f32; n];
+    gemm(
+        MatMut::new(&mut mx, n, 1),
+        m.mat(),
+        MatRef::new(x.data(), n, 1),
+    );
+    x.data().iter().zip(&mx).map(|(&a, &b)| a * b).sum()
 }
 
 /// The rank-k spectral truncation `Mᵏ = QᵏΛᵏ(Qᵏ)ᵀ` of a symmetric matrix,
@@ -95,6 +113,12 @@ pub struct SpectralTopK {
 
 impl SpectralTopK {
     /// Rebuilds the `n × n` approximation `QᵏΛᵏ(Qᵏ)ᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not 2-D or `lambda` is shorter than `q`'s column
+    /// count — both impossible for values produced by [`spectral_top_k`];
+    /// the contract only binds hand-constructed instances.
     pub fn reconstruct(&self) -> Tensor {
         let (n, k) = self.q.dims2();
         // scale columns of Q by lambda, then multiply by Qᵀ
@@ -123,6 +147,25 @@ pub fn spectral_top_k(m: &Tensor, k: usize) -> SpectralTopK {
         q: eig.vectors.slice_axis(1, 0, k),
         lambda: eig.values[..k].to_vec(),
     }
+}
+
+/// Validating counterpart of [`spectral_top_k`] for data-dependent call
+/// sites (continuing the workspace's `try_` audit series): a non-square
+/// matrix surfaces as [`TensorError::ShapeMismatch`], a rank exceeding `n`
+/// as [`TensorError::IndexOutOfRange`] and a rank of zero (no retained
+/// eigenpairs) as [`TensorError::EmptyShape`], instead of a panic.
+pub fn try_spectral_top_k(m: &Tensor, k: usize) -> Result<SpectralTopK, TensorError> {
+    let n = require_square(m)?;
+    if k == 0 {
+        return Err(TensorError::EmptyShape);
+    }
+    if k > n {
+        return Err(TensorError::IndexOutOfRange {
+            index: k,
+            bound: n + 1,
+        });
+    }
+    Ok(spectral_top_k(m, k))
 }
 
 #[cfg(test)]
@@ -204,5 +247,37 @@ mod tests {
     #[should_panic(expected = "must be in")]
     fn top_k_zero_rank_panics() {
         spectral_top_k(&Tensor::eye(3), 0);
+    }
+
+    #[test]
+    fn try_top_k_reports_errors_instead_of_panicking() {
+        assert!(matches!(
+            try_spectral_top_k(&Tensor::zeros(&[2, 3]), 1),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            try_spectral_top_k(&Tensor::eye(3), 0),
+            Err(TensorError::EmptyShape)
+        ));
+        assert!(matches!(
+            try_spectral_top_k(&Tensor::eye(3), 4),
+            Err(TensorError::IndexOutOfRange { index: 4, bound: 4 })
+        ));
+        let ok = try_spectral_top_k(&Tensor::eye(3), 2).expect("valid rank");
+        assert_eq!(ok.q.shape().dims(), &[3, 2]);
+        assert_eq!(ok.lambda.len(), 2);
+    }
+
+    #[test]
+    fn quadratic_form_zero_entry_no_longer_swallows_nan() {
+        // Regression (PR 3 bug class): x = [0, 1] used to skip row 0 of M
+        // entirely, hiding the NaN; through the guarded GEMM core it
+        // propagates.
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        let m = Tensor::from_vec(vec![f32::NAN, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert!(quadratic_form(&x, &m).is_nan());
+        // finite inputs are unaffected
+        let mf = Tensor::from_vec(vec![2.0, 0.5, 0.5, 1.0], &[2, 2]).unwrap();
+        assert!((quadratic_form(&x, &mf) - 1.0).abs() < 1e-6);
     }
 }

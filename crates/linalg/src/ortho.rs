@@ -7,7 +7,10 @@ use qn_tensor::{Rng, Tensor};
 ///
 /// # Panics
 ///
-/// Panics if `m` is not 2-D or `k > n`.
+/// Panics if `m` is not 2-D or `k > n`. Also panics — as a documented
+/// last-resort contract rather than a reachable state — if 100 consecutive
+/// random resamples of a degenerate column all collapse onto the span of
+/// the previous columns, which with `k <= n` requires a broken RNG.
 pub fn gram_schmidt(m: &Tensor, rng: &mut Rng) -> Tensor {
     let (n, k) = m.dims2();
     assert!(k <= n, "cannot orthonormalize {k} columns in dimension {n}");

@@ -8,6 +8,30 @@
 //! initialization) so that the quadratic-neuron library reproduces the paper's
 //! system from scratch rather than delegating to an existing framework.
 //!
+//! # Layout, views, and determinism
+//!
+//! [`Tensor`] owns a dense, contiguous, **row-major** buffer. On top of that
+//! single layout sit the stride-aware matrix views [`MatRef`]/[`MatMut`]:
+//! a matrix is `(data, rows, cols, row_stride, col_stride)`, so transposition
+//! ([`MatRef::transpose`]) is a stride swap and slicing one batch element out
+//! of a `[N, M, K]` buffer is a subslice — **zero-copy** either way. Every
+//! matrix product in the workspace (`matmul`, `matmul_transa`,
+//! `matmul_transb`, the batched attention products, the im2col product
+//! inside `conv2d`, the `qn-linalg` reconstructions) routes through the one
+//! packed, register-tiled [`gemm`] core behind those views.
+//!
+//! Two invariants hold everywhere and are enforced by the workspace's
+//! property suites:
+//!
+//! - **Determinism:** the `k`-accumulation of every output element is
+//!   strictly sequential, and parallelism only ever splits disjoint output
+//!   regions — results are **bit-identical at any thread count**, and
+//!   bit-identical to the seed naive kernels (retained in [`reference`](mod@reference) as
+//!   the executable specification).
+//! - **IEEE-754 exactness:** the zero-coefficient skip is
+//!   finiteness-guarded once, at the GEMM packing step, so `0 × NaN = NaN`
+//!   and `0 × ∞ = NaN` propagate instead of being silently swallowed.
+//!
 //! # Example
 //!
 //! ```
@@ -28,6 +52,7 @@
 
 mod conv;
 mod error;
+mod mat;
 mod pool;
 mod rng;
 mod shape;
@@ -35,6 +60,7 @@ mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dSpec};
 pub use error::TensorError;
+pub use mat::{gemm, gemm_batched, reference, MatMut, MatRef};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
 pub use rng::Rng;
 pub use shape::Shape;

@@ -1,0 +1,730 @@
+//! Stride-aware matrix views and the packed GEMM core.
+//!
+//! Every matrix product in the workspace — `Tensor::{matmul, matmul_transa,
+//! matmul_transb}`, the batched products behind attention, the im2col
+//! product behind `conv2d`, and the `qn-linalg` reconstructions — bottoms
+//! out in the single [`gemm`] kernel defined here, following the classic
+//! layered BLAS design (Goto & van de Geijn, "Anatomy of High-Performance
+//! Matrix Multiplication"):
+//!
+//! - [`MatRef`]/[`MatMut`] describe a matrix as `(data, rows, cols,
+//!   strides)` over a borrowed `f32` slice, so **transposition is a stride
+//!   swap** ([`MatRef::transpose`]) and slicing a batch element out of a
+//!   contiguous `[N, M, K]` buffer is a subslice — no copies anywhere on the
+//!   way into the kernel.
+//! - [`gemm`] packs the right-hand side into contiguous column panels,
+//!   packs the left-hand side into register-block tiles, and drives an
+//!   `MR × NR` register-tiled micro-kernel with an `NR`-unrolled inner
+//!   loop. Large products are parallelized over disjoint output-row bands
+//!   on the `qn-parallel` pool.
+//!
+//! # Determinism
+//!
+//! The `k`-accumulation for every output element is **strictly sequential**
+//! (`p = 0, 1, …, k-1`), in the packed path, the small fallback path, and at
+//! any thread count. Together with the zero-skip analysis below this makes
+//! every product **bit-identical** to the seed triple-loop kernels (retained
+//! in [`reference`](mod@reference)) — the property suites in `crates/tensor/tests/`
+//! enforce the equality across shapes, transpose flags and thread counts.
+//!
+//! # The finiteness-guarded zero skip
+//!
+//! A `0.0` coefficient in `A` may only skip its row of `B` when that row is
+//! entirely finite (`0 × NaN = NaN` and `0 × ∞ = NaN` must propagate —
+//! see the PR 3 regression suites). The guard lives in exactly one place:
+//! the B-packing step computes a per-`k`-row finiteness mask in the same
+//! pass that packs the panel, and the micro-kernel consults it before
+//! skipping an all-zero register block. Skipping is IEEE-754-exact: an
+//! accumulator chain that starts at `+0.0` can never reach `-0.0` (for
+//! finite `x`, `x + (-x) = +0.0` and `+0.0 + ±0.0 = +0.0`), so dropping
+//! `±0.0` products leaves every bit of the result unchanged.
+
+use crate::Tensor;
+
+/// Rows per register block of the micro-kernel.
+const MR: usize = 4;
+/// Columns per packed panel / register block; the inner loop is unrolled
+/// over `NR` so the compiler can keep the whole `MR × NR` accumulator block
+/// in vector registers.
+const NR: usize = 8;
+
+/// Minimum multiply–accumulate count before [`gemm`] packs; below this the
+/// packing traffic costs more than it saves and the strided fallback runs.
+const PACK_MIN_MACS: usize = 2048;
+
+/// Minimum multiply–accumulate count before a product fans out to the
+/// `qn-parallel` pool (the seed kernels' threshold, unchanged).
+const PAR_MIN_MACS: usize = 32 * 1024;
+
+/// An immutable stride-aware matrix view over a borrowed `f32` slice.
+///
+/// `at(i, j)` reads `data[i * row_stride + j * col_stride]`; a row-major
+/// matrix has `row_stride = cols, col_stride = 1`. Because the layout is
+/// explicit, [`transpose`](MatRef::transpose) is a stride swap — **no
+/// copy** — and a batch element of a contiguous 3-D tensor is a plain
+/// subslice.
+///
+/// # Example
+///
+/// ```
+/// use qn_tensor::{MatRef, MatMut, gemm, Tensor};
+///
+/// # fn main() -> Result<(), qn_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// let at = a.mat().transpose(); // zero-copy 3×2 view
+/// assert_eq!(at.at(2, 1), 6.0);
+/// let mut out = vec![0.0; 9];
+/// gemm(MatMut::new(&mut out, 3, 3), at, a.mat()); // aᵀ @ a
+/// assert_eq!(out[0], 1.0 * 1.0 + 4.0 * 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MatRef<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+    col_stride: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Row-major contiguous view of `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `rows * cols`.
+    pub fn new(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        assert!(
+            data.len() >= rows * cols,
+            "MatRef: slice of {} elements cannot hold {rows}x{cols}",
+            data.len()
+        );
+        MatRef {
+            data,
+            rows,
+            cols,
+            row_stride: cols,
+            col_stride: 1,
+        }
+    }
+
+    /// General strided view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last addressable element
+    /// (`(rows-1)·row_stride + (cols-1)·col_stride`) falls outside `data`.
+    pub fn with_strides(
+        data: &'a [f32],
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+        col_stride: usize,
+    ) -> Self {
+        if rows > 0 && cols > 0 {
+            let last = (rows - 1) * row_stride + (cols - 1) * col_stride;
+            assert!(
+                last < data.len(),
+                "MatRef: {rows}x{cols} view with strides ({row_stride}, {col_stride}) \
+                 exceeds slice of {} elements",
+                data.len()
+            );
+        }
+        MatRef {
+            data,
+            rows,
+            cols,
+            row_stride,
+            col_stride,
+        }
+    }
+
+    /// The transposed view: swaps dims and strides. Zero-copy.
+    pub fn transpose(self) -> Self {
+        MatRef {
+            data: self.data,
+            rows: self.cols,
+            cols: self.rows,
+            row_stride: self.col_stride,
+            col_stride: self.row_stride,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computed flat offset is out of bounds (debug builds
+    /// additionally assert `i < rows && j < cols`).
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.row_stride + j * self.col_stride]
+    }
+
+    /// `true` when the view is dense row-major (`row_stride == cols`,
+    /// `col_stride == 1`).
+    pub fn is_contiguous(&self) -> bool {
+        self.col_stride == 1 && self.row_stride == self.cols
+    }
+
+    /// `true` if any viewed element is (positive or negative) zero — the
+    /// pre-scan deciding whether the zero-skip machinery is worth enabling.
+    fn contains_zero(&self) -> bool {
+        if self.is_contiguous() {
+            return self.data[..self.rows * self.cols].contains(&0.0);
+        }
+        (0..self.rows).any(|i| (0..self.cols).any(|j| self.at(i, j) == 0.0))
+    }
+}
+
+/// A mutable output-matrix view: `rows × cols` written row-major with an
+/// optional `row_stride >= cols` (so a sub-block of a wider buffer can be
+/// the destination). The data between `cols` and `row_stride` is never
+/// touched.
+#[derive(Debug)]
+pub struct MatMut<'a> {
+    data: &'a mut [f32],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatMut<'a> {
+    /// Dense row-major destination of `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `rows * cols`.
+    pub fn new(data: &'a mut [f32], rows: usize, cols: usize) -> Self {
+        MatMut::with_row_stride(data, rows, cols, cols)
+    }
+
+    /// Destination whose consecutive rows are `row_stride` elements apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_stride < cols` or `data` cannot hold the last row.
+    pub fn with_row_stride(
+        data: &'a mut [f32],
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+    ) -> Self {
+        assert!(
+            row_stride >= cols,
+            "MatMut: row_stride {row_stride} < cols {cols}"
+        );
+        if rows > 0 && cols > 0 {
+            let need = (rows - 1) * row_stride + cols;
+            assert!(
+                data.len() >= need,
+                "MatMut: slice of {} elements cannot hold {rows}x{cols} \
+                 with row stride {row_stride}",
+                data.len()
+            );
+        }
+        MatMut {
+            data,
+            rows,
+            cols,
+            row_stride,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Right-hand side packed into `⌈n/NR⌉` column panels, each `k × NR`
+/// row-major (`data[panel · k·NR + p · NR + j]`), zero-padded past `n`.
+/// The optional `finite` mask — one flag per `k`-row of `B`, computed in the
+/// **same pass** as the packing — is the single home of the
+/// finiteness-guarded zero skip.
+struct PackedB {
+    data: Vec<f32>,
+    n: usize,
+    panels: usize,
+    finite: Option<Vec<bool>>,
+}
+
+fn pack_b(b: MatRef<'_>, with_mask: bool) -> PackedB {
+    let (k, n) = (b.rows, b.cols);
+    let panels = n.div_ceil(NR);
+    let mut data = vec![0.0f32; panels * k * NR];
+    let mut finite = if with_mask { vec![true; k] } else { Vec::new() };
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let nr = NR.min(n - j0);
+        let pbase = jp * k * NR;
+        for p in 0..k {
+            let dst = &mut data[pbase + p * NR..pbase + p * NR + nr];
+            if with_mask {
+                let mut all_finite = true;
+                for (jj, d) in dst.iter_mut().enumerate() {
+                    let v = b.at(p, j0 + jj);
+                    all_finite &= v.is_finite();
+                    *d = v;
+                }
+                if !all_finite {
+                    finite[p] = false;
+                }
+            } else {
+                // dense-A path: no mask wanted, skip the finiteness reduction
+                for (jj, d) in dst.iter_mut().enumerate() {
+                    *d = b.at(p, j0 + jj);
+                }
+            }
+        }
+    }
+    PackedB {
+        data,
+        n,
+        panels,
+        finite: if with_mask { Some(finite) } else { None },
+    }
+}
+
+/// The register-tiled heart: one `MR × NR` block of `C`, all of `k`.
+///
+/// `ap` is a packed A-tile (`k × MR`, column of the block contiguous per
+/// `p`), `bp` a packed B-panel (`k × NR`). Accumulation per output element
+/// is strictly sequential over `p`; with `SKIP` the finiteness-guarded
+/// zero-skip drops rank-1 updates whose `MR` coefficients are all zero and
+/// whose `B`-row is entirely finite (bit-exact either way, see module docs).
+#[inline(always)]
+fn microkernel<const SKIP: bool>(ap: &[f32], bp: &[f32], finite: &[bool]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (p, (ac, br)) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).enumerate() {
+        if SKIP && finite[p] && ac.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        for (accrow, &ai) in acc.iter_mut().zip(ac) {
+            for (o, &bv) in accrow.iter_mut().zip(br) {
+                *o += ai * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Processes `band_rows` consecutive output rows starting at global row
+/// `first_row`, writing into `cband` (local offsets, `row_stride` apart).
+fn run_band(
+    cband: &mut [f32],
+    row_stride: usize,
+    band_rows: usize,
+    first_row: usize,
+    a: MatRef<'_>,
+    packed: &PackedB,
+) {
+    let k = a.cols;
+    let finite = packed.finite.as_deref();
+    let mut atile = vec![0.0f32; k * MR];
+    for ib in (0..band_rows).step_by(MR) {
+        let mr = MR.min(band_rows - ib);
+        // Pack the A block: atile[p·MR + ii] = A[first_row + ib + ii, p],
+        // zero-padded so the micro-kernel always sees a full block.
+        for (p, dst) in atile.chunks_exact_mut(MR).enumerate() {
+            for (ii, d) in dst.iter_mut().enumerate() {
+                *d = if ii < mr {
+                    a.at(first_row + ib + ii, p)
+                } else {
+                    0.0
+                };
+            }
+        }
+        for jp in 0..packed.panels {
+            let j0 = jp * NR;
+            let nr = NR.min(packed.n - j0);
+            let bp = &packed.data[jp * k * NR..(jp + 1) * k * NR];
+            let acc = match finite {
+                Some(fin) => microkernel::<true>(&atile, bp, fin),
+                None => microkernel::<false>(&atile, bp, &[]),
+            };
+            for (ii, accrow) in acc.iter().enumerate().take(mr) {
+                let off = (ib + ii) * row_stride + j0;
+                cband[off..off + nr].copy_from_slice(&accrow[..nr]);
+            }
+        }
+    }
+}
+
+/// Fallback for products too small (or too skinny) to pack, parallelized
+/// over output rows past the seed threshold. Also zero-fills `C` when
+/// `k == 0`.
+///
+/// Per output element the accumulation is sequential over `p` either way —
+/// bit-identical to the packed path and the seed kernels — but the loop
+/// shape follows `B`'s layout so the inner loop streams contiguous memory:
+/// row-major `B` gets the seed's saxpy over `B`-rows (row-vector matmuls,
+/// matvecs), column-major `B` (a stride-swapped transpose view) gets one
+/// dot product per element over `B`-columns (the seed `transb` shape).
+fn gemm_fallback(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    let (m, n, k) = (c.rows, c.cols, a.cols);
+    let row_stride = c.row_stride;
+    let saxpy = b.col_stride == 1;
+    let row_kernel = |i: usize, crow: &mut [f32]| {
+        let crow = &mut crow[..n];
+        if saxpy {
+            crow.fill(0.0);
+            for p in 0..k {
+                let av = a.at(i, p);
+                let brow = &b.data[p * b.row_stride..p * b.row_stride + n];
+                for (o, &bv) in crow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        } else {
+            for (j, o) in crow.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(i, p) * b.at(p, j);
+                }
+                *o = acc;
+            }
+        }
+    };
+    let len = (m - 1) * row_stride + n;
+    if m * n * k >= PAR_MIN_MACS {
+        qn_parallel::par_chunks_mut(&mut c.data[..len], row_stride, row_kernel);
+    } else {
+        for (i, crow) in c.data[..len].chunks_mut(row_stride).enumerate() {
+            row_kernel(i, crow);
+        }
+    }
+}
+
+/// Matrix product `C ← A · B` (`C` is fully overwritten).
+///
+/// The one GEMM kernel every product in the workspace routes through.
+/// Transposed operands are passed as stride-swapped views
+/// ([`MatRef::transpose`]); `C` must be row-major (an optional row stride
+/// lets a sub-block of a wider buffer be the destination).
+///
+/// Guarantees (see the module docs for the analysis):
+///
+/// - **bit-identical** results to the seed naive kernels ([`reference`](mod@reference)) at
+///   any thread count — per-element accumulation over `k` is strictly
+///   sequential and parallelism only ever splits disjoint output-row bands;
+/// - IEEE-754-exact non-finite propagation: the zero-coefficient skip is
+///   finiteness-guarded at the packing step (`0 × NaN = NaN` survives);
+/// - `k == 0` zero-fills `C` (the empty sum).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch between `c`, `a` and `b`.
+pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    let (m, n, k) = (c.rows, c.cols, a.cols);
+    assert_eq!(a.rows, m, "gemm: a has {} rows, c has {m}", a.rows);
+    assert_eq!(b.rows, k, "gemm: a is {m}x{k} but b has {} rows", b.rows);
+    assert_eq!(b.cols, n, "gemm: b has {} cols, c has {n}", b.cols);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m < MR || n < NR || m * n * k < PACK_MIN_MACS {
+        return gemm_fallback(c, a, b);
+    }
+    // Enable the skip machinery only when A actually holds a zero (the scan
+    // reads A once; a dense A pays nothing beyond it).
+    let packed = pack_b(b, a.contains_zero());
+    let row_stride = c.row_stride;
+    let blocks = m.div_ceil(MR);
+    let threads = qn_parallel::num_threads();
+    let bands = threads.min(blocks);
+    let len = (m - 1) * row_stride + n;
+    let cdata = &mut c.data[..len];
+    if bands > 1 && m * n * k >= PAR_MIN_MACS {
+        let rows_per_band = blocks.div_ceil(bands) * MR;
+        qn_parallel::par_chunks_mut(cdata, rows_per_band * row_stride, |bi, band| {
+            let first = bi * rows_per_band;
+            run_band(
+                band,
+                row_stride,
+                rows_per_band.min(m - first),
+                first,
+                a,
+                &packed,
+            );
+        });
+    } else {
+        run_band(cdata, row_stride, m, 0, a, &packed);
+    }
+}
+
+/// Runs `batches` independent products `out[i] ← a_of(i) · b_of(i)` (each
+/// `m × k · k × n`) into the contiguous `[batches, m, n]` buffer `out`.
+///
+/// Batch-parallelism is preferred whenever the batch dimension alone can
+/// occupy the pool (each product then runs inline inside its worker) —
+/// [`gemm`]'s internal row-band split is capped at `⌈m/MR⌉` bands, so for
+/// wide short-`m` products (e.g. per-sample conv planes) the batch is the
+/// better axis. Only when there are fewer batches than threads do batches
+/// run sequentially with [`gemm`] parallelizing internally. Either way the
+/// output regions are disjoint and per-element accumulation is sequential,
+/// so results are bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `out.len() != batches * m * n` or any view has the wrong shape.
+pub fn gemm_batched<'a, FA, FB>(
+    out: &mut [f32],
+    batches: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_of: FA,
+    b_of: FB,
+) where
+    FA: Fn(usize) -> MatRef<'a> + Sync,
+    FB: Fn(usize) -> MatRef<'a> + Sync,
+{
+    assert_eq!(
+        out.len(),
+        batches * m * n,
+        "gemm_batched: output of {} elements cannot hold {batches}x{m}x{n}",
+        out.len()
+    );
+    if batches == 0 || m * n == 0 {
+        return;
+    }
+    let per = m * n;
+    let run = |ni: usize, slab: &mut [f32]| {
+        gemm(MatMut::new(slab, m, n), a_of(ni), b_of(ni));
+    };
+    let per_macs = m * n * k;
+    let threads = qn_parallel::num_threads();
+    let batch_parallel =
+        batches * per_macs >= PAR_MIN_MACS && (batches >= threads || per_macs < PAR_MIN_MACS);
+    if batch_parallel {
+        qn_parallel::par_chunks_mut(out, per, run);
+    } else {
+        for (ni, slab) in out.chunks_mut(per).enumerate() {
+            run(ni, slab);
+        }
+    }
+}
+
+/// The seed naive matmul kernels, retained verbatim (modulo the parallel
+/// split, which was bit-neutral) as the executable specification the packed
+/// [`gemm`] core is tested — and benchmarked — against.
+///
+/// These run strictly sequentially and are **not** called by any production
+/// path; `crates/tensor/tests/gemm_equivalence.rs` asserts bit-equality
+/// against them and `crates/bench/benches/gemm.rs` measures the speedup
+/// over them.
+pub mod reference {
+    use crate::Tensor;
+
+    /// Per-row finiteness of a `[rows, width]` matrix — the seed guard for
+    /// the zero-coefficient skip (`0 × NaN` must propagate).
+    fn finite_rows(data: &[f32], rows: usize, width: usize) -> Vec<bool> {
+        (0..rows)
+            .map(|r| {
+                data[r * width..(r + 1) * width]
+                    .iter()
+                    .all(|v| v.is_finite())
+            })
+            .collect()
+    }
+
+    /// Seed `[M, K] × [K, N]` kernel (finiteness-guarded zero skip).
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.dims2();
+        let (k2, n) = b.dims2();
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let skippable = if a.data().contains(&0.0) {
+            finite_rows(b.data(), k, n)
+        } else {
+            vec![false; k]
+        };
+        let mut out = vec![0.0f32; m * n];
+        for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
+            let arow = &a.data()[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 && skippable[p] {
+                    continue;
+                }
+                let brow = &b.data()[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("matmul shape consistent")
+    }
+
+    /// Seed `[K, M]ᵀ × [K, N]` kernel.
+    pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = a.dims2();
+        let (k2, n) = b.dims2();
+        assert_eq!(k, k2, "matmul_transa leading dims differ: {k} vs {k2}");
+        let skippable = if a.data().contains(&0.0) {
+            finite_rows(b.data(), k, n)
+        } else {
+            vec![false; k]
+        };
+        let mut out = vec![0.0f32; m * n];
+        for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
+            for (p, ok) in skippable.iter().enumerate() {
+                let av = a.data()[p * m + i];
+                if av == 0.0 && *ok {
+                    continue;
+                }
+                let brow = &b.data()[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("matmul_transa shape consistent")
+    }
+
+    /// Seed `[M, K] × [N, K]ᵀ` kernel (per-element dot products).
+    pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.dims2();
+        let (n, k2) = b.dims2();
+        assert_eq!(k, k2, "matmul_transb trailing dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
+            let arow = &a.data()[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b.data()[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("matmul_transb shape consistent")
+    }
+}
+
+impl Tensor {
+    /// Borrows a 2-D tensor as a zero-copy [`MatRef`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn mat(&self) -> MatRef<'_> {
+        assert_eq!(self.ndim(), 2, "mat view requires a 2-D tensor");
+        let (r, c) = self.dims2();
+        MatRef::new(self.data(), r, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn transpose_view_reads_transposed() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let v = t.mat().transpose();
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(v.at(j, i), t.get(&[i, j]));
+            }
+        }
+        assert!(!v.is_contiguous());
+        assert!(t.mat().is_contiguous());
+    }
+
+    #[test]
+    fn packed_path_matches_reference_kernels() {
+        let mut rng = Rng::seed_from(11);
+        // 24·24·24 = 13.8k MACs > PACK_MIN_MACS with m ≥ MR, n ≥ NR.
+        let a = Tensor::randn(&[24, 24], &mut rng);
+        let b = Tensor::randn(&[24, 24], &mut rng);
+        assert!(a.matmul(&b).bit_identical(&reference::matmul(&a, &b)));
+        assert!(a
+            .matmul_transa(&b)
+            .bit_identical(&reference::matmul_transa(&a, &b)));
+        assert!(a
+            .matmul_transb(&b)
+            .bit_identical(&reference::matmul_transb(&a, &b)));
+    }
+
+    #[test]
+    fn sparse_packed_path_matches_reference() {
+        let mut rng = Rng::seed_from(12);
+        // Zero-heavy A engages the skip machinery on the packed path.
+        let a = Tensor::randn(&[32, 24], &mut rng).map(|v| if v > 0.0 { 0.0 } else { v });
+        let b = Tensor::randn(&[24, 16], &mut rng);
+        assert!(a.matmul(&b).bit_identical(&reference::matmul(&a, &b)));
+    }
+
+    #[test]
+    fn gemm_with_strided_destination_leaves_gap_untouched() {
+        // C is a 2×2 block inside rows of width 4; the gap keeps its value.
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let mut out = vec![-1.0f32; 8];
+        gemm(MatMut::with_row_stride(&mut out, 2, 2, 4), a.mat(), b.mat());
+        assert_eq!(out, [5.0, 6.0, -1.0, -1.0, 7.0, 8.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn k_zero_zero_fills() {
+        let mut out = vec![9.0f32; 6];
+        gemm(
+            MatMut::new(&mut out, 2, 3),
+            MatRef::new(&[], 2, 0),
+            MatRef::new(&[], 0, 3),
+        );
+        assert_eq!(out, [0.0; 6]);
+    }
+
+    #[test]
+    fn double_transpose_views_compose() {
+        let mut rng = Rng::seed_from(13);
+        let a = Tensor::randn(&[5, 7], &mut rng); // used as aᵀ: [7, 5]
+        let b = Tensor::randn(&[9, 7], &mut rng); // used as bᵀ: [7, 9]
+        let mut out = vec![0.0f32; 5 * 9];
+        gemm(
+            MatMut::new(&mut out, 5, 9),
+            a.mat().transpose().transpose(),
+            b.mat().transpose(),
+        );
+        let expect = a.matmul_transb(&b);
+        assert_eq!(out, expect.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: a is")]
+    fn gemm_inner_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let mut out = vec![0.0f32; 4];
+        gemm(MatMut::new(&mut out, 2, 2), a.mat(), b.mat());
+    }
+
+    #[test]
+    #[should_panic(expected = "row_stride")]
+    fn matmut_narrow_stride_panics() {
+        let mut out = vec![0.0f32; 4];
+        MatMut::with_row_stride(&mut out, 2, 2, 1);
+    }
+}

@@ -1,38 +1,18 @@
+use crate::mat::{gemm, MatMut, MatRef};
 use crate::{Rng, Shape, TensorError};
 use std::fmt;
 
 pub(crate) use qn_parallel::PAR_MIN_ELEMS;
 
-/// Minimum multiply–accumulate count before a matmul fans out to the pool.
-const PAR_MIN_MACS: usize = 32 * 1024;
-
-/// Per-row finiteness of a `[rows, width]` matrix, used to keep the
-/// zero-coefficient skip in the matmul kernels IEEE-754-exact: a `0.0`
-/// coefficient may only skip its RHS row when that row is entirely finite
-/// (`0 × NaN = NaN`, `0 × ∞ = NaN` must propagate).
-///
-/// Always yields exactly `rows` entries — also for `width == 0`, where every
-/// (empty) row is vacuously finite.
-///
-/// The scan costs one pass over the RHS, so callers only build the mask when
-/// the LHS actually contains a `0.0` (the LHS is being read anyway); with no
-/// zero coefficient the skip can never fire and no mask is needed.
-fn finite_rows(data: &[f32], rows: usize, width: usize) -> Vec<bool> {
-    (0..rows)
-        .map(|r| {
-            data[r * width..(r + 1) * width]
-                .iter()
-                .all(|v| v.is_finite())
-        })
-        .collect()
-}
-
 /// A dense, contiguous, row-major `f32` array of arbitrary rank.
 ///
 /// `Tensor` is the single numeric container used throughout `quadranet`.
-/// It is owned and contiguous: views are materialized by copying, which keeps
-/// the autodiff tape simple and is more than fast enough at the scales the
-/// reproduction trains at.
+/// It is owned and contiguous: rank-changing views are materialized by
+/// copying, which keeps the autodiff tape simple. The exception is the 2-D
+/// matrix-product path: [`Tensor::mat`] borrows a tensor as a zero-copy
+/// stride-aware [`MatRef`](crate::MatRef) view, and the `matmul` family
+/// below passes transposes into the shared [`gemm`](crate::gemm) core as
+/// stride swaps instead of copies.
 ///
 /// # Example
 ///
@@ -230,6 +210,12 @@ impl Tensor {
 
     /// General axis permutation, e.g. `permute(&[0, 2, 1, 3])`.
     ///
+    /// Walks the output in order while **stepping** a source offset by the
+    /// permuted strides (odometer-style carries), instead of re-deriving the
+    /// full multi-index with divisions for every element; when the innermost
+    /// output axis is contiguous in the source the row is a single
+    /// `copy_from_slice`. Output is bit-identical to the naive gather.
+    ///
     /// # Panics
     ///
     /// Panics if `axes` is not a permutation of `0..ndim`.
@@ -241,28 +227,44 @@ impl Tensor {
             assert!(a < nd && !seen[a], "axes must be a permutation of 0..{nd}");
             seen[a] = true;
         }
+        if nd == 0 {
+            // rank-0: the only permutation is the identity
+            return self.clone();
+        }
         let old_dims = self.shape.dims();
         let new_dims: Vec<usize> = axes.iter().map(|&a| old_dims[a]).collect();
         let old_strides = self.shape.strides();
         let new_shape = Shape::new(&new_dims);
         let new_strides_in_old: Vec<usize> = axes.iter().map(|&a| old_strides[a]).collect();
         let mut out = vec![0.0f32; self.numel()];
-        let mut index = vec![0usize; nd];
-        for (flat, slot) in out.iter_mut().enumerate() {
-            // decompose flat into the new multi-index
-            let mut rem = flat;
-            for (axis, &d) in new_dims.iter().enumerate() {
-                let stride: usize = new_dims[axis + 1..].iter().product();
-                index[axis] = rem / stride;
-                rem %= stride;
-                debug_assert!(index[axis] < d);
+        if !out.is_empty() {
+            let inner_len = new_dims[nd - 1];
+            let inner_stride = new_strides_in_old[nd - 1];
+            let outer = nd - 1;
+            let mut index = vec![0usize; outer];
+            let mut base = 0usize;
+            for chunk in out.chunks_mut(inner_len) {
+                if inner_stride == 1 {
+                    chunk.copy_from_slice(&self.data[base..base + inner_len]);
+                } else {
+                    let mut src = base;
+                    for v in chunk.iter_mut() {
+                        *v = self.data[src];
+                        src += inner_stride;
+                    }
+                }
+                // odometer carry over the outer axes, stepping `base` by the
+                // source stride of whichever axis advanced
+                for axis in (0..outer).rev() {
+                    index[axis] += 1;
+                    base += new_strides_in_old[axis];
+                    if index[axis] < new_dims[axis] {
+                        break;
+                    }
+                    base -= new_strides_in_old[axis] * new_dims[axis];
+                    index[axis] = 0;
+                }
             }
-            let src: usize = index
-                .iter()
-                .zip(new_strides_in_old.iter())
-                .map(|(&i, &s)| i * s)
-                .sum();
-            *slot = self.data[src];
         }
         Tensor {
             data: out,
@@ -506,11 +508,10 @@ impl Tensor {
 
     /// Matrix product `self @ other` of `[M, K] × [K, N]`.
     ///
-    /// Large products are parallelized over output rows on the
-    /// `qn-parallel` pool; each row accumulates sequentially over `K`, so
-    /// the result is bit-identical at any thread count. A `0.0` coefficient
-    /// skips its RHS row only when that row is entirely finite, preserving
-    /// IEEE-754 non-finite propagation (`0 × NaN = NaN`).
+    /// A thin wrapper over the shared [`gemm`](crate::gemm) core: results
+    /// are bit-identical at any thread count, with the finiteness-guarded
+    /// zero-coefficient skip (`0 × NaN = NaN` propagates — see the
+    /// [`mat`](crate::MatRef) module docs).
     ///
     /// # Panics
     ///
@@ -521,43 +522,17 @@ impl Tensor {
         let (m, k) = self.dims2();
         let (k2, n) = other.dims2();
         assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
-        let skippable = if self.data.contains(&0.0) {
-            finite_rows(&other.data, k, n)
-        } else {
-            vec![false; k] // no zero coefficient: the skip can never fire
-        };
         let mut out = vec![0.0f32; m * n];
-        let row_kernel = |i: usize, orow: &mut [f32]| {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 && skippable[p] {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        };
-        if m * n * k >= PAR_MIN_MACS {
-            qn_parallel::par_chunks_mut(&mut out, n.max(1), row_kernel);
-        } else {
-            for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
-                row_kernel(i, orow);
-            }
-        }
+        gemm(MatMut::new(&mut out, m, n), self.mat(), other.mat());
         Tensor {
             data: out,
             shape: Shape::new(&[m, n]),
         }
     }
 
-    /// Matrix product `selfᵀ @ other` of `[K, M]ᵀ × [K, N]` without
-    /// materializing the transpose.
-    ///
-    /// Parallelized over output rows with sequential accumulation over `K`
-    /// (bit-identical at any thread count) and the same finiteness-guarded
-    /// zero skip as [`Tensor::matmul`].
+    /// Matrix product `selfᵀ @ other` of `[K, M]ᵀ × [K, N]`: the transpose
+    /// is a zero-copy stride swap into the shared [`gemm`](crate::gemm)
+    /// core, never a materialized copy.
     ///
     /// # Panics
     ///
@@ -568,43 +543,21 @@ impl Tensor {
         let (k, m) = self.dims2();
         let (k2, n) = other.dims2();
         assert_eq!(k, k2, "matmul_transa leading dims differ: {k} vs {k2}");
-        let skippable = if self.data.contains(&0.0) {
-            finite_rows(&other.data, k, n)
-        } else {
-            vec![false; k] // no zero coefficient: the skip can never fire
-        };
         let mut out = vec![0.0f32; m * n];
-        let row_kernel = |i: usize, orow: &mut [f32]| {
-            for (p, ok) in skippable.iter().enumerate() {
-                let a = self.data[p * m + i];
-                if a == 0.0 && *ok {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        };
-        if m * n * k >= PAR_MIN_MACS {
-            qn_parallel::par_chunks_mut(&mut out, n.max(1), row_kernel);
-        } else {
-            for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
-                row_kernel(i, orow);
-            }
-        }
+        gemm(
+            MatMut::new(&mut out, m, n),
+            self.mat().transpose(),
+            other.mat(),
+        );
         Tensor {
             data: out,
             shape: Shape::new(&[m, n]),
         }
     }
 
-    /// Matrix product `self @ otherᵀ` of `[M, K] × [N, K]ᵀ` without
-    /// materializing the transpose.
-    ///
-    /// Parallelized over output rows; each output element is one
-    /// sequential dot product, so results are bit-identical at any thread
-    /// count.
+    /// Matrix product `self @ otherᵀ` of `[M, K] × [N, K]ᵀ`: the transpose
+    /// is a zero-copy stride swap into the shared [`gemm`](crate::gemm)
+    /// core, never a materialized copy.
     ///
     /// # Panics
     ///
@@ -616,31 +569,20 @@ impl Tensor {
         let (n, k2) = other.dims2();
         assert_eq!(k, k2, "matmul_transb trailing dims differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        let row_kernel = |i: usize, orow: &mut [f32]| {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        };
-        if m * n * k >= PAR_MIN_MACS {
-            qn_parallel::par_chunks_mut(&mut out, n.max(1), row_kernel);
-        } else {
-            for (i, orow) in out.chunks_mut(n.max(1)).enumerate() {
-                row_kernel(i, orow);
-            }
-        }
+        gemm(
+            MatMut::new(&mut out, m, n),
+            self.mat(),
+            other.mat().transpose(),
+        );
         Tensor {
             data: out,
             shape: Shape::new(&[m, n]),
         }
     }
 
-    /// Inner product of two same-length tensors viewed as flat vectors.
+    /// Inner product of two same-length tensors viewed as flat vectors —
+    /// the `1 × K · K × 1` case of the shared [`gemm`](crate::gemm) core
+    /// (identical accumulation order to a sequential fold).
     ///
     /// # Panics
     ///
@@ -653,11 +595,14 @@ impl Tensor {
             self.numel(),
             other.numel()
         );
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| a * b)
-            .sum()
+        let k = self.numel();
+        let mut out = [0.0f32];
+        gemm(
+            MatMut::new(&mut out, 1, 1),
+            MatRef::new(&self.data, 1, k),
+            MatRef::new(&other.data, k, 1),
+        );
+        out[0]
     }
 
     /// Frobenius norm (`sqrt` of the sum of squares).
@@ -714,12 +659,19 @@ impl Tensor {
             out_dims.push(1);
         }
         let mut out = vec![0.0f32; outer * inner];
-        for o in 0..outer {
-            for m in 0..mid {
-                let base = (o * mid + m) * inner;
-                let obase = o * inner;
-                for i in 0..inner {
-                    out[obase + i] += self.data[base + i];
+        if inner > 0 {
+            // stride-stepping slice walk: the source cursor advances by
+            // `inner` per mid-step, with no per-element index arithmetic;
+            // accumulation order per output element (mid ascending) is
+            // unchanged, so results are bit-identical to the naive loop
+            for (o, orow) in out.chunks_mut(inner).enumerate() {
+                let mut src = o * mid * inner;
+                for _ in 0..mid {
+                    let row = &self.data[src..src + inner];
+                    for (ov, &v) in orow.iter_mut().zip(row) {
+                        *ov += v;
+                    }
+                    src += inner;
                 }
             }
         }
@@ -940,6 +892,20 @@ impl Tensor {
                 .zip(other.data.iter())
                 .all(|(&a, &b)| (a - b).abs() <= tol)
     }
+
+    /// `true` if shapes match and every element is **bit-identical**
+    /// (`f32::to_bits` equality, so `-0.0 != 0.0` and NaN payloads are
+    /// compared exactly) — the comparator behind the workspace's
+    /// determinism contract that parallel kernels reproduce sequential
+    /// results bit-for-bit.
+    pub fn bit_identical(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
 }
 
 #[cfg(test)]
@@ -997,6 +963,22 @@ mod tests {
     fn permute_matches_transpose_on_2d() {
         let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         assert!(a.permute(&[1, 0]).allclose(&a.transpose2(), 0.0));
+    }
+
+    #[test]
+    fn permute_rank0_is_identity() {
+        let s = Tensor::from_vec(vec![2.5], &[]).expect("rank-0 tensor");
+        let p = s.permute(&[]);
+        assert_eq!(p.data(), &[2.5]);
+        assert_eq!(p.ndim(), 0);
+    }
+
+    #[test]
+    fn bit_identical_distinguishes_zero_signs_and_shapes() {
+        let a = t(&[0.0, 1.0], &[2]);
+        assert!(a.bit_identical(&a.clone()));
+        assert!(!a.bit_identical(&t(&[-0.0, 1.0], &[2])));
+        assert!(!a.bit_identical(&t(&[0.0, 1.0], &[2, 1])));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! `0.0` instead of propagating the NaN — divergence could hide inside any
 //! product with structural zeros (ReLU outputs, zero-padded im2col rows).
 //!
-//! The kernels now skip a zero coefficient only when the corresponding RHS
-//! row is entirely finite, which is IEEE-754-exact: these tests pin the
-//! propagation behaviour for all three matmul variants.
+//! All three matmul variants now route through the shared packed GEMM core
+//! (`qn_tensor::gemm`), where the zero skip is finiteness-guarded once, at
+//! the B-packing step — IEEE-754-exact: these tests pin the propagation
+//! behaviour for all three entry points across that refactor.
 
 use qn_tensor::Tensor;
 

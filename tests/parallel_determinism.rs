@@ -15,14 +15,6 @@ use quadranet::core::NeuronSpec;
 use quadranet::models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
 use quadranet::tensor::{Conv2dSpec, Tensor};
 
-fn bit_identical(a: &Tensor, b: &Tensor) -> bool {
-    a.shape() == b.shape()
-        && a.data()
-            .iter()
-            .zip(b.data().iter())
-            .all(|(x, y)| x.to_bits() == y.to_bits())
-}
-
 fn vals(numel: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-2.0f32..2.0, numel)
 }
@@ -53,7 +45,7 @@ proptest! {
         let tb = Tensor::from_vec(b, &[32, 40]).unwrap();
         let parallel = ta.matmul(&tb);
         let sequential = qn_parallel::with_max_threads(1, || ta.matmul(&tb));
-        prop_assert!(bit_identical(&parallel, &sequential));
+        prop_assert!(parallel.bit_identical(&sequential));
     }
 
     #[test]
@@ -64,12 +56,12 @@ proptest! {
         let tb = Tensor::from_vec(b, &[32, 40]).unwrap();
         let pa = ta.matmul_transa(&tb);
         let sa = qn_parallel::with_max_threads(1, || ta.matmul_transa(&tb));
-        prop_assert!(bit_identical(&pa, &sa));
+        prop_assert!(pa.bit_identical(&sa));
         let tbt = Tensor::from_vec(tb.data().to_vec(), &[40, 32]).unwrap();
         let tat = Tensor::from_vec(ta.data().to_vec(), &[48, 32]).unwrap();
         let pb = tat.matmul_transb(&tbt);
         let sb = qn_parallel::with_max_threads(1, || tat.matmul_transb(&tbt));
-        prop_assert!(bit_identical(&pb, &sb));
+        prop_assert!(pb.bit_identical(&sb));
     }
 
     #[test]
@@ -88,7 +80,7 @@ proptest! {
         };
         let parallel = run();
         let sequential = qn_parallel::with_max_threads(1, run);
-        prop_assert!(bit_identical(&parallel, &sequential));
+        prop_assert!(parallel.bit_identical(&sequential));
     }
 
     #[test]
@@ -99,7 +91,7 @@ proptest! {
         let tx = Tensor::from_vec(x, &[20_000]).unwrap();
         let parallel = tx.map(|v| v.tanh() * 0.5 + v * v);
         let sequential = qn_parallel::with_max_threads(1, || tx.map(|v| v.tanh() * 0.5 + v * v));
-        prop_assert!(bit_identical(&parallel, &sequential));
+        prop_assert!(parallel.bit_identical(&sequential));
     }
 }
 
@@ -119,7 +111,7 @@ proptest! {
             s.predict_batch(&batch)
         });
         prop_assert!(
-            bit_identical(&parallel, &sequential),
+            parallel.bit_identical(&sequential),
             "sharded predict_batch must match the unsharded result bit-for-bit"
         );
     }
