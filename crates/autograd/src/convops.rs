@@ -17,10 +17,10 @@ impl Graph {
     pub fn im2col(&mut self, x: Var, spec: Conv2dSpec) -> Var {
         let dims = self.value(x).dims4();
         let value = im2col(self.value(x), spec);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![x.id],
-            Some(Box::new(move |g: &Tensor| vec![col2im(g, spec, dims)])),
+            Some(Box::new(move |g: Tensor| vec![col2im(&g, spec, dims)])),
         )
     }
 
@@ -52,11 +52,11 @@ impl Graph {
     pub fn max_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
         let dims = self.value(x).dims4();
         let (value, argmax) = max_pool2d(self.value(x), spec);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![x.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![max_pool2d_backward(g, &argmax, dims)]
+            Some(Box::new(move |g: Tensor| {
+                vec![max_pool2d_backward(&g, &argmax, dims)]
             })),
         )
     }
@@ -69,11 +69,11 @@ impl Graph {
     pub fn avg_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
         let dims = self.value(x).dims4();
         let value = avg_pool2d(self.value(x), spec);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![x.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![avg_pool2d_backward(g, spec, dims)]
+            Some(Box::new(move |g: Tensor| {
+                vec![avg_pool2d_backward(&g, spec, dims)]
             })),
         )
     }

@@ -32,13 +32,52 @@
 //! ```
 
 use crate::graph::{Graph, Var};
-use crate::nnops::{batch_norm_apply, layer_norm_forward, softmax_last};
-use crate::ops::{add_bcast_forward, mul_bcast_forward};
+use crate::nnops::{layer_norm_infer_into, softmax_rows_inplace};
+use crate::ops::bcast_lead;
 use crate::Parameter;
 use crate::PAR_MIN_ELEMS;
 use qn_tensor::{
-    avg_pool2d, gemm_batched, im2col, max_pool2d, Conv2dSpec, MatRef, PoolSpec, Tensor,
+    avg_pool2d_into, elemwise, gemm, gemm_batched, im2col_into, max_pool2d_into, BufferPool,
+    Conv2dSpec, MatMut, MatRef, PoolSpec, Tensor, TensorError,
 };
+use std::sync::Arc;
+
+/// One stage of a fused elementwise pipeline over a `[B, C, H, W]`
+/// activation — see [`Exec::elemwise_chain`].
+///
+/// Each stage is exactly one of the workspace's elementwise primitives,
+/// with the **same per-element scalar expression**, so a fused chain is
+/// bit-identical to running the stages as separate ops.
+#[derive(Clone, Copy)]
+pub enum ChainStage<'a> {
+    /// `v += bias[c]` — a per-channel bias ([`Exec::add_channel`]). The
+    /// `Var` must be a `[C]` tensor.
+    AddChannel(Var),
+    /// `v *= scale[c]` — a per-channel scale ([`Exec::mul_channel`]).
+    MulChannel(Var),
+    /// Inference batch normalization
+    /// `v = (v - mean[c]) · 1/√(var[c] + eps) · gamma[c] + beta[c]`
+    /// ([`Exec::batch_norm2d`] with running statistics). Inference-only:
+    /// the default decomposition panics if the context is in training mode
+    /// (training must go through the layer so running stats update).
+    NormChannel {
+        /// Per-channel scale parameter (`[C]`).
+        gamma: Var,
+        /// Per-channel shift parameter (`[C]`).
+        beta: Var,
+        /// Running mean (`[C]`).
+        mean: &'a Tensor,
+        /// Running variance (`[C]`).
+        var: &'a Tensor,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// `v = max(v, 0)` ([`Exec::relu`]).
+    Relu,
+    /// `v += residual[i]` — an elementwise residual add ([`Exec::add`]).
+    /// The `Var` must have the same shape as the chain input.
+    AddResidual(Var),
+}
 
 /// Execution context for a forward pass: either the differentiation tape
 /// ([`Graph`]) or the allocation-light eager arena ([`EagerExec`]).
@@ -202,6 +241,47 @@ pub trait Exec {
         let r = self.reshape(v, &[b, oh, ow, c]);
         self.permute(r, &[0, 3, 1, 2])
     }
+
+    /// Fused elementwise pipeline over a `[B, C, H, W]` activation: applies
+    /// the [`ChainStage`]s left to right. The default decomposes into the
+    /// primitive ops (so the tape records every stage and gradients flow);
+    /// `EagerExec` overrides it with a **single pass** over the activation —
+    /// bias + norm + activation + residual in one sweep instead of one full
+    /// memory pass per stage. Both produce bitwise-identical values because
+    /// each element sees the same scalar expressions in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stage shape mismatches (each stage's primitive contract
+    /// applies), and if a [`ChainStage::NormChannel`] stage runs in a
+    /// training-mode context (running statistics would silently not
+    /// update — use the normalization layer's training path instead).
+    fn elemwise_chain(&mut self, x: Var, stages: &[ChainStage<'_>]) -> Var {
+        let mut v = x;
+        for stage in stages {
+            v = match *stage {
+                ChainStage::AddChannel(bias) => self.add_channel(v, bias),
+                ChainStage::MulChannel(scale) => self.mul_channel(v, scale),
+                ChainStage::NormChannel {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                    eps,
+                } => {
+                    let (y, stats) = self.batch_norm2d(v, gamma, beta, mean, var, eps);
+                    assert!(
+                        stats.is_none(),
+                        "elemwise_chain norm stages are inference-only"
+                    );
+                    y
+                }
+                ChainStage::Relu => self.relu(v),
+                ChainStage::AddResidual(r) => self.add(v, r),
+            };
+        }
+        v
+    }
 }
 
 impl Exec for Graph {
@@ -338,24 +418,43 @@ impl Exec for Graph {
 /// Tape-free eager execution arena for inference.
 ///
 /// Holds only the computed activation tensors — no gradients, parents or
-/// backward closures — so a forward pass allocates a fraction of what the
-/// tape does. [`EagerExec::reset`] clears the arena while keeping its
-/// capacity, letting a serving loop (see `InferenceSession` in `qn-models`)
-/// reuse the same context across requests.
+/// backward closures — and recycles **everything** across requests:
 ///
-/// Parameter snapshots are **recycled** across resets: `param` moves a
-/// weight tensor out of an internal cache instead of cloning the parameter
-/// storage, and `reset` moves it back — so steady-state serving copies no
-/// weights at all. The cache is keyed by parameter storage identity
-/// (holding the [`Parameter`] handle, so identity cannot be recycled) and
-/// invalidated by [`Parameter::version`], so a weight update between
-/// requests triggers exactly one fresh snapshot.
+/// - **Slot recycling (high-water-mark arena):** [`EagerExec::reset`] does
+///   not drop the computed tensors; it rewinds a cursor. The next pass
+///   refits each slot's buffer in place, so a steady-state serving loop
+///   that repeats the same op sequence (the common case: one model, one
+///   request shape) performs **zero heap allocations** — the `alloc` bench
+///   in `qn-bench` proves this with a counting allocator.
+/// - **Pooled scratch:** kernel workspace that is not an activation (the
+///   im2col patch matrix inside the fused `conv2d`, per-channel `1/σ`
+///   vectors in batch norm) is drawn from — and returned to — the arena's
+///   [`BufferPool`] ([`EagerExec::with_pool`]; `new` uses the global pool).
+/// - **Parameter snapshots** are recycled across resets exactly as before:
+///   `param` moves a weight tensor out of an internal cache instead of
+///   cloning the parameter storage, and `reset` moves it back. The cache is
+///   keyed by parameter storage identity (holding the [`Parameter`] handle,
+///   so identity cannot be recycled) and invalidated by
+///   [`Parameter::version`], so a weight update between requests triggers
+///   exactly one fresh snapshot.
+///
+/// Recycled buffers carry stale contents; every op fully overwrites (or
+/// zero-fills) its output, and the `pool_equivalence` property suite
+/// asserts pooled execution is bit-identical to fresh-allocation execution
+/// even when the pool is pre-poisoned with NaN garbage.
 ///
 /// Always in inference mode: dropout is the identity and batch norm uses
 /// running statistics.
-#[derive(Default)]
 pub struct EagerExec {
-    values: Vec<Tensor>,
+    /// Arena slots. `values[..live]` are this pass's nodes; slots past
+    /// `live` are spare tensors from the previous pass awaiting refit.
+    /// `None` marks a slot whose tensor was moved out (`take`, or a
+    /// parameter snapshot reclaimed by `reset`).
+    values: Vec<Option<Tensor>>,
+    /// Number of live nodes in the current pass.
+    live: usize,
+    /// Scratch-buffer pool (see the type-level docs).
+    pool: Arc<BufferPool>,
     /// `(parameter handle, version, snapshot)` of parameters not currently
     /// in the arena. Holding the handle keeps the storage alive, so
     /// identity can never be recycled to a different parameter (no
@@ -367,48 +466,175 @@ pub struct EagerExec {
     param_slots: Vec<(usize, Parameter, u64)>,
 }
 
+impl Default for EagerExec {
+    fn default() -> Self {
+        EagerExec::new()
+    }
+}
+
+/// Reads a live arena value (the immutable prefix returned by `out_slot`).
+fn live_val(head: &[Option<Tensor>], v: Var) -> &Tensor {
+    head.get(v.id)
+        .and_then(|slot| slot.as_ref())
+        .expect("var is not live in this arena")
+}
+
+/// Refits a (possibly spare) slot to `dims`, reusing its buffer and shape
+/// when they match; contents are unspecified and must be fully overwritten.
+fn refit_slot<'s>(slot: &'s mut Option<Tensor>, dims: &[usize]) -> &'s mut Tensor {
+    match slot {
+        Some(t) => {
+            t.refit(dims);
+            t
+        }
+        None => {
+            *slot = Some(Tensor::zeros(dims));
+            slot.as_mut().expect("just set")
+        }
+    }
+}
+
 impl EagerExec {
-    /// Creates an empty arena.
+    /// Creates an empty arena backed by the global [`BufferPool`].
     pub fn new() -> Self {
-        EagerExec::default()
+        EagerExec::with_pool(Arc::clone(BufferPool::global()))
     }
 
-    /// Clears all values while retaining the arena's capacity; parameter
-    /// snapshots move back into the recycle cache.
+    /// Creates an empty arena drawing kernel scratch from `pool` — used by
+    /// `InferenceSession` to give every session (and every batch-shard
+    /// worker) its own isolated pool.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        EagerExec {
+            values: Vec::new(),
+            live: 0,
+            pool,
+            param_cache: Vec::new(),
+            param_slots: Vec::new(),
+        }
+    }
+
+    /// The pool this arena recycles kernel scratch through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Rewinds the arena while keeping every slot's tensor for in-place
+    /// reuse by the next pass; parameter snapshots move back into the
+    /// recycle cache.
     pub fn reset(&mut self) {
         for (slot, param, version) in self.param_slots.drain(..) {
-            let t = std::mem::replace(&mut self.values[slot], Tensor::zeros(&[1]));
-            self.param_cache.push((param, version, t));
+            if let Some(t) = self.values[slot].take() {
+                self.param_cache.push((param, version, t));
+            }
         }
-        self.values.clear();
+        self.live = 0;
     }
 
-    /// Number of values held.
+    /// Number of live values in the current pass.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.live
     }
 
-    /// `true` if the arena holds no values.
+    /// `true` if the arena holds no live values.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.live == 0
     }
 
     /// Removes the value of `v` from the arena, transferring ownership to
-    /// the caller (the slot is replaced by an empty placeholder). Used by
-    /// serving code to extract the output without a final copy.
+    /// the caller (the slot refills on the next pass). Used by serving code
+    /// to extract the output without a final copy; note that a serving loop
+    /// gets a cheaper steady state by *copying* the output into a pooled
+    /// tensor instead, which keeps the slot's buffer in the arena.
     ///
     /// # Panics
     ///
-    /// Panics if `v` does not belong to this arena.
+    /// Panics if `v` is not live in this arena.
     pub fn take(&mut self, v: Var) -> Tensor {
+        assert!(v.id < self.live, "var is not live in this arena");
         // if the caller extracts a parameter leaf, it must not be recycled
         self.param_slots.retain(|(slot, _, _)| *slot != v.id);
-        std::mem::replace(&mut self.values[v.id], Tensor::zeros(&[1]))
+        self.values[v.id].take().expect("value already taken")
     }
 
+    /// Registers an input by **copying** it into a recycled slot — the
+    /// allocation-free counterpart of `leaf(x.clone())`.
+    pub fn leaf_view(&mut self, t: &Tensor) -> Var {
+        let (_, slot) = self.out_slot();
+        let out = refit_slot(slot, t.shape().dims());
+        out.data_mut().copy_from_slice(t.data());
+        self.commit()
+    }
+
+    /// Registers an input by copying it into a recycled slot under a
+    /// different shape (same element count) — lets `predict` add a batch
+    /// dimension without materializing an intermediate reshape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` has a different element count than `t`, or
+    /// `dims.len() > 16`.
+    pub fn leaf_reshaped(&mut self, t: &Tensor, dims: &[usize]) -> Var {
+        let numel: usize = dims.iter().product();
+        assert_eq!(t.numel(), numel, "leaf_reshaped element count mismatch");
+        let (_, slot) = self.out_slot();
+        let out = refit_slot(slot, dims);
+        out.data_mut().copy_from_slice(t.data());
+        self.commit()
+    }
+
+    /// Registers rows `[lo, hi)` of `t`'s leading axis by copying them into
+    /// a recycled slot — the allocation-free counterpart of
+    /// `leaf(t.slice_axis(0, lo, hi))`, used by sharded batch inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is rank 0, the range is out of bounds or inverted, or
+    /// the rank exceeds 16.
+    pub fn leaf_slice0(&mut self, t: &Tensor, lo: usize, hi: usize) -> Var {
+        let dims = t.shape().dims();
+        assert!(!dims.is_empty(), "leaf_slice0 needs a leading axis");
+        assert!(dims.len() <= 16, "leaf_slice0 supports rank <= 16");
+        assert!(
+            lo <= hi && hi <= dims[0],
+            "slice [{lo}, {hi}) out of bounds for axis of size {}",
+            dims[0]
+        );
+        let inner: usize = dims[1..].iter().product();
+        let mut nd = [0usize; 16];
+        nd[..dims.len()].copy_from_slice(dims);
+        nd[0] = hi - lo;
+        let (_, slot) = self.out_slot();
+        let out = refit_slot(slot, &nd[..dims.len()]);
+        out.data_mut()
+            .copy_from_slice(&t.data()[lo * inner..hi * inner]);
+        self.commit()
+    }
+
+    /// Moves an owned tensor into the next slot (dropping any spare buffer
+    /// the slot held). The op implementations prefer `out_slot`/`commit`,
+    /// which recycle instead.
     fn push(&mut self, value: Tensor) -> Var {
-        let id = self.values.len();
-        self.values.push(value);
+        if self.live == self.values.len() {
+            self.values.push(Some(value));
+        } else {
+            self.values[self.live] = Some(value);
+        }
+        self.commit()
+    }
+
+    /// Splits the arena into the live prefix (op inputs) and the next
+    /// output slot; `commit` afterwards makes the slot live.
+    fn out_slot(&mut self) -> (&[Option<Tensor>], &mut Option<Tensor>) {
+        if self.live == self.values.len() {
+            self.values.push(None);
+        }
+        let (head, tail) = self.values.split_at_mut(self.live);
+        (head, &mut tail[0])
+    }
+
+    fn commit(&mut self) -> Var {
+        let id = self.live;
+        self.live += 1;
         Var { id }
     }
 }
@@ -440,7 +666,8 @@ impl Exec for EagerExec {
     }
 
     fn value(&self, v: Var) -> &Tensor {
-        &self.values[v.id]
+        assert!(v.id < self.live, "var is not live in this arena");
+        self.values[v.id].as_ref().expect("value was taken")
     }
 
     fn is_training(&self) -> bool {
@@ -448,74 +675,152 @@ impl Exec for EagerExec {
     }
 
     fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        assert_eq!(
+            av.shape(),
+            bv.shape(),
+            "zip shape mismatch: {} vs {}",
+            av.shape(),
+            bv.shape()
+        );
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::zip_to(out.data_mut(), av.data(), bv.data(), |x, y| x + y);
+        self.commit()
     }
 
     fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        assert_eq!(
+            av.shape(),
+            bv.shape(),
+            "zip shape mismatch: {} vs {}",
+            av.shape(),
+            bv.shape()
+        );
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::zip_to(out.data_mut(), av.data(), bv.data(), |x, y| x - y);
+        self.commit()
     }
 
     fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        assert_eq!(
+            av.shape(),
+            bv.shape(),
+            "zip shape mismatch: {} vs {}",
+            av.shape(),
+            bv.shape()
+        );
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::zip_to(out.data_mut(), av.data(), bv.data(), |x, y| x * y);
+        self.commit()
     }
 
     fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).scale(s);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::map_to(out.data_mut(), av.data(), move |x| x * s);
+        self.commit()
     }
 
     fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).add_scalar(s);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::map_to(out.data_mut(), av.data(), move |x| x + s);
+        self.commit()
     }
 
     fn square(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x * x);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::map_to(out.data_mut(), av.data(), |x| x * x);
+        self.commit()
     }
 
     fn powi(&mut self, a: Var, p: i32) -> Var {
         assert!(p >= 1, "powi requires p >= 1, got {p}");
-        let v = self.value(a).map(|x| x.powi(p));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::map_to(out.data_mut(), av.data(), move |x| x.powi(p));
+        self.commit()
     }
 
     fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::map_to(out.data_mut(), av.data(), |x| x.max(0.0));
+        self.commit()
     }
 
     fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.tanh());
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::map_to(out.data_mut(), av.data(), |x| x.tanh());
+        self.commit()
     }
 
     fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let out = refit_slot(slot, av.shape().dims());
+        elemwise::map_to(out.data_mut(), av.data(), |x| 1.0 / (1.0 + (-x).exp()));
+        self.commit()
     }
 
     fn add_bcast(&mut self, a: Var, b: Var) -> Var {
-        let v = add_bcast_forward(self.value(a), self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        bcast_lead(av, bv);
+        let out = refit_slot(slot, av.shape().dims());
+        let od = out.data_mut();
+        od.copy_from_slice(av.data());
+        let bl = bv.numel();
+        for chunk in od.chunks_mut(bl) {
+            for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+                *o += x;
+            }
+        }
+        self.commit()
     }
 
     fn mul_bcast(&mut self, a: Var, b: Var) -> Var {
-        let v = mul_bcast_forward(self.value(a), self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        bcast_lead(av, bv);
+        let out = refit_slot(slot, av.shape().dims());
+        let od = out.data_mut();
+        od.copy_from_slice(av.data());
+        let bl = bv.numel();
+        for chunk in od.chunks_mut(bl) {
+            for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+                *o *= x;
+            }
+        }
+        self.commit()
     }
 
     fn add_channel(&mut self, a: Var, bias: Var) -> Var {
-        let v = self.value(a).add_channel(self.value(bias));
-        self.push(v)
+        let stages = [ChainStage::AddChannel(bias)];
+        self.elemwise_chain(a, &stages)
     }
 
     fn mul_channel(&mut self, a: Var, scale: Var) -> Var {
-        let v = self.value(a).mul_channel(self.value(scale));
-        self.push(v)
+        let stages = [ChainStage::MulChannel(scale)];
+        self.elemwise_chain(a, &stages)
     }
 
     fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
@@ -523,58 +828,194 @@ impl Exec for EagerExec {
             // shape is unchanged: reuse the node, no copy
             return a;
         }
-        let v = self
-            .value(a)
-            .reshape(dims)
-            .unwrap_or_else(|e| panic!("reshape: {e}"));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let numel: usize = dims.iter().product();
+        if av.numel() != numel {
+            panic!(
+                "reshape: {}",
+                TensorError::ReshapeMismatch {
+                    from: av.shape().dims().to_vec(),
+                    to: dims.to_vec(),
+                }
+            );
+        }
+        let out = refit_slot(slot, dims);
+        out.data_mut().copy_from_slice(av.data());
+        self.commit()
     }
 
     fn permute(&mut self, a: Var, axes: &[usize]) -> Var {
-        let v = self.value(a).permute(axes);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let nd = av.ndim();
+        assert_eq!(axes.len(), nd, "permute needs {nd} axes");
+        assert!(nd <= 16, "permute supports rank <= 16");
+        let old_dims = av.shape().dims();
+        let mut new_dims = [0usize; 16];
+        for (i, &ax) in axes.iter().enumerate() {
+            assert!(ax < nd, "axes must be a permutation of 0..{nd}");
+            new_dims[i] = old_dims[ax];
+        }
+        let out = refit_slot(slot, &new_dims[..nd]);
+        av.permute_into(axes, out.data_mut());
+        self.commit()
     }
 
     fn concat(&mut self, parts: &[Var], axis: usize) -> Var {
         assert!(!parts.is_empty(), "concat of zero vars");
-        let refs: Vec<&Tensor> = parts.iter().map(|v| self.value(*v)).collect();
-        let v = Tensor::concat(&refs, axis);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let first = live_val(head, parts[0]);
+        let nd = first.ndim();
+        assert!(axis < nd, "axis {axis} out of range for rank {nd}");
+        assert!(nd <= 16, "concat supports rank <= 16");
+        let dims = first.shape().dims();
+        let mut total_mid = 0usize;
+        for p in parts {
+            let pv = live_val(head, *p);
+            assert_eq!(pv.ndim(), nd, "concat rank mismatch");
+            for (a, &d) in dims.iter().enumerate() {
+                if a != axis {
+                    assert_eq!(pv.shape().dim(a), d, "concat dim {a} mismatch");
+                }
+            }
+            total_mid += pv.shape().dim(axis);
+        }
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = [0usize; 16];
+        out_dims[..nd].copy_from_slice(dims);
+        out_dims[axis] = total_mid;
+        let out = refit_slot(slot, &out_dims[..nd]);
+        let od = out.data_mut();
+        for o in 0..outer {
+            let mut mid_off = 0usize;
+            for p in parts {
+                let pv = live_val(head, *p);
+                let mid = pv.shape().dim(axis);
+                let src = &pv.data()[o * mid * inner..(o + 1) * mid * inner];
+                let dst_base = (o * total_mid + mid_off) * inner;
+                od[dst_base..dst_base + mid * inner].copy_from_slice(src);
+                mid_off += mid;
+            }
+        }
+        self.commit()
     }
 
     fn slice_axis(&mut self, a: Var, axis: usize, start: usize, end: usize) -> Var {
-        let v = self.value(a).slice_axis(axis, start, end);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let nd = av.ndim();
+        assert!(axis < nd, "axis {axis} out of range for rank {nd}");
+        assert!(nd <= 16, "slice_axis supports rank <= 16");
+        let dims = av.shape().dims();
+        assert!(
+            start <= end && end <= dims[axis],
+            "slice [{start}, {end}) out of bounds for axis of size {}",
+            dims[axis]
+        );
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mid = dims[axis];
+        let new_mid = end - start;
+        let mut out_dims = [0usize; 16];
+        out_dims[..nd].copy_from_slice(dims);
+        out_dims[axis] = new_mid;
+        let out = refit_slot(slot, &out_dims[..nd]);
+        let od = out.data_mut();
+        for o in 0..outer {
+            let src_base = (o * mid + start) * inner;
+            let dst_base = o * new_mid * inner;
+            od[dst_base..dst_base + new_mid * inner]
+                .copy_from_slice(&av.data()[src_base..src_base + new_mid * inner]);
+        }
+        self.commit()
     }
 
     fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(vec![self.value(a).sum()], &[1]).expect("scalar");
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let total: f32 = av.data().iter().sum();
+        let out = refit_slot(slot, &[1]);
+        out.data_mut()[0] = total;
+        self.commit()
     }
 
     fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
-        let v = self.value(a).sum_axis(axis);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let nd = av.ndim();
+        assert!(axis < nd, "axis {axis} out of range for rank {nd}");
+        assert!(nd <= 16, "sum_axis supports rank <= 16");
+        let dims = av.shape().dims();
+        let mut out_dims = [0usize; 16];
+        let mut odn = 0usize;
+        for (i, &d) in dims.iter().enumerate() {
+            if i != axis {
+                out_dims[odn] = d;
+                odn += 1;
+            }
+        }
+        if odn == 0 {
+            out_dims[0] = 1;
+            odn = 1;
+        }
+        let out = refit_slot(slot, &out_dims[..odn]);
+        av.sum_axis_into(axis, out.data_mut());
+        self.commit()
     }
 
     fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        assert_eq!(av.ndim(), 2, "matmul lhs must be 2-D");
+        assert_eq!(bv.ndim(), 2, "matmul rhs must be 2-D");
+        let (m, k) = av.dims2();
+        let (k2, n) = bv.dims2();
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let out = refit_slot(slot, &[m, n]);
+        gemm(MatMut::new(out.data_mut(), m, n), av.mat(), bv.mat());
+        self.commit()
     }
 
     fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_transb(self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        assert_eq!(av.ndim(), 2, "matmul_transb lhs must be 2-D");
+        assert_eq!(bv.ndim(), 2, "matmul_transb rhs must be 2-D");
+        let (m, k) = av.dims2();
+        let (n, k2) = bv.dims2();
+        assert_eq!(k, k2, "matmul_transb trailing dims differ: {k} vs {k2}");
+        let out = refit_slot(slot, &[m, n]);
+        gemm(
+            MatMut::new(out.data_mut(), m, n),
+            av.mat(),
+            bv.mat().transpose(),
+        );
+        self.commit()
     }
 
     fn bmm(&mut self, a: Var, b: Var) -> Var {
-        let v = crate::matops::bmm_forward(self.value(a), self.value(b));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let av = live_val(head, a);
+        let bv = live_val(head, b);
+        let (n, m, _k, p) = crate::matops::bmm_dims(av, bv);
+        let out = refit_slot(slot, &[n, m, p]);
+        crate::matops::bmm_forward_into(out.data_mut(), av, bv);
+        self.commit()
     }
 
     fn im2col(&mut self, x: Var, spec: Conv2dSpec) -> Var {
-        let v = im2col(self.value(x), spec);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let (b, c, h, w) = xv.dims4();
+        let (oh, ow) = spec.output_hw(h, w);
+        let patch = c * spec.kernel * spec.kernel;
+        let out = refit_slot(slot, &[b * oh * ow, patch]);
+        im2col_into(out.data_mut(), xv, spec);
+        self.commit()
     }
 
     fn conv2d(&mut self, x: Var, weight: Var, spec: Conv2dSpec) -> Var {
@@ -582,20 +1023,28 @@ impl Exec for EagerExec {
         // output plane block `[OC, OH·OW]` is `W [OC, n] @ colsᵀ [n, OH·OW]`
         // with the im2col transpose as a zero-copy stride swap — the same
         // arithmetic as the taped im2col → matmul_transb → reshape → permute
-        // pipeline (bit-identical), minus two full-tensor copies.
-        let (b, c, h, w) = self.value(x).dims4();
-        let (oc, wc, kh, kw) = self.value(weight).dims4();
+        // pipeline (bit-identical), minus two full-tensor copies. The patch
+        // matrix itself lives in pool-recycled scratch, so the steady state
+        // allocates nothing.
+        let pool = Arc::clone(&self.pool);
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let wv = live_val(head, weight);
+        let (b, c, h, w) = xv.dims4();
+        let (oc, wc, kh, kw) = wv.dims4();
         assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
         assert_eq!(kh, spec.kernel, "conv2d kernel mismatch");
         assert_eq!(kw, spec.kernel, "conv2d kernel mismatch");
         let (oh, ow) = spec.output_hw(h, w);
-        let cols = im2col(self.value(x), spec); // [B*OH*OW, n]
         let n = c * kh * kw;
         let hw = oh * ow;
-        let mut out = Tensor::zeros(&[b, oc, oh, ow]);
+        // RAII handout: the patch matrix returns to the pool when `cols`
+        // drops, panic paths included
+        let mut cols = BufferPool::take_ref(&pool, b * hw * n);
+        im2col_into(&mut cols, xv, spec);
+        let out = refit_slot(slot, &[b, oc, oh, ow]);
         {
-            let wdata = self.value(weight).data(); // [OC, n] row-major
-            let cdata = cols.data();
+            let wdata = wv.data(); // [OC, n] row-major
             gemm_batched(
                 out.data_mut(),
                 b,
@@ -603,29 +1052,43 @@ impl Exec for EagerExec {
                 hw,
                 n,
                 |_| MatRef::new(wdata, oc, n),
-                |bi| MatRef::new(&cdata[bi * hw * n..(bi + 1) * hw * n], hw, n).transpose(),
+                |bi| MatRef::new(&cols[bi * hw * n..(bi + 1) * hw * n], hw, n).transpose(),
             );
         }
-        self.push(out)
+        drop(cols);
+        self.commit()
     }
 
     fn max_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
-        let (v, _argmax) = max_pool2d(self.value(x), spec);
-        self.push(v)
+        // values-only kernel: inference never needs the argmax indices
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let (b, c, h, w) = xv.dims4();
+        let (oh, ow) = spec.output_hw(h, w);
+        let out = refit_slot(slot, &[b, c, oh, ow]);
+        max_pool2d_into(out.data_mut(), xv, spec);
+        self.commit()
     }
 
     fn avg_pool2d(&mut self, x: Var, spec: PoolSpec) -> Var {
-        let v = avg_pool2d(self.value(x), spec);
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let (b, c, h, w) = xv.dims4();
+        let (oh, ow) = spec.output_hw(h, w);
+        let out = refit_slot(slot, &[b, c, oh, ow]);
+        avg_pool2d_into(out.data_mut(), xv, spec);
+        self.commit()
     }
 
     fn global_avg_pool(&mut self, x: Var) -> Var {
-        let (b, c, h, w) = self.value(x).dims4();
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let (b, c, h, w) = xv.dims4();
         assert_eq!(h, w, "global_avg_pool expects square feature maps");
         // single pass, same summation order as avg_pool2d over a full window
         let norm = 1.0 / (h * w) as f32;
-        let data = self.value(x).data();
-        let mut out = Tensor::zeros(&[b, c]);
+        let data = xv.data();
+        let out = refit_slot(slot, &[b, c]);
         qn_parallel::par_chunks_mut_min(out.data_mut(), c.max(1), PAR_MIN_ELEMS, |bi, orow| {
             for (ci, o) in orow.iter_mut().enumerate() {
                 let base = (bi * c + ci) * h * w;
@@ -636,25 +1099,30 @@ impl Exec for EagerExec {
                 *o = acc * norm;
             }
         });
-        self.push(out)
+        self.commit()
     }
 
     fn softmax_last(&mut self, x: Var) -> Var {
-        let v = softmax_last(self.value(x));
-        self.push(v)
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let last = xv.shape().dims().last().copied().unwrap_or(1);
+        let out = refit_slot(slot, xv.shape().dims());
+        let od = out.data_mut();
+        od.copy_from_slice(xv.data());
+        softmax_rows_inplace(od, last);
+        self.commit()
     }
 
     fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        // shared forward kernel, with no x̂ / 1/σ capture (nothing to
-        // backprop)
-        let out = layer_norm_forward(
-            self.value(x),
-            self.value(gamma),
-            self.value(beta),
-            eps,
-            None,
-        );
-        self.push(out)
+        // shared inference kernel, with no x̂ / 1/σ capture (nothing to
+        // backprop) and the output written straight into the recycled slot
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let gv = live_val(head, gamma);
+        let bv = live_val(head, beta);
+        let out = refit_slot(slot, xv.shape().dims());
+        layer_norm_infer_into(out.data_mut(), xv, gv, bv, eps);
+        self.commit()
     }
 
     fn batch_norm2d(
@@ -667,30 +1135,30 @@ impl Exec for EagerExec {
         eps: f32,
     ) -> (Var, Option<(Tensor, Tensor)>) {
         // Inference-only: normalize with running statistics through the
-        // shared kernel, without materializing x̂ or batch moments.
-        let xv = self.value(x);
-        let gv = self.value(gamma);
-        let bv = self.value(beta);
-        let c = xv.dims4().1;
-        assert_eq!(gv.numel(), c, "gamma width {} != {c}", gv.numel());
-        assert_eq!(bv.numel(), c, "beta width {} != {c}", bv.numel());
-        let inv_std: Vec<f32> = running_var
-            .data()
-            .iter()
-            .map(|&v| 1.0 / (v + eps).sqrt())
-            .collect();
-        let out = batch_norm_apply(xv, gv, bv, running_mean.data(), &inv_std, None);
-        (self.push(out), None)
+        // fused chain (one pass, pooled 1/σ scratch, recycled output slot).
+        let stages = [ChainStage::NormChannel {
+            gamma,
+            beta,
+            mean: running_mean,
+            var: running_var,
+            eps,
+        }];
+        (self.elemwise_chain(x, &stages), None)
     }
 
     fn embedding(&mut self, weight: Var, ids: &[usize]) -> Var {
-        let wv = self.value(weight);
-        let (v, _d) = wv.dims2();
+        let (head, slot) = self.out_slot();
+        let wv = live_val(head, weight);
+        let (v, d) = wv.dims2();
         for &id in ids {
             assert!(id < v, "token id {id} out of range for vocab {v}");
         }
-        let out = wv.select_rows(ids);
-        self.push(out)
+        let out = refit_slot(slot, &[ids.len(), d]);
+        let od = out.data_mut();
+        for (row, &id) in ids.iter().enumerate() {
+            od[row * d..(row + 1) * d].copy_from_slice(&wv.data()[id * d..(id + 1) * d]);
+        }
+        self.commit()
     }
 
     fn dropout(&mut self, x: Var, p: f32) -> Var {
@@ -705,83 +1173,201 @@ impl Exec for EagerExec {
     fn weighted_square_sum(&mut self, f: Var, lambda: Var, neurons: usize, k: usize) -> Var {
         // single pass over f: same per-term expression and summation order as
         // the default square → mul_bcast → sum_axis decomposition
-        let fv = self.value(f);
-        let lv = self.value(lambda);
+        let (head, slot) = self.out_slot();
+        let fv = live_val(head, f);
+        let lv = live_val(head, lambda);
         let (rows, mk) = fv.dims2();
         assert_eq!(mk, neurons * k, "feature width {mk} != {neurons}·{k}");
         assert_eq!(lv.numel(), neurons * k, "lambda size mismatch");
-        let mut out = Tensor::zeros(&[rows, neurons]);
-        {
-            let fd = fv.data();
-            let ld = lv.data();
-            qn_parallel::par_chunks_mut_min(
-                out.data_mut(),
-                neurons.max(1),
-                PAR_MIN_ELEMS,
-                |r, orow| {
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        let base = r * mk + j * k;
-                        let mut acc = 0.0f32;
-                        for i in 0..k {
-                            let x = fd[base + i];
-                            acc += x * x * ld[j * k + i];
-                        }
-                        *o = acc;
+        let fd = fv.data();
+        let ld = lv.data();
+        let out = refit_slot(slot, &[rows, neurons]);
+        qn_parallel::par_chunks_mut_min(
+            out.data_mut(),
+            neurons.max(1),
+            PAR_MIN_ELEMS,
+            |r, orow| {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let base = r * mk + j * k;
+                    let mut acc = 0.0f32;
+                    for i in 0..k {
+                        let x = fd[base + i];
+                        acc += x * x * ld[j * k + i];
                     }
-                },
-            );
-        }
-        self.push(out)
+                    *o = acc;
+                }
+            },
+        );
+        self.commit()
     }
 
     fn interleave_last(&mut self, y: Var, f: Var, k: usize) -> Var {
-        let yv = self.value(y);
-        let fv = self.value(f);
+        let (head, slot) = self.out_slot();
+        let yv = live_val(head, y);
+        let fv = live_val(head, f);
         let (rows, m) = yv.dims2();
         assert_eq!(fv.numel(), rows * m * k, "feature size mismatch");
-        let mut out = Tensor::zeros(&[rows, m * (k + 1)]);
-        {
-            let yd = yv.data();
-            let fd = fv.data();
-            qn_parallel::par_chunks_mut_min(
-                out.data_mut(),
-                (m * (k + 1)).max(1),
-                PAR_MIN_ELEMS,
-                |r, orow| {
-                    for j in 0..m {
-                        let dst = j * (k + 1);
-                        orow[dst] = yd[r * m + j];
-                        orow[dst + 1..dst + 1 + k]
-                            .copy_from_slice(&fd[r * m * k + j * k..r * m * k + (j + 1) * k]);
-                    }
-                },
-            );
-        }
-        self.push(out)
+        let yd = yv.data();
+        let fd = fv.data();
+        let out = refit_slot(slot, &[rows, m * (k + 1)]);
+        qn_parallel::par_chunks_mut_min(
+            out.data_mut(),
+            (m * (k + 1)).max(1),
+            PAR_MIN_ELEMS,
+            |r, orow| {
+                for j in 0..m {
+                    let dst = j * (k + 1);
+                    orow[dst] = yd[r * m + j];
+                    orow[dst + 1..dst + 1 + k]
+                        .copy_from_slice(&fd[r * m * k + j * k..r * m * k + (j + 1) * k]);
+                }
+            },
+        );
+        self.commit()
     }
 
     fn rows_to_nchw(&mut self, v: Var, b: usize, oh: usize, ow: usize, c: usize) -> Var {
-        let vv = self.value(v);
+        let (head, slot) = self.out_slot();
+        let vv = live_val(head, v);
         assert_eq!(vv.numel(), b * oh * ow * c, "rows_to_nchw size mismatch");
-        let mut out = Tensor::zeros(&[b, c, oh, ow]);
         let hw = oh * ow;
-        {
-            let vd = vv.data();
-            qn_parallel::par_chunks_mut_min(
-                out.data_mut(),
-                (c * hw).max(1),
-                PAR_MIN_ELEMS,
-                |bi, oslab| {
-                    for pos in 0..hw {
-                        let row = &vd[(bi * hw + pos) * c..(bi * hw + pos + 1) * c];
-                        for (ci, &x) in row.iter().enumerate() {
-                            oslab[ci * hw + pos] = x;
+        let vd = vv.data();
+        let out = refit_slot(slot, &[b, c, oh, ow]);
+        qn_parallel::par_chunks_mut_min(
+            out.data_mut(),
+            (c * hw).max(1),
+            PAR_MIN_ELEMS,
+            |bi, oslab| {
+                for pos in 0..hw {
+                    let row = &vd[(bi * hw + pos) * c..(bi * hw + pos + 1) * c];
+                    for (ci, &x) in row.iter().enumerate() {
+                        oslab[ci * hw + pos] = x;
+                    }
+                }
+            },
+        );
+        self.commit()
+    }
+
+    fn elemwise_chain(&mut self, x: Var, stages: &[ChainStage<'_>]) -> Var {
+        /// Stage resolved to raw per-channel / per-element slices.
+        enum Prep<'p> {
+            Bias(&'p [f32]),
+            Scale(&'p [f32]),
+            Norm {
+                mean: &'p [f32],
+                inv: &'p [f32],
+                gamma: &'p [f32],
+                beta: &'p [f32],
+            },
+            Relu,
+            Residual(&'p [f32]),
+        }
+        const MAX_STAGES: usize = 8;
+        assert!(
+            stages.len() <= MAX_STAGES,
+            "elemwise_chain supports at most {MAX_STAGES} stages"
+        );
+        let pool = Arc::clone(&self.pool);
+        // per-Norm-stage 1/σ scratch, drawn from the pool (hoisted per
+        // channel exactly like the unfused batch-norm kernel)
+        let mut inv_scratch: [Option<Vec<f32>>; MAX_STAGES] = Default::default();
+        for (si, stage) in stages.iter().enumerate() {
+            if let ChainStage::NormChannel { var, eps, .. } = stage {
+                let mut inv = pool.take_f32(var.numel());
+                for (o, &v) in inv.iter_mut().zip(var.data()) {
+                    *o = 1.0 / (v + eps).sqrt();
+                }
+                inv_scratch[si] = Some(inv);
+            }
+        }
+        let (head, slot) = self.out_slot();
+        let xv = live_val(head, x);
+        let (_b, c, h, w) = xv.dims4();
+        let hw = h * w;
+        let mut prep: [Option<Prep>; MAX_STAGES] = Default::default();
+        for (si, stage) in stages.iter().enumerate() {
+            prep[si] = Some(match *stage {
+                ChainStage::AddChannel(bias) => {
+                    let bv = live_val(head, bias);
+                    assert_eq!(bv.ndim(), 1, "bias must be 1-D");
+                    assert_eq!(bv.numel(), c, "bias width {} != {c}", bv.numel());
+                    Prep::Bias(bv.data())
+                }
+                ChainStage::MulChannel(scale) => {
+                    let sv = live_val(head, scale);
+                    assert_eq!(sv.ndim(), 1, "scale must be 1-D");
+                    assert_eq!(sv.numel(), c, "scale width {} != {c}", sv.numel());
+                    Prep::Scale(sv.data())
+                }
+                ChainStage::NormChannel {
+                    gamma, beta, mean, ..
+                } => {
+                    let gv = live_val(head, gamma);
+                    let bv = live_val(head, beta);
+                    assert_eq!(gv.numel(), c, "gamma width {} != {c}", gv.numel());
+                    assert_eq!(bv.numel(), c, "beta width {} != {c}", bv.numel());
+                    assert_eq!(mean.numel(), c, "mean width {} != {c}", mean.numel());
+                    Prep::Norm {
+                        mean: mean.data(),
+                        inv: inv_scratch[si].as_deref().expect("computed above"),
+                        gamma: gv.data(),
+                        beta: bv.data(),
+                    }
+                }
+                ChainStage::Relu => Prep::Relu,
+                ChainStage::AddResidual(r) => {
+                    let rv = live_val(head, r);
+                    assert_eq!(
+                        rv.shape(),
+                        xv.shape(),
+                        "zip shape mismatch: {} vs {}",
+                        rv.shape(),
+                        xv.shape()
+                    );
+                    Prep::Residual(rv.data())
+                }
+            });
+        }
+        let nst = stages.len();
+        let xd = xv.data();
+        let out = refit_slot(slot, xv.shape().dims());
+        // one pass: per element, the stages apply in order with the exact
+        // scalar expression of their unfused counterparts, so the fusion is
+        // bit-identical to the decomposed pipeline. Parallel over disjoint
+        // (batch, channel) planes like the unfused channel kernels.
+        qn_parallel::par_chunks_mut_min(
+            out.data_mut(),
+            hw.max(1),
+            PAR_MIN_ELEMS,
+            |plane, oplane| {
+                let ci = plane % c;
+                let base = plane * hw;
+                for (j, o) in oplane.iter_mut().enumerate() {
+                    let mut v = xd[base + j];
+                    for stage in prep[..nst].iter() {
+                        match stage.as_ref().expect("prepared above") {
+                            Prep::Bias(bs) => v += bs[ci],
+                            Prep::Scale(ss) => v *= ss[ci],
+                            Prep::Norm {
+                                mean,
+                                inv,
+                                gamma,
+                                beta,
+                            } => v = (v - mean[ci]) * inv[ci] * gamma[ci] + beta[ci],
+                            Prep::Relu => v = v.max(0.0),
+                            Prep::Residual(r) => v += r[base + j],
                         }
                     }
-                },
-            );
+                    *o = v;
+                }
+            },
+        );
+        let var = self.commit();
+        for inv in inv_scratch.into_iter().flatten() {
+            pool.give_f32(inv);
         }
-        self.push(out)
+        var
     }
 }
 

@@ -1,5 +1,6 @@
 use crate::Parameter;
-use qn_tensor::{Rng, Tensor};
+use qn_tensor::{BufferPool, Rng, Tensor};
+use std::sync::Arc;
 
 /// Handle to a node on a [`Graph`] tape.
 ///
@@ -10,13 +11,26 @@ pub struct Var {
     pub(crate) id: usize,
 }
 
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+/// Backward functions run **once**, consuming the node's upstream gradient
+/// by value — so derivatives that only rescale or mask the gradient (the
+/// activation family) rewrite it in place via `zip_inplace` instead of
+/// allocating a fresh mask tensor.
+pub(crate) type BackwardFn = Box<dyn FnOnce(Tensor) -> Vec<Tensor>>;
 
 pub(crate) struct Node {
-    pub value: Tensor,
+    /// Forward value. `None` once reclaimed into the attached buffer pool
+    /// (only ever happens for ops pushed as *ephemeral*, during a pooled
+    /// backward sweep).
+    pub value: Option<Tensor>,
     pub grad: Option<Tensor>,
     pub parents: Vec<usize>,
     pub backward: Option<BackwardFn>,
+    /// Whether the stored `value` must survive the backward sweep. `true`
+    /// (the conservative default of [`Graph::push`]) for leaves, parameter
+    /// bindings and any op that does not explicitly opt out;
+    /// [`Graph::push_ephemeral`] marks ops whose backward closure captures
+    /// everything it needs, letting a pooled sweep recycle the activation.
+    pub keep_value: bool,
 }
 
 /// A single forward pass recorded as a differentiation tape.
@@ -27,10 +41,26 @@ pub(crate) struct Node {
 ///
 /// The graph carries a `training` flag (consulted by dropout and batch
 /// norm) and its own [`Rng`] so stochastic layers are reproducible.
+///
+/// # Buffer recycling
+///
+/// With a [`BufferPool`] attached ([`Graph::set_pool`] /
+/// [`Graph::training_pooled`]), the backward sweep returns to the pool:
+/// each intermediate activation whose op declared its value *not* needed by
+/// the backward pass (per-op saved-for-backward declarations — every
+/// built-in op's closure captures its own operands, so all of them opt in;
+/// the conservative default for new ops is to keep), and each distributed
+/// gradient buffer once accumulated. Step `N+1`'s pooled consumers (the
+/// GEMM packing scratch, `EagerExec` arenas, `Tensor::from_pooled` call
+/// sites) then reuse step `N`'s buffers instead of hitting the allocator.
+/// After a pooled backward, [`Graph::value`] of a reclaimed intermediate
+/// panics — read intermediate values before calling `backward`, or leave
+/// the pool unattached (the default, which reclaims nothing).
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     bindings: Vec<(usize, Parameter)>,
     training: bool,
+    pool: Option<Arc<BufferPool>>,
     pub(crate) rng: Rng,
 }
 
@@ -47,6 +77,7 @@ impl Graph {
             nodes: Vec::new(),
             bindings: Vec::new(),
             training: false,
+            pool: None,
             rng: Rng::seed_from(0),
         }
     }
@@ -57,7 +88,39 @@ impl Graph {
             nodes: Vec::new(),
             bindings: Vec::new(),
             training: true,
+            pool: None,
             rng: Rng::seed_from(seed),
+        }
+    }
+
+    /// Creates a training-mode graph whose backward sweep recycles
+    /// intermediate buffers into `pool` (see the type-level docs).
+    pub fn training_pooled(seed: u64, pool: Arc<BufferPool>) -> Self {
+        let mut g = Graph::training(seed);
+        g.pool = Some(pool);
+        g
+    }
+
+    /// Attaches a buffer pool: the backward sweep will reclaim ephemeral
+    /// activation values and spent gradient buffers into it (see the
+    /// type-level docs). Without a pool (the default), nothing is
+    /// reclaimed and every value stays readable after `backward`.
+    pub fn set_pool(&mut self, pool: Arc<BufferPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Consumes the graph, returning **every** remaining tensor buffer —
+    /// node values, gradients — to `pool`. Call at the end of a training
+    /// step so the next step's pooled allocations reuse this step's
+    /// storage.
+    pub fn recycle_into(self, pool: &BufferPool) {
+        for node in self.nodes {
+            if let Some(v) = node.value {
+                v.into_pool(pool);
+            }
+            if let Some(g) = node.grad {
+                g.into_pool(pool);
+            }
         }
     }
 
@@ -91,27 +154,63 @@ impl Graph {
     }
 
     /// Value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value was reclaimed into an attached buffer pool by a
+    /// pooled backward sweep (see the type-level docs).
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.id].value
+        self.nodes[v.id]
+            .value
+            .as_ref()
+            .expect("node value was reclaimed into the buffer pool during backward")
     }
 
-    /// Gradient of a node, if backward has reached it.
+    /// Gradient of a node, if backward has reached it. After the sweep,
+    /// gradients remain available for **leaves** (inputs and parameter
+    /// bindings); an intermediate op's gradient is consumed by its own
+    /// backward function.
     pub fn grad(&self, v: Var) -> Option<&Tensor> {
         self.nodes[v.id].grad.as_ref()
     }
 
+    /// Records a node whose `value` is kept through a pooled backward sweep
+    /// — the conservative default for ops that do not declare otherwise.
     pub(crate) fn push(
         &mut self,
         value: Tensor,
         parents: Vec<usize>,
         backward: Option<BackwardFn>,
     ) -> Var {
+        self.push_node(value, parents, backward, true)
+    }
+
+    /// Records a node declaring that its stored `value` is **not** read by
+    /// its backward function (the closure captures everything it needs), so
+    /// a pooled sweep may recycle the activation buffer.
+    pub(crate) fn push_ephemeral(
+        &mut self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+    ) -> Var {
+        self.push_node(value, parents, backward, false)
+    }
+
+    fn push_node(
+        &mut self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+        keep_value: bool,
+    ) -> Var {
         let id = self.nodes.len();
         self.nodes.push(Node {
-            value,
+            value: Some(value),
             grad: None,
             parents,
             backward,
+            keep_value,
         });
         Var { id }
     }
@@ -155,24 +254,28 @@ impl Graph {
     }
 
     fn backward_sweep(&mut self, out: Var) {
+        let out_value = self.value(out);
         assert_eq!(
-            self.nodes[out.id].value.numel(),
+            out_value.numel(),
             1,
             "backward requires a scalar output, got shape {}",
-            self.nodes[out.id].value.shape()
+            out_value.shape()
         );
-        let seed = Tensor::ones(self.nodes[out.id].value.shape().dims());
+        let seed = Tensor::ones(out_value.shape().dims());
         self.nodes[out.id].grad = Some(seed);
+        let pool = self.pool.clone();
         for i in (0..=out.id).rev() {
-            let grad = match &self.nodes[i].grad {
-                Some(g) => g.clone(),
-                None => continue,
-            };
+            if self.nodes[i].grad.is_none() {
+                continue; // gradient never reached this node
+            }
             let Some(bw) = self.nodes[i].backward.take() else {
-                continue;
+                continue; // leaf: keep the grad for the user / bindings
             };
-            let parents = self.nodes[i].parents.clone();
-            let pgrads = bw(&grad);
+            // The backward fn consumes the upstream gradient by value: no
+            // defensive clone, and in-place derivatives can reuse it.
+            let grad = self.nodes[i].grad.take().expect("checked above");
+            let parents = std::mem::take(&mut self.nodes[i].parents);
+            let pgrads = bw(grad);
             assert_eq!(
                 parents.len(),
                 pgrads.len(),
@@ -182,8 +285,25 @@ impl Graph {
             );
             for (&p, pg) in parents.iter().zip(pgrads) {
                 match &mut self.nodes[p].grad {
-                    Some(g) => g.add_assign(&pg),
+                    Some(g) => {
+                        g.add_assign(&pg);
+                        // accumulated: the distributed buffer is spent
+                        if let Some(pool) = &pool {
+                            pg.into_pool(pool);
+                        }
+                    }
                     slot @ None => *slot = Some(pg),
+                }
+            }
+            // Saved-for-backward declarations: ops pushed as ephemeral told
+            // us their value is dead once their backward fn ran, so a
+            // pooled sweep reclaims the activation (the sweep root's value
+            // is the loss the caller reads — always kept).
+            if let Some(pool) = &pool {
+                if i != out.id && !self.nodes[i].keep_value {
+                    if let Some(v) = self.nodes[i].value.take() {
+                        v.into_pool(pool);
+                    }
                 }
             }
         }

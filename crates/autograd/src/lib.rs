@@ -48,7 +48,7 @@ mod nnops;
 mod ops;
 mod param;
 
-pub use exec::{EagerExec, Exec};
+pub use exec::{ChainStage, EagerExec, Exec};
 pub use gradcheck::{gradcheck, gradcheck_multi};
 pub use graph::{Graph, Var};
 pub use param::Parameter;

@@ -20,12 +20,12 @@ impl Graph {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
         let value = av.matmul(&bv);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 // dA = g @ Bᵀ ; dB = Aᵀ @ g
-                vec![g.matmul_transb(&bv), av.matmul_transa(g)]
+                vec![g.matmul_transb(&bv), av.matmul_transa(&g)]
             })),
         )
     }
@@ -40,10 +40,10 @@ impl Graph {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
         let value = av.matmul_transb(&bv);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 // y = a bᵀ : dA = g @ B ; dB = gᵀ @ A
                 vec![g.matmul(&bv), g.matmul_transa(&av)]
             })),
@@ -60,17 +60,19 @@ impl Graph {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
         let value = bmm_forward(&av, &bv);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![bmm_transb(g, &bv), bmm_transa(&av, g)]
+            Some(Box::new(move |g: Tensor| {
+                vec![bmm_transb(&g, &bv), bmm_transa(&av, &g)]
             })),
         )
     }
 }
 
-fn batch_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
+/// Validated `(N, M, K, P)` dims of a `[N, M, K] × [N, K, P]` batched
+/// product — shared by the taped and eager paths.
+pub(crate) fn bmm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
     assert_eq!(a.ndim(), 3, "bmm lhs must be 3-D");
     assert_eq!(b.ndim(), 3, "bmm rhs must be 3-D");
     let (n, m, k) = (a.shape().dim(0), a.shape().dim(1), a.shape().dim(2));
@@ -85,11 +87,20 @@ fn batch_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
 /// thread count; the finiteness-guarded zero-coefficient skip (dropped
 /// outright in PR 3) is back via the core's packing step.
 pub(crate) fn bmm_forward(a: &Tensor, b: &Tensor) -> Tensor {
-    let (n, m, k, p) = batch_dims(a, b);
+    let (n, m, _k, p) = bmm_dims(a, b);
     let mut out = vec![0.0f32; n * m * p];
+    bmm_forward_into(&mut out, a, b);
+    Tensor::from_vec(out, &[n, m, p]).expect("bmm shape consistent")
+}
+
+/// [`bmm_forward`] into a caller-provided (slot-recycled) buffer of
+/// `N·M·P` elements; fully overwritten, bit-identical to the allocating
+/// version.
+pub(crate) fn bmm_forward_into(dst: &mut [f32], a: &Tensor, b: &Tensor) {
+    let (n, m, k, p) = bmm_dims(a, b);
     let (ad, bd) = (a.data(), b.data());
     gemm_batched(
-        &mut out,
+        dst,
         n,
         m,
         p,
@@ -97,7 +108,6 @@ pub(crate) fn bmm_forward(a: &Tensor, b: &Tensor) -> Tensor {
         |ni| MatRef::new(&ad[ni * m * k..(ni + 1) * m * k], m, k),
         |ni| MatRef::new(&bd[ni * k * p..(ni + 1) * k * p], k, p),
     );
-    Tensor::from_vec(out, &[n, m, p]).expect("bmm shape consistent")
 }
 
 /// `g [N, M, P] × bᵀ [N, P, K]` per batch: returns `[N, M, K]`. The

@@ -11,23 +11,24 @@ impl Graph {
         let value = softmax_last(self.value(x));
         let out = value.clone();
         let last = self.value(x).shape().dims().last().copied().unwrap_or(1);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![x.id],
-            Some(Box::new(move |g: &Tensor| {
-                // dx = p ⊙ (g - sum(g ⊙ p, last))
-                let mut dx = g.mul(&out);
-                let gd = g.data();
+            Some(Box::new(move |mut g: Tensor| {
+                // dx = p ⊙ (g - sum(g ⊙ p, last)), rewriting g in place:
+                // each row's sum is taken before any of its elements are
+                // overwritten, so the fold is identical to the two-tensor
+                // form
                 let pd = out.data();
-                let dd = dx.data_mut();
-                for row in 0..gd.len() / last {
+                let gd = g.data_mut();
+                for row in 0..pd.len() / last {
                     let base = row * last;
                     let s: f32 = (0..last).map(|j| gd[base + j] * pd[base + j]).sum();
                     for j in 0..last {
-                        dd[base + j] = pd[base + j] * (gd[base + j] - s);
+                        gd[base + j] = pd[base + j] * (gd[base + j] - s);
                     }
                 }
-                vec![dx]
+                vec![g]
             })),
         )
     }
@@ -73,10 +74,10 @@ impl Graph {
         loss /= b as f32;
         let targets = targets.to_vec();
         let value = Tensor::from_vec(vec![loss], &[1]).expect("scalar");
-        self.push(
+        self.push_ephemeral(
             value,
             vec![logits.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let scale = g.data()[0] / b as f32;
                 let mut dx = probs.clone();
                 for (i, &t) in targets.iter().enumerate() {
@@ -146,10 +147,10 @@ impl Graph {
         let targets = targets.to_vec();
         let weights = weights.to_vec();
         let value = Tensor::from_vec(vec![loss], &[1]).expect("scalar");
-        self.push(
+        self.push_ephemeral(
             value,
             vec![logits.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let scale = g.data()[0] / wsum;
                 let mut dx = probs.clone();
                 for (i, (&t, &wi)) in targets.iter().zip(weights.iter()).enumerate() {
@@ -188,10 +189,10 @@ impl Graph {
         let mut inv_std = vec![0.0f32; rows];
         let out = layer_norm_forward(&xv, &gv, &bv, eps, Some((&mut xhat, &mut inv_std)));
         let xshape = xv.shape().dims().to_vec();
-        self.push(
+        self.push_ephemeral(
             out,
             vec![x.id, gamma.id, beta.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let gd = g.data();
                 let mut dgamma = vec![0.0f32; d];
                 let mut dbeta = vec![0.0f32; d];
@@ -293,10 +294,10 @@ impl Graph {
         } else {
             None
         };
-        let out_var = self.push(
+        let out_var = self.push_ephemeral(
             out,
             vec![x.id, gamma.id, beta.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let gd = g.data();
                 let mut dgamma = vec![0.0f32; c];
                 let mut dbeta = vec![0.0f32; c];
@@ -360,10 +361,10 @@ impl Graph {
         }
         let value = wv.select_rows(ids);
         let ids = ids.to_vec();
-        self.push(
+        self.push_ephemeral(
             value,
             vec![weight.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let mut dw = Tensor::zeros(&[v, d]);
                 for (row, &id) in ids.iter().enumerate() {
                     let src = &g.data()[row * d..(row + 1) * d];
@@ -405,10 +406,13 @@ impl Graph {
         let mask = Tensor::from_vec(mask, self.value(x).shape().dims()).expect("mask shape");
         let mv = mask.clone();
         let value = self.value(x).mul(&mask);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![x.id],
-            Some(Box::new(move |g: &Tensor| vec![g.mul(&mv)])),
+            Some(Box::new(move |mut g: Tensor| {
+                g.zip_inplace(&mv, |gi, m| gi * m);
+                vec![g]
+            })),
         )
     }
 }
@@ -432,22 +436,11 @@ pub(crate) fn layer_norm_forward(
     assert_eq!(bv.numel(), d, "beta width {} != {d}", bv.numel());
     let rows = xv.numel() / d;
     let mut out = xv.clone();
-    let od = out.data_mut();
     if capture.is_none() {
-        // Inference path: rows are independent, so normalize them in
-        // parallel (bit-identical to the sequential sweep below).
-        qn_parallel::par_chunks_mut_min(od, d.max(1), PAR_MIN_ELEMS, |r, orow| {
-            let base = r * d;
-            let row = &xv.data()[base..base + d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            for (j, o) in orow.iter_mut().enumerate() {
-                *o = (row[j] - mean) * istd * gv.data()[j] + bv.data()[j];
-            }
-        });
+        layer_norm_infer_into(out.data_mut(), xv, gv, bv, eps);
         return out;
     }
+    let od = out.data_mut();
     for r in 0..rows {
         let base = r * d;
         let row = &xv.data()[base..base + d];
@@ -486,19 +479,13 @@ pub(crate) fn batch_norm_apply(
     let (b, c, h, w) = xv.dims4();
     let hw = h * w;
     let mut out = xv.clone();
-    let od = out.data_mut();
     if xhat.is_none() {
         // Inference path: per-channel affine over disjoint planes, safe to
         // parallelize over batch × channel.
-        qn_parallel::par_chunks_mut_min(od, hw.max(1), PAR_MIN_ELEMS, |plane, out_plane| {
-            let ci = plane % c;
-            let base = plane * hw;
-            for (j, o) in out_plane.iter_mut().enumerate() {
-                *o = (xv.data()[base + j] - mean[ci]) * inv_std[ci] * gv.data()[ci] + bv.data()[ci];
-            }
-        });
+        batch_norm_infer_into(out.data_mut(), xv, gv, bv, mean, inv_std);
         return out;
     }
+    let od = out.data_mut();
     for bi in 0..b {
         for ci in 0..c {
             let base = (bi * c + ci) * hw;
@@ -514,13 +501,72 @@ pub(crate) fn batch_norm_apply(
     out
 }
 
-/// Stable softmax over the last axis (free function shared with the loss).
-/// Rows normalize independently, so the sweep runs on the `qn-parallel`
-/// pool for large inputs with bit-identical results at any thread count.
-pub(crate) fn softmax_last(x: &Tensor) -> Tensor {
-    let last = *x.shape().dims().last().expect("non-empty shape");
-    let mut out = x.clone();
-    qn_parallel::par_chunks_mut_min(out.data_mut(), last.max(1), PAR_MIN_ELEMS, |_, row| {
+/// Inference layer norm into a caller-provided (slot-recycled) buffer —
+/// the parallel per-row kernel shared by [`layer_norm_forward`] and the
+/// eager path. Fully overwrites `dst`; bit-identical to the allocating
+/// version and to the sequential training sweep.
+pub(crate) fn layer_norm_infer_into(
+    dst: &mut [f32],
+    xv: &Tensor,
+    gv: &Tensor,
+    bv: &Tensor,
+    eps: f32,
+) {
+    let d = *xv.shape().dims().last().expect("non-empty shape");
+    assert_eq!(gv.numel(), d, "gamma width {} != {d}", gv.numel());
+    assert_eq!(bv.numel(), d, "beta width {} != {d}", bv.numel());
+    assert_eq!(
+        dst.len(),
+        xv.numel(),
+        "layer_norm_infer_into length mismatch"
+    );
+    // Inference path: rows are independent, so normalize them in
+    // parallel (bit-identical to the sequential training sweep).
+    qn_parallel::par_chunks_mut_min(dst, d.max(1), PAR_MIN_ELEMS, |r, orow| {
+        let base = r * d;
+        let row = &xv.data()[base..base + d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = (row[j] - mean) * istd * gv.data()[j] + bv.data()[j];
+        }
+    });
+}
+
+/// Inference batch norm into a caller-provided buffer: per-channel affine
+/// `(x - mean[c]) · inv_std[c] · γ[c] + β[c]` parallel over disjoint
+/// (batch, channel) planes. Fully overwrites `dst`; bit-identical to
+/// [`batch_norm_apply`] without capture.
+pub(crate) fn batch_norm_infer_into(
+    dst: &mut [f32],
+    xv: &Tensor,
+    gv: &Tensor,
+    bv: &Tensor,
+    mean: &[f32],
+    inv_std: &[f32],
+) {
+    let (_b, c, h, w) = xv.dims4();
+    let hw = h * w;
+    assert_eq!(
+        dst.len(),
+        xv.numel(),
+        "batch_norm_infer_into length mismatch"
+    );
+    qn_parallel::par_chunks_mut_min(dst, hw.max(1), PAR_MIN_ELEMS, |plane, out_plane| {
+        let ci = plane % c;
+        let base = plane * hw;
+        for (j, o) in out_plane.iter_mut().enumerate() {
+            *o = (xv.data()[base + j] - mean[ci]) * inv_std[ci] * gv.data()[ci] + bv.data()[ci];
+        }
+    });
+}
+
+/// Normalizes each `last`-wide row of `data` in place with the stable
+/// softmax — the kernel under [`softmax_last`] and the eager path's
+/// copy-then-normalize (bit-identical either way).
+pub(crate) fn softmax_rows_inplace(data: &mut [f32], last: usize) {
+    qn_parallel::par_chunks_mut_min(data, last.max(1), PAR_MIN_ELEMS, |_, row| {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -531,6 +577,15 @@ pub(crate) fn softmax_last(x: &Tensor) -> Tensor {
             *v /= sum;
         }
     });
+}
+
+/// Stable softmax over the last axis (free function shared with the loss).
+/// Rows normalize independently, so the sweep runs on the `qn-parallel`
+/// pool for large inputs with bit-identical results at any thread count.
+pub(crate) fn softmax_last(x: &Tensor) -> Tensor {
+    let last = *x.shape().dims().last().expect("non-empty shape");
+    let mut out = x.clone();
+    softmax_rows_inplace(out.data_mut(), last);
     out
 }
 

@@ -7,20 +7,23 @@ impl Graph {
     /// Elementwise sum of two same-shape nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).add(self.value(b));
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, b.id],
-            Some(Box::new(|g: &Tensor| vec![g.clone(), g.clone()])),
+            Some(Box::new(|g: Tensor| vec![g.clone(), g])),
         )
     }
 
     /// Elementwise difference `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).sub(self.value(b));
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, b.id],
-            Some(Box::new(|g: &Tensor| vec![g.clone(), g.neg()])),
+            Some(Box::new(|g: Tensor| {
+                let db = g.neg();
+                vec![g, db]
+            })),
         )
     }
 
@@ -29,31 +32,35 @@ impl Graph {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
         let value = av.mul(&bv);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| vec![g.mul(&bv), g.mul(&av)])),
+            Some(Box::new(move |g: Tensor| {
+                let da = g.mul(&bv);
+                let mut db = g;
+                db.zip_inplace(&av, |gi, ai| gi * ai);
+                vec![da, db]
+            })),
         )
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
         let value = self.value(a).scale(s);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| vec![g.scale(s)])),
+            Some(Box::new(move |mut g: Tensor| {
+                g.map_inplace(move |v| v * s);
+                vec![g]
+            })),
         )
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
         let value = self.value(a).add_scalar(s);
-        self.push(
-            value,
-            vec![a.id],
-            Some(Box::new(|g: &Tensor| vec![g.clone()])),
-        )
+        self.push_ephemeral(value, vec![a.id], Some(Box::new(|g: Tensor| vec![g])))
     }
 
     /// Elementwise negation.
@@ -65,10 +72,13 @@ impl Graph {
     pub fn square(&mut self, a: Var) -> Var {
         let av = self.value(a).clone();
         let value = av.map(|v| v * v);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| vec![g.mul(&av).scale(2.0)])),
+            Some(Box::new(move |mut g: Tensor| {
+                g.zip_inplace(&av, |gi, x| gi * x * 2.0);
+                vec![g]
+            })),
         )
     }
 
@@ -82,11 +92,12 @@ impl Graph {
         assert!(p >= 1, "powi requires p >= 1, got {p}");
         let av = self.value(a).clone();
         let value = av.map(|v| v.powi(p));
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&av, |gi, x| gi * p as f32 * x.powi(p - 1))]
+            Some(Box::new(move |mut g: Tensor| {
+                g.zip_inplace(&av, |gi, x| gi * p as f32 * x.powi(p - 1));
+                vec![g]
             })),
         )
     }
@@ -95,11 +106,14 @@ impl Graph {
     pub fn relu(&mut self, a: Var) -> Var {
         let av = self.value(a).clone();
         let value = av.map(|v| v.max(0.0));
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&av, |gi, x| if x > 0.0 { gi } else { 0.0 })]
+            Some(Box::new(move |mut g: Tensor| {
+                // fused mask: the derivative rewrites the incoming gradient
+                // in place instead of allocating a masked copy
+                g.zip_inplace(&av, |gi, x| if x > 0.0 { gi } else { 0.0 });
+                vec![g]
             })),
         )
     }
@@ -108,11 +122,12 @@ impl Graph {
     pub fn tanh(&mut self, a: Var) -> Var {
         let value = self.value(a).map(|v| v.tanh());
         let out = value.clone();
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&out, |gi, y| gi * (1.0 - y * y))]
+            Some(Box::new(move |mut g: Tensor| {
+                g.zip_inplace(&out, |gi, y| gi * (1.0 - y * y));
+                vec![g]
             })),
         )
     }
@@ -121,11 +136,12 @@ impl Graph {
     pub fn sigmoid(&mut self, a: Var) -> Var {
         let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
         let out = value.clone();
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&out, |gi, y| gi * y * (1.0 - y))]
+            Some(Box::new(move |mut g: Tensor| {
+                g.zip_inplace(&out, |gi, y| gi * y * (1.0 - y));
+                vec![g]
             })),
         )
     }
@@ -142,10 +158,10 @@ impl Graph {
     pub fn add_bcast(&mut self, a: Var, b: Var) -> Var {
         let value = add_bcast_forward(self.value(a), self.value(b));
         let bshape = self.value(b).shape().dims().to_vec();
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let bl: usize = bshape.iter().product();
                 let mut db = vec![0.0f32; bl];
                 for chunk in g.data().chunks(bl) {
@@ -153,10 +169,8 @@ impl Graph {
                         *o += x;
                     }
                 }
-                vec![
-                    g.clone(),
-                    Tensor::from_vec(db, &bshape).expect("suffix shape consistent"),
-                ]
+                let db = Tensor::from_vec(db, &bshape).expect("suffix shape consistent");
+                vec![g, db]
             })),
         )
     }
@@ -172,27 +186,26 @@ impl Graph {
         let bv = self.value(b).clone();
         let out = mul_bcast_forward(&av, &bv);
         let bshape = bv.shape().dims().to_vec();
-        self.push(
+        self.push_ephemeral(
             out,
             vec![a.id, b.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |mut g: Tensor| {
                 let bl: usize = bshape.iter().product();
-                let mut da = g.clone();
-                for chunk in da.data_mut().chunks_mut(bl) {
-                    for (o, &x) in chunk.iter_mut().zip(bv.data()) {
-                        *o *= x;
-                    }
-                }
+                // db reads the *original* gradient, so compute it first,
+                // then rescale g in place for da
                 let mut db = vec![0.0f32; bl];
                 for (gchunk, achunk) in g.data().chunks(bl).zip(av.data().chunks(bl)) {
                     for ((o, &gi), &ai) in db.iter_mut().zip(gchunk).zip(achunk) {
                         *o += gi * ai;
                     }
                 }
-                vec![
-                    da,
-                    Tensor::from_vec(db, &bshape).expect("suffix shape consistent"),
-                ]
+                for chunk in g.data_mut().chunks_mut(bl) {
+                    for (o, &x) in chunk.iter_mut().zip(bv.data()) {
+                        *o *= x;
+                    }
+                }
+                let db = Tensor::from_vec(db, &bshape).expect("suffix shape consistent");
+                vec![g, db]
             })),
         )
     }
@@ -205,10 +218,10 @@ impl Graph {
     pub fn add_channel(&mut self, a: Var, bias: Var) -> Var {
         let value = self.value(a).add_channel(self.value(bias));
         let dims = self.value(a).dims4();
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, bias.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let (b, c, h, w) = dims;
                 let mut db = vec![0.0f32; c];
                 let hw = h * w;
@@ -218,10 +231,8 @@ impl Graph {
                         *dbc += g.data()[base..base + hw].iter().sum::<f32>();
                     }
                 }
-                vec![
-                    g.clone(),
-                    Tensor::from_vec(db, &[c]).expect("channel count consistent"),
-                ]
+                let db = Tensor::from_vec(db, &[c]).expect("channel count consistent");
+                vec![g, db]
             })),
         )
     }
@@ -236,13 +247,14 @@ impl Graph {
         let sv = self.value(scale).clone();
         let value = av.mul_channel(&sv);
         let dims = av.dims4();
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id, scale.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |mut g: Tensor| {
                 let (b, c, h, w) = dims;
                 let hw = h * w;
-                let da = g.mul_channel(&sv);
+                // ds reads the original gradient; compute it before the
+                // in-place per-channel rescale that produces da
                 let mut ds = vec![0.0f32; c];
                 for bi in 0..b {
                     for (ci, dsc) in ds.iter_mut().enumerate() {
@@ -254,10 +266,17 @@ impl Graph {
                             .sum::<f32>();
                     }
                 }
-                vec![
-                    da,
-                    Tensor::from_vec(ds, &[c]).expect("channel count consistent"),
-                ]
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let base = (bi * c + ci) * hw;
+                        let sc = sv.data()[ci];
+                        for v in &mut g.data_mut()[base..base + hw] {
+                            *v *= sc;
+                        }
+                    }
+                }
+                let ds = Tensor::from_vec(ds, &[c]).expect("channel count consistent");
+                vec![g, ds]
             })),
         )
     }
@@ -275,11 +294,13 @@ impl Graph {
             .value(a)
             .reshape(dims)
             .unwrap_or_else(|e| panic!("reshape: {e}"));
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
-                vec![g.reshape(&old_dims).expect("inverse reshape consistent")]
+            Some(Box::new(move |g: Tensor| {
+                vec![g
+                    .into_reshaped(&old_dims)
+                    .expect("inverse reshape consistent")]
             })),
         )
     }
@@ -295,10 +316,10 @@ impl Graph {
         for (i, &ax) in axes.iter().enumerate() {
             inverse[ax] = i;
         }
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| vec![g.permute(&inverse)])),
+            Some(Box::new(move |g: Tensor| vec![g.permute(&inverse)])),
         )
     }
 
@@ -314,10 +335,10 @@ impl Graph {
         let value = Tensor::concat(&refs, axis);
         let sizes: Vec<usize> = tensors.iter().map(|t| t.shape().dim(axis)).collect();
         let ids: Vec<usize> = parts.iter().map(|v| v.id).collect();
-        self.push(
+        self.push_ephemeral(
             value,
             ids,
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 let mut grads = Vec::with_capacity(sizes.len());
                 let mut start = 0usize;
                 for &s in &sizes {
@@ -337,10 +358,10 @@ impl Graph {
     pub fn slice_axis(&mut self, a: Var, axis: usize, start: usize, end: usize) -> Var {
         let full = self.value(a).shape().dims().to_vec();
         let value = self.value(a).slice_axis(axis, start, end);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 // embed the slice gradient into a zero tensor of the full shape
                 let mut parts: Vec<Tensor> = Vec::new();
                 if start > 0 {
@@ -348,7 +369,7 @@ impl Graph {
                     dims[axis] = start;
                     parts.push(Tensor::zeros(&dims));
                 }
-                parts.push(g.clone());
+                parts.push(g);
                 if end < full[axis] {
                     let mut dims = full.clone();
                     dims[axis] = full[axis] - end;
@@ -366,10 +387,10 @@ impl Graph {
     pub fn sum_all(&mut self, a: Var) -> Var {
         let dims = self.value(a).shape().dims().to_vec();
         let value = Tensor::from_vec(vec![self.value(a).sum()], &[1]).expect("scalar");
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 vec![Tensor::full(&dims, g.data()[0])]
             })),
         )
@@ -390,10 +411,10 @@ impl Graph {
     pub fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
         let dims = self.value(a).shape().dims().to_vec();
         let value = self.value(a).sum_axis(axis);
-        self.push(
+        self.push_ephemeral(
             value,
             vec![a.id],
-            Some(Box::new(move |g: &Tensor| {
+            Some(Box::new(move |g: Tensor| {
                 // broadcast g back along the removed axis
                 let outer: usize = dims[..axis].iter().product();
                 let mid = dims[axis];
@@ -448,8 +469,8 @@ pub(crate) fn mul_bcast_forward(av: &Tensor, bv: &Tensor) -> Tensor {
 }
 
 /// Validates the suffix-broadcast contract and returns the number of leading
-/// broadcast elements.
-fn bcast_lead(a: &Tensor, b: &Tensor) -> usize {
+/// broadcast elements. Shared with the eager execution path.
+pub(crate) fn bcast_lead(a: &Tensor, b: &Tensor) -> usize {
     let ad = a.shape().dims();
     let bd = b.shape().dims();
     assert!(

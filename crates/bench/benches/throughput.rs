@@ -52,7 +52,8 @@ fn bench(c: &mut Criterion) {
 
     let mut records = Vec::new();
     let mut base_throughput = 0.0f64;
-    for &threads in &THREAD_COUNTS {
+    let mut speedup_at = [0.0f64; THREAD_COUNTS.len()];
+    for (ti, &threads) in THREAD_COUNTS.iter().enumerate() {
         let (secs, output) = qn_parallel::with_max_threads(threads, || {
             let secs = time_mean(samples, || {
                 std::hint::black_box(session.predict_batch(&input).sum());
@@ -68,6 +69,7 @@ fn bench(c: &mut Criterion) {
             base_throughput = throughput;
         }
         let speedup = throughput / base_throughput;
+        speedup_at[ti] = speedup;
         eprintln!(
             "throughput/{threads}t: {:.3} ms/batch, {:.1} samples/s, speedup {:.2}x, bit-identical",
             secs * 1e3,
@@ -83,10 +85,43 @@ fn bench(c: &mut Criterion) {
             speedup
         ));
     }
+    // Scaling assertion, gated on physical parallelism: thread counts
+    // beyond `host_cpus` only add context-switch overhead (the committed
+    // single-core numbers show 2 threads at ~0.84x of 1 thread for exactly
+    // that reason), so the ≥2.5x-at-4-threads target is only meaningful —
+    // and only enforced — on hosts with at least 4 cores.
+    let speedup_4t = speedup_at[THREAD_COUNTS
+        .iter()
+        .position(|&t| t == 4)
+        .expect("4 threads is a measured configuration")];
+    if smoke {
+        eprintln!("throughput: smoke run, scaling assertion skipped");
+    } else if host_cpus < 4 {
+        eprintln!(
+            "throughput: host has {host_cpus} CPU(s) < 4 — skipping the \
+             >=2.5x@4t scaling assertion (thread counts beyond the core \
+             count cannot speed anything up)"
+        );
+    } else {
+        assert!(
+            speedup_4t >= 2.5,
+            "4-thread speedup {speedup_4t:.2}x below the 2.5x target on a \
+             {host_cpus}-core host"
+        );
+    }
+    let note = if host_cpus < 4 {
+        format!(
+            "host has {host_cpus} CPU(s): speedups at thread counts beyond the \
+             core count measure scheduling overhead, not scaling; the \
+             >=2.5x@4t assertion is skipped on this host"
+        )
+    } else {
+        format!("host has {host_cpus} CPUs: >=2.5x@4t assertion enforced")
+    };
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"model\": \"resnet{}_quadratic\",\n  \
 \"input\": {:?},\n  \"smoke\": {smoke},\n  \"samples\": {samples},\n  \
-\"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+\"host_cpus\": {host_cpus},\n  \"note\": \"{note}\",\n  \"results\": [\n{}\n  ]\n}}\n",
         net.config().depth,
         input.shape().dims(),
         records.join(",\n")

@@ -2,6 +2,8 @@
 
 use std::time::Instant;
 
+pub mod counting_alloc;
+
 /// Mean seconds per call of `f` over `samples` timed runs (one warmup).
 ///
 /// The single timing helper behind every `BENCH_*.json` artifact, so the

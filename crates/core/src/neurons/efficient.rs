@@ -201,29 +201,39 @@ impl EfficientQuadraticLinear {
 
 impl Module for EfficientQuadraticLinear {
     fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
-        // accept [B, n] or [B, T, n]: flatten leading dims like Linear does
-        let dims = g.value(x).shape().dims().to_vec();
-        assert!(
-            !dims.is_empty(),
-            "EfficientQuadraticLinear expects an input of rank >= 1"
-        );
+        // accept [B, n] or [B, T, n]: flatten leading dims like Linear
+        // does. Dims live on the stack so the serving path allocates
+        // nothing.
+        let mut dims = [0usize; 8];
+        let nd = {
+            let d = g.value(x).shape().dims();
+            assert!(
+                !d.is_empty(),
+                "EfficientQuadraticLinear expects an input of rank >= 1"
+            );
+            assert!(
+                d.len() <= dims.len(),
+                "EfficientQuadraticLinear supports rank <= 8"
+            );
+            dims[..d.len()].copy_from_slice(d);
+            d.len()
+        };
         assert_eq!(
-            dims[dims.len() - 1],
+            dims[nd - 1],
             self.n,
             "expected {} inputs, got shape {:?}",
             self.n,
-            dims
+            &dims[..nd]
         );
-        let lead: usize = dims[..dims.len() - 1].iter().product();
+        let lead: usize = dims[..nd - 1].iter().product();
         let x = g.reshape(x, &[lead, self.n]);
         let (y, f) = self.forward_parts(g, x);
-        let mut out_dims = dims;
-        *out_dims.last_mut().expect("non-empty") = self.out_features();
+        dims[nd - 1] = self.out_features();
         if !self.vectorized {
-            return g.reshape(y, &out_dims);
+            return g.reshape(y, &dims[..nd]);
         }
         let out = g.interleave_last(y, f, self.k); // [lead, m*(k+1)]
-        g.reshape(out, &out_dims)
+        g.reshape(out, &dims[..nd])
     }
 
     fn params(&self) -> Vec<Parameter> {

@@ -3,7 +3,8 @@ use qn_data::{augment_batch, DataLoader, ImageDataset, TranslationDataset};
 use qn_metrics::accuracy;
 use qn_models::{InferenceSession, ResNet, Transformer};
 use qn_nn::{clip_grad_norm, Adam, AdamConfig, Module, NoamSchedule, Sgd, SgdConfig, StepDecay};
-use qn_tensor::{Rng, Tensor};
+use qn_tensor::{BufferPool, Rng, Tensor};
+use std::sync::Arc;
 
 /// One epoch's training statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,13 +103,21 @@ fn shard_step(
     lo: usize,
     hi: usize,
     seed: u64,
+    pool: &Arc<BufferPool>,
 ) -> ShardStep {
     let batch_len = labels.len() as f32;
     let shard_len = (hi - lo) as f32;
-    let mut g = Graph::training(seed);
+    // Pooled tape: the backward sweep reclaims intermediate activations and
+    // spent gradients into the step-shared pool, and `recycle_into` below
+    // returns the rest, so the next step's graph (and the GEMM packing
+    // scratch) reuses this step's buffers instead of reallocating.
+    let mut g = Graph::training_pooled(seed, Arc::clone(pool));
     let x = g.leaf(images.slice_axis(0, lo, hi));
     let logits = net.forward(&mut g, x);
     let shard_labels = &labels[lo..hi];
+    // accuracy is read *before* backward: the pooled sweep reclaims the
+    // logits buffer
+    let shard_acc = accuracy(g.value(logits), shard_labels);
     let loss = g.softmax_cross_entropy(logits, shard_labels, 0.0);
     // Weight the shard's mean loss by its share of the batch so the summed
     // gradient equals the full-batch mean-loss gradient.
@@ -122,9 +131,10 @@ fn shard_step(
         };
     }
     let grads = g.backward_collect(weighted);
+    g.recycle_into(pool);
     ShardStep {
         weighted_loss,
-        weighted_hits: accuracy(g.value(logits), shard_labels) * shard_len,
+        weighted_hits: shard_acc * shard_len,
         grads,
     }
 }
@@ -154,6 +164,10 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
     } else {
         cfg.grad_shards
     };
+    // One pool for the whole run: step N+1's tapes draw from step N's
+    // reclaimed buffers (values are unaffected — `pool_equivalence.rs`
+    // asserts pooled and unpooled gradients are bit-identical).
+    let pool = Arc::new(BufferPool::new());
 
     'epochs: for epoch in 0..cfg.epochs {
         let factor = schedule.factor(epoch);
@@ -170,16 +184,20 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
             let batch_len = labels.len();
             let shards = shards_cfg.min(batch_len).max(1);
             let (loss_val, batch_acc) = if shards <= 1 {
-                // Single-graph step: bit-for-bit the pre-sharding behaviour.
-                let mut g = Graph::training(step_seed);
+                // Single-graph step: bit-for-bit the pre-sharding behaviour
+                // (the pooled tape only changes where buffers come from).
+                let mut g = Graph::training_pooled(step_seed, Arc::clone(&pool));
                 let x = g.leaf(images);
                 let logits = net.forward(&mut g, x);
                 let loss = g.softmax_cross_entropy(logits, &labels, 0.0);
                 let loss_val = g.value(loss).data()[0];
+                // read before backward: the pooled sweep reclaims the logits
+                let batch_acc = accuracy(g.value(logits), &labels);
                 if loss_val.is_finite() {
                     g.backward(loss);
                 }
-                (loss_val, accuracy(g.value(logits), &labels))
+                g.recycle_into(&pool);
+                (loss_val, batch_acc)
             } else {
                 // Data-parallel step: shard forward/backward passes run
                 // concurrently, gradients accumulate in shard order below so
@@ -187,6 +205,7 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
                 let ranges = qn_parallel::split_evenly(batch_len, shards);
                 let images_ref = &images;
                 let labels_ref = labels.as_slice();
+                let pool_ref = &pool;
                 let steps = qn_parallel::par_map(ranges, |s, (lo, hi)| {
                     shard_step(
                         net,
@@ -195,6 +214,7 @@ pub fn train_classifier(net: &ResNet, data: &ImageDataset, cfg: TrainConfig) -> 
                         lo,
                         hi,
                         step_seed.wrapping_add(s as u64),
+                        pool_ref,
                     )
                 });
                 let loss_val: f32 = steps.iter().map(|s| s.weighted_loss).sum();
@@ -323,6 +343,7 @@ pub fn train_transformer(
     let mut rng = Rng::seed_from(cfg.seed);
     let mut losses = Vec::with_capacity(cfg.epochs);
     let mut step = 0usize;
+    let pool = Arc::new(BufferPool::new());
     for _ in 0..cfg.epochs {
         let mut order: Vec<usize> = (0..data.train.len()).collect();
         rng.shuffle(&mut order);
@@ -337,10 +358,12 @@ pub fn train_transformer(
                     (p.source.as_slice(), p.target.as_slice())
                 })
                 .collect();
-            let mut g = Graph::training(cfg.seed.wrapping_add(step as u64));
+            let mut g =
+                Graph::training_pooled(cfg.seed.wrapping_add(step as u64), Arc::clone(&pool));
             let loss = model.loss(&mut g, &pairs, cfg.label_smoothing);
             let lv = g.value(loss).data()[0];
             g.backward(loss);
+            g.recycle_into(&pool);
             // Noam gives the absolute LR; Adam's base lr is folded out by
             // passing the schedule as a multiplier of lr=1e-3 default —
             // instead we normalize so the schedule IS the lr.

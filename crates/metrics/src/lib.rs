@@ -15,7 +15,7 @@ pub mod bleu;
 pub mod pgm;
 pub mod stats;
 
-use qn_tensor::Tensor;
+use qn_tensor::{Tensor, TensorError};
 
 /// Top-1 accuracy of logits `[B, C]` against integer labels, in `[0, 1]`.
 ///
@@ -36,11 +36,29 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     correct as f32 / labels.len() as f32
 }
 
+/// Validating variant of [`accuracy`] for untrusted evaluation requests.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `logits` is not 2-D or the
+/// batch sizes differ.
+pub fn try_accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32, TensorError> {
+    let dims = logits.shape().dims();
+    if dims.len() != 2 || dims[0] != labels.len() {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![labels.len(), dims.last().copied().unwrap_or(0)],
+            actual: dims.to_vec(),
+        });
+    }
+    Ok(accuracy(logits, labels))
+}
+
 /// Top-k accuracy of logits `[B, C]` against integer labels.
 ///
 /// # Panics
 ///
-/// Panics if `k == 0`, `logits` is not 2-D, or batch sizes differ.
+/// Panics if `k == 0`, `logits` is not 2-D, batch sizes differ, or any
+/// label is `>= C`; use [`try_top_k_accuracy`] for untrusted input.
 pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
     assert!(k >= 1, "k must be positive");
     let (b, c) = logits.dims2();
@@ -50,6 +68,8 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
     }
     let mut correct = 0usize;
     for (i, &label) in labels.iter().enumerate() {
+        // explicit contract instead of an anonymous slice-index panic
+        assert!(label < c, "label {label} out of range for {c} classes");
         let row = &logits.data()[i * c..(i + 1) * c];
         let target = row[label];
         let better = row.iter().filter(|&&v| v > target).count();
@@ -58,6 +78,34 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
         }
     }
     correct as f32 / labels.len() as f32
+}
+
+/// Validating variant of [`top_k_accuracy`] for untrusted evaluation
+/// requests.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on rank/batch mismatch,
+/// [`TensorError::IndexOutOfRange`] if a label is `>= C` or `k == 0`.
+pub fn try_top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f32, TensorError> {
+    if k == 0 {
+        return Err(TensorError::IndexOutOfRange { index: 0, bound: 1 });
+    }
+    let dims = logits.shape().dims();
+    if dims.len() != 2 || dims[0] != labels.len() {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![labels.len(), dims.last().copied().unwrap_or(0)],
+            actual: dims.to_vec(),
+        });
+    }
+    let c = dims[1];
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(TensorError::IndexOutOfRange {
+            index: bad,
+            bound: c,
+        });
+    }
+    Ok(top_k_accuracy(logits, labels, k))
 }
 
 #[cfg(test)]
@@ -86,5 +134,35 @@ mod tests {
     fn empty_batch_is_zero() {
         let logits = Tensor::zeros(&[0, 3]);
         assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+
+    #[test]
+    fn try_variants_reject_malformed_requests() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]).unwrap();
+        assert!(try_accuracy(&logits, &[0, 1]).is_ok());
+        assert!(matches!(
+            try_accuracy(&logits, &[0]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            try_accuracy(&Tensor::zeros(&[4]), &[0]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(try_top_k_accuracy(&logits, &[0, 1], 1).is_ok());
+        assert!(matches!(
+            try_top_k_accuracy(&logits, &[0, 5], 1),
+            Err(TensorError::IndexOutOfRange { index: 5, bound: 2 })
+        ));
+        assert!(matches!(
+            try_top_k_accuracy(&logits, &[0, 1], 0),
+            Err(TensorError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "label 7 out of range")]
+    fn top_k_label_out_of_range_panics_clearly() {
+        let logits = Tensor::zeros(&[1, 3]);
+        top_k_accuracy(&logits, &[7], 1);
     }
 }

@@ -1,5 +1,7 @@
 //! Distribution summaries for the parameter-distribution study (Fig. 7).
 
+use qn_tensor::TensorError;
+
 /// Summary statistics of a scalar sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -40,6 +42,19 @@ pub fn summarize(values: &[f32]) -> Summary {
         p50: quantile(&sorted, 0.50),
         p95: quantile(&sorted, 0.95),
     }
+}
+
+/// Validating variant of [`summarize`] for samples that may be empty
+/// (e.g. a layer with no quadratic parameters in the Fig. 7 sweep).
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] if `values` is empty.
+pub fn try_summarize(values: &[f32]) -> Result<Summary, TensorError> {
+    if values.is_empty() {
+        return Err(TensorError::EmptyInput { what: "sample" });
+    }
+    Ok(summarize(values))
 }
 
 /// Linear-interpolated quantile of a **sorted** sample, `q` in `[0, 1]`.
@@ -108,5 +123,14 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn empty_summary_panics() {
         summarize(&[]);
+    }
+
+    #[test]
+    fn try_summarize_reports_empty_input() {
+        assert!(matches!(
+            try_summarize(&[]),
+            Err(TensorError::EmptyInput { what: "sample" })
+        ));
+        assert_eq!(try_summarize(&[1.0, 3.0]).unwrap().mean, 2.0);
     }
 }

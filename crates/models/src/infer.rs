@@ -1,8 +1,9 @@
 //! Tape-free inference sessions for serving-style workloads.
 
-use qn_autograd::{EagerExec, Exec};
+use qn_autograd::{EagerExec, Exec, Var};
 use qn_nn::Module;
-use qn_tensor::{Tensor, TensorError};
+use qn_tensor::{BufferPool, Tensor, TensorError};
+use std::sync::Arc;
 
 /// A reusable tape-free execution session around a model.
 ///
@@ -53,10 +54,22 @@ use qn_tensor::{Tensor, TensorError};
 pub struct InferenceSession<'m> {
     model: &'m dyn Module,
     cx: EagerExec,
+    /// Session-owned buffer pool: outputs are materialized from it (hand
+    /// them back with [`InferenceSession::recycle`]) and the arena draws
+    /// its kernel scratch from it. With a warm pool and a caller that
+    /// recycles, steady-state `predict` performs **zero** heap allocations
+    /// (proved by the counting-allocator `alloc` bench in `qn-bench`).
+    pool: Arc<BufferPool>,
     /// Per-worker arenas for sharded batches, grown on demand and reused
     /// across calls (index `w` always serves shard `w`, so each arena's
-    /// parameter-snapshot cache stays warm).
+    /// parameter-snapshot cache stays warm). Each worker arena recycles
+    /// through its **own** `BufferPool` shard, so workers never contend on
+    /// a pool lock.
     shard_arenas: Vec<EagerExec>,
+    /// Output var of each shard's last pass (reused across calls).
+    shard_out: Vec<Option<Var>>,
+    /// Shard ranges of the last batch (reused across calls).
+    shard_ranges: Vec<(usize, usize)>,
     sample_shape: Option<Vec<usize>>,
 }
 
@@ -69,10 +82,14 @@ impl<'m> InferenceSession<'m> {
     ///
     /// [`predict_batch`]: InferenceSession::predict_batch
     pub fn new(model: &'m dyn Module) -> Self {
+        let pool = Arc::new(BufferPool::new());
         InferenceSession {
             model,
-            cx: EagerExec::new(),
+            cx: EagerExec::with_pool(Arc::clone(&pool)),
+            pool,
             shard_arenas: Vec::new(),
+            shard_out: Vec::new(),
+            shard_ranges: Vec::new(),
             sample_shape: None,
         }
     }
@@ -81,12 +98,22 @@ impl<'m> InferenceSession<'m> {
     /// **per-sample** shape `dims` (batch dimension excluded) — e.g.
     /// `[3, 32, 32]` for a CIFAR classifier.
     pub fn with_sample_shape(model: &'m dyn Module, dims: &[usize]) -> Self {
-        InferenceSession {
-            model,
-            cx: EagerExec::new(),
-            shard_arenas: Vec::new(),
-            sample_shape: Some(dims.to_vec()),
-        }
+        let mut s = InferenceSession::new(model);
+        s.sample_shape = Some(dims.to_vec());
+        s
+    }
+
+    /// The session's buffer pool (outputs are drawn from it; see
+    /// [`InferenceSession::recycle`]).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Returns a finished output tensor's storage to the session pool, so
+    /// the next `predict`/`predict_batch` reuses it instead of allocating.
+    /// Purely an optimization — dropping the tensor is always correct.
+    pub fn recycle(&self, output: Tensor) {
+        output.into_pool(&self.pool);
     }
 
     /// The model served by this session.
@@ -103,16 +130,36 @@ impl<'m> InferenceSession<'m> {
     /// shape contract applies); use [`InferenceSession::try_predict`] for
     /// untrusted input.
     pub fn predict(&mut self, x: &Tensor) -> Tensor {
-        let mut dims = Vec::with_capacity(x.shape().dims().len() + 1);
-        dims.push(1);
-        dims.extend_from_slice(x.shape().dims());
-        let batched = x
-            .reshape(&dims)
-            .expect("adding a batch dim preserves numel");
-        let y = self.predict_batch(&batched);
-        let ydims = y.shape().dims().to_vec();
-        y.reshape(&ydims[1..])
-            .expect("stripping the batch dim preserves numel")
+        // Single sample: always the one-arena path. The batch dim is added
+        // on a stack array (spilling to the heap only for rank > 15
+        // requests) and the output copied into a pooled tensor with the
+        // batch dim stripped — no intermediate reshapes, and with a warm
+        // pool no allocations at all.
+        let nd = x.ndim();
+        let mut stack = [0usize; 16];
+        let mut heap = Vec::new();
+        let dims: &[usize] = if nd < stack.len() {
+            stack[0] = 1;
+            stack[1..=nd].copy_from_slice(x.shape().dims());
+            &stack[..nd + 1]
+        } else {
+            heap.reserve_exact(nd + 1);
+            heap.push(1);
+            heap.extend_from_slice(x.shape().dims());
+            &heap
+        };
+        self.cx.reset();
+        let v = self.cx.leaf_reshaped(x, dims);
+        let y = self.model.forward(&mut self.cx, v);
+        let yv = self.cx.value(y);
+        let ydims = yv.shape().dims();
+        assert!(
+            ydims.first() == Some(&1),
+            "model output must keep the batch dimension"
+        );
+        let mut out = Tensor::from_pooled_uninit(&self.pool, &ydims[1..]);
+        out.data_mut().copy_from_slice(yv.data());
+        out
     }
 
     /// Runs a batch (leading batch dimension) through the tape-free path,
@@ -126,42 +173,70 @@ impl<'m> InferenceSession<'m> {
     pub fn predict_batch(&mut self, x: &Tensor) -> Tensor {
         let batch = x.shape().dim(0);
         let shards = qn_parallel::num_threads().min(batch.max(1));
-        if shards <= 1 {
+        // rank > 16 cannot use the shard-slicing fast path; run unsharded
+        if shards <= 1 || x.ndim() > 16 {
             self.cx.reset();
-            let v = self.cx.leaf(x.clone());
+            let v = self.cx.leaf_view(x);
             let y = self.model.forward(&mut self.cx, v);
-            return self.cx.take(y);
+            let yv = self.cx.value(y);
+            let mut out = Tensor::from_pooled_uninit(&self.pool, yv.shape().dims());
+            out.data_mut().copy_from_slice(yv.data());
+            return out;
         }
         if self.shard_arenas.len() < shards {
-            self.shard_arenas.resize_with(shards, EagerExec::new);
+            self.shard_arenas
+                .resize_with(shards, || EagerExec::with_pool(Arc::new(BufferPool::new())));
         }
-        let ranges = qn_parallel::split_evenly(batch, shards);
+        if self.shard_out.len() < shards {
+            self.shard_out.resize(shards, None);
+        }
+        qn_parallel::split_evenly_into(batch, shards, &mut self.shard_ranges);
         let model = self.model;
-        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(shards);
-        outputs.resize_with(shards, || None);
         {
             let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(shards);
             let work = self
                 .shard_arenas
                 .iter_mut()
-                .zip(outputs.iter_mut())
-                .zip(ranges.iter());
+                .zip(self.shard_out.iter_mut())
+                .zip(self.shard_ranges.iter());
             for ((arena, slot), &(lo, hi)) in work {
                 tasks.push(Box::new(move || {
                     arena.reset();
-                    let v = arena.leaf(x.slice_axis(0, lo, hi));
-                    let y = model.forward(arena, v);
-                    *slot = Some(arena.take(y));
+                    // copy the shard's rows straight into a recycled slot
+                    let v = arena.leaf_slice0(x, lo, hi);
+                    *slot = Some(model.forward(arena, v));
                 }));
             }
             qn_parallel::par_scope(tasks);
         }
-        let parts: Vec<Tensor> = outputs
-            .into_iter()
-            .map(|t| t.expect("par_scope runs every shard"))
-            .collect();
-        let refs: Vec<&Tensor> = parts.iter().collect();
-        Tensor::concat(&refs, 0)
+        // Assemble the shard outputs (still sitting in their arenas) into
+        // one pooled tensor: shard `i` owns rows `ranges[i]`, so this is a
+        // straight per-shard memcpy — bit-identical to the old
+        // slice-then-concat, without materializing per-shard tensors.
+        let (nd, out_dims, inner) = {
+            let first = self.shard_out[0].expect("par_scope runs every shard");
+            let sd = self.shard_arenas[0].value(first).shape().dims();
+            assert!(
+                !sd.is_empty() && sd.len() <= 16,
+                "model output must keep the batch dimension (rank <= 16)"
+            );
+            let mut out_dims = [0usize; 16];
+            out_dims[..sd.len()].copy_from_slice(sd);
+            out_dims[0] = batch;
+            let inner: usize = sd[1..].iter().product();
+            (sd.len(), out_dims, inner)
+        };
+        let mut out = Tensor::from_pooled_uninit(&self.pool, &out_dims[..nd]);
+        {
+            let od = out.data_mut();
+            for (si, &(lo, hi)) in self.shard_ranges.iter().enumerate() {
+                let v = self.shard_out[si].expect("par_scope runs every shard");
+                let sv = self.shard_arenas[si].value(v);
+                debug_assert_eq!(sv.shape().dim(0), hi - lo, "shard output rows");
+                od[lo * inner..hi * inner].copy_from_slice(sv.data());
+            }
+        }
+        out
     }
 
     /// Validating variant of [`InferenceSession::predict`].

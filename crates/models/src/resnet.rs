@@ -109,11 +109,13 @@ impl BasicBlock {
 
 impl Module for BasicBlock {
     fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
+        // Both bn tails run through the fused elementwise chain: in
+        // inference the eager path does bn1+relu in one activation pass and
+        // bn2+residual+relu in another, instead of five passes; in training
+        // the same calls decompose onto the tape (bit-identical values).
         let out = self.conv1.forward(g, x);
-        let out = self.bn1.forward(g, out);
-        let out = g.relu(out);
+        let out = self.bn1.forward_fused(g, out, true, None);
         let out = self.conv2.forward(g, out);
-        let out = self.bn2.forward(g, out);
         let sc = match &self.shortcut {
             Some((proj, bn)) => {
                 let s = proj.forward(g, x);
@@ -121,8 +123,7 @@ impl Module for BasicBlock {
             }
             None => x,
         };
-        let sum = g.add(out, sc);
-        g.relu(sum)
+        self.bn2.forward_fused(g, out, true, Some(sc))
     }
 
     fn params(&self) -> Vec<Parameter> {
@@ -267,8 +268,7 @@ impl ResNet {
 impl Module for ResNet {
     fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let mut v = self.stem.forward(g, x);
-        v = self.stem_bn.forward(g, v);
-        v = g.relu(v);
+        v = self.stem_bn.forward_fused(g, v, true, None);
         for block in &self.blocks {
             v = block.forward(g, v);
         }

@@ -59,16 +59,23 @@ impl Linear {
 
 impl Module for Linear {
     fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
-        // accept [B, in] or [B, T, in]: flatten leading dims
-        let dims = g.value(x).shape().dims().to_vec();
-        assert!(!dims.is_empty(), "Linear expects an input of rank >= 1");
-        let lead: usize = dims[..dims.len() - 1].iter().product();
+        // accept [B, in] or [B, T, in]: flatten leading dims. Dims are
+        // copied to a stack array so the hot serving path allocates nothing.
+        let mut dims = [0usize; 8];
+        let nd = {
+            let d = g.value(x).shape().dims();
+            assert!(!d.is_empty(), "Linear expects an input of rank >= 1");
+            assert!(d.len() <= dims.len(), "Linear supports rank <= 8");
+            dims[..d.len()].copy_from_slice(d);
+            d.len()
+        };
+        let lead: usize = dims[..nd - 1].iter().product();
         assert_eq!(
-            dims[dims.len() - 1],
+            dims[nd - 1],
             self.in_features,
             "Linear expected trailing dim {}, got {:?}",
             self.in_features,
-            dims
+            &dims[..nd]
         );
         let flat = g.reshape(x, &[lead, self.in_features]);
         let w = g.param(&self.weight);
@@ -77,9 +84,8 @@ impl Module for Linear {
             let bv = g.param(b);
             y = g.add_bcast(y, bv);
         }
-        let mut out_dims = dims;
-        *out_dims.last_mut().expect("non-empty") = self.out_features;
-        g.reshape(y, &out_dims)
+        dims[nd - 1] = self.out_features;
+        g.reshape(y, &dims[..nd])
     }
 
     fn params(&self) -> Vec<Parameter> {

@@ -1,7 +1,7 @@
 //! Normalization layers.
 
 use crate::{Costs, Module};
-use qn_autograd::{Exec, Parameter, Var};
+use qn_autograd::{ChainStage, Exec, Parameter, Var};
 use qn_tensor::Tensor;
 use std::sync::RwLock;
 
@@ -40,6 +40,12 @@ impl BatchNorm2d {
     }
 
     /// Snapshot of the running mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the running-stats lock is poisoned (a training thread
+    /// panicked mid-update) — the statistics would be unreliable, so this
+    /// is unrecoverable by design.
     pub fn running_mean(&self) -> Tensor {
         self.running_mean
             .read()
@@ -48,6 +54,11 @@ impl BatchNorm2d {
     }
 
     /// Snapshot of the running variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the running-stats lock is poisoned (see
+    /// [`BatchNorm2d::running_mean`]).
     pub fn running_var(&self) -> Tensor {
         self.running_var
             .read()
@@ -59,15 +70,91 @@ impl BatchNorm2d {
     pub fn channels(&self) -> usize {
         self.channels
     }
+
+    /// Forward pass with an optionally fused tail: batch norm, then an
+    /// optional residual add, then an optional ReLU — the `conv → bn
+    /// (→ add → relu)` shape of every ResNet block.
+    ///
+    /// In **training** mode this decomposes into the ordinary primitives
+    /// (`forward`, `add`, `relu`) so the tape records every stage and the
+    /// running statistics update. In **inference** mode the whole tail runs
+    /// as one [`Exec::elemwise_chain`] — on the eager path a single pass
+    /// over the activation instead of three — with bitwise-identical
+    /// values (each element sees the same scalar expressions in the same
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`Module::forward`] /
+    /// [`Exec::add`], and if the running-stats lock is poisoned (see
+    /// [`BatchNorm2d::running_mean`]).
+    pub fn forward_fused(
+        &self,
+        g: &mut dyn Exec,
+        x: Var,
+        relu: bool,
+        residual: Option<Var>,
+    ) -> Var {
+        if g.is_training() {
+            let mut v = self.forward(g, x);
+            if let Some(r) = residual {
+                v = g.add(v, r);
+            }
+            if relu {
+                v = g.relu(v);
+            }
+            return v;
+        }
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        let rm = self
+            .running_mean
+            .read()
+            .expect("running stats lock poisoned");
+        let rv = self
+            .running_var
+            .read()
+            .expect("running stats lock poisoned");
+        let mut stages = [ChainStage::Relu; 3];
+        let mut n = 0usize;
+        stages[n] = ChainStage::NormChannel {
+            gamma,
+            beta,
+            mean: &rm,
+            var: &rv,
+            eps: self.eps,
+        };
+        n += 1;
+        if let Some(r) = residual {
+            stages[n] = ChainStage::AddResidual(r);
+            n += 1;
+        }
+        if relu {
+            stages[n] = ChainStage::Relu;
+            n += 1;
+        }
+        g.elemwise_chain(x, &stages[..n])
+    }
 }
 
 impl Module for BatchNorm2d {
     fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
-        let rm = self.running_mean();
-        let rv = self.running_var();
-        let (y, stats) = g.batch_norm2d(x, gamma, beta, &rm, &rv, self.eps);
+        // read-guard the running stats for the duration of the op instead
+        // of cloning snapshots: two fewer allocations per call, and the
+        // guards drop before the training path takes the write locks below
+        let (y, stats) = {
+            let rm = self
+                .running_mean
+                .read()
+                .expect("running stats lock poisoned");
+            let rv = self
+                .running_var
+                .read()
+                .expect("running stats lock poisoned");
+            g.batch_norm2d(x, gamma, beta, &rm, &rv, self.eps)
+        };
         if let Some((mean, var)) = stats {
             // Fold each batch statistic into the *current* running value
             // under one write-lock acquisition: concurrent training shards
@@ -80,14 +167,19 @@ impl Module for BatchNorm2d {
                     .running_mean
                     .write()
                     .expect("running stats lock poisoned");
-                *rm = rm.scale(1.0 - m).add(&mean.scale(m));
+                // in place: rm·(1−m) + mean·m via decay + axpy — the same
+                // per-element expression as the old scale/add chain, minus
+                // its three temporaries
+                rm.map_inplace(|v| v * (1.0 - m));
+                rm.axpy(m, &mean);
             }
             {
                 let mut rv = self
                     .running_var
                     .write()
                     .expect("running stats lock poisoned");
-                *rv = rv.scale(1.0 - m).add(&var.scale(m));
+                rv.map_inplace(|v| v * (1.0 - m));
+                rv.axpy(m, &var);
             }
         }
         y

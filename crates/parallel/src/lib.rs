@@ -472,19 +472,31 @@ pub fn par_chunks_mut_pair_min<A, B, F>(
 ///
 /// Panics if `parts == 0`.
 pub fn split_evenly(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::with_capacity(parts.min(n));
+    split_evenly_into(n, parts, &mut ranges);
+    ranges
+}
+
+/// [`split_evenly`] into a caller-provided `Vec` (cleared first, capacity
+/// reused) — lets a steady-state serving loop shard every batch without
+/// reallocating the range list.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn split_evenly_into(n: usize, parts: usize, out: &mut Vec<(usize, usize)>) {
     assert!(parts > 0, "parts must be positive");
+    out.clear();
     let base = n / parts;
     let extra = n % parts;
-    let mut ranges = Vec::with_capacity(parts.min(n));
     let mut start = 0usize;
     for p in 0..parts {
         let len = base + usize::from(p < extra);
         if len > 0 {
-            ranges.push((start, start + len));
+            out.push((start, start + len));
             start += len;
         }
     }
-    ranges
 }
 
 /// Maps `f` over `items` on the pool, returning results **in input order**

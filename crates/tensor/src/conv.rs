@@ -83,12 +83,32 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
     let patch = c * k * k;
     let rows = b * oh * ow;
     let mut out = vec![0.0f32; rows * patch];
+    im2col_into(&mut out, input, spec);
+    Tensor::from_vec(out, &[rows, patch]).expect("im2col sizes are consistent")
+}
+
+/// [`im2col`] into a caller-provided (e.g. pool-recycled) buffer of
+/// `B·OH·OW × C·K·K` elements. The buffer is zero-filled first, so recycled
+/// contents cannot leak into padding positions; results are bit-identical
+/// to the allocating version.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or `dst` has the wrong length.
+pub fn im2col_into(dst: &mut [f32], input: &Tensor, spec: Conv2dSpec) {
+    let (b, c, h, w) = input.dims4();
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let patch = c * k * k;
+    let rows = b * oh * ow;
+    assert_eq!(dst.len(), rows * patch, "im2col_into length mismatch");
+    dst.fill(0.0);
     let data = input.data();
     let pad = spec.padding as isize;
     // Each image's patch rows are a disjoint slab of the output, so the
     // lowering parallelizes over the batch with identical per-row writes at
     // any thread count.
-    qn_parallel::par_chunks_mut_min(&mut out, oh * ow * patch, PAR_MIN_ELEMS, |bi, slab| {
+    qn_parallel::par_chunks_mut_min(dst, oh * ow * patch, PAR_MIN_ELEMS, |bi, slab| {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = (oy * ow + ox) * patch;
@@ -115,7 +135,6 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[rows, patch]).expect("im2col sizes are consistent")
 }
 
 /// Adjoint of [`im2col`]: scatters patch-space gradients back to image space.

@@ -1,0 +1,166 @@
+//! Parallel-banded elementwise slice kernels.
+//!
+//! The single home of the workspace's elementwise execution strategy: every
+//! map/zip — allocating ([`Tensor::map`](crate::Tensor::map)/
+//! [`zip`](crate::Tensor::zip)), in-place
+//! ([`map_inplace`](crate::Tensor::map_inplace)/
+//! [`zip_inplace`](crate::Tensor::zip_inplace)) or into a recycled
+//! destination buffer (the `EagerExec` arena in `qn-autograd`) — funnels
+//! through these slice kernels, so all of them share one banding rule and
+//! therefore produce **bit-identical** results: each output element depends
+//! only on its own inputs, bands are disjoint, and the per-element
+//! arithmetic is independent of the band split.
+//!
+//! Inputs shorter than [`PAR_MIN_ELEMS`] stay on
+//! the calling thread.
+
+use qn_parallel::PAR_MIN_ELEMS;
+
+#[inline]
+fn bands_for(n: usize) -> usize {
+    if n >= PAR_MIN_ELEMS {
+        qn_parallel::num_threads()
+    } else {
+        1
+    }
+}
+
+/// `dst[i] = f(src[i])`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn map_to(dst: &mut [f32], src: &[f32], f: impl Fn(f32) -> f32 + Sync) {
+    assert_eq!(dst.len(), src.len(), "map_to length mismatch");
+    let n = dst.len();
+    if bands_for(n) <= 1 {
+        for (o, &v) in dst.iter_mut().zip(src) {
+            *o = f(v);
+        }
+        return;
+    }
+    let band = n.div_ceil(qn_parallel::num_threads());
+    qn_parallel::par_chunks_mut(dst, band, |bi, chunk| {
+        let start = bi * band;
+        let s = &src[start..start + chunk.len()];
+        for (o, &v) in chunk.iter_mut().zip(s) {
+            *o = f(v);
+        }
+    });
+}
+
+/// `dst[i] = f(a[i], b[i])`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn zip_to(dst: &mut [f32], a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    assert_eq!(dst.len(), a.len(), "zip_to length mismatch");
+    assert_eq!(dst.len(), b.len(), "zip_to length mismatch");
+    let n = dst.len();
+    if bands_for(n) <= 1 {
+        for ((o, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+        return;
+    }
+    let band = n.div_ceil(qn_parallel::num_threads());
+    qn_parallel::par_chunks_mut(dst, band, |bi, chunk| {
+        let start = bi * band;
+        let sa = &a[start..start + chunk.len()];
+        let sb = &b[start..start + chunk.len()];
+        for ((o, &x), &y) in chunk.iter_mut().zip(sa).zip(sb) {
+            *o = f(x, y);
+        }
+    });
+}
+
+/// `dst[i] = f(dst[i])` in place.
+pub fn map_assign(dst: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    let n = dst.len();
+    if bands_for(n) <= 1 {
+        for v in dst.iter_mut() {
+            *v = f(*v);
+        }
+        return;
+    }
+    let band = n.div_ceil(qn_parallel::num_threads());
+    qn_parallel::par_chunks_mut(dst, band, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = f(*v);
+        }
+    });
+}
+
+/// `dst[i] = f(dst[i], src[i])` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn zip_assign(dst: &mut [f32], src: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    assert_eq!(dst.len(), src.len(), "zip_assign length mismatch");
+    let n = dst.len();
+    if bands_for(n) <= 1 {
+        for (o, &v) in dst.iter_mut().zip(src) {
+            *o = f(*o, v);
+        }
+        return;
+    }
+    let band = n.div_ceil(qn_parallel::num_threads());
+    qn_parallel::par_chunks_mut(dst, band, |bi, chunk| {
+        let start = bi * band;
+        let s = &src[start..start + chunk.len()];
+        for (o, &v) in chunk.iter_mut().zip(s) {
+            *o = f(*o, v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_zip_match_sequential() {
+        let src: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let mut dst = vec![0.0f32; 100];
+        map_to(&mut dst, &src, |v| v * 2.0);
+        assert!(dst.iter().zip(&src).all(|(&d, &s)| d == s * 2.0));
+        let mut z = vec![0.0f32; 100];
+        zip_to(&mut z, &src, &dst, |a, b| a + b);
+        assert!(z.iter().zip(&src).all(|(&zv, &s)| zv == s * 3.0));
+    }
+
+    #[test]
+    fn inplace_variants_match_out_of_place() {
+        let src: Vec<f32> = (0..50).map(|i| i as f32 - 25.0).collect();
+        let mut a = src.clone();
+        map_assign(&mut a, |v| v.max(0.0));
+        let mut b = vec![0.0f32; 50];
+        map_to(&mut b, &src, |v| v.max(0.0));
+        assert_eq!(a, b);
+        let mut c = src.clone();
+        zip_assign(&mut c, &b, |x, y| x + y);
+        let mut d = vec![0.0f32; 50];
+        zip_to(&mut d, &src, &b, |x, y| x + y);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn large_parallel_matches_sequential() {
+        let n = PAR_MIN_ELEMS + 37;
+        let src: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let mut par = vec![0.0f32; n];
+        map_to(&mut par, &src, |v| v * v + 1.0);
+        let mut seq = vec![0.0f32; n];
+        qn_parallel::with_max_threads(1, || map_to(&mut seq, &src, |v| v * v + 1.0));
+        assert_eq!(par, seq, "banding must be bit-neutral");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut dst = vec![0.0f32; 3];
+        map_to(&mut dst, &[1.0, 2.0], |v| v);
+    }
+}

@@ -42,6 +42,13 @@ pub enum TensorError {
         /// The exclusive upper bound it must stay below.
         bound: usize,
     },
+    /// An operation that needs at least one element received an empty
+    /// input (e.g. summarizing an empty sample) — returned by validating
+    /// `try_` entry points such as `qn_metrics::stats::try_summarize`.
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -62,6 +69,9 @@ impl fmt::Display for TensorError {
             ),
             TensorError::IndexOutOfRange { index, bound } => {
                 write!(f, "index {index} out of range (must be < {bound})")
+            }
+            TensorError::EmptyInput { what } => {
+                write!(f, "empty input: {what} needs at least one element")
             }
         }
     }

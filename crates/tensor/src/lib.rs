@@ -32,6 +32,34 @@
 //!   finiteness-guarded once, at the GEMM packing step, so `0 × NaN = NaN`
 //!   and `0 × ∞ = NaN` propagate instead of being silently swallowed.
 //!
+//! # Pooling and in-place ops
+//!
+//! Allocation is the workspace's second hot-path cost after FLOPs, so the
+//! crate ships a buffer-recycling layer:
+//!
+//! - [`BufferPool`] — thread-safe, size-bucketed free lists of `Vec`
+//!   storage with hit/miss/return counters ([`BufferPool::stats`]) and an
+//!   RAII handout ([`PoolRef`], used by the fused eager conv for its patch
+//!   matrix). One global instance ([`BufferPool::global`]) backs default
+//!   `EagerExec` arenas; per-session instances isolate serving loops
+//!   (`InferenceSession` in `qn-models`). The [`gemm`] packing scratch
+//!   recycles through **per-thread** caches instead, so parallel workers
+//!   never touch a pool lock.
+//! - [`Tensor::from_pooled`] / [`Tensor::into_pool`] round-trip a tensor's
+//!   data *and* shape storage through a pool; [`Tensor::refit`] reshapes a
+//!   tensor in place reusing its own buffers (the `EagerExec` arena's
+//!   workhorse).
+//! - In-place and into-buffer elementwise kernels —
+//!   [`Tensor::map_inplace`], [`Tensor::zip_inplace`], [`Tensor::axpy`],
+//!   and the slice-level [`elemwise`] module — share one parallel banding
+//!   rule with the allocating [`Tensor::map`]/[`Tensor::zip`], so every
+//!   variant is **bit-identical**.
+//!
+//! Recycled buffers carry **unspecified contents**: every consumer either
+//! fully overwrites or zero-fills. The `pool_equivalence.rs` property
+//! suite pre-poisons pools with NaN and asserts pooled execution equals
+//! fresh-allocation execution bit for bit.
+//!
 //! # Example
 //!
 //! ```
@@ -50,7 +78,9 @@
 //! # }
 //! ```
 
+mod bufpool;
 mod conv;
+pub mod elemwise;
 mod error;
 mod mat;
 mod pool;
@@ -58,10 +88,14 @@ mod rng;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dSpec};
+pub use bufpool::{BufferPool, PoolRef, PoolStats};
+pub use conv::{col2im, im2col, im2col_into, Conv2dSpec};
 pub use error::TensorError;
 pub use mat::{gemm, gemm_batched, reference, MatMut, MatRef};
-pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
+    max_pool2d_into, PoolSpec,
+};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

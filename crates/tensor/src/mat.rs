@@ -254,11 +254,89 @@ impl<'a> MatMut<'a> {
     }
 }
 
+/// Thread-local scratch cache for the packing buffers.
+///
+/// Each thread reuses its own small stack of buffers — the calling thread
+/// holds the packed-B panel and finiteness mask, and every pool worker
+/// takes its A-tile from its **own** cache inside the band task — so
+/// parallel products never contend on a lock, and a steady-state loop of
+/// same-shape products allocates nothing. Recycled buffers have
+/// unspecified contents; the packing routines write every element,
+/// padding included.
+mod scratch {
+    use std::cell::RefCell;
+
+    /// Buffers retained per thread per element type.
+    const MAX_HELD: usize = 8;
+
+    thread_local! {
+        static F32S: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+        static BOOLS: RefCell<Vec<Vec<bool>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Takes a `len`-element buffer with unspecified contents: reuses a
+    /// cached buffer whose capacity suffices, else allocates.
+    pub fn take_f32(len: usize) -> Vec<f32> {
+        F32S.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match cache.iter().position(|b| b.capacity() >= len) {
+                Some(i) => {
+                    let mut buf = cache.swap_remove(i);
+                    buf.resize(len, 0.0);
+                    buf
+                }
+                None => vec![0.0; len],
+            }
+        })
+    }
+
+    /// Returns a buffer to this thread's cache (dropped when full).
+    pub fn give_f32(buf: Vec<f32>) {
+        F32S.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.len() < MAX_HELD && buf.capacity() > 0 {
+                cache.push(buf);
+            }
+        });
+    }
+
+    /// Takes a `len`-element mask buffer with unspecified contents.
+    pub fn take_bool(len: usize) -> Vec<bool> {
+        BOOLS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match cache.iter().position(|b| b.capacity() >= len) {
+                Some(i) => {
+                    let mut buf = cache.swap_remove(i);
+                    buf.resize(len, false);
+                    buf
+                }
+                None => vec![false; len],
+            }
+        })
+    }
+
+    /// Returns a mask buffer to this thread's cache.
+    pub fn give_bool(buf: Vec<bool>) {
+        BOOLS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.len() < MAX_HELD && buf.capacity() > 0 {
+                cache.push(buf);
+            }
+        });
+    }
+}
+
 /// Right-hand side packed into `⌈n/NR⌉` column panels, each `k × NR`
 /// row-major (`data[panel · k·NR + p · NR + j]`), zero-padded past `n`.
 /// The optional `finite` mask — one flag per `k`-row of `B`, computed in the
 /// **same pass** as the packing — is the single home of the
 /// finiteness-guarded zero skip.
+///
+/// Both buffers are drawn from — and returned to — the calling thread's
+/// [`scratch`] cache, so a steady-state loop of same-shape products packs
+/// without touching the allocator and parallel workers never contend on a
+/// lock. Every element (padding included) is written explicitly, so
+/// recycled contents never leak.
 struct PackedB {
     data: Vec<f32>,
     n: usize,
@@ -266,20 +344,36 @@ struct PackedB {
     finite: Option<Vec<bool>>,
 }
 
+impl PackedB {
+    /// Hands the scratch buffers back to this thread's cache.
+    fn recycle(self) {
+        scratch::give_f32(self.data);
+        if let Some(mask) = self.finite {
+            scratch::give_bool(mask);
+        }
+    }
+}
+
 fn pack_b(b: MatRef<'_>, with_mask: bool) -> PackedB {
     let (k, n) = (b.rows, b.cols);
     let panels = n.div_ceil(NR);
-    let mut data = vec![0.0f32; panels * k * NR];
-    let mut finite = if with_mask { vec![true; k] } else { Vec::new() };
+    let mut data = scratch::take_f32(panels * k * NR);
+    let mut finite = if with_mask {
+        let mut f = scratch::take_bool(k);
+        f.fill(true);
+        f
+    } else {
+        Vec::new()
+    };
     for jp in 0..panels {
         let j0 = jp * NR;
         let nr = NR.min(n - j0);
         let pbase = jp * k * NR;
         for p in 0..k {
-            let dst = &mut data[pbase + p * NR..pbase + p * NR + nr];
+            let dst = &mut data[pbase + p * NR..pbase + (p + 1) * NR];
             if with_mask {
                 let mut all_finite = true;
-                for (jj, d) in dst.iter_mut().enumerate() {
+                for (jj, d) in dst.iter_mut().take(nr).enumerate() {
                     let v = b.at(p, j0 + jj);
                     all_finite &= v.is_finite();
                     *d = v;
@@ -289,10 +383,12 @@ fn pack_b(b: MatRef<'_>, with_mask: bool) -> PackedB {
                 }
             } else {
                 // dense-A path: no mask wanted, skip the finiteness reduction
-                for (jj, d) in dst.iter_mut().enumerate() {
+                for (jj, d) in dst.iter_mut().take(nr).enumerate() {
                     *d = b.at(p, j0 + jj);
                 }
             }
+            // explicit zero padding past n: the buffer may be recycled
+            dst[nr..].fill(0.0);
         }
     }
     PackedB {
@@ -338,7 +434,10 @@ fn run_band(
 ) {
     let k = a.cols;
     let finite = packed.finite.as_deref();
-    let mut atile = vec![0.0f32; k * MR];
+    // A-tile scratch from this worker thread's cache; every element is
+    // overwritten per block (incl. zero padding), so recycled contents
+    // never leak.
+    let mut atile = scratch::take_f32(k * MR);
     for ib in (0..band_rows).step_by(MR) {
         let mr = MR.min(band_rows - ib);
         // Pack the A block: atile[p·MR + ii] = A[first_row + ib + ii, p],
@@ -366,6 +465,7 @@ fn run_band(
             }
         }
     }
+    scratch::give_f32(atile);
 }
 
 /// Fallback for products too small (or too skinny) to pack, parallelized
@@ -468,6 +568,7 @@ pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
     } else {
         run_band(cdata, row_stride, m, 0, a, &packed);
     }
+    packed.recycle();
 }
 
 /// Runs `batches` independent products `out[i] ← a_of(i) · b_of(i)` (each

@@ -98,6 +98,46 @@ pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> (Tensor, Vec<usize>) {
     (out, arg)
 }
 
+/// Values-only [`max_pool2d`] into a caller-provided buffer of
+/// `B·C·OH·OW` elements (fully overwritten) — the inference path, which
+/// never needs the argmax indices and so skips their allocation entirely.
+/// Bit-identical to the values returned by [`max_pool2d`].
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D, smaller than the window, or `dst` has the
+/// wrong length.
+pub fn max_pool2d_into(dst: &mut [f32], input: &Tensor, spec: PoolSpec) {
+    let (b, c, h, w) = input.dims4();
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        dst.len(),
+        b * c * oh * ow,
+        "max_pool2d_into length mismatch"
+    );
+    let data = input.data();
+    // Same plane split and scan order as max_pool2d.
+    qn_parallel::par_chunks_mut_min(dst, oh * ow, PAR_MIN_ELEMS, |plane, out_plane| {
+        let img = plane * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        let v = data[img + iy * w + ix];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out_plane[oy * ow + ox] = best;
+            }
+        }
+    });
+}
+
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the
 /// winning input position.
 ///
@@ -127,29 +167,42 @@ pub fn avg_pool2d(input: &Tensor, spec: PoolSpec) -> Tensor {
     let (b, c, h, w) = input.dims4();
     let (oh, ow) = spec.output_hw(h, w);
     let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    avg_pool2d_into(out.data_mut(), input, spec);
+    out
+}
+
+/// [`avg_pool2d`] into a caller-provided buffer of `B·C·OH·OW` elements
+/// (fully overwritten). Bit-identical to the allocating version.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D, smaller than the window, or `dst` has the
+/// wrong length.
+pub fn avg_pool2d_into(dst: &mut [f32], input: &Tensor, spec: PoolSpec) {
+    let (b, c, h, w) = input.dims4();
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        dst.len(),
+        b * c * oh * ow,
+        "avg_pool2d_into length mismatch"
+    );
     let norm = 1.0 / (spec.window * spec.window) as f32;
     let data = input.data();
     // Parallel over (batch, channel) planes; window sums stay sequential.
-    qn_parallel::par_chunks_mut_min(
-        out.data_mut(),
-        oh * ow,
-        PAR_MIN_ELEMS,
-        |plane, out_plane| {
-            let img = plane * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ky in 0..spec.window {
-                        for kx in 0..spec.window {
-                            acc += data[img + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
-                        }
+    qn_parallel::par_chunks_mut_min(dst, oh * ow, PAR_MIN_ELEMS, |plane, out_plane| {
+        let img = plane * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        acc += data[img + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
                     }
-                    out_plane[oy * ow + ox] = acc * norm;
                 }
+                out_plane[oy * ow + ox] = acc * norm;
             }
-        },
-    );
-    out
+        }
+    });
 }
 
 /// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly

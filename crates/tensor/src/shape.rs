@@ -61,6 +61,13 @@ impl Shape {
         strides
     }
 
+    /// Consumes the shape, returning the owned dimension buffer — the
+    /// counterpart of `Shape::from(Vec<usize>)`, used by the buffer pool to
+    /// recycle shape storage alongside tensor data.
+    pub fn into_dims(self) -> Vec<usize> {
+        self.dims
+    }
+
     /// Flat offset of a multi-index.
     ///
     /// # Panics

@@ -1,5 +1,5 @@
 use crate::mat::{gemm, MatMut, MatRef};
-use crate::{Rng, Shape, TensorError};
+use crate::{elemwise, BufferPool, Rng, Shape, TensorError};
 use std::fmt;
 
 pub(crate) use qn_parallel::PAR_MIN_ELEMS;
@@ -110,6 +110,55 @@ impl Tensor {
         Tensor::from_fn(dims, |_| rng.normal())
     }
 
+    /// All-zeros tensor whose data **and** shape buffers are drawn from
+    /// `pool` (see [`BufferPool`]); hand them back with
+    /// [`Tensor::into_pool`] when done. With a warm pool the round trip
+    /// performs no heap allocation — the basis of the zero-alloc serving
+    /// path in `qn-models`.
+    pub fn from_pooled(pool: &BufferPool, dims: &[usize]) -> Self {
+        let mut dvec = pool.take_usize(dims.len());
+        dvec.copy_from_slice(dims);
+        let shape = Shape::from(dvec);
+        let mut data = pool.take_f32(shape.numel());
+        data.fill(0.0);
+        Tensor { data, shape }
+    }
+
+    /// Like [`Tensor::from_pooled`] but with **unspecified contents** (the
+    /// recycled buffer is not zeroed). Every element must be written before
+    /// it is read; use this only when the tensor is fully overwritten.
+    pub fn from_pooled_uninit(pool: &BufferPool, dims: &[usize]) -> Self {
+        let mut dvec = pool.take_usize(dims.len());
+        dvec.copy_from_slice(dims);
+        let shape = Shape::from(dvec);
+        let data = pool.take_f32(shape.numel());
+        Tensor { data, shape }
+    }
+
+    /// Returns this tensor's data and shape buffers to `pool` for reuse by
+    /// a later [`Tensor::from_pooled`] of the same shape.
+    pub fn into_pool(self, pool: &BufferPool) {
+        pool.give_f32(self.data);
+        pool.give_usize(self.shape.into_dims());
+    }
+
+    /// Reshapes this tensor **in place** to `dims`, recycling its own
+    /// storage: the data buffer is resized (grown elements are zero, all
+    /// others keep their previous values — i.e. contents are **unspecified**
+    /// and must be fully overwritten), and the `Shape` is kept as-is when
+    /// `dims` already matches. The workhorse of the `EagerExec`
+    /// slot-recycling arena: refitting a slot to the same shape it held
+    /// last pass touches the allocator not at all.
+    pub fn refit(&mut self, dims: &[usize]) {
+        if self.shape.dims() != dims {
+            self.shape = Shape::new(dims);
+        }
+        let numel = self.shape.numel();
+        if self.data.len() != numel {
+            self.data.resize(numel, 0.0);
+        }
+    }
+
     /// Uniform `[lo, hi)` initialized tensor.
     ///
     /// # Panics
@@ -191,6 +240,27 @@ impl Tensor {
         })
     }
 
+    /// Consuming reshape: reuses the data buffer outright — no copy, no
+    /// allocation beyond the new `Shape`. Bit-identical to
+    /// [`Tensor::reshape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
+    pub fn into_reshaped(self, dims: &[usize]) -> Result<Self, TensorError> {
+        let new_shape = Shape::new(dims);
+        if new_shape.numel() != self.numel() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data,
+            shape: new_shape,
+        })
+    }
+
     /// 2-D transpose.
     ///
     /// # Panics
@@ -220,30 +290,68 @@ impl Tensor {
     ///
     /// Panics if `axes` is not a permutation of `0..ndim`.
     pub fn permute(&self, axes: &[usize]) -> Self {
-        let nd = self.ndim();
-        assert_eq!(axes.len(), nd, "permute needs {nd} axes");
-        let mut seen = vec![false; nd];
-        for &a in axes {
-            assert!(a < nd && !seen[a], "axes must be a permutation of 0..{nd}");
-            seen[a] = true;
-        }
-        if nd == 0 {
+        if self.ndim() == 0 {
+            assert!(axes.is_empty(), "permute needs 0 axes");
             // rank-0: the only permutation is the identity
             return self.clone();
         }
         let old_dims = self.shape.dims();
         let new_dims: Vec<usize> = axes.iter().map(|&a| old_dims[a]).collect();
-        let old_strides = self.shape.strides();
-        let new_shape = Shape::new(&new_dims);
-        let new_strides_in_old: Vec<usize> = axes.iter().map(|&a| old_strides[a]).collect();
         let mut out = vec![0.0f32; self.numel()];
-        if !out.is_empty() {
+        self.permute_into(axes, &mut out);
+        Tensor {
+            data: out,
+            shape: Shape::new(&new_dims),
+        }
+    }
+
+    /// [`Tensor::permute`] into a caller-provided buffer of `numel`
+    /// elements (fully overwritten; the caller owns the permuted shape).
+    /// Bit-identical to the allocating version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` is not a permutation of `0..ndim` or `dst` has the
+    /// wrong length.
+    pub fn permute_into(&self, axes: &[usize], dst: &mut [f32]) {
+        let nd = self.ndim();
+        assert_eq!(axes.len(), nd, "permute needs {nd} axes");
+        assert_eq!(dst.len(), self.numel(), "permute_into length mismatch");
+        let mut seen = [false; 16];
+        assert!(nd <= seen.len(), "permute supports rank <= 16");
+        for &a in axes {
+            assert!(a < nd && !seen[a], "axes must be a permutation of 0..{nd}");
+            seen[a] = true;
+        }
+        if nd == 0 {
+            dst.copy_from_slice(&self.data);
+            return;
+        }
+        let old_dims = self.shape.dims();
+        // row-major strides, computed on the stack (no allocation)
+        let mut old_strides = [0usize; 16];
+        {
+            let mut s = 1usize;
+            for i in (0..nd).rev() {
+                old_strides[i] = s;
+                s *= old_dims[i];
+            }
+        }
+        let mut new_dims = [0usize; 16];
+        let mut new_strides_in_old = [0usize; 16];
+        for (i, &a) in axes.iter().enumerate() {
+            new_dims[i] = old_dims[a];
+            new_strides_in_old[i] = old_strides[a];
+        }
+        let new_dims = &new_dims[..nd];
+        let new_strides_in_old = &new_strides_in_old[..nd];
+        if !dst.is_empty() {
             let inner_len = new_dims[nd - 1];
             let inner_stride = new_strides_in_old[nd - 1];
             let outer = nd - 1;
-            let mut index = vec![0usize; outer];
+            let mut index = [0usize; 16];
             let mut base = 0usize;
-            for chunk in out.chunks_mut(inner_len) {
+            for chunk in dst.chunks_mut(inner_len) {
                 if inner_stride == 1 {
                     chunk.copy_from_slice(&self.data[base..base + inner_len]);
                 } else {
@@ -266,10 +374,6 @@ impl Tensor {
                 }
             }
         }
-        Tensor {
-            data: out,
-            shape: new_shape,
-        }
     }
 
     // ----- elementwise ----------------------------------------------------
@@ -278,40 +382,23 @@ impl Tensor {
     ///
     /// Large tensors are processed in parallel bands on the `qn-parallel`
     /// pool (each element depends only on itself, so results are identical
-    /// at any thread count); `f` therefore has to be `Sync`.
+    /// at any thread count); `f` therefore has to be `Sync`. Shares its
+    /// banding with the whole elementwise family (see [`elemwise`]), so
+    /// allocating, in-place and into-buffer variants are bit-identical.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
-        let n = self.numel();
-        let threads = if n >= PAR_MIN_ELEMS {
-            qn_parallel::num_threads()
-        } else {
-            1
-        };
-        if threads <= 1 {
-            return Tensor {
-                data: self.data.iter().map(|&v| f(v)).collect(),
-                shape: self.shape.clone(),
-            };
-        }
-        let mut out = vec![0.0f32; n];
-        let band = n.div_ceil(threads);
-        qn_parallel::par_chunks_mut(&mut out, band, |bi, chunk| {
-            let start = bi * band;
-            let src = &self.data[start..start + chunk.len()];
-            for (o, &v) in chunk.iter_mut().zip(src) {
-                *o = f(v);
-            }
-        });
+        let mut out = vec![0.0f32; self.numel()];
+        elemwise::map_to(&mut out, &self.data, f);
         Tensor {
             data: out,
             shape: self.shape.clone(),
         }
     }
 
-    /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    /// Applies `f` to every element in place — bit-identical to
+    /// [`Tensor::map`] without the output allocation. Parallelized the same
+    /// way, so `f` has to be `Sync`.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        elemwise::map_assign(&mut self.data, f);
     }
 
     /// Combines two same-shape tensors elementwise.
@@ -327,37 +414,45 @@ impl Tensor {
             "zip shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        let n = self.numel();
-        let threads = if n >= PAR_MIN_ELEMS {
-            qn_parallel::num_threads()
-        } else {
-            1
-        };
-        if threads <= 1 {
-            return Tensor {
-                data: self
-                    .data
-                    .iter()
-                    .zip(other.data.iter())
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
-                shape: self.shape.clone(),
-            };
-        }
-        let mut out = vec![0.0f32; n];
-        let band = n.div_ceil(threads);
-        qn_parallel::par_chunks_mut(&mut out, band, |bi, chunk| {
-            let start = bi * band;
-            let sa = &self.data[start..start + chunk.len()];
-            let sb = &other.data[start..start + chunk.len()];
-            for ((o, &a), &b) in chunk.iter_mut().zip(sa).zip(sb) {
-                *o = f(a, b);
-            }
-        });
+        let mut out = vec![0.0f32; self.numel()];
+        elemwise::zip_to(&mut out, &self.data, &other.data, f);
         Tensor {
             data: out,
             shape: self.shape.clone(),
         }
+    }
+
+    /// Combines with `other` elementwise **in place**:
+    /// `self[i] = f(self[i], other[i])` — bit-identical to [`Tensor::zip`]
+    /// without the output allocation. The backbone of the allocation-free
+    /// activation derivatives in `qn-autograd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_inplace(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_inplace shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        elemwise::zip_assign(&mut self.data, &other.data, f);
+    }
+
+    /// BLAS-style accumulate `self += alpha · x` in place (bit-identical to
+    /// `self.add(&x.scale(alpha))` for the per-element expression
+    /// `self + alpha * x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, x: &Tensor) {
+        assert_eq!(
+            self.shape, x.shape,
+            "axpy shape mismatch: {} vs {}",
+            self.shape, x.shape
+        );
+        elemwise::zip_assign(&mut self.data, &x.data, move |d, s| d + alpha * s);
     }
 
     /// Elementwise sum. See [`Tensor::zip`] for panics.
@@ -380,7 +475,9 @@ impl Tensor {
         self.zip(other, |a, b| a / b)
     }
 
-    /// Adds `other` into `self` in place (gradient accumulation).
+    /// Adds `other` into `self` in place (gradient accumulation) — the
+    /// `alpha = 1` case of [`Tensor::axpy`], parallel-banded like the rest
+    /// of the elementwise family (bit-identical to the sequential sweep).
     ///
     /// # Panics
     ///
@@ -391,9 +488,7 @@ impl Tensor {
             "add_assign shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        elemwise::zip_assign(&mut self.data, &other.data, |a, b| a + b);
     }
 
     /// Multiplies every element by `s`.
@@ -651,7 +746,6 @@ impl Tensor {
         assert!(axis < nd, "axis {axis} out of range for rank {nd}");
         let dims = self.shape.dims();
         let outer: usize = dims[..axis].iter().product();
-        let mid = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
         let mut out_dims: Vec<usize> = dims.to_vec();
         out_dims.remove(axis);
@@ -659,12 +753,35 @@ impl Tensor {
             out_dims.push(1);
         }
         let mut out = vec![0.0f32; outer * inner];
+        self.sum_axis_into(axis, &mut out);
+        Tensor {
+            data: out,
+            shape: Shape::new(&out_dims),
+        }
+    }
+
+    /// [`Tensor::sum_axis`] into a caller-provided buffer of
+    /// `numel / dim(axis)` elements (fully overwritten; the caller owns the
+    /// reduced shape). Bit-identical to the allocating version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= ndim` or `dst` has the wrong length.
+    pub fn sum_axis_into(&self, axis: usize, dst: &mut [f32]) {
+        let nd = self.ndim();
+        assert!(axis < nd, "axis {axis} out of range for rank {nd}");
+        let dims = self.shape.dims();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let outer: usize = dims[..axis].iter().product();
+        assert_eq!(dst.len(), outer * inner, "sum_axis_into length mismatch");
+        dst.fill(0.0);
         if inner > 0 {
             // stride-stepping slice walk: the source cursor advances by
             // `inner` per mid-step, with no per-element index arithmetic;
             // accumulation order per output element (mid ascending) is
             // unchanged, so results are bit-identical to the naive loop
-            for (o, orow) in out.chunks_mut(inner).enumerate() {
+            for (o, orow) in dst.chunks_mut(inner).enumerate() {
                 let mut src = o * mid * inner;
                 for _ in 0..mid {
                     let row = &self.data[src..src + inner];
@@ -674,10 +791,6 @@ impl Tensor {
                     src += inner;
                 }
             }
-        }
-        Tensor {
-            data: out,
-            shape: Shape::new(&out_dims),
         }
     }
 
@@ -1174,5 +1287,79 @@ mod tests {
     fn debug_is_nonempty() {
         let a = Tensor::zeros(&[2, 2]);
         assert!(!format!("{a:?}").is_empty());
+    }
+
+    #[test]
+    fn pooled_roundtrip_recycles_and_zeroes() {
+        let pool = BufferPool::new();
+        let mut a = Tensor::from_pooled(&pool, &[2, 3]);
+        assert!(a.allclose(&Tensor::zeros(&[2, 3]), 0.0));
+        a.data_mut().fill(9.0);
+        a.into_pool(&pool);
+        // warm: same storage comes back, zeroed again by from_pooled
+        let b = Tensor::from_pooled(&pool, &[2, 3]);
+        assert!(b.allclose(&Tensor::zeros(&[2, 3]), 0.0));
+        assert_eq!(pool.stats().hits, 2, "data + dims buffers both recycled");
+        // uninit variant exposes the stale contents
+        b.into_pool(&pool);
+        pool.clear();
+        pool.give_f32(vec![5.0; 6]);
+        let c = Tensor::from_pooled_uninit(&pool, &[6]);
+        assert_eq!(c.data(), &[5.0; 6]);
+    }
+
+    #[test]
+    fn refit_reuses_storage_and_changes_shape() {
+        let mut a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        a.refit(&[2, 2]); // same shape: nothing changes
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 4.0]);
+        a.refit(&[3]); // shrink: contents unspecified, length right
+        assert_eq!(a.shape().dims(), &[3]);
+        assert_eq!(a.numel(), 3);
+        a.refit(&[2, 3]); // grow
+        assert_eq!(a.numel(), 6);
+    }
+
+    #[test]
+    fn zip_inplace_matches_zip() {
+        let mut rng = Rng::seed_from(7);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[5, 7], &mut rng);
+        let expect = a.zip(&b, |x, y| x * y + 1.0);
+        let mut got = a.clone();
+        got.zip_inplace(&b, |x, y| x * y + 1.0);
+        assert!(got.bit_identical(&expect));
+    }
+
+    #[test]
+    fn axpy_matches_scale_add() {
+        let mut rng = Rng::seed_from(8);
+        let a = Tensor::randn(&[4, 4], &mut rng);
+        let x = Tensor::randn(&[4, 4], &mut rng);
+        let expect = a.zip(&x, |av, xv| av + 2.5 * xv);
+        let mut got = a.clone();
+        got.axpy(2.5, &x);
+        assert!(got.bit_identical(&expect));
+    }
+
+    #[test]
+    fn permute_into_matches_permute() {
+        let mut rng = Rng::seed_from(9);
+        let a = Tensor::randn(&[2, 3, 4, 5], &mut rng);
+        let expect = a.permute(&[0, 3, 1, 2]);
+        let mut dst = vec![f32::NAN; a.numel()];
+        a.permute_into(&[0, 3, 1, 2], &mut dst);
+        assert_eq!(dst, expect.data());
+    }
+
+    #[test]
+    fn sum_axis_into_matches_sum_axis() {
+        let a = Tensor::from_fn(&[3, 4, 2], |i| i as f32);
+        for axis in 0..3 {
+            let expect = a.sum_axis(axis);
+            let mut dst = vec![f32::NAN; expect.numel()];
+            a.sum_axis_into(axis, &mut dst);
+            assert_eq!(dst, expect.data(), "axis {axis}");
+        }
     }
 }
