@@ -1,4 +1,4 @@
-use qn_tensor::Tensor;
+use qn_tensor::{Tensor, TensorError};
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
@@ -113,6 +113,27 @@ impl Parameter {
         );
         inner.value = value;
         inner.version += 1;
+    }
+
+    /// Fallible [`Parameter::set_value`]: rejects a wrong-shape tensor with
+    /// an error instead of panicking — the entry point checkpoint loading
+    /// uses, where the shape comes from an untrusted file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the new value's shape
+    /// differs from the parameter's.
+    pub fn try_set_value(&self, value: Tensor) -> Result<(), TensorError> {
+        let mut inner = self.write();
+        if inner.value.shape() != value.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: inner.value.shape().dims().to_vec(),
+                actual: value.shape().dims().to_vec(),
+            });
+        }
+        inner.value = value;
+        inner.version += 1;
+        Ok(())
     }
 
     /// Monotonic counter bumped on every value mutation

@@ -1,0 +1,181 @@
+//! Persistence-path benchmark: checkpoint serialize throughput, cold-start
+//! load latency (blob-copying vs zero-copy mmap), and registry hot-swap
+//! latency — recorded in `BENCH_load.json` at the repo root.
+//!
+//! Doubles as the enforcement point for the PR's zero-copy contract, with
+//! the counting global allocator as the instrument:
+//!
+//! 1. a mmap load must leave **every** parameter backed by the mapped file,
+//! 2. the mmap-loaded model must predict **bit-identically** to the model
+//!    the checkpoint was saved from, and
+//! 3. the mmap load must allocate at least the parameter-byte total *less*
+//!    than the copying load — i.e. zero parameter bytes are copied.
+//!
+//! Set `QN_SMOKE=1` for a CI-sized configuration.
+
+#[global_allocator]
+static ALLOC: qn_bench::counting_alloc::CountingAlloc = qn_bench::counting_alloc::CountingAlloc;
+
+use qn_autograd::Parameter;
+use qn_bench::counting_alloc::snapshot;
+use qn_bench::time_mean;
+use qn_core::NeuronSpec;
+use qn_models::{InferenceSession, ModelRegistry, NeuronPlacement, ResNet, ResNetConfig};
+use qn_nn::{checkpoint, LoadMode, Module, ParamVisitor};
+use qn_tensor::{Rng, Tensor};
+use std::sync::Arc;
+
+fn quadratic_resnet(depth: usize, width: usize, rank: usize, seed: u64) -> ResNet {
+    ResNet::cifar(ResNetConfig {
+        depth,
+        base_width: width,
+        num_classes: 10,
+        neuron: NeuronSpec::EfficientQuadratic { rank },
+        placement: NeuronPlacement::All,
+        seed,
+    })
+}
+
+/// Counts parameters whose storage is / is not a mapped file window.
+struct MapCensus {
+    mapped: usize,
+    owned: usize,
+}
+
+impl ParamVisitor for MapCensus {
+    fn param(&mut self, _name: &str, p: &Parameter) {
+        if p.value().is_mapped() {
+            self.mapped += 1;
+        } else {
+            self.owned += 1;
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("QN_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let (depth, width, res, rank) = if smoke { (8, 4, 12, 3) } else { (20, 8, 16, 9) };
+    let samples = if smoke { 5 } else { 20 };
+    let net = quadratic_resnet(depth, width, rank, 47);
+    let param_bytes = 4 * net.param_count() as u64;
+    let path = std::env::temp_dir().join("qn_bench_checkpoint.qnckpt");
+
+    // ---- serialize ------------------------------------------------------
+    let save_s = time_mean(samples, || {
+        checkpoint::save_module(&net, &[("bench", "checkpoint")], &path).expect("save");
+    });
+    let file_bytes = std::fs::metadata(&path).expect("checkpoint written").len();
+    let serialize_mb_s = file_bytes as f64 / 1e6 / save_s;
+    eprintln!(
+        "serialize: {file_bytes} B in {:.3} ms ({serialize_mb_s:.0} MB/s)",
+        save_s * 1e3
+    );
+
+    // ---- cold-start load: copy vs mmap ----------------------------------
+    let copied = quadratic_resnet(depth, width, rank, 48);
+    let copy_s = time_mean(samples, || {
+        checkpoint::load_module(&copied, &path, LoadMode::Copy).expect("copy load");
+    });
+    let mapped = quadratic_resnet(depth, width, rank, 49);
+    let mapped_s = time_mean(samples, || {
+        checkpoint::load_module(&mapped, &path, LoadMode::Mapped).expect("mmap load");
+    });
+    eprintln!(
+        "cold-start load: copy {:.3} ms, mmap {:.3} ms ({:.2}x)",
+        copy_s * 1e3,
+        mapped_s * 1e3,
+        copy_s / mapped_s
+    );
+
+    // ---- allocation accounting (single-threaded attribution) ------------
+    let _ = qn_parallel::pool_threads();
+    let (copy_alloc, mapped_alloc) = qn_parallel::with_max_threads(1, || {
+        let before = snapshot();
+        checkpoint::load_module(&copied, &path, LoadMode::Copy).expect("copy load");
+        let copy_alloc = snapshot().since(&before);
+        let before = snapshot();
+        checkpoint::load_module(&mapped, &path, LoadMode::Mapped).expect("mmap load");
+        let mapped_alloc = snapshot().since(&before);
+        (copy_alloc, mapped_alloc)
+    });
+    eprintln!(
+        "load allocations: copy {} B, mmap {} B ({param_bytes} parameter bytes in the model)",
+        copy_alloc.bytes, mapped_alloc.bytes
+    );
+
+    // ---- the zero-copy contract -----------------------------------------
+    let mut census = MapCensus {
+        mapped: 0,
+        owned: 0,
+    };
+    mapped.visit_params(&mut census);
+    let mut rng = Rng::seed_from(51);
+    let x = Tensor::randn(&[2, 3, res, res], &mut rng);
+    let want = InferenceSession::new(&net).predict_batch(&x);
+    let got = InferenceSession::new(&mapped).predict_batch(&x);
+    let bit_identical = want.bit_identical(&got);
+
+    // ---- registry hot-swap ----------------------------------------------
+    let registry = ModelRegistry::new();
+    let gen_a: Arc<dyn Module + Send + Sync> = Arc::new(net);
+    let gen_b: Arc<dyn Module + Send + Sync> = Arc::new(mapped);
+    registry.publish("serve", Arc::clone(&gen_a));
+    let mut session = registry.session("serve").expect("slot exists");
+    std::hint::black_box(session.predict_batch(&x).data()[0]);
+    let mut flip = false;
+    let swap_s = time_mean(samples, || {
+        flip = !flip;
+        registry.publish("serve", Arc::clone(if flip { &gen_b } else { &gen_a }));
+        session.refresh();
+    });
+    std::hint::black_box(session.predict_batch(&x).data()[0]);
+    eprintln!(
+        "registry hot-swap (publish + session rebuild): {:.2} us",
+        swap_s * 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"load\",\n  \"model\": \"resnet{depth}_quadratic_k{rank}\",\n  \
+\"smoke\": {smoke},\n  \"file_bytes\": {file_bytes},\n  \"param_bytes\": {param_bytes},\n  \
+\"serialize_ms\": {:.4},\n  \"serialize_mb_s\": {serialize_mb_s:.1},\n  \
+\"cold_load_copy_ms\": {:.4},\n  \"cold_load_mmap_ms\": {:.4},\n  \
+\"load_alloc_bytes_copy\": {},\n  \"load_alloc_bytes_mmap\": {},\n  \
+\"mapped_params\": {},\n  \"owned_params\": {},\n  \
+\"mmap_predict_bit_identical\": {bit_identical},\n  \"hot_swap_us\": {:.4}\n}}\n",
+        save_s * 1e3,
+        copy_s * 1e3,
+        mapped_s * 1e3,
+        copy_alloc.bytes,
+        mapped_alloc.bytes,
+        census.mapped,
+        census.owned,
+        swap_s * 1e6,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("could not write {out}: {e}");
+    } else {
+        eprintln!("recorded {out}");
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // Checked last so the JSON is written either way; violations fail CI.
+    assert_eq!(
+        census.owned, 0,
+        "mmap load left {} parameters owned",
+        census.owned
+    );
+    assert!(census.mapped > 0, "census walked no parameters");
+    assert!(
+        bit_identical,
+        "mmap-loaded model must predict bit-identically"
+    );
+    assert!(
+        copy_alloc.bytes >= mapped_alloc.bytes + param_bytes,
+        "mmap load must allocate at least the parameter-byte total ({param_bytes} B) less than \
+         the copying load (copy {} B, mmap {} B) — parameter bytes were copied",
+        copy_alloc.bytes,
+        mapped_alloc.bytes
+    );
+    eprintln!("load: mmap path copies zero parameter bytes ✓");
+}

@@ -2,7 +2,7 @@ use crate::complexity::NeuronFamily;
 use crate::LAMBDA_PARAM_NAME;
 use qn_autograd::{Exec, Parameter, Var};
 use qn_linalg::random_orthonormal;
-use qn_nn::{kaiming_normal, Costs, Module};
+use qn_nn::{kaiming_normal, Costs, Module, ParamVisitor};
 use qn_tensor::{Rng, Tensor};
 
 /// The paper's efficient quadratic neuron, as a dense layer of `m` neurons
@@ -236,13 +236,11 @@ impl Module for EfficientQuadraticLinear {
         g.reshape(out, &dims[..nd])
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![
-            self.q.clone(),
-            self.lambda.clone(),
-            self.w.clone(),
-            self.b.clone(),
-        ]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("q", &self.q);
+        v.param("lambda", &self.lambda);
+        v.param("w", &self.w);
+        v.param("b", &self.b);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

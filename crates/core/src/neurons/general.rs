@@ -1,6 +1,6 @@
 use crate::complexity::NeuronFamily;
 use qn_autograd::{Exec, Parameter, Var};
-use qn_nn::{kaiming_normal, Costs, Module};
+use qn_nn::{kaiming_normal, Costs, Module, ParamVisitor};
 use qn_tensor::{Rng, Tensor};
 
 /// The general quadratic neuron `y = xᵀMx + wᵀx` of Zoumpourlis et al.
@@ -96,11 +96,10 @@ impl Module for GeneralQuadraticLinear {
         }
     }
 
-    fn params(&self) -> Vec<Parameter> {
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("m", &self.mats);
         if self.with_linear {
-            vec![self.mats.clone(), self.w.clone()]
-        } else {
-            vec![self.mats.clone()]
+            v.param("w", &self.w);
         }
     }
 
@@ -144,8 +143,8 @@ impl Module for NoLinearQuadraticLinear {
         self.inner.forward(g, x)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        self.inner.params()
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        self.inner.visit_params(v);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

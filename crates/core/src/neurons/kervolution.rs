@@ -1,6 +1,6 @@
 use crate::complexity::NeuronFamily;
 use qn_autograd::{Exec, Parameter, Var};
-use qn_nn::{kaiming_normal, Costs, Module};
+use qn_nn::{kaiming_normal, Costs, Module, ParamVisitor};
 use qn_tensor::Rng;
 
 /// The polynomial kervolutional neuron `y = (wᵀx + c)ᵖ` of Wang et al.
@@ -55,8 +55,8 @@ impl Module for KervolutionLinear {
         g.powi(z, self.p)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![self.w.clone()]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("w", &self.w);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

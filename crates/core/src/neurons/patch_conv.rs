@@ -1,6 +1,6 @@
 use super::EfficientQuadraticLinear;
-use qn_autograd::{Exec, Parameter, Var};
-use qn_nn::{Costs, Module};
+use qn_autograd::{Exec, Var};
+use qn_nn::{Costs, Module, ParamVisitor};
 use qn_tensor::{Conv2dSpec, Rng};
 
 /// Deploys any dense neuron layer as a 2-D convolution by im2col lowering —
@@ -87,8 +87,8 @@ impl<L: Module> Module for PatchConv2d<L> {
         g.rows_to_nchw(y, b, oh, ow, self.out_channels)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        self.inner.params()
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        self.inner.visit_params(v);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

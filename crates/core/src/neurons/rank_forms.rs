@@ -4,7 +4,7 @@
 
 use crate::complexity::NeuronFamily;
 use qn_autograd::{Exec, Parameter, Var};
-use qn_nn::{kaiming_normal, Costs, Module};
+use qn_nn::{kaiming_normal, Costs, Module, ParamVisitor};
 use qn_tensor::Rng;
 #[cfg(test)]
 use qn_tensor::Tensor;
@@ -52,8 +52,9 @@ impl Module for FactorizedQuadraticLinear {
         g.add(ab, a)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![self.w1.clone(), self.w2.clone()]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("w1", &self.w1);
+        v.param("w2", &self.w2);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {
@@ -122,8 +123,10 @@ impl Module for LowRankQuadraticLinear {
         g.add(y2, lin)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![self.q1.clone(), self.q2.clone(), self.w.clone()]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("q1", &self.q1);
+        v.param("q2", &self.q2);
+        v.param("w", &self.w);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {
@@ -176,8 +179,10 @@ impl Module for Quad1Linear {
         g.add(ab, c)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![self.w1.clone(), self.w2.clone(), self.w3.clone()]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("w1", &self.w1);
+        v.param("w2", &self.w2);
+        v.param("w3", &self.w3);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {
@@ -226,8 +231,10 @@ impl Module for Quad2Linear {
         g.add(ab, c)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![self.w1.clone(), self.w2.clone(), self.w3.clone()]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("w1", &self.w1);
+        v.param("w2", &self.w2);
+        v.param("w3", &self.w3);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

@@ -45,8 +45,31 @@ impl<'a> DataLoader<'a> {
 
     /// One shuffled pass over the data, yielding `(images, labels)` batches.
     pub fn epoch(&self, rng: &mut Rng) -> impl Iterator<Item = (Tensor, Vec<usize>)> + '_ {
+        let order = self.shuffle_order(rng);
+        self.epoch_with_order(order)
+    }
+
+    /// The shuffled sample order [`DataLoader::epoch`] would traverse,
+    /// consuming the identical RNG draw. Checkpoint resume uses this to
+    /// replay an epoch's order from the epoch-start RNG state and skip the
+    /// batches a restored run already completed.
+    pub fn shuffle_order(&self, rng: &mut Rng) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.labels.len()).collect();
         rng.shuffle(&mut order);
+        order
+    }
+
+    /// Batches following an explicit sample order (see
+    /// [`DataLoader::shuffle_order`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in `select_rows`) if `order` contains an index at or beyond
+    /// the dataset length.
+    pub fn epoch_with_order(
+        &self,
+        order: Vec<usize>,
+    ) -> impl Iterator<Item = (Tensor, Vec<usize>)> + '_ {
         let batch = self.batch_size;
         let images = self.images;
         let labels = self.labels;
@@ -121,6 +144,20 @@ mod tests {
             .map(|(im, _)| im.shape().dim(0))
             .collect();
         assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn epoch_with_order_replays_epoch_from_rng_state() {
+        let (images, labels) = toy();
+        let loader = DataLoader::new(&images, &labels, 3);
+        let mut rng = Rng::seed_from(7);
+        let start = rng.state();
+        let direct: Vec<Vec<usize>> = loader.epoch(&mut rng).map(|(_, l)| l).collect();
+        let mut replay_rng = Rng::from_state(start);
+        let order = loader.shuffle_order(&mut replay_rng);
+        let replayed: Vec<Vec<usize>> = loader.epoch_with_order(order).map(|(_, l)| l).collect();
+        assert_eq!(direct, replayed);
+        assert_eq!(rng.state(), replay_rng.state());
     }
 
     #[test]

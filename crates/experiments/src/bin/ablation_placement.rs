@@ -95,6 +95,6 @@ k = 4. Conv layers are indexed in forward order (ResNet-{depth} has {} of them).
 placements (the paper argues first-layer-only deployment [14,17] is suboptimal), and pruning \
 near-zero Λ entries costs little accuracy — quadratic capacity is unevenly used across depth.",
     );
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

@@ -64,6 +64,6 @@ fn main() {
         "\nShape to verify: per-output cost is nearly flat in k (Table I), so larger k \
 is affordable; accuracy should be no worse (typically better) at k = 9 than k = 1.",
     );
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

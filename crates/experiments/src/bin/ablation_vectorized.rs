@@ -67,6 +67,6 @@ neurons (and parameters) to do so.\n"
 than the scalar form at a fraction of its parameters/MACs — the fᵏ features carry usable \
 information (paper §III-B).",
     );
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

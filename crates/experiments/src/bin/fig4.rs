@@ -96,6 +96,6 @@ deeper linear baseline, so the same accuracy is reached with ~30-50% fewer param
 (paper: quad ResNet-32 > linear ResNet-44 at -29.3% params; quad ResNet-56 ≈ linear \
 ResNet-110 at -49.8% params).",
     );
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

@@ -86,6 +86,6 @@ Paper-scale columns analytic at width 16, 32x32.\n"
 of quad-1/quad-2 with ~24% fewer parameters and MACs (the 3n-per-output cost of [19]/[21] vs \
 our n + k/(k+1)); [21] degrades on deeper networks.",
     );
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

@@ -152,6 +152,6 @@ KNN-3 trains stably while KNN-11/KNN-15 fluctuate or diverge; ours is stable in 
 number of kervolutional layers, while the proposed neuron trains stably when deployed in \
 every layer.",
     );
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

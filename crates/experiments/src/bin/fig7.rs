@@ -84,6 +84,6 @@ equally needed at every depth (and first-layer-only deployment is not optimal ei
         min_spread,
         max_spread
     ));
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

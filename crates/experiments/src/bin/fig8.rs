@@ -5,13 +5,30 @@
 
 use qn_core::NeuronSpec;
 use qn_data::synthetic_cifar10;
-use qn_experiments::{train_classifier, Report, TrainConfig};
+use qn_experiments::{try_train_classifier, CheckpointSpec, Report, TrainConfig};
 use qn_metrics::pgm::{low_frequency_fraction, write_pgm};
 use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
 use qn_nn::Module;
 use qn_tensor::{im2col, Conv2dSpec, Tensor};
 
+const USAGE: &str = "usage: fig8 [--checkpoint <path> [--every <steps>]] [--resume <path>]";
+
+fn checkpoint_spec() -> CheckpointSpec {
+    match CheckpointSpec::parse_args(std::env::args().skip(1)) {
+        Ok((spec, rest)) if rest.is_empty() => spec,
+        Ok((_, rest)) => {
+            eprintln!("fig8: unrecognised argument `{}`\n{USAGE}", rest[0]);
+            std::process::exit(2);
+        }
+        Err(msg) => {
+            eprintln!("fig8: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let spec = checkpoint_spec();
     let res = 16usize;
     let data = synthetic_cifar10(res, 30, 8, 61);
     let net = ResNet::cifar(ResNetConfig {
@@ -26,7 +43,7 @@ fn main() {
         "fig8",
         "Fig. 8 — linear vs quadratic response maps of a trained first layer",
     );
-    let result = train_classifier(
+    let result = try_train_classifier(
         &net,
         &data,
         TrainConfig {
@@ -34,7 +51,12 @@ fn main() {
             seed: 71,
             ..TrainConfig::default()
         },
-    );
+        &spec,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig8: checkpoint I/O failed: {e}");
+        std::process::exit(1);
+    });
     report.line(&format!(
         "ResNet-8 quadratic (k=9), trained 6 epochs, test acc {:.1}%. Maps are \
 response magnitudes of the stem neuron with the strongest Λ (linear: |wᵀx+b|, \
@@ -42,24 +64,20 @@ quadratic: |y₂ᵏ|), so edge-sign oscillation registers as high-frequency cont
         result.test_accuracy * 100.0
     ));
     // extract stem parameters (quad.q / quad.lambda / quad.w / quad.b of the
-    // first conv): recompute responses directly from patches
+    // first conv): recompute responses directly from patches. The diagnostic
+    // names are an invariant of the EfficientQuadratic family this binary
+    // constructs above, so a miss is a bug, not an input error.
     let params = net.params();
-    let q = params
-        .iter()
-        .find(|p| p.name() == "quad.q")
-        .expect("stem q");
-    let lam = params
-        .iter()
-        .find(|p| p.name() == qn_core::LAMBDA_PARAM_NAME)
-        .expect("stem lambda");
-    let w = params
-        .iter()
-        .find(|p| p.name() == "quad.w")
-        .expect("stem w");
-    let b = params
-        .iter()
-        .find(|p| p.name() == "quad.b")
-        .expect("stem b");
+    let find = |name: &str| {
+        params
+            .iter()
+            .find(|p| p.name() == name)
+            .unwrap_or_else(|| panic!("EfficientQuadratic stem must expose '{name}'"))
+    };
+    let q = find("quad.q");
+    let lam = find(qn_core::LAMBDA_PARAM_NAME);
+    let w = find("quad.w");
+    let b = find("quad.b");
     let (qv, lv, wv, bv) = (q.value(), lam.value(), w.value(), b.value());
     let (m, k) = lv.dims2();
 
@@ -111,14 +129,16 @@ quadratic: |y₂ᵏ|), so edge-sign oscillation registers as high-frequency cont
         };
         let dir = std::path::Path::new("results");
         let _ = std::fs::create_dir_all(dir);
-        write_pgm(&gray, &dir.join(format!("fig8_input_{img_idx}.pgm"))).expect("write input");
-        write_pgm(&linear_map, &dir.join(format!("fig8_linear_{img_idx}.pgm")))
-            .expect("write linear");
-        write_pgm(
-            &quad_map,
-            &dir.join(format!("fig8_quadratic_{img_idx}.pgm")),
-        )
-        .expect("write quad");
+        let write = |map: &Tensor, kind: &str| {
+            let path = dir.join(format!("fig8_{kind}_{img_idx}.pgm"));
+            if let Err(e) = write_pgm(map, &path) {
+                eprintln!("fig8: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        write(&gray, "input");
+        write(&linear_map, "linear");
+        write(&quad_map, "quadratic");
         let lf = low_frequency_fraction(&linear_map);
         let qf = low_frequency_fraction(&quad_map);
         lin_frac_sum += lf;
@@ -150,6 +170,6 @@ while the linear response is edge/texture dominated. PGM maps written to results
         lin_frac_sum / images as f32,
         quad_frac_sum / images as f32
     ));
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

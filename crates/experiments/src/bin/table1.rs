@@ -83,6 +83,6 @@ amortized over the neuron's outputs (k+1 for ours, 1 elsewhere).\n",
         lowrank.params_per_output(),
         lowrank.params_per_output() / ours.params_per_output(),
     ));
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

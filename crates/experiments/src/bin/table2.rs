@@ -8,9 +8,46 @@
 //! baseline and must reach at least its BLEU.
 
 use qn_data::{TranslationConfig, TranslationDataset};
-use qn_experiments::{full_scale, train_transformer, Report, TransformerTrainConfig};
+use qn_experiments::{
+    full_scale, try_train_transformer, CheckpointSpec, Report, TransformerTrainConfig,
+    TransformerTrainResult,
+};
 use qn_metrics::bleu::{corpus_bleu, Tokenization};
 use qn_models::{Transformer, TransformerConfig};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: table2 [--checkpoint <path> [--every <steps>]] [--resume <path>]";
+
+/// `ck.qnckpt` + `baseline` → `ck.baseline.qnckpt`, so the four training
+/// runs of this table keep separate checkpoint files from one `--checkpoint`
+/// flag.
+fn tagged(path: &Path, tag: &str) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("ckpt");
+    match path.extension().and_then(|s| s.to_str()) {
+        Some(ext) => path.with_file_name(format!("{stem}.{tag}.{ext}")),
+        None => path.with_file_name(format!("{stem}.{tag}")),
+    }
+}
+
+fn spec_for(base: &CheckpointSpec, tag: &str) -> CheckpointSpec {
+    CheckpointSpec {
+        path: base.path.as_deref().map(|p| tagged(p, tag)),
+        resume: base.resume.as_deref().map(|p| tagged(p, tag)),
+        ..base.clone()
+    }
+}
+
+fn train_or_exit(
+    model: &Transformer,
+    data: &TranslationDataset,
+    cfg: TransformerTrainConfig,
+    spec: &CheckpointSpec,
+) -> TransformerTrainResult {
+    try_train_transformer(model, data, cfg, spec).unwrap_or_else(|e| {
+        eprintln!("table2: checkpoint I/O failed: {e}");
+        std::process::exit(1);
+    })
+}
 
 fn eval_all(hyp: &[String], refs: &[String]) -> [f32; 4] {
     [
@@ -22,6 +59,17 @@ fn eval_all(hyp: &[String], refs: &[String]) -> [f32; 4] {
 }
 
 fn main() {
+    let base_spec = match CheckpointSpec::parse_args(std::env::args().skip(1)) {
+        Ok((spec, rest)) if rest.is_empty() => spec,
+        Ok((_, rest)) => {
+            eprintln!("table2: unrecognised argument `{}`\n{USAGE}", rest[0]);
+            std::process::exit(2);
+        }
+        Err(msg) => {
+            eprintln!("table2: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let full = full_scale();
     let (train_pairs, test_pairs, epochs) = if full { (500, 60, 10) } else { (240, 32, 8) };
     let data = TranslationDataset::generate(TranslationConfig {
@@ -68,7 +116,7 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
     let baseline = Transformer::new(base_cfg);
     let base_params = baseline.param_count();
     eprintln!("training baseline ({base_params} params)...");
-    let bres = train_transformer(
+    let bres = train_or_exit(
         &baseline,
         &data,
         TransformerTrainConfig {
@@ -76,11 +124,13 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
             seed: 41,
             ..TransformerTrainConfig::default()
         },
+        &spec_for(&base_spec, "baseline"),
     );
     let bb = eval_all(&bres.hypotheses, &bres.references);
+    let base_final = bres.losses.last().copied().unwrap_or(f32::NAN);
     rows.push(vec![
         "baseline (linear)".into(),
-        format!("{:.3}", bres.losses.last().unwrap()),
+        format!("{base_final:.3}"),
         format!("{:.2}", bb[0]),
         format!("{:.2}", bb[1]),
         format!("{:.2}", bb[2]),
@@ -88,9 +138,8 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
         format!("{:.3}M", base_params as f64 / 1e6),
     ]);
     eprintln!(
-        "baseline BLEU(13a,cased) = {:.2}, final loss {:.3}",
-        bb[0],
-        bres.losses.last().unwrap()
+        "baseline BLEU(13a,cased) = {:.2}, final loss {base_final:.3}",
+        bb[0]
     );
 
     let mut quad_params = 0usize;
@@ -98,7 +147,7 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
         let model = Transformer::new(quad_cfg);
         quad_params = model.param_count();
         eprintln!("training quadratic Λ-lr {lambda_lr:.0e} ({quad_params} params)...");
-        let qres = train_transformer(
+        let qres = train_or_exit(
             &model,
             &data,
             TransformerTrainConfig {
@@ -107,11 +156,12 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
                 seed: 43,
                 ..TransformerTrainConfig::default()
             },
+            &spec_for(&base_spec, &format!("quad-lr{lambda_lr:.0e}")),
         );
         let qb = eval_all(&qres.hypotheses, &qres.references);
         rows.push(vec![
             format!("quadratic, Λ-lr {lambda_lr:.0e}"),
-            format!("{:.3}", qres.losses.last().unwrap()),
+            format!("{:.3}", qres.losses.last().copied().unwrap_or(f32::NAN)),
             format!("{:.2}", qb[0]),
             format!("{:.2}", qb[1]),
             format!("{:.2}", qb[2]),
@@ -141,6 +191,6 @@ expressivity. Λᵏ learning rates swept as in the paper (scaled to Adam's range
 to verify: the quadratic Transformer reaches at least baseline BLEU at the reduced size, and \
 uncased/international settings score no lower than cased/13a."
     ));
-    let path = report.save().expect("write report");
+    let path = report.save_or_exit();
     println!("\nreport written to {}", path.display());
 }

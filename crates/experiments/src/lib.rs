@@ -20,7 +20,8 @@ mod train;
 
 pub use report::Report;
 pub use train::{
-    evaluate_classifier, train_classifier, train_transformer, EpochStats, TrainConfig, TrainResult,
+    evaluate_classifier, train_classifier, train_transformer, try_train_classifier,
+    try_train_transformer, CheckpointSpec, EpochStats, TrainConfig, TrainResult,
     TransformerTrainConfig, TransformerTrainResult,
 };
 

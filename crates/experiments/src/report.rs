@@ -81,6 +81,17 @@ impl Report {
         std::fs::write(&path, &self.body)?;
         Ok(path)
     }
+
+    /// [`Report::save`], but on failure prints the error to stderr and
+    /// exits the process with status 1 — the shared final step of every
+    /// experiment binary, none of which can do anything useful after a
+    /// failed report write. Never panics.
+    pub fn save_or_exit(&self) -> PathBuf {
+        self.save().unwrap_or_else(|e| {
+            eprintln!("{}: cannot write report: {e}", self.id);
+            std::process::exit(1);
+        })
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,23 @@ use qn_nn::Module;
 use qn_tensor::{BufferPool, Tensor, TensorError};
 use std::sync::Arc;
 
+/// The model behind a session: borrowed from the caller, or shared
+/// ownership (what [`ModelRegistry`](crate::ModelRegistry) hands out so a
+/// hot-swap can retire the old model only after its last session drops).
+enum ModelRef<'m> {
+    Borrowed(&'m dyn Module),
+    Owned(Arc<dyn Module + Send + Sync>),
+}
+
+impl ModelRef<'_> {
+    fn as_dyn(&self) -> &dyn Module {
+        match self {
+            ModelRef::Borrowed(m) => *m,
+            ModelRef::Owned(m) => m.as_ref(),
+        }
+    }
+}
+
 /// A reusable tape-free execution session around a model.
 ///
 /// Owns an [`EagerExec`] arena that is reset — not reallocated — between
@@ -52,7 +69,7 @@ use std::sync::Arc;
 /// assert_eq!(batch.shape().dims(), &[4, 10]);
 /// ```
 pub struct InferenceSession<'m> {
-    model: &'m dyn Module,
+    model: ModelRef<'m>,
     cx: EagerExec,
     /// Session-owned buffer pool: outputs are materialized from it (hand
     /// them back with [`InferenceSession::recycle`]) and the arena draws
@@ -82,6 +99,18 @@ impl<'m> InferenceSession<'m> {
     ///
     /// [`predict_batch`]: InferenceSession::predict_batch
     pub fn new(model: &'m dyn Module) -> Self {
+        Self::from_ref(ModelRef::Borrowed(model))
+    }
+
+    /// Creates a session that **shares ownership** of its model, so the
+    /// session has no borrow on the caller (`InferenceSession<'static>`).
+    /// This is the constructor hot-swap registries use: the old model stays
+    /// alive until the last session holding its `Arc` drops.
+    pub fn owned(model: Arc<dyn Module + Send + Sync>) -> InferenceSession<'static> {
+        InferenceSession::from_ref(ModelRef::Owned(model))
+    }
+
+    fn from_ref(model: ModelRef<'m>) -> Self {
         let pool = Arc::new(BufferPool::new());
         InferenceSession {
             model,
@@ -118,7 +147,7 @@ impl<'m> InferenceSession<'m> {
 
     /// The model served by this session.
     pub fn model(&self) -> &dyn Module {
-        self.model
+        self.model.as_dyn()
     }
 
     /// Runs one sample (no batch dimension) through the tape-free path and
@@ -150,7 +179,7 @@ impl<'m> InferenceSession<'m> {
         };
         self.cx.reset();
         let v = self.cx.leaf_reshaped(x, dims);
-        let y = self.model.forward(&mut self.cx, v);
+        let y = self.model.as_dyn().forward(&mut self.cx, v);
         let yv = self.cx.value(y);
         let ydims = yv.shape().dims();
         assert!(
@@ -177,7 +206,7 @@ impl<'m> InferenceSession<'m> {
         if shards <= 1 || x.ndim() > 16 {
             self.cx.reset();
             let v = self.cx.leaf_view(x);
-            let y = self.model.forward(&mut self.cx, v);
+            let y = self.model.as_dyn().forward(&mut self.cx, v);
             let yv = self.cx.value(y);
             let mut out = Tensor::from_pooled_uninit(&self.pool, yv.shape().dims());
             out.data_mut().copy_from_slice(yv.data());
@@ -191,7 +220,7 @@ impl<'m> InferenceSession<'m> {
             self.shard_out.resize(shards, None);
         }
         qn_parallel::split_evenly_into(batch, shards, &mut self.shard_ranges);
-        let model = self.model;
+        let model = self.model.as_dyn();
         {
             let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(shards);
             let work = self

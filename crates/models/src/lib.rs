@@ -13,6 +13,8 @@
 //! - [`InferenceSession`] — the tape-free serving path: reusable eager
 //!   execution around any model, with validating `try_*` entry points for
 //!   untrusted request shapes.
+//! - [`ModelRegistry`] — named model slots with atomic hot-swap, so
+//!   checkpoint-reloaded weights go live without pausing serving.
 //!
 //! # Example
 //!
@@ -33,9 +35,11 @@
 //! ```
 
 mod infer;
+mod registry;
 mod resnet;
 mod transformer;
 
 pub use infer::InferenceSession;
+pub use registry::{ModelRegistry, RegistrySession};
 pub use resnet::{NeuronPlacement, ResNet, ResNetConfig};
 pub use transformer::{Transformer, TransformerConfig};

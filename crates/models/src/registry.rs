@@ -1,0 +1,292 @@
+//! Named model slots with atomic hot-swap for serving.
+//!
+//! A [`ModelRegistry`] maps names to shared-ownership models. Publishing a
+//! new model into an existing slot is an **atomic hot-swap**: readers that
+//! grabbed the old [`Arc`] keep serving it untouched, new sessions see the
+//! new weights, and the old model is dropped when its last session drops.
+//! Each publish bumps the slot's generation counter, which
+//! [`RegistrySession`] polls to lazily rebuild its serving session after a
+//! swap — the serving loop never blocks on a weight reload.
+//!
+//! Combined with [`qn_nn::checkpoint`] this gives zero-downtime weight
+//! updates: load a checkpoint into a fresh model (zero-copy via
+//! [`LoadMode::Mapped`](qn_nn::LoadMode)), then [`publish`] it over the
+//! running slot.
+//!
+//! [`publish`]: ModelRegistry::publish
+//!
+//! # Example
+//!
+//! ```
+//! use qn_models::{ModelRegistry, RegistrySession};
+//! use qn_nn::{Linear, Module};
+//! use qn_tensor::{Rng, Tensor};
+//! use std::sync::Arc;
+//!
+//! let registry = ModelRegistry::new();
+//! let mut rng = Rng::seed_from(0);
+//! registry.publish("clf", Arc::new(Linear::new(4, 2, true, &mut rng)));
+//!
+//! let mut session = registry.session("clf").unwrap();
+//! let before = session.predict(&Tensor::ones(&[4]));
+//!
+//! // hot-swap: publish retrained weights; the session picks them up
+//! registry.publish("clf", Arc::new(Linear::new(4, 2, true, &mut rng)));
+//! let after = session.predict(&Tensor::ones(&[4]));
+//! assert!(!before.bit_identical(&after));
+//! ```
+
+use crate::InferenceSession;
+use qn_nn::Module;
+use qn_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A published model plus its generation.
+struct Slot {
+    model: Arc<dyn Module + Send + Sync>,
+    generation: u64,
+}
+
+/// Thread-safe name → model map with atomically hot-swappable slots.
+#[derive(Default)]
+pub struct ModelRegistry {
+    slots: RwLock<HashMap<String, Slot>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            slots: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Publishes `model` under `name`, replacing any previous model in one
+    /// atomic swap, and returns the slot's new generation (1 for a fresh
+    /// slot). In-flight sessions keep serving the model they hold; new and
+    /// refreshed sessions see this one.
+    pub fn publish(&self, name: &str, model: Arc<dyn Module + Send + Sync>) -> u64 {
+        let mut slots = self.slots.write().expect("registry lock poisoned");
+        match slots.get_mut(name) {
+            Some(slot) => {
+                slot.generation += 1;
+                slot.model = model;
+                slot.generation
+            }
+            None => {
+                slots.insert(
+                    name.to_string(),
+                    Slot {
+                        model,
+                        generation: 1,
+                    },
+                );
+                1
+            }
+        }
+    }
+
+    /// Removes a slot, returning its model if it existed. Sessions already
+    /// holding the model keep working.
+    pub fn retire(&self, name: &str) -> Option<Arc<dyn Module + Send + Sync>> {
+        let mut slots = self.slots.write().expect("registry lock poisoned");
+        slots.remove(name).map(|s| s.model)
+    }
+
+    /// A shared handle to the current model under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Module + Send + Sync>> {
+        let slots = self.slots.read().expect("registry lock poisoned");
+        slots.get(name).map(|s| Arc::clone(&s.model))
+    }
+
+    /// The slot's current generation (bumped on every publish).
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        let slots = self.slots.read().expect("registry lock poisoned");
+        slots.get(name).map(|s| s.generation)
+    }
+
+    /// All slot names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let slots = self.slots.read().expect("registry lock poisoned");
+        let mut names: Vec<String> = slots.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Opens a generation-tracking serving session on a slot. Returns
+    /// `None` for an unknown name.
+    pub fn session<'r>(&'r self, name: &str) -> Option<RegistrySession<'r>> {
+        let (model, generation) = {
+            let slots = self.slots.read().expect("registry lock poisoned");
+            let slot = slots.get(name)?;
+            (Arc::clone(&slot.model), slot.generation)
+        };
+        Some(RegistrySession {
+            registry: self,
+            name: name.to_string(),
+            generation,
+            session: InferenceSession::owned(model),
+        })
+    }
+}
+
+/// An [`InferenceSession`] bound to a registry slot: before every request
+/// it compares its generation against the slot's and rebuilds the session
+/// when a newer model was published (cheap check, no lock while serving).
+pub struct RegistrySession<'r> {
+    registry: &'r ModelRegistry,
+    name: String,
+    generation: u64,
+    session: InferenceSession<'static>,
+}
+
+impl RegistrySession<'_> {
+    /// The generation of the model this session currently serves.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Picks up a newer published model if there is one. Returns `true`
+    /// when the session was rebuilt. Called implicitly by
+    /// [`RegistrySession::predict`] / [`predict_batch`]; call it directly
+    /// to control when the swap cost (a fresh arena) is paid.
+    ///
+    /// If the slot was retired, the session keeps serving the model it
+    /// already holds.
+    ///
+    /// [`predict_batch`]: RegistrySession::predict_batch
+    pub fn refresh(&mut self) -> bool {
+        match self.registry.generation(&self.name) {
+            Some(generation) if generation != self.generation => {
+                let model = self
+                    .registry
+                    .get(&self.name)
+                    .expect("slot exists at this generation");
+                self.session = InferenceSession::owned(model);
+                self.generation = generation;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// [`InferenceSession::predict`] against the latest published model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's shape does not fit the model.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        self.refresh();
+        self.session.predict(x)
+    }
+
+    /// [`InferenceSession::predict_batch`] against the latest published
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's shape does not fit the model.
+    pub fn predict_batch(&mut self, x: &Tensor) -> Tensor {
+        self.refresh();
+        self.session.predict_batch(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NeuronPlacement, ResNet, ResNetConfig};
+    use qn_core::NeuronSpec;
+    use qn_nn::{checkpoint, Linear, LoadMode};
+    use qn_tensor::Rng;
+
+    fn tiny_net(seed: u64) -> ResNet {
+        ResNet::cifar(ResNetConfig {
+            depth: 8,
+            base_width: 4,
+            num_classes: 10,
+            neuron: NeuronSpec::EfficientQuadratic { rank: 3 },
+            placement: NeuronPlacement::All,
+            seed,
+        })
+    }
+
+    #[test]
+    fn publish_and_get_roundtrip() {
+        let reg = ModelRegistry::new();
+        assert!(reg.get("missing").is_none());
+        let mut rng = Rng::seed_from(0);
+        assert_eq!(
+            reg.publish("a", Arc::new(Linear::new(2, 2, false, &mut rng))),
+            1
+        );
+        assert_eq!(
+            reg.publish("a", Arc::new(Linear::new(2, 2, false, &mut rng))),
+            2
+        );
+        assert_eq!(reg.generation("a"), Some(2));
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+        assert!(reg.get("a").is_some());
+        assert!(reg.retire("a").is_some());
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn hot_swap_changes_session_outputs() {
+        let reg = ModelRegistry::new();
+        reg.publish("net", Arc::new(tiny_net(1)));
+        let mut session = reg.session("net").unwrap();
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::randn(&[3, 16, 16], &mut rng);
+        let before = session.predict(&x);
+        assert_eq!(session.generation(), 1);
+
+        reg.publish("net", Arc::new(tiny_net(2)));
+        let after = session.predict(&x);
+        assert_eq!(session.generation(), 2);
+        assert!(!before.bit_identical(&after), "new weights must serve");
+
+        // republishing identical weights keeps outputs bit-identical
+        reg.publish("net", Arc::new(tiny_net(2)));
+        let again = session.predict(&x);
+        assert_eq!(session.generation(), 3);
+        assert!(after.bit_identical(&again));
+    }
+
+    #[test]
+    fn retired_slot_keeps_serving_old_model() {
+        let reg = ModelRegistry::new();
+        reg.publish("net", Arc::new(tiny_net(1)));
+        let mut session = reg.session("net").unwrap();
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::randn(&[3, 16, 16], &mut rng);
+        let before = session.predict(&x);
+        reg.retire("net");
+        let after = session.predict(&x);
+        assert!(before.bit_identical(&after));
+        assert!(reg.session("net").is_none());
+    }
+
+    #[test]
+    fn checkpoint_reload_publishes_identical_model() {
+        let src = tiny_net(3);
+        let path = std::env::temp_dir().join("qn_registry_swap.qnckpt");
+        checkpoint::save_module(&src, &[], &path).expect("save");
+
+        let reg = ModelRegistry::new();
+        reg.publish("net", Arc::new(src));
+        let mut session = reg.session("net").unwrap();
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::randn(&[3, 16, 16], &mut rng);
+        let before = session.predict(&x);
+
+        // reload the same weights into a differently-seeded skeleton and swap
+        let reloaded = tiny_net(4);
+        checkpoint::load_module(&reloaded, &path, LoadMode::Mapped).expect("load");
+        reg.publish("net", Arc::new(reloaded));
+        let after = session.predict(&x);
+        assert!(before.bit_identical(&after));
+        let _ = std::fs::remove_file(&path);
+    }
+}

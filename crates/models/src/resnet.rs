@@ -1,6 +1,8 @@
 use qn_autograd::{Exec, Parameter, Var};
 use qn_core::NeuronSpec;
-use qn_nn::{BatchNorm2d, Conv2d, Costs, GlobalAvgPool, Linear, Module};
+use qn_nn::{
+    visit_scoped, BatchNorm2d, Conv2d, Costs, GlobalAvgPool, Linear, Module, ParamVisitor,
+};
 use qn_tensor::{Conv2dSpec, Rng};
 
 /// Which convolutional layers receive the configured neuron kind; the rest
@@ -126,16 +128,15 @@ impl Module for BasicBlock {
         self.bn2.forward_fused(g, out, true, Some(sc))
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = self.conv1.params();
-        ps.extend(self.bn1.params());
-        ps.extend(self.conv2.params());
-        ps.extend(self.bn2.params());
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        visit_scoped(v, "conv1", |v| self.conv1.visit_params(v));
+        visit_scoped(v, "bn1", |v| self.bn1.visit_params(v));
+        visit_scoped(v, "conv2", |v| self.conv2.visit_params(v));
+        visit_scoped(v, "bn2", |v| self.bn2.visit_params(v));
         if let Some((proj, bn)) = &self.shortcut {
-            ps.extend(proj.params());
-            ps.extend(bn.params());
+            visit_scoped(v, "shortcut", |v| proj.visit_params(v));
+            visit_scoped(v, "shortcut_bn", |v| bn.visit_params(v));
         }
-        ps
     }
 
     fn costs(&self, input: &[usize]) -> Costs {
@@ -276,14 +277,13 @@ impl Module for ResNet {
         self.classifier.forward(g, v)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = self.stem.params();
-        ps.extend(self.stem_bn.params());
-        for b in &self.blocks {
-            ps.extend(b.params());
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        visit_scoped(v, "stem", |v| self.stem.visit_params(v));
+        visit_scoped(v, "stem_bn", |v| self.stem_bn.visit_params(v));
+        for (i, b) in self.blocks.iter().enumerate() {
+            visit_scoped(v, &format!("block{i}"), |v| b.visit_params(v));
         }
-        ps.extend(self.classifier.params());
-        ps
+        visit_scoped(v, "classifier", |v| self.classifier.visit_params(v));
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

@@ -1,7 +1,7 @@
 use qn_autograd::{EagerExec, Exec, Graph, Parameter, Var};
 use qn_core::neurons::EfficientQuadraticLinear;
 use qn_data::{BOS, EOS, PAD};
-use qn_nn::{Embedding, LayerNorm, Linear, Module};
+use qn_nn::{visit_scoped, Embedding, LayerNorm, Linear, Module, ParamVisitor};
 use qn_tensor::{Rng, Tensor, TensorError};
 
 /// Configuration for [`Transformer`].
@@ -119,12 +119,11 @@ impl Mha {
         self.o.forward(g, ctx)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = self.q.params();
-        ps.extend(self.k.params());
-        ps.extend(self.v.params());
-        ps.extend(self.o.params());
-        ps
+    fn visit_params(&self, vis: &mut dyn ParamVisitor) {
+        visit_scoped(vis, "q", |vis| self.q.visit_params(vis));
+        visit_scoped(vis, "k", |vis| self.k.visit_params(vis));
+        visit_scoped(vis, "v", |vis| self.v.visit_params(vis));
+        visit_scoped(vis, "o", |vis| self.o.visit_params(vis));
     }
 }
 
@@ -147,10 +146,9 @@ impl FeedForward {
         self.lin2.forward(g, h)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = self.lin1.params();
-        ps.extend(self.lin2.params());
-        ps
+    fn visit_params(&self, vis: &mut dyn ParamVisitor) {
+        visit_scoped(vis, "lin1", |vis| self.lin1.visit_params(vis));
+        visit_scoped(vis, "lin2", |vis| self.lin2.visit_params(vis));
     }
 }
 
@@ -184,12 +182,11 @@ impl EncoderLayer {
         g.add(x, f)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = self.ln1.params();
-        ps.extend(self.attn.params());
-        ps.extend(self.ln2.params());
-        ps.extend(self.ffn.params());
-        ps
+    fn visit_params(&self, vis: &mut dyn ParamVisitor) {
+        visit_scoped(vis, "ln1", |vis| self.ln1.visit_params(vis));
+        visit_scoped(vis, "attn", |vis| self.attn.visit_params(vis));
+        visit_scoped(vis, "ln2", |vis| self.ln2.visit_params(vis));
+        visit_scoped(vis, "ffn", |vis| self.ffn.visit_params(vis));
     }
 }
 
@@ -238,14 +235,13 @@ impl DecoderLayer {
         g.add(x, f)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = self.ln1.params();
-        ps.extend(self.self_attn.params());
-        ps.extend(self.ln2.params());
-        ps.extend(self.cross_attn.params());
-        ps.extend(self.ln3.params());
-        ps.extend(self.ffn.params());
-        ps
+    fn visit_params(&self, vis: &mut dyn ParamVisitor) {
+        visit_scoped(vis, "ln1", |vis| self.ln1.visit_params(vis));
+        visit_scoped(vis, "self_attn", |vis| self.self_attn.visit_params(vis));
+        visit_scoped(vis, "ln2", |vis| self.ln2.visit_params(vis));
+        visit_scoped(vis, "cross_attn", |vis| self.cross_attn.visit_params(vis));
+        visit_scoped(vis, "ln3", |vis| self.ln3.visit_params(vis));
+        visit_scoped(vis, "ffn", |vis| self.ffn.visit_params(vis));
     }
 }
 
@@ -297,18 +293,33 @@ impl Transformer {
         &self.config
     }
 
-    /// All trainable parameters.
+    /// Walks every parameter with its stable dotted path (the persistence
+    /// contract used by checkpoints): `src_emb.weight`, `encoder{i}.…`,
+    /// `decoder{i}.…`, `final_ln.…`, `out_proj.…`.
+    pub fn visit_params(&self, vis: &mut dyn ParamVisitor) {
+        visit_scoped(vis, "src_emb", |vis| self.src_emb.visit_params(vis));
+        visit_scoped(vis, "tgt_emb", |vis| self.tgt_emb.visit_params(vis));
+        for (i, l) in self.encoder.iter().enumerate() {
+            visit_scoped(vis, &format!("encoder{i}"), |vis| l.visit_params(vis));
+        }
+        for (i, l) in self.decoder.iter().enumerate() {
+            visit_scoped(vis, &format!("decoder{i}"), |vis| l.visit_params(vis));
+        }
+        visit_scoped(vis, "final_ln", |vis| self.final_ln.visit_params(vis));
+        visit_scoped(vis, "out_proj", |vis| self.out_proj.visit_params(vis));
+    }
+
+    /// All trainable parameters, in [`Transformer::visit_params`] order.
     pub fn params(&self) -> Vec<Parameter> {
-        let mut ps = vec![self.src_emb.weight().clone(), self.tgt_emb.weight().clone()];
-        for l in &self.encoder {
-            ps.extend(l.params());
+        struct Collect(Vec<Parameter>);
+        impl ParamVisitor for Collect {
+            fn param(&mut self, _name: &str, p: &Parameter) {
+                self.0.push(p.clone());
+            }
         }
-        for l in &self.decoder {
-            ps.extend(l.params());
-        }
-        ps.extend(self.final_ln.params());
-        ps.extend(self.out_proj.params());
-        ps
+        let mut c = Collect(Vec::new());
+        self.visit_params(&mut c);
+        c.0
     }
 
     /// Total scalar parameter count.

@@ -1,208 +1,493 @@
-//! Plain-text model checkpointing.
+//! Versioned binary checkpoints for module parameter trees.
 //!
-//! Parameters are serialized in declaration order as a simple line format
-//! (`name shape… : values…`), so any module stack can round-trip its weights
-//! without a serialization framework. Loading matches strictly by order and
-//! shape, which is the right contract for the deterministic builders in this
-//! workspace.
+//! Serialization is driven by [`ParamVisitor`]: every parameter (and every
+//! piece of non-trainable state such as batch-norm running statistics) is
+//! stored under its **stable dotted path** — the scopes pushed by
+//! [`Module::visit_params`] joined with `.`, e.g.
+//! `block0.conv1.weight`. Loading matches strictly by name and shape, in
+//! either of two modes:
+//!
+//! - [`LoadMode::Copy`] materializes every tensor into freshly owned
+//!   buffers.
+//! - [`LoadMode::Mapped`] borrows each tensor's bytes directly from the
+//!   checkpoint mapping (zero parameter-byte copies); a later in-place
+//!   mutation of a mapped tensor transparently copies on write.
+//!
+//! The container format (magic, version, checksum, 64-byte-aligned blobs)
+//! lives in [`qn_tensor::checkpoint`]; this module binds it to the module
+//! tree. Saves are atomic (write-to-temp, then rename), so an interrupted
+//! save never leaves a torn file behind.
+//!
+//! # Example
+//!
+//! ```
+//! use qn_nn::{checkpoint, Linear, LoadMode, Module};
+//! use qn_tensor::Rng;
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let layer = Linear::new(4, 2, true, &mut rng);
+//! let path = std::env::temp_dir().join("qn_nn_doc_ckpt.qnckpt");
+//! checkpoint::save_module(&layer, &[("kind", "linear")], &path).unwrap();
+//!
+//! let mut rng2 = Rng::seed_from(1);
+//! let reloaded = Linear::new(4, 2, true, &mut rng2);
+//! checkpoint::load_module(&reloaded, &path, LoadMode::Mapped).unwrap();
+//! assert!(reloaded.params()[0].value().bit_identical(&layer.params()[0].value()));
+//! # let _ = std::fs::remove_file(&path);
+//! ```
 
+use crate::{Module, ParamVisitor};
 use qn_autograd::Parameter;
-use qn_tensor::Tensor;
-use std::fmt::Write as FmtWrite;
-use std::io;
+use qn_tensor::{Checkpoint, CheckpointWriter, Tensor, TensorError};
+use std::collections::BTreeSet;
 use std::path::Path;
+use std::sync::RwLock;
 
-/// Serializes parameters to the checkpoint text format.
-pub fn to_string(params: &[Parameter]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "quadranet-checkpoint v1 {}", params.len());
-    for p in params {
-        let v = p.value();
-        let dims: Vec<String> = v.shape().dims().iter().map(|d| d.to_string()).collect();
-        let name = if p.name().is_empty() { "_" } else { p.name() };
-        let _ = write!(out, "{name} {} :", dims.join(" "));
-        for x in v.data() {
-            let _ = write!(out, " {x}");
-        }
-        let _ = writeln!(out);
-    }
-    out
+/// How [`load_visited`] materializes tensors out of a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Copy every tensor into freshly owned storage.
+    Copy,
+    /// Borrow tensor bytes from the checkpoint mapping (zero-copy); writes
+    /// to a loaded tensor copy-on-write.
+    Mapped,
 }
 
-/// Writes a checkpoint file.
+/// Joins visitor scopes into dotted paths.
+struct PathStack {
+    stack: Vec<String>,
+}
+
+impl PathStack {
+    fn new() -> Self {
+        PathStack { stack: Vec::new() }
+    }
+
+    fn join(&self, name: &str) -> String {
+        if self.stack.is_empty() {
+            name.to_string()
+        } else {
+            let mut s = self.stack.join(".");
+            s.push('.');
+            s.push_str(name);
+            s
+        }
+    }
+}
+
+/// Collects every visited parameter and state tensor into a
+/// [`CheckpointWriter`] under its dotted path (optionally below `prefix`).
+struct SaveVisitor<'w> {
+    writer: &'w mut CheckpointWriter,
+    path: PathStack,
+    prefix: String,
+}
+
+impl SaveVisitor<'_> {
+    fn full(&self, name: &str) -> String {
+        let p = self.path.join(name);
+        if self.prefix.is_empty() {
+            p
+        } else {
+            format!("{}.{p}", self.prefix)
+        }
+    }
+}
+
+impl ParamVisitor for SaveVisitor<'_> {
+    fn enter(&mut self, scope: &str) {
+        self.path.stack.push(scope.to_string());
+    }
+
+    fn leave(&mut self) {
+        self.path.stack.pop();
+    }
+
+    fn param(&mut self, name: &str, p: &Parameter) {
+        self.writer.add(self.full(name), p.value());
+    }
+
+    fn state(&mut self, name: &str, t: &RwLock<Tensor>) {
+        let snapshot = t.read().expect("state lock poisoned").clone();
+        self.writer.add(self.full(name), snapshot);
+    }
+}
+
+/// Applies checkpoint tensors to visited parameters/state by dotted path.
+struct LoadVisitor<'c> {
+    ckpt: &'c Checkpoint,
+    mode: LoadMode,
+    prefix: String,
+    path: PathStack,
+    consumed: BTreeSet<String>,
+    error: Option<TensorError>,
+}
+
+impl LoadVisitor<'_> {
+    fn full(&self, name: &str) -> String {
+        let p = self.path.join(name);
+        if self.prefix.is_empty() {
+            p
+        } else {
+            format!("{}.{p}", self.prefix)
+        }
+    }
+
+    fn fetch(&mut self, full: &str) -> Option<Tensor> {
+        if self.error.is_some() {
+            return None;
+        }
+        if !self.consumed.insert(full.to_string()) {
+            self.error = Some(TensorError::InvalidCheckpoint {
+                offset: 0,
+                detail: format!("tensor \"{full}\" visited twice by the module tree"),
+            });
+            return None;
+        }
+        if self.ckpt.entry(full).is_none() {
+            self.error = Some(TensorError::InvalidCheckpoint {
+                offset: 0,
+                detail: format!("checkpoint is missing tensor \"{full}\""),
+            });
+            return None;
+        }
+        let loaded = match self.mode {
+            LoadMode::Copy => self.ckpt.tensor(full),
+            LoadMode::Mapped => self.ckpt.tensor_mapped(full),
+        };
+        match loaded {
+            Ok(t) => Some(t),
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+impl ParamVisitor for LoadVisitor<'_> {
+    fn enter(&mut self, scope: &str) {
+        self.path.stack.push(scope.to_string());
+    }
+
+    fn leave(&mut self) {
+        self.path.stack.pop();
+    }
+
+    fn param(&mut self, name: &str, p: &Parameter) {
+        let full = self.full(name);
+        if let Some(t) = self.fetch(&full) {
+            if let Err(e) = p.try_set_value(t) {
+                self.error = Some(TensorError::InvalidCheckpoint {
+                    offset: 0,
+                    detail: format!("tensor \"{full}\": {e}"),
+                });
+            }
+        }
+    }
+
+    fn state(&mut self, name: &str, slot: &RwLock<Tensor>) {
+        let full = self.full(name);
+        if let Some(t) = self.fetch(&full) {
+            let mut guard = slot.write().expect("state lock poisoned");
+            if guard.shape() != t.shape() {
+                self.error = Some(TensorError::InvalidCheckpoint {
+                    offset: 0,
+                    detail: format!(
+                        "tensor \"{full}\": state shape {:?} does not match checkpoint {:?}",
+                        guard.shape().dims(),
+                        t.shape().dims()
+                    ),
+                });
+                return;
+            }
+            *guard = t;
+        }
+    }
+}
+
+/// Appends every tensor reachable from `visit` to `writer`, each under
+/// `prefix.<dotted path>` (or the bare dotted path when `prefix` is empty).
+///
+/// Use this to combine several trees — model parameters plus optimizer
+/// state, say — into one checkpoint before sealing it.
+pub fn append_visited(
+    writer: &mut CheckpointWriter,
+    prefix: &str,
+    visit: impl FnOnce(&mut dyn ParamVisitor),
+) {
+    let mut v = SaveVisitor {
+        writer,
+        path: PathStack::new(),
+        prefix: prefix.to_string(),
+    };
+    visit(&mut v);
+}
+
+/// Saves every tensor reachable from `visit` to a checkpoint file at
+/// `path`, with the given metadata key/value pairs.
+///
+/// The write is atomic: bytes go to a `.tmp` sibling which is renamed over
+/// `path` only once fully written and checksummed.
 ///
 /// # Errors
 ///
-/// Returns any I/O error from writing the file.
-pub fn save(params: &[Parameter], path: &Path) -> io::Result<()> {
-    std::fs::write(path, to_string(params))
-}
-
-/// Error from [`from_str`]/[`load`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LoadCheckpointError {
-    /// Header missing or malformed.
-    BadHeader,
-    /// Parameter count in the file differs from the model's.
-    CountMismatch {
-        /// Parameters expected by the model.
-        expected: usize,
-        /// Parameters found in the file.
-        found: usize,
-    },
-    /// A parameter line failed to parse or its shape/values disagree.
-    BadEntry(usize),
-    /// A stored shape differs from the model's parameter shape.
-    ShapeMismatch(usize),
-}
-
-impl std::fmt::Display for LoadCheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LoadCheckpointError::BadHeader => write!(f, "missing or malformed checkpoint header"),
-            LoadCheckpointError::CountMismatch { expected, found } => {
-                write!(
-                    f,
-                    "checkpoint has {found} parameters, model expects {expected}"
-                )
-            }
-            LoadCheckpointError::BadEntry(i) => write!(f, "malformed checkpoint entry {i}"),
-            LoadCheckpointError::ShapeMismatch(i) => {
-                write!(
-                    f,
-                    "checkpoint entry {i} has a different shape than the model"
-                )
-            }
-        }
+/// Returns [`TensorError::InvalidCheckpoint`] if two visited tensors share
+/// a dotted path or the file cannot be written.
+pub fn save_visited(
+    visit: impl FnOnce(&mut dyn ParamVisitor),
+    meta: &[(&str, &str)],
+    path: &Path,
+) -> Result<(), TensorError> {
+    let mut writer = CheckpointWriter::new();
+    for (k, v) in meta {
+        writer.add_meta(*k, *v);
     }
+    append_visited(&mut writer, "", visit);
+    writer.write_to(path)
 }
 
-impl std::error::Error for LoadCheckpointError {}
-
-/// Restores parameter values from checkpoint text (order- and
-/// shape-matched).
+/// Restores every tensor reachable from `visit` out of an already-open
+/// checkpoint, matching by dotted path under `prefix`.
+///
+/// Unlike [`load_visited`], leftover checkpoint entries are **not** an
+/// error here — the checkpoint may hold other trees (optimizer state,
+/// another model) beside the one being restored.
 ///
 /// # Errors
 ///
-/// Returns [`LoadCheckpointError`] on any format, count or shape mismatch.
-pub fn from_str(text: &str, params: &[Parameter]) -> Result<(), LoadCheckpointError> {
-    let mut lines = text.lines();
-    let header = lines.next().ok_or(LoadCheckpointError::BadHeader)?;
-    let mut hp = header.split_whitespace();
-    if hp.next() != Some("quadranet-checkpoint") || hp.next() != Some("v1") {
-        return Err(LoadCheckpointError::BadHeader);
+/// Returns [`TensorError::InvalidCheckpoint`] when a visited tensor is
+/// missing from the checkpoint, named twice by the tree, or stored with a
+/// different shape.
+pub fn apply_checkpoint(
+    ckpt: &Checkpoint,
+    prefix: &str,
+    mode: LoadMode,
+    visit: impl FnOnce(&mut dyn ParamVisitor),
+) -> Result<(), TensorError> {
+    let mut v = LoadVisitor {
+        ckpt,
+        mode,
+        prefix: prefix.to_string(),
+        path: PathStack::new(),
+        consumed: BTreeSet::new(),
+        error: None,
+    };
+    visit(&mut v);
+    match v.error {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    let count: usize = hp
-        .next()
-        .and_then(|v| v.parse().ok())
-        .ok_or(LoadCheckpointError::BadHeader)?;
-    if count != params.len() {
-        return Err(LoadCheckpointError::CountMismatch {
-            expected: params.len(),
-            found: count,
-        });
+}
+
+/// Loads a checkpoint file and restores every tensor reachable from
+/// `visit`, matching strictly by dotted path.
+///
+/// Strict means bijective: a tensor missing from the checkpoint, a
+/// checkpoint entry not visited by the tree, a duplicate path, or a shape
+/// mismatch all fail the load (and the parameters already written before
+/// the failure keep their new values — reload or rebuild on error).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidCheckpoint`] /
+/// [`TensorError::VersionMismatch`] for an unreadable or mismatched file.
+pub fn load_visited(
+    visit: impl FnOnce(&mut dyn ParamVisitor),
+    path: &Path,
+    mode: LoadMode,
+) -> Result<(), TensorError> {
+    let ckpt = Checkpoint::open(path)?;
+    load_from(&ckpt, visit, mode)
+}
+
+/// [`load_visited`] against an already-open [`Checkpoint`].
+///
+/// # Errors
+///
+/// Same contract as [`load_visited`].
+pub fn load_from(
+    ckpt: &Checkpoint,
+    visit: impl FnOnce(&mut dyn ParamVisitor),
+    mode: LoadMode,
+) -> Result<(), TensorError> {
+    let mut v = LoadVisitor {
+        ckpt,
+        mode,
+        prefix: String::new(),
+        path: PathStack::new(),
+        consumed: BTreeSet::new(),
+        error: None,
+    };
+    visit(&mut v);
+    if let Some(e) = v.error {
+        return Err(e);
     }
-    for (i, (line, p)) in lines.zip(params.iter()).enumerate() {
-        let (head, values) = line
-            .split_once(" :")
-            .ok_or(LoadCheckpointError::BadEntry(i))?;
-        let mut parts = head.split_whitespace();
-        let _name = parts.next().ok_or(LoadCheckpointError::BadEntry(i))?;
-        let dims: Vec<usize> = parts
-            .map(|d| d.parse().map_err(|_| LoadCheckpointError::BadEntry(i)))
-            .collect::<Result<_, _>>()?;
-        if dims != p.value().shape().dims() {
-            return Err(LoadCheckpointError::ShapeMismatch(i));
+    for entry in ckpt.entries() {
+        if !v.consumed.contains(&entry.name) {
+            return Err(TensorError::InvalidCheckpoint {
+                offset: 0,
+                detail: format!(
+                    "checkpoint tensor \"{}\" has no destination in the module tree",
+                    entry.name
+                ),
+            });
         }
-        let data: Vec<f32> = values
-            .split_whitespace()
-            .map(|v| v.parse().map_err(|_| LoadCheckpointError::BadEntry(i)))
-            .collect::<Result<_, _>>()?;
-        let t = Tensor::from_vec(data, &dims).map_err(|_| LoadCheckpointError::BadEntry(i))?;
-        p.set_value(t);
     }
     Ok(())
 }
 
-/// Loads a checkpoint file into the given parameters.
+/// Saves a [`Module`]'s full parameter tree (including non-trainable state
+/// such as batch-norm running statistics) to `path`.
 ///
 /// # Errors
 ///
-/// Returns I/O errors from reading, or format errors wrapped as
-/// `io::ErrorKind::InvalidData`.
-pub fn load(path: &Path, params: &[Parameter]) -> io::Result<()> {
-    let text = std::fs::read_to_string(path)?;
-    from_str(&text, params).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+/// Same contract as [`save_visited`].
+pub fn save_module(
+    module: &dyn Module,
+    meta: &[(&str, &str)],
+    path: &Path,
+) -> Result<(), TensorError> {
+    save_visited(|v| module.visit_params(v), meta, path)
+}
+
+/// Restores a [`Module`]'s full parameter tree from a checkpoint file.
+///
+/// # Errors
+///
+/// Same contract as [`load_visited`].
+pub fn load_module(module: &dyn Module, path: &Path, mode: LoadMode) -> Result<(), TensorError> {
+    load_visited(|v| module.visit_params(v), path, mode)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qn_tensor::Rng;
+    use crate::{BatchNorm2d, Linear, Sequential};
+    use qn_tensor::{Rng, Tensor};
 
-    fn params(seed: u64) -> Vec<Parameter> {
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    fn stack(seed: u64) -> Sequential {
         let mut rng = Rng::seed_from(seed);
-        vec![
-            Parameter::named("a", Tensor::randn(&[2, 3], &mut rng)),
-            Parameter::named("b", Tensor::randn(&[4], &mut rng)),
-        ]
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 8, true, &mut rng)),
+            Box::new(Linear::new(8, 2, false, &mut rng)),
+        ])
     }
 
     #[test]
-    fn roundtrip_preserves_values() {
-        let src = params(1);
-        let text = to_string(&src);
-        let dst = params(2);
-        assert!(!dst[0].value().allclose(&src[0].value(), 1e-6));
-        from_str(&text, &dst).expect("load");
-        assert!(dst[0].value().allclose(&src[0].value(), 1e-6));
-        assert!(dst[1].value().allclose(&src[1].value(), 1e-6));
+    fn module_roundtrip_both_modes() {
+        let src = stack(1);
+        let path = temp("qn_nn_ckpt_roundtrip.qnckpt");
+        save_module(&src, &[("arch", "mlp")], &path).expect("save");
+        for mode in [LoadMode::Copy, LoadMode::Mapped] {
+            let dst = stack(2);
+            assert!(!dst.params()[0]
+                .value()
+                .bit_identical(&src.params()[0].value()));
+            load_module(&dst, &path, mode).expect("load");
+            for (a, b) in src.params().iter().zip(dst.params()) {
+                assert!(a.value().bit_identical(&b.value()), "{mode:?}");
+            }
+            if mode == LoadMode::Mapped {
+                assert!(dst.params()[0].value().is_mapped());
+            }
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn count_mismatch_rejected() {
-        let src = params(1);
-        let text = to_string(&src);
-        let dst = vec![params(2).remove(0)];
-        assert!(matches!(
-            from_str(&text, &dst),
-            Err(LoadCheckpointError::CountMismatch {
-                expected: 1,
-                found: 2
-            })
-        ));
+    fn batchnorm_state_roundtrips() {
+        struct SetStats;
+        impl ParamVisitor for SetStats {
+            fn param(&mut self, _name: &str, _p: &Parameter) {}
+            fn state(&mut self, name: &str, slot: &RwLock<Tensor>) {
+                let fill = if name == "running_mean" { 0.25 } else { 4.0 };
+                let mut guard = slot.write().unwrap();
+                let dims = guard.shape().dims().to_vec();
+                *guard = Tensor::full(&dims, fill);
+            }
+        }
+        let src = BatchNorm2d::new(3);
+        src.visit_params(&mut SetStats);
+        let path = temp("qn_nn_ckpt_bn.qnckpt");
+        save_module(&src, &[], &path).expect("save");
+        let dst = BatchNorm2d::new(3);
+        load_module(&dst, &path, LoadMode::Copy).expect("load");
+        assert!(dst.running_mean().allclose(&Tensor::full(&[3], 0.25), 0.0));
+        assert!(dst.running_var().allclose(&Tensor::full(&[3], 4.0), 0.0));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn shape_mismatch_rejected() {
-        let src = params(1);
-        let text = to_string(&src);
-        let dst = vec![
-            Parameter::named("a", Tensor::zeros(&[3, 2])), // transposed shape
-            Parameter::named("b", Tensor::zeros(&[4])),
-        ];
-        assert!(matches!(
-            from_str(&text, &dst),
-            Err(LoadCheckpointError::ShapeMismatch(0))
-        ));
-    }
-
-    #[test]
-    fn bad_header_rejected() {
-        assert_eq!(
-            from_str("garbage", &params(1)),
-            Err(LoadCheckpointError::BadHeader)
+    fn missing_tensor_is_an_error() {
+        let small = stack(1);
+        let path = temp("qn_nn_ckpt_missing.qnckpt");
+        save_module(&small, &[], &path).expect("save");
+        let mut rng = Rng::seed_from(3);
+        let bigger = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, true, &mut rng)),
+            Box::new(Linear::new(8, 2, false, &mut rng)),
+            Box::new(Linear::new(2, 2, false, &mut rng)),
+        ]);
+        let err = load_module(&bigger, &path, LoadMode::Copy).unwrap_err();
+        assert!(
+            matches!(err, TensorError::InvalidCheckpoint { .. }),
+            "{err}"
         );
+        assert!(err.to_string().contains("missing tensor"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn file_roundtrip() {
-        let src = params(3);
-        let path = std::env::temp_dir().join("qn_ckpt_test.txt");
-        save(&src, &path).expect("save");
-        let dst = params(4);
-        load(&path, &dst).expect("load");
-        assert!(dst[0].value().allclose(&src[0].value(), 1e-6));
+    fn leftover_tensor_is_an_error() {
+        let big = stack(1);
+        let path = temp("qn_nn_ckpt_leftover.qnckpt");
+        save_module(&big, &[], &path).expect("save");
+        let mut rng = Rng::seed_from(3);
+        let smaller = Sequential::new(vec![Box::new(Linear::new(4, 8, true, &mut rng)) as _]);
+        let err = load_module(&smaller, &path, LoadMode::Copy).unwrap_err();
+        assert!(err.to_string().contains("no destination"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let src = stack(1);
+        let path = temp("qn_nn_ckpt_shape.qnckpt");
+        save_module(&src, &[], &path).expect("save");
+        let mut rng = Rng::seed_from(3);
+        let transposed = Sequential::new(vec![
+            Box::new(Linear::new(8, 4, true, &mut rng)),
+            Box::new(Linear::new(4, 2, false, &mut rng)),
+        ]);
+        let err = load_module(&transposed, &path, LoadMode::Copy).unwrap_err();
+        assert!(
+            matches!(err, TensorError::InvalidCheckpoint { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prefixed_trees_coexist_in_one_file() {
+        let model = stack(1);
+        let extra = stack(5);
+        let path = temp("qn_nn_ckpt_prefix.qnckpt");
+        let mut w = CheckpointWriter::new();
+        append_visited(&mut w, "model", |v| model.visit_params(v));
+        append_visited(&mut w, "shadow", |v| extra.visit_params(v));
+        w.write_to(&path).expect("save");
+
+        let ckpt = Checkpoint::open(&path).expect("open");
+        let dst = stack(2);
+        apply_checkpoint(&ckpt, "model", LoadMode::Mapped, |v| dst.visit_params(v)).expect("apply");
+        for (a, b) in model.params().iter().zip(dst.params()) {
+            assert!(a.value().bit_identical(&b.value()));
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,5 +1,6 @@
 //! Token embedding.
 
+use crate::ParamVisitor;
 use qn_autograd::{Exec, Parameter, Var};
 use qn_tensor::{Rng, Tensor};
 
@@ -66,6 +67,13 @@ impl Embedding {
     /// Number of scalar parameters.
     pub fn param_count(&self) -> usize {
         self.vocab * self.dim
+    }
+
+    /// Reports the table as `weight` — the same visitor walk
+    /// [`Module::visit_params`](crate::Module::visit_params) uses, provided
+    /// inherently because `Embedding` is not a `Module`.
+    pub fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("weight", &self.weight);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Standard layers: linear, convolution, activations, pooling, dropout and
 //! sequential composition.
 
-use crate::{kaiming_normal, Costs, Module};
+use crate::{kaiming_normal, Costs, Module, ParamVisitor};
 use qn_autograd::{Exec, Parameter, Var};
 use qn_tensor::{Conv2dSpec, PoolSpec, Rng, Tensor};
 
@@ -88,12 +88,11 @@ impl Module for Linear {
         g.reshape(y, &dims[..nd])
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = vec![self.weight.clone()];
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("weight", &self.weight);
         if let Some(b) = &self.bias {
-            ps.push(b.clone());
+            v.param("bias", b);
         }
-        ps
     }
 
     fn costs(&self, input: &[usize]) -> Costs {
@@ -172,12 +171,11 @@ impl Module for Conv2d {
         y
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        let mut ps = vec![self.weight.clone()];
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("weight", &self.weight);
         if let Some(b) = &self.bias {
-            ps.push(b.clone());
+            v.param("bias", b);
         }
-        ps
     }
 
     fn costs(&self, input: &[usize]) -> Costs {
@@ -202,9 +200,7 @@ impl Module for Relu {
         g.relu(x)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![]
-    }
+    fn visit_params(&self, _v: &mut dyn ParamVisitor) {}
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs::passthrough(input)
@@ -220,9 +216,7 @@ impl Module for Tanh {
         g.tanh(x)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![]
-    }
+    fn visit_params(&self, _v: &mut dyn ParamVisitor) {}
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs::passthrough(input)
@@ -249,9 +243,7 @@ impl Module for MaxPool2d {
         g.max_pool2d(x, self.spec)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![]
-    }
+    fn visit_params(&self, _v: &mut dyn ParamVisitor) {}
 
     fn costs(&self, input: &[usize]) -> Costs {
         let (oh, ow) = self.spec.output_hw(input[2], input[3]);
@@ -282,9 +274,7 @@ impl Module for AvgPool2d {
         g.avg_pool2d(x, self.spec)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![]
-    }
+    fn visit_params(&self, _v: &mut dyn ParamVisitor) {}
 
     fn costs(&self, input: &[usize]) -> Costs {
         let (oh, ow) = self.spec.output_hw(input[2], input[3]);
@@ -304,9 +294,7 @@ impl Module for GlobalAvgPool {
         g.global_avg_pool(x)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![]
-    }
+    fn visit_params(&self, _v: &mut dyn ParamVisitor) {}
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs {
@@ -328,9 +316,7 @@ impl Module for Flatten {
         g.reshape(x, &[b, rest])
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![]
-    }
+    fn visit_params(&self, _v: &mut dyn ParamVisitor) {}
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs {
@@ -363,9 +349,7 @@ impl Module for Dropout {
         g.dropout(x, self.p)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![]
-    }
+    fn visit_params(&self, _v: &mut dyn ParamVisitor) {}
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs::passthrough(input)
@@ -428,8 +412,12 @@ impl Module for Sequential {
         v
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        self.layers.iter().flat_map(|l| l.params()).collect()
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            v.enter(&i.to_string());
+            layer.visit_params(v);
+            v.leave();
+        }
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

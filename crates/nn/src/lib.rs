@@ -46,12 +46,13 @@ mod norm;
 mod optim;
 mod schedule;
 
+pub use checkpoint::{load_module, save_module, LoadMode};
 pub use embedding::Embedding;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
 pub use layers::{
     AvgPool2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential, Tanh,
 };
-pub use module::{Costs, Module};
+pub use module::{visit_scoped, Costs, Module, ParamVisitor};
 pub use norm::{BatchNorm2d, LayerNorm};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, Sgd, SgdConfig};
 pub use schedule::{NoamSchedule, StepDecay};

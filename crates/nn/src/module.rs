@@ -1,4 +1,6 @@
 use qn_autograd::{Exec, Parameter, Var};
+use qn_tensor::Tensor;
+use std::sync::RwLock;
 
 /// Cost report for one layer on a given input shape: multiply–accumulate
 /// count and the produced output shape.
@@ -21,6 +23,48 @@ impl Costs {
             output: input.to_vec(),
         }
     }
+}
+
+/// Walks a module's parameter tree, giving every parameter a stable dotted
+/// path (`block2.conv1.weight`) — the naming scheme the checkpoint format
+/// persists.
+///
+/// [`Module::visit_params`] drives the walk: containers call
+/// [`ParamVisitor::enter`]/[`ParamVisitor::leave`] around each child scope
+/// and leaves report their parameters with short local names; the visitor
+/// joins the scope stack with dots. Non-trainable buffers that still belong
+/// in a checkpoint (batch-norm running statistics) are reported through
+/// [`ParamVisitor::state`].
+///
+/// Paths are a **persistence contract**: they must stay stable across
+/// refactors or old checkpoints stop loading. They are independent of
+/// [`Parameter::name`], which remains the (unscoped) diagnostic label.
+pub trait ParamVisitor {
+    /// Pushes a scope (layer index, block name, …) onto the path stack.
+    fn enter(&mut self, scope: &str) {
+        let _ = scope;
+    }
+
+    /// Pops the innermost scope.
+    fn leave(&mut self) {}
+
+    /// Reports one trainable parameter under its local `name`.
+    fn param(&mut self, name: &str, p: &Parameter);
+
+    /// Reports one non-trainable state tensor (e.g. `running_mean`) under
+    /// its local `name`. Default: ignored, so gradient-only walkers don't
+    /// see buffers.
+    fn state(&mut self, name: &str, t: &RwLock<Tensor>) {
+        let _ = (name, t);
+    }
+}
+
+/// Runs `f` inside a named visitor scope — the one-liner containers use to
+/// prefix a child's parameters.
+pub fn visit_scoped(v: &mut dyn ParamVisitor, scope: &str, f: impl FnOnce(&mut dyn ParamVisitor)) {
+    v.enter(scope);
+    f(v);
+    v.leave();
 }
 
 /// A neural-network layer: forward pass, parameters and cost accounting.
@@ -54,8 +98,24 @@ pub trait Module: Send + Sync {
     /// `TensorError` instead.
     fn forward(&self, cx: &mut dyn Exec, x: Var) -> Var;
 
-    /// The trainable parameters (cloned handles that alias layer storage).
-    fn params(&self) -> Vec<Parameter>;
+    /// Walks this module's parameter tree in a **stable order with stable
+    /// names** (see [`ParamVisitor`]). Implementations visit parameters in
+    /// the same order [`Module::params`] historically returned them.
+    fn visit_params(&self, v: &mut dyn ParamVisitor);
+
+    /// The trainable parameters (cloned handles that alias layer storage),
+    /// in visit order. Provided: collects from [`Module::visit_params`].
+    fn params(&self) -> Vec<Parameter> {
+        struct Collect(Vec<Parameter>);
+        impl ParamVisitor for Collect {
+            fn param(&mut self, _name: &str, p: &Parameter) {
+                self.0.push(p.clone());
+            }
+        }
+        let mut c = Collect(Vec::new());
+        self.visit_params(&mut c);
+        c.0
+    }
 
     /// MAC count and output shape for the given input shape.
     ///

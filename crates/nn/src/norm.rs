@@ -1,6 +1,6 @@
 //! Normalization layers.
 
-use crate::{Costs, Module};
+use crate::{Costs, Module, ParamVisitor};
 use qn_autograd::{ChainStage, Exec, Parameter, Var};
 use qn_tensor::Tensor;
 use std::sync::RwLock;
@@ -185,8 +185,11 @@ impl Module for BatchNorm2d {
         y
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![self.gamma.clone(), self.beta.clone()]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("gamma", &self.gamma);
+        v.param("beta", &self.beta);
+        v.state("running_mean", &self.running_mean);
+        v.state("running_var", &self.running_var);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {
@@ -228,8 +231,9 @@ impl Module for LayerNorm {
         g.layer_norm(x, gamma, beta, self.eps)
     }
 
-    fn params(&self) -> Vec<Parameter> {
-        vec![self.gamma.clone(), self.beta.clone()]
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        v.param("gamma", &self.gamma);
+        v.param("beta", &self.beta);
     }
 
     fn costs(&self, input: &[usize]) -> Costs {

@@ -1,7 +1,25 @@
 //! Optimizers with parameter groups and gradient clipping.
 
 use qn_autograd::Parameter;
-use qn_tensor::Tensor;
+use qn_tensor::{Checkpoint, CheckpointWriter, Tensor, TensorError};
+
+/// Restores one optimizer state tensor from `ckpt`, shape-checked against
+/// the live buffer it replaces.
+fn load_state_tensor(ckpt: &Checkpoint, name: &str, into: &mut Tensor) -> Result<(), TensorError> {
+    let t = ckpt.tensor(name)?;
+    if t.shape() != into.shape() {
+        return Err(TensorError::InvalidCheckpoint {
+            offset: 0,
+            detail: format!(
+                "optimizer state \"{name}\": checkpoint shape {:?} does not match live shape {:?}",
+                t.shape().dims(),
+                into.shape().dims()
+            ),
+        });
+    }
+    *into = t;
+    Ok(())
+}
 
 /// Configuration for [`Sgd`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,6 +143,33 @@ impl Sgd {
             .flat_map(|g| g.params.iter().cloned())
             .collect()
     }
+
+    /// Appends the momentum buffers to `writer` as
+    /// `{prefix}.g{group}.v{index}`, so optimizer state rides in the same
+    /// checkpoint as the model it trains.
+    pub fn save_state(&self, writer: &mut CheckpointWriter, prefix: &str) {
+        for (gi, group) in self.groups.iter().enumerate() {
+            for (pi, vel) in group.velocity.iter().enumerate() {
+                writer.add(format!("{prefix}.g{gi}.v{pi}"), vel.clone());
+            }
+        }
+    }
+
+    /// Restores momentum buffers written by [`Sgd::save_state`]. Groups must
+    /// have been re-added in the same order and with the same shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] when a buffer is missing
+    /// or stored with a different shape.
+    pub fn load_state(&mut self, ckpt: &Checkpoint, prefix: &str) -> Result<(), TensorError> {
+        for (gi, group) in self.groups.iter_mut().enumerate() {
+            for (pi, vel) in group.velocity.iter_mut().enumerate() {
+                load_state_tensor(ckpt, &format!("{prefix}.g{gi}.v{pi}"), vel)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Configuration for [`Adam`].
@@ -234,6 +279,50 @@ impl Adam {
                 p.zero_grad();
             }
         }
+    }
+
+    /// Step counter `t` (drives bias correction); 0 before the first step.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Appends moment buffers to `writer` as `{prefix}.g{group}.m{index}` /
+    /// `{prefix}.g{group}.v{index}`. The step counter is **not** a tensor —
+    /// persist [`Adam::steps`] in checkpoint metadata and restore it with
+    /// [`Adam::set_steps`].
+    pub fn save_state(&self, writer: &mut CheckpointWriter, prefix: &str) {
+        for (gi, group) in self.groups.iter().enumerate() {
+            for (pi, m) in group.m.iter().enumerate() {
+                writer.add(format!("{prefix}.g{gi}.m{pi}"), m.clone());
+            }
+            for (pi, v) in group.v.iter().enumerate() {
+                writer.add(format!("{prefix}.g{gi}.v{pi}"), v.clone());
+            }
+        }
+    }
+
+    /// Restores moment buffers written by [`Adam::save_state`]. Groups must
+    /// have been re-added in the same order and with the same shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] when a buffer is missing
+    /// or stored with a different shape.
+    pub fn load_state(&mut self, ckpt: &Checkpoint, prefix: &str) -> Result<(), TensorError> {
+        for (gi, group) in self.groups.iter_mut().enumerate() {
+            for (pi, m) in group.m.iter_mut().enumerate() {
+                load_state_tensor(ckpt, &format!("{prefix}.g{gi}.m{pi}"), m)?;
+            }
+            for (pi, v) in group.v.iter_mut().enumerate() {
+                load_state_tensor(ckpt, &format!("{prefix}.g{gi}.v{pi}"), v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrites the step counter (checkpoint resume).
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
     }
 }
 
@@ -378,6 +467,84 @@ mod tests {
         assert!((before - 20.0).abs() < 1e-4);
         let after = p.grad().frob_norm();
         assert!((after - 1.0).abs() < 1e-4);
+    }
+
+    /// One f(x) = x² gradient step for resume tests.
+    fn quad_step(p: &Parameter) {
+        p.zero_grad();
+        let x = p.value().data()[0];
+        p.accumulate_grad(&Tensor::from_vec(vec![2.0 * x], &[1]).unwrap());
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_bitwise() {
+        let p = quad_param(5.0);
+        let mut opt = Sgd::new(SgdConfig::default());
+        opt.add_group(vec![p.clone()], None, None);
+        for _ in 0..3 {
+            quad_step(&p);
+            opt.step(1.0);
+        }
+        let mut w = CheckpointWriter::new();
+        w.add("param", p.value());
+        opt.save_state(&mut w, "opt");
+        let ckpt = Checkpoint::from_bytes(w.to_bytes().unwrap()).unwrap();
+
+        let q = Parameter::new(ckpt.tensor("param").unwrap());
+        let mut opt2 = Sgd::new(SgdConfig::default());
+        opt2.add_group(vec![q.clone()], None, None);
+        opt2.load_state(&ckpt, "opt").unwrap();
+
+        for _ in 0..2 {
+            quad_step(&p);
+            opt.step(1.0);
+            quad_step(&q);
+            opt2.step(1.0);
+        }
+        assert!(p.value().bit_identical(&q.value()));
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bitwise() {
+        let p = quad_param(5.0);
+        let mut opt = Adam::new(AdamConfig::default());
+        opt.add_group(vec![p.clone()], None);
+        for _ in 0..3 {
+            quad_step(&p);
+            opt.step(1.0);
+        }
+        let mut w = CheckpointWriter::new();
+        w.add("param", p.value());
+        opt.save_state(&mut w, "opt");
+        let steps = opt.steps();
+        let ckpt = Checkpoint::from_bytes(w.to_bytes().unwrap()).unwrap();
+
+        let q = Parameter::new(ckpt.tensor("param").unwrap());
+        let mut opt2 = Adam::new(AdamConfig::default());
+        opt2.add_group(vec![q.clone()], None);
+        opt2.load_state(&ckpt, "opt").unwrap();
+        opt2.set_steps(steps);
+
+        for _ in 0..2 {
+            quad_step(&p);
+            opt.step(1.0);
+            quad_step(&q);
+            opt2.step(1.0);
+        }
+        assert!(p.value().bit_identical(&q.value()));
+    }
+
+    #[test]
+    fn missing_optimizer_state_is_an_error() {
+        let p = quad_param(1.0);
+        let mut opt = Sgd::new(SgdConfig::default());
+        opt.add_group(vec![p], None, None);
+        let w = CheckpointWriter::new(); // no state saved
+        let ckpt = Checkpoint::from_bytes(w.to_bytes().unwrap()).unwrap();
+        assert!(matches!(
+            opt.load_state(&ckpt, "opt"),
+            Err(TensorError::InvalidCheckpoint { .. })
+        ));
     }
 
     #[test]

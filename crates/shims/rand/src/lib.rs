@@ -211,6 +211,31 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot of the generator's internal state.
+        ///
+        /// **Extension over the real `rand` crate** (which keeps `StdRng`
+        /// opaque): the workspace's checkpoint/resume machinery needs to
+        /// persist the exact stream position so a resumed run reproduces
+        /// the uninterrupted one bit-for-bit.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// **Extension over the real `rand` crate** — see [`StdRng::state`].
+        /// The all-zero state is a fixed point of xoshiro256++ and is
+        /// remapped to the `seed_from_u64(0)` state (a `state()` snapshot
+        /// of a seeded generator can never be all-zero).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <Self as SeedableRng>::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
@@ -241,6 +266,25 @@ mod tests {
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let snap = a.state();
+        let tail: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let mut b = StdRng::from_state(snap);
+        let resumed: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(tail, resumed);
+    }
+
+    #[test]
+    fn zero_state_is_remapped_not_stuck() {
+        let mut z = StdRng::from_state([0; 4]);
+        assert_ne!(z.next_u64(), z.next_u64());
     }
 
     #[test]

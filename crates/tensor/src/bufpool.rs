@@ -277,6 +277,22 @@ impl PoolRef {
     pub fn into_vec(mut self) -> Vec<f32> {
         self.buf.take().expect("buffer present until drop")
     }
+
+    /// An empty handle holding no buffer (drops without returning
+    /// anything) — the placeholder `Storage::make_owned` swaps in while
+    /// detaching a pooled buffer.
+    pub(crate) fn detached() -> PoolRef {
+        PoolRef {
+            buf: None,
+            pool: Arc::clone(BufferPool::global()),
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoolRef(len={})", self.buf.as_ref().map_or(0, Vec::len))
+    }
 }
 
 impl Deref for PoolRef {

@@ -1,0 +1,955 @@
+//! The versioned checkpoint container: a safetensors-style binary format
+//! for named tensor collections.
+//!
+//! # Wire format (version 1)
+//!
+//! ```text
+//! byte 0       8       12      16        24
+//!      ┌───────┬───────┬───────┬─────────┬────────────┬─ pad ─┬─────────┐
+//!      │ magic │ ver   │ crc32 │ hdr_len │ JSON header│  0…0  │  blobs  │
+//!      │QNCKPT │ u32 LE│ u32 LE│ u64 LE  │ UTF-8      │       │ f32 LE  │
+//!      └───────┴───────┴───────┴─────────┴────────────┴───────┴─────────┘
+//!                                                             ▲ 64-byte
+//!                                                               aligned
+//! ```
+//!
+//! - **magic** is the 8 bytes `b"QNCKPT\0\0"`.
+//! - **crc32** (IEEE, polynomial `0xEDB88320`) covers every byte from
+//!   offset 16 to the end of the file — header length, header, padding and
+//!   blobs — so truncation and bit rot are caught before parsing.
+//! - The **header** is a JSON object
+//!   `{"meta":{…},"tensors":[{"name","dtype","shape","offset","len"},…]}`;
+//!   `offset` is in bytes **relative to the start of the data section**
+//!   (which begins at the first 64-byte boundary at or after the header)
+//!   and is itself a multiple of 64, so every blob is 64-byte aligned in
+//!   the file and any aligned mapping of it.
+//! - **Blobs** are raw little-endian `f32`, concatenated in header order
+//!   with zero padding between them.
+//!
+//! Readers validate everything — magic, version, checksum, header syntax,
+//! offsets, lengths, alignment — and return
+//! [`TensorError::InvalidCheckpoint`] / [`TensorError::VersionMismatch`]
+//! with byte-offset context instead of panicking; the
+//! `checkpoint_validation` test suite fuzzes truncations and corruptions
+//! against this contract.
+//!
+//! # Example
+//!
+//! ```
+//! use qn_tensor::{Checkpoint, CheckpointWriter, Tensor};
+//!
+//! # fn main() -> Result<(), qn_tensor::TensorError> {
+//! let mut w = CheckpointWriter::new();
+//! w.add_meta("epoch", "3");
+//! w.add("layer.weight", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?);
+//! let bytes = w.to_bytes()?;
+//!
+//! let ck = Checkpoint::from_bytes(bytes)?;
+//! assert_eq!(ck.meta("epoch"), Some("3"));
+//! let t = ck.tensor("layer.weight")?;          // copying read
+//! let m = ck.tensor_mapped("layer.weight")?;   // zero-copy window
+//! assert!(t.bit_identical(&m));
+//! assert!(m.is_mapped());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::mmap::Mmap;
+use crate::{Shape, Storage, Tensor, TensorError};
+use std::path::Path;
+use std::sync::Arc;
+
+/// First 8 bytes of every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"QNCKPT\0\0";
+
+/// Highest container version this build reads and the version it writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Alignment of every tensor blob, in bytes (cache-line / SIMD friendly,
+/// and comfortably above `f32`'s requirement for mapped loading).
+pub const BLOB_ALIGN: usize = 64;
+
+const FIXED_HEADER_LEN: usize = 24;
+
+/// One named tensor recorded in a checkpoint header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorEntry {
+    /// Dotted parameter path, e.g. `block2.conv1.weight`.
+    pub name: String,
+    /// Dimension sizes.
+    pub shape: Vec<usize>,
+    /// **Absolute** byte offset of the blob in the file (the header's
+    /// data-section-relative offset plus the data-section base).
+    pub offset: usize,
+    /// Element count (always the product of `shape`).
+    pub len: usize,
+}
+
+// ---------------------------------------------------------------- writer --
+
+/// Builds a checkpoint: collect named tensors and metadata, then serialize
+/// with [`CheckpointWriter::to_bytes`] or [`CheckpointWriter::write_to`].
+#[derive(Debug, Default)]
+pub struct CheckpointWriter {
+    meta: Vec<(String, String)>,
+    tensors: Vec<(String, Tensor)>,
+}
+
+impl CheckpointWriter {
+    /// An empty checkpoint.
+    pub fn new() -> Self {
+        CheckpointWriter::default()
+    }
+
+    /// Records a string metadata pair (training step, RNG state, …).
+    /// Later values win when a key repeats.
+    pub fn add_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value.into();
+        } else {
+            self.meta.push((key, value.into()));
+        }
+    }
+
+    /// Records a named tensor. Names must be unique; duplicates are
+    /// reported by [`CheckpointWriter::to_bytes`].
+    pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) {
+        self.tensors.push((name.into(), tensor));
+    }
+
+    /// Number of tensors recorded so far.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// `true` if no tensors were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Serializes the checkpoint into one byte buffer (see the
+    /// [module docs](self) for the layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if two tensors share a
+    /// name.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, TensorError> {
+        for (i, (name, _)) in self.tensors.iter().enumerate() {
+            if self.tensors[..i].iter().any(|(n, _)| n == name) {
+                return Err(TensorError::InvalidCheckpoint {
+                    offset: 0,
+                    detail: format!("duplicate tensor name '{name}'"),
+                });
+            }
+        }
+        // data-section-relative blob offsets, each 64-byte aligned
+        let mut header = String::from("{\"meta\":{");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                header.push(',');
+            }
+            push_json_string(&mut header, k);
+            header.push(':');
+            push_json_string(&mut header, v);
+        }
+        header.push_str("},\"tensors\":[");
+        let mut rel = 0usize;
+        for (i, (name, t)) in self.tensors.iter().enumerate() {
+            if i > 0 {
+                header.push(',');
+            }
+            header.push_str("{\"name\":");
+            push_json_string(&mut header, name);
+            header.push_str(",\"dtype\":\"f32\",\"shape\":[");
+            for (d, dim) in t.shape().dims().iter().enumerate() {
+                if d > 0 {
+                    header.push(',');
+                }
+                header.push_str(&dim.to_string());
+            }
+            header.push_str(&format!("],\"offset\":{rel},\"len\":{}}}", t.numel()));
+            rel = align_up(rel + t.numel() * 4, BLOB_ALIGN);
+        }
+        header.push_str("]}");
+
+        let data_start = align_up(FIXED_HEADER_LEN + header.len(), BLOB_ALIGN);
+        let mut out = Vec::with_capacity(data_start + rel);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]); // crc32, patched below
+        out.extend_from_slice(&(header.len() as u64).to_le_bytes());
+        out.extend_from_slice(header.as_bytes());
+        out.resize(data_start, 0);
+        for (_, t) in &self.tensors {
+            extend_f32_le(&mut out, t.data());
+            out.resize(align_up(out.len(), BLOB_ALIGN), 0);
+        }
+        let crc = crc32(&out[16..]);
+        out[12..16].copy_from_slice(&crc.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Serializes and writes the checkpoint to `path` (via a `.tmp`
+    /// sibling renamed into place, so a crash mid-write never leaves a
+    /// half-written file at `path` — the property the train-loop
+    /// "save every N steps" path depends on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] on duplicate tensor
+    /// names or if the file cannot be written.
+    pub fn write_to(&self, path: &Path) -> Result<(), TensorError> {
+        let bytes = self.to_bytes()?;
+        let err = |e: std::io::Error| TensorError::InvalidCheckpoint {
+            offset: 0,
+            detail: format!("cannot write {}: {e}", path.display()),
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(err)?;
+        std::fs::rename(&tmp, path).map_err(err)
+    }
+}
+
+fn align_up(n: usize, align: usize) -> usize {
+    n.div_ceil(align) * align
+}
+
+/// Appends `s` as a JSON string literal, escaping quotes, backslashes and
+/// control characters.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a slice of `f32` as little-endian bytes (a straight memcpy on
+/// little-endian hosts).
+fn extend_f32_le(out: &mut Vec<u8>, data: &[f32]) {
+    if cfg!(target_endian = "little") {
+        // SAFETY: reinterpreting f32 as bytes is always valid; on a
+        // little-endian host the in-memory order is the wire order.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 4) };
+        out.extend_from_slice(bytes);
+    } else {
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+// ---------------------------------------------------------------- reader --
+
+/// A parsed, validated checkpoint backed by an [`Mmap`].
+///
+/// [`Checkpoint::tensor`] copies a blob into owned storage;
+/// [`Checkpoint::tensor_mapped`] hands out a zero-copy window (the tensor
+/// keeps the mapping alive through its `Arc`). See the [module docs](self)
+/// for the format.
+#[derive(Debug)]
+pub struct Checkpoint {
+    map: Arc<Mmap>,
+    version: u32,
+    meta: Vec<(String, String)>,
+    entries: Vec<TensorEntry>,
+}
+
+impl Checkpoint {
+    /// Opens and validates the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidCheckpoint`] for unreadable, malformed,
+    /// truncated or corrupt files; [`TensorError::VersionMismatch`] for a
+    /// version this build does not read.
+    pub fn open(path: &Path) -> Result<Checkpoint, TensorError> {
+        Checkpoint::from_mmap(Arc::new(Mmap::open(path)?))
+    }
+
+    /// Validates an in-memory byte buffer as a checkpoint (fuzz/test entry
+    /// point; errors as in [`Checkpoint::open`]).
+    pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Result<Checkpoint, TensorError> {
+        Checkpoint::from_mmap(Arc::new(Mmap::from_bytes(bytes)))
+    }
+
+    /// Validates an existing mapping as a checkpoint (errors as in
+    /// [`Checkpoint::open`]).
+    pub fn from_mmap(map: Arc<Mmap>) -> Result<Checkpoint, TensorError> {
+        let bytes = map.as_bytes();
+        let fail = |offset: usize, detail: String| TensorError::InvalidCheckpoint {
+            offset: offset as u64,
+            detail,
+        };
+        if bytes.len() < FIXED_HEADER_LEN {
+            return Err(fail(
+                bytes.len(),
+                format!(
+                    "file is {} bytes, shorter than the {FIXED_HEADER_LEN}-byte fixed header",
+                    bytes.len()
+                ),
+            ));
+        }
+        if bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(fail(0, format!("bad magic {:02x?}", &bytes[..8])));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version == 0 || version > CHECKPOINT_VERSION {
+            return Err(TensorError::VersionMismatch {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let stored_crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let actual_crc = crc32(&bytes[16..]);
+        if stored_crc != actual_crc {
+            return Err(fail(
+                12,
+                format!("checksum mismatch: header says {stored_crc:#010x}, file hashes to {actual_crc:#010x}"),
+            ));
+        }
+        let header_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let header_end = usize::try_from(header_len)
+            .ok()
+            .and_then(|h| h.checked_add(FIXED_HEADER_LEN))
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                fail(
+                    16,
+                    format!(
+                        "header length {header_len} runs past the {}-byte file",
+                        bytes.len()
+                    ),
+                )
+            })?;
+        let header = std::str::from_utf8(&bytes[FIXED_HEADER_LEN..header_end]).map_err(|e| {
+            fail(
+                FIXED_HEADER_LEN + e.valid_up_to(),
+                "header is not UTF-8".into(),
+            )
+        })?;
+        let (meta, raw) = parse_header(header, FIXED_HEADER_LEN)?;
+        let data_start = align_up(header_end, BLOB_ALIGN);
+        let mut entries = Vec::with_capacity(raw.len());
+        for e in raw {
+            let numel = e
+                .shape
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .ok_or_else(|| {
+                    fail(
+                        FIXED_HEADER_LEN,
+                        format!("shape {:?} of '{}' overflows", e.shape, e.name),
+                    )
+                })?;
+            if numel != e.len {
+                return Err(fail(
+                    FIXED_HEADER_LEN,
+                    format!(
+                        "tensor '{}' declares len {} but shape {:?} has {numel} elements",
+                        e.name, e.len, e.shape
+                    ),
+                ));
+            }
+            let offset = e
+                .offset
+                .checked_add(data_start)
+                .filter(|&o| o % 4 == 0)
+                .ok_or_else(|| {
+                    fail(
+                        FIXED_HEADER_LEN,
+                        format!("tensor '{}' has a misaligned or overflowing offset", e.name),
+                    )
+                })?;
+            // bounds-check the window now so later reads cannot fail
+            map.f32_slice(offset, numel).map_err(|err| match err {
+                TensorError::InvalidCheckpoint { offset, detail } => {
+                    TensorError::InvalidCheckpoint {
+                        offset,
+                        detail: format!("tensor '{}': {detail}", e.name),
+                    }
+                }
+                other => other,
+            })?;
+            if entries.iter().any(|p: &TensorEntry| p.name == e.name) {
+                return Err(fail(
+                    FIXED_HEADER_LEN,
+                    format!("duplicate tensor name '{}'", e.name),
+                ));
+            }
+            entries.push(TensorEntry {
+                name: e.name,
+                shape: e.shape,
+                offset,
+                len: numel,
+            });
+        }
+        Ok(Checkpoint {
+            map,
+            version,
+            meta,
+            entries,
+        })
+    }
+
+    /// The container version stored in the file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Looks up a metadata value by key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All metadata pairs, in file order.
+    pub fn meta_all(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// All tensor entries, in file order.
+    pub fn entries(&self) -> &[TensorEntry] {
+        &self.entries
+    }
+
+    /// Looks up one tensor's entry by name.
+    pub fn entry(&self, name: &str) -> Option<&TensorEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The mapping backing this checkpoint.
+    pub fn mmap(&self) -> &Arc<Mmap> {
+        &self.map
+    }
+
+    /// Reads a tensor by name, **copying** the blob into owned storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if no tensor has that
+    /// name.
+    pub fn tensor(&self, name: &str) -> Result<Tensor, TensorError> {
+        let e = self.require(name)?;
+        let data = self
+            .map
+            .f32_slice(e.offset, e.len)
+            .expect("window validated in from_mmap");
+        Tensor::from_vec(data.to_vec(), &e.shape)
+    }
+
+    /// Reads a tensor by name as a **zero-copy** window borrowing this
+    /// checkpoint's mapping (`tensor.is_mapped()` will be `true`; the
+    /// mapping stays alive as long as any such tensor does). Bit-identical
+    /// to [`Checkpoint::tensor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if no tensor has that
+    /// name.
+    pub fn tensor_mapped(&self, name: &str) -> Result<Tensor, TensorError> {
+        let e = self.require(name)?;
+        Tensor::from_mapped(Arc::clone(&self.map), e.offset, &e.shape)
+    }
+
+    fn require(&self, name: &str) -> Result<&TensorEntry, TensorError> {
+        self.entry(name)
+            .ok_or_else(|| TensorError::InvalidCheckpoint {
+                offset: FIXED_HEADER_LEN as u64,
+                detail: format!("no tensor named '{name}' in the checkpoint"),
+            })
+    }
+}
+
+// --------------------------------------------------------- header parser --
+
+/// A header entry as parsed (offset still data-section relative).
+struct RawEntry {
+    name: String,
+    shape: Vec<usize>,
+    offset: usize,
+    len: usize,
+}
+
+/// The `"meta"` key/value pairs of a parsed header.
+type MetaPairs = Vec<(String, String)>;
+
+/// Parses the JSON-ish header. `base` is the header's byte offset in the
+/// file, so error offsets point into the file, not the substring.
+fn parse_header(header: &str, base: usize) -> Result<(MetaPairs, Vec<RawEntry>), TensorError> {
+    let mut p = Parser {
+        bytes: header.as_bytes(),
+        pos: 0,
+        base,
+    };
+    let mut meta = Vec::new();
+    let mut tensors = Vec::new();
+    p.expect(b'{')?;
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "meta" => {
+                p.expect(b'{')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b'}') {
+                        break;
+                    }
+                    let k = p.string()?;
+                    p.expect(b':')?;
+                    let v = p.string()?;
+                    meta.push((k, v));
+                    p.skip_ws();
+                    if !p.eat(b',') {
+                        p.expect(b'}')?;
+                        break;
+                    }
+                }
+            }
+            "tensors" => {
+                p.expect(b'[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    tensors.push(p.tensor_entry()?);
+                    p.skip_ws();
+                    if !p.eat(b',') {
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            _ => p.skip_value()?, // unknown top-level keys are tolerated
+        }
+        p.skip_ws();
+        if !p.eat(b',') {
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after the header object"));
+    }
+    Ok((meta, tensors))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: impl Into<String>) -> TensorError {
+        TensorError::InvalidCheckpoint {
+            offset: (self.base + self.pos) as u64,
+            detail: detail.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TensorError> {
+        self.skip_ws();
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{}', found {}",
+                b as char,
+                self.peek()
+                    .map_or("end of header".to_string(), |c| format!("'{}'", c as char))
+            )))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TensorError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // multi-byte UTF-8 is passed through (header was
+                    // validated as UTF-8 before parsing)
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).expect("validated UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn uint(&mut self) -> Result<usize, TensorError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut value: usize = 0;
+        while let Some(d @ b'0'..=b'9') = self.peek() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((d - b'0') as usize))
+                .ok_or_else(|| self.err("integer overflows usize"))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a non-negative integer"));
+        }
+        Ok(value)
+    }
+
+    fn tensor_entry(&mut self) -> Result<RawEntry, TensorError> {
+        self.expect(b'{')?;
+        let (mut name, mut shape, mut offset, mut len, mut dtype) = (None, None, None, None, None);
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "name" => name = Some(self.string()?),
+                "dtype" => dtype = Some(self.string()?),
+                "offset" => offset = Some(self.uint()?),
+                "len" => len = Some(self.uint()?),
+                "shape" => {
+                    self.expect(b'[')?;
+                    let mut dims = Vec::new();
+                    loop {
+                        self.skip_ws();
+                        if self.eat(b']') {
+                            break;
+                        }
+                        dims.push(self.uint()?);
+                        self.skip_ws();
+                        if !self.eat(b',') {
+                            self.expect(b']')?;
+                            break;
+                        }
+                    }
+                    shape = Some(dims);
+                }
+                _ => self.skip_value()?,
+            }
+            self.skip_ws();
+            if !self.eat(b',') {
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        match dtype.as_deref() {
+            Some("f32") => {}
+            Some(other) => return Err(self.err(format!("unsupported dtype '{other}'"))),
+            None => return Err(self.err("tensor entry is missing 'dtype'")),
+        }
+        match (name, shape, offset, len) {
+            (Some(name), Some(shape), Some(offset), Some(len)) => Ok(RawEntry {
+                name,
+                shape,
+                offset,
+                len,
+            }),
+            _ => Err(self.err("tensor entry is missing one of name/shape/offset/len")),
+        }
+    }
+
+    /// Skips one JSON value of any kind (tolerating unknown keys written
+    /// by future minor revisions).
+    fn skip_value(&mut self) -> Result<(), TensorError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b'0'..=b'9') => self.uint().map(|_| ()),
+            Some(b'{') | Some(b'[') => {
+                let (open, close) = if self.peek() == Some(b'{') {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                self.pos += 1;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    self.skip_ws();
+                    match self.peek() {
+                        None => return Err(self.err("unterminated value")),
+                        Some(b'"') => {
+                            self.string()?;
+                        }
+                        Some(c) if c == open => {
+                            depth += 1;
+                            self.pos += 1;
+                        }
+                        Some(c) if c == close => {
+                            depth -= 1;
+                            self.pos += 1;
+                        }
+                        Some(_) => self.pos += 1,
+                    }
+                }
+                Ok(())
+            }
+            Some(_) => {
+                // bare tokens: true / false / null / signed numbers
+                while let Some(c) = self.peek() {
+                    if matches!(c, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            None => Err(self.err("expected a value")),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ crc --
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/PNG polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// helper used by Checkpoint::tensor_mapped via Tensor::from_mapped; kept
+// here so the Storage invariant (validated window) has a single owner
+impl Tensor {
+    /// Builds a tensor whose storage **borrows** `map` starting `offset`
+    /// bytes in — the zero-copy loading primitive behind
+    /// [`Checkpoint::tensor_mapped`]. The window is validated now, so
+    /// later reads cannot fail; writes copy-on-write (see
+    /// [`Storage`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if the window is
+    /// misaligned or out of bounds, or [`TensorError::LengthMismatch`]
+    /// never (the length is derived from `dims`).
+    pub fn from_mapped(
+        map: Arc<Mmap>,
+        offset: usize,
+        dims: &[usize],
+    ) -> Result<Tensor, TensorError> {
+        let numel = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| TensorError::InvalidCheckpoint {
+                offset: offset as u64,
+                detail: format!("shape {dims:?} overflows"),
+            })?;
+        map.f32_slice(offset, numel)?;
+        Ok(Tensor::from_storage(
+            Storage::Mapped {
+                map,
+                offset,
+                len: numel,
+            },
+            Shape::new(dims),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointWriter {
+        let mut w = CheckpointWriter::new();
+        w.add_meta("epoch", "2");
+        w.add_meta("note", "weird \"quoted\" \\ value\n");
+        w.add(
+            "a.weight",
+            Tensor::from_vec(vec![1.0, -2.5, 3.25], &[3]).unwrap(),
+        );
+        w.add(
+            "b.bias",
+            Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap(),
+        );
+        w
+    }
+
+    #[test]
+    fn roundtrip_copy_and_mapped() {
+        let bytes = sample().to_bytes().unwrap();
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ck.version(), CHECKPOINT_VERSION);
+        assert_eq!(ck.meta("epoch"), Some("2"));
+        assert_eq!(ck.meta("note"), Some("weird \"quoted\" \\ value\n"));
+        assert_eq!(ck.entries().len(), 2);
+        let a = ck.tensor("a.weight").unwrap();
+        assert_eq!(a.data(), &[1.0, -2.5, 3.25]);
+        let am = ck.tensor_mapped("a.weight").unwrap();
+        assert!(am.is_mapped());
+        assert!(a.bit_identical(&am));
+        let b = ck.tensor_mapped("b.bias").unwrap();
+        assert_eq!(b.shape().dims(), &[2, 3]);
+        assert_eq!(b.get(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn blobs_are_64_byte_aligned() {
+        let bytes = sample().to_bytes().unwrap();
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        for e in ck.entries() {
+            assert_eq!(e.offset % BLOB_ALIGN, 0, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join("qn_ckpt_file_roundtrip.qnckpt");
+        sample().write_to(&path).unwrap();
+        let ck = Checkpoint::open(&path).unwrap();
+        assert_eq!(ck.tensor("a.weight").unwrap().numel(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_tensor_is_an_error() {
+        let ck = Checkpoint::from_bytes(sample().to_bytes().unwrap()).unwrap();
+        assert!(matches!(
+            ck.tensor("nope"),
+            Err(TensorError::InvalidCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_on_write() {
+        let mut w = CheckpointWriter::new();
+        w.add("x", Tensor::zeros(&[1]));
+        w.add("x", Tensor::zeros(&[1]));
+        assert!(w.to_bytes().is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_its_own_error() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        // re-seal the checksum so the version check is what fires
+        let crc = crc32(&bytes[16..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Checkpoint::from_bytes(&bytes).unwrap_err(),
+            TensorError::VersionMismatch {
+                found: 9,
+                supported: CHECKPOINT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let mut bytes = sample().to_bytes().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, TensorError::InvalidCheckpoint { offset: 12, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // the classic zlib test vector
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let bytes = CheckpointWriter::new().to_bytes().unwrap();
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        assert!(ck.entries().is_empty());
+    }
+}

@@ -49,6 +49,23 @@ pub enum TensorError {
         /// What was empty.
         what: &'static str,
     },
+    /// A checkpoint file is malformed, truncated, or corrupt — returned by
+    /// the `checkpoint`/`mmap` readers, which validate every field before
+    /// touching it (malformed input must never panic).
+    InvalidCheckpoint {
+        /// Byte offset into the file where validation failed (0 when the
+        /// failure precedes parsing, e.g. an I/O error).
+        offset: u64,
+        /// What was wrong at that offset.
+        detail: String,
+    },
+    /// A checkpoint carries a format version this build does not read.
+    VersionMismatch {
+        /// Version stored in the file.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -73,6 +90,13 @@ impl fmt::Display for TensorError {
             TensorError::EmptyInput { what } => {
                 write!(f, "empty input: {what} needs at least one element")
             }
+            TensorError::InvalidCheckpoint { offset, detail } => {
+                write!(f, "invalid checkpoint at byte {offset}: {detail}")
+            }
+            TensorError::VersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint version {found} is not supported (this build reads <= {supported})"
+            ),
         }
     }
 }

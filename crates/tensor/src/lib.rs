@@ -32,6 +32,28 @@
 //!   finiteness-guarded once, at the GEMM packing step, so `0 × NaN = NaN`
 //!   and `0 × ∞ = NaN` propagate instead of being silently swallowed.
 //!
+//! # Storage: owned, pooled, and mapped buffers
+//!
+//! A tensor's buffer is a [`Storage`] — one of three variants behind a
+//! single `Deref<Target = [f32]>` surface, so kernels never care which one
+//! they are reading:
+//!
+//! - [`Storage::Owned`] — a plain `Vec<f32>`; every ordinary constructor
+//!   produces this.
+//! - [`Storage::Pooled`] — a [`PoolRef`] on loan from a [`BufferPool`],
+//!   returned on drop.
+//! - [`Storage::Mapped`] — a shared, immutable window into a memory-mapped
+//!   checkpoint file ([`Mmap`]): the tensor **borrows the file's bytes with
+//!   zero copies**, cloning bumps an `Arc`, and the first in-place write
+//!   copies-on-write into an owned buffer. This is how `Checkpoint::
+//!   tensor_mapped` loads model weights without touching the allocator
+//!   (cold-start loading is bounded by I/O, not memcpy).
+//!
+//! The [`checkpoint`] module defines the versioned on-disk container
+//! (magic + version + CRC-32 + JSON-ish header + 64-byte-aligned raw
+//! little-endian `f32` blobs) that [`Storage::Mapped`] windows into; see
+//! its docs for the wire format and validation guarantees.
+//!
 //! # Pooling and in-place ops
 //!
 //! Allocation is the workspace's second hot-path cost after FLOPs, so the
@@ -79,23 +101,29 @@
 //! ```
 
 mod bufpool;
+pub mod checkpoint;
 mod conv;
 pub mod elemwise;
 mod error;
 mod mat;
+mod mmap;
 mod pool;
 mod rng;
 mod shape;
+mod storage;
 mod tensor;
 
 pub use bufpool::{BufferPool, PoolRef, PoolStats};
+pub use checkpoint::{Checkpoint, CheckpointWriter, TensorEntry, CHECKPOINT_VERSION};
 pub use conv::{col2im, im2col, im2col_into, Conv2dSpec};
 pub use error::TensorError;
 pub use mat::{gemm, gemm_batched, reference, MatMut, MatRef};
+pub use mmap::Mmap;
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
     max_pool2d_into, PoolSpec,
 };
 pub use rng::Rng;
 pub use shape::Shape;
+pub use storage::Storage;
 pub use tensor::Tensor;

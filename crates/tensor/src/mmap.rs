@@ -1,0 +1,186 @@
+//! Read-only file mappings for zero-copy weight loading.
+//!
+//! [`Mmap`] presents a checkpoint file as one immutable, 8-byte-aligned
+//! byte buffer that many tensors can window into ([`Storage::Mapped`]
+//! holds an `Arc<Mmap>` plus a byte offset, so the mapping lives exactly as
+//! long as the last tensor borrowing it). The workspace is std-only, so
+//! "mapping" is implemented as a single aligned `File::read` into an
+//! anonymous buffer rather than an OS `mmap(2)` — the **storage API is
+//! mapping-ready** (offset-windowed, shared, immutable, alignment-checked),
+//! and a syscall-backed implementation can replace the loader without
+//! touching any consumer.
+//!
+//! [`Storage::Mapped`]: crate::Storage
+
+use crate::TensorError;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// An immutable, 8-byte-aligned in-memory view of a file (see the
+/// module docs above for why this is a read, not a syscall mapping).
+pub struct Mmap {
+    /// Backing allocation in `u64` units, guaranteeing 8-byte alignment so
+    /// any 4-byte-aligned window is valid `&[f32]`.
+    buf: Box<[u64]>,
+    /// Number of valid bytes (the file length; the tail of the last `u64`
+    /// word is zero padding).
+    len: usize,
+}
+
+impl Mmap {
+    /// Maps `path` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] (offset 0) if the file
+    /// cannot be opened or read.
+    pub fn open(path: &Path) -> Result<Mmap, TensorError> {
+        let err = |e: std::io::Error| TensorError::InvalidCheckpoint {
+            offset: 0,
+            detail: format!("cannot map {}: {e}", path.display()),
+        };
+        let mut file = File::open(path).map_err(err)?;
+        let len = file.metadata().map_err(err)?.len();
+        let len = usize::try_from(len).map_err(|_| TensorError::InvalidCheckpoint {
+            offset: 0,
+            detail: format!("{} exceeds the address space", path.display()),
+        })?;
+        let mut buf = vec![0u64; len.div_ceil(8)].into_boxed_slice();
+        file.read_exact(&mut as_bytes_mut(&mut buf)[..len])
+            .map_err(err)?;
+        Ok(Mmap { buf, len })
+    }
+
+    /// Wraps an in-memory byte buffer as a mapping (copied into aligned
+    /// storage) — the entry point for tests that fuzz malformed
+    /// checkpoints without touching the filesystem.
+    pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Mmap {
+        let bytes = bytes.as_ref();
+        let mut buf = vec![0u64; bytes.len().div_ceil(8)].into_boxed_slice();
+        as_bytes_mut(&mut buf)[..bytes.len()].copy_from_slice(bytes);
+        Mmap {
+            buf,
+            len: bytes.len(),
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: the backing `u64` allocation is at least `len` bytes and
+        // every byte of it is initialized (zero-filled before the read).
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrows `count` `f32`s starting `offset` bytes into the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if `offset` is not
+    /// 4-byte aligned or the window runs past the end of the mapping.
+    pub fn f32_slice(&self, offset: usize, count: usize) -> Result<&[f32], TensorError> {
+        if !offset.is_multiple_of(std::mem::align_of::<f32>()) {
+            return Err(TensorError::InvalidCheckpoint {
+                offset: offset as u64,
+                detail: format!("tensor data offset {offset} is not 4-byte aligned"),
+            });
+        }
+        let bytes = count.checked_mul(4).and_then(|b| b.checked_add(offset));
+        match bytes {
+            Some(end) if end <= self.len => {
+                // SAFETY: in bounds (checked above), 4-byte aligned (the
+                // base is 8-aligned and `offset % 4 == 0`), and every byte
+                // is initialized; `f32` has no invalid bit patterns.
+                Ok(unsafe {
+                    std::slice::from_raw_parts(
+                        self.buf.as_ptr().cast::<u8>().add(offset).cast::<f32>(),
+                        count,
+                    )
+                })
+            }
+            _ => Err(TensorError::InvalidCheckpoint {
+                offset: offset as u64,
+                detail: format!(
+                    "tensor data window [{offset}, {offset} + {count}·4) runs past the \
+                     mapped length {}",
+                    self.len
+                ),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mmap({} bytes)", self.len)
+    }
+}
+
+/// Mutable byte view of a `u64` buffer (for filling it from a file).
+fn as_bytes_mut(buf: &mut [u64]) -> &mut [u8] {
+    // SAFETY: u8 has no alignment or validity requirements and the region
+    // is exactly the buffer's own allocation.
+    unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), buf.len() * 8) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let m = Mmap::from_bytes([1u8, 2, 3, 4, 5]);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.as_bytes(), &[1, 2, 3, 4, 5]);
+        assert!(!m.is_empty());
+        assert!(Mmap::from_bytes([]).is_empty());
+    }
+
+    #[test]
+    fn f32_slice_reads_le_floats() {
+        let mut bytes = vec![0u8; 4];
+        bytes.extend_from_slice(&1.5f32.to_le_bytes());
+        bytes.extend_from_slice(&(-2.0f32).to_le_bytes());
+        let m = Mmap::from_bytes(&bytes);
+        assert_eq!(m.f32_slice(4, 2).unwrap(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    fn f32_slice_rejects_misalignment_and_overrun() {
+        let m = Mmap::from_bytes(vec![0u8; 16]);
+        assert!(matches!(
+            m.f32_slice(2, 1),
+            Err(TensorError::InvalidCheckpoint { offset: 2, .. })
+        ));
+        assert!(m.f32_slice(8, 3).is_err());
+        assert!(m.f32_slice(16, 1).is_err());
+        // usize-overflowing window must error, not wrap
+        assert!(m.f32_slice(8, usize::MAX / 2).is_err());
+        assert!(m.f32_slice(16, 0).is_ok(), "empty window at EOF is fine");
+    }
+
+    #[test]
+    fn open_missing_file_errors() {
+        let err = Mmap::open(Path::new("/nonexistent/qn-ckpt")).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidCheckpoint { .. }));
+    }
+
+    #[test]
+    fn open_reads_file_contents() {
+        let path = std::env::temp_dir().join("qn_mmap_open_test.bin");
+        std::fs::write(&path, [9u8, 8, 7]).unwrap();
+        let m = Mmap::open(&path).unwrap();
+        assert_eq!(m.as_bytes(), &[9, 8, 7]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

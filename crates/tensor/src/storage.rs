@@ -1,0 +1,230 @@
+//! Owned-vs-borrowed tensor storage.
+//!
+//! [`Storage`] is the single buffer type behind [`Tensor`](crate::Tensor):
+//! a contiguous run of `f32`s that is either **owned** (a plain `Vec`),
+//! **pooled** (a [`PoolRef`] that returns to its [`BufferPool`] on drop), or
+//! **mapped** (a shared window into an [`Mmap`](crate::Mmap), so a parameter
+//! tensor can borrow its bytes straight out of a checkpoint file with zero
+//! copies). All reads go through `Deref<Target = [f32]>`; mutation goes
+//! through `DerefMut`, which transparently **copies-on-write** a mapped
+//! buffer into an owned one — mapped storage is immutable by construction
+//! (many tensors may share one mapping), so the first in-place write
+//! privatizes the bytes.
+
+use crate::bufpool::{BufferPool, PoolRef};
+use crate::mmap::Mmap;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// The buffer behind a [`Tensor`](crate::Tensor): owned, pooled, or a
+/// zero-copy window into a memory-mapped checkpoint.
+///
+/// See the module docs above for the ownership and copy-on-write rules.
+#[derive(Debug)]
+pub enum Storage {
+    /// A plain owned heap buffer — the default for every constructor.
+    Owned(Vec<f32>),
+    /// A buffer on loan from a [`BufferPool`]; dropping it returns the
+    /// storage to the pool.
+    Pooled(PoolRef),
+    /// A shared, immutable window of `len` elements starting `offset`
+    /// **bytes** into a mapping. Cloning is an `Arc` bump (no data copy);
+    /// writing copies-on-write into [`Storage::Owned`].
+    Mapped {
+        /// The mapping the window borrows from (kept alive by this handle).
+        map: Arc<Mmap>,
+        /// Byte offset of the first element (4-byte aligned).
+        offset: usize,
+        /// Number of `f32` elements in the window.
+        len: usize,
+    },
+}
+
+impl Storage {
+    /// Read-only view of the elements.
+    pub fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Pooled(p) => p,
+            Storage::Mapped { map, offset, len } => map
+                .f32_slice(*offset, *len)
+                .expect("mapped storage window was validated at construction"),
+        }
+    }
+
+    /// `true` if this storage borrows a memory mapping (zero-copy loaded).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Storage::Mapped { .. })
+    }
+
+    /// Ensures the storage is [`Storage::Owned`], copying mapped bytes and
+    /// detaching pooled buffers as needed.
+    fn make_owned(&mut self) {
+        match self {
+            Storage::Owned(_) => {}
+            Storage::Pooled(p) => {
+                let v = std::mem::replace(p, PoolRef::detached()).into_vec();
+                *self = Storage::Owned(v);
+            }
+            Storage::Mapped { .. } => *self = Storage::Owned(self.as_slice().to_vec()),
+        }
+    }
+
+    /// Resizes to `len` elements (new elements are `fill`), privatizing
+    /// non-owned storage first. Same-length calls on owned buffers are
+    /// free — the `Tensor::refit` fast path.
+    pub(crate) fn resize(&mut self, len: usize, fill: f32) {
+        if let Storage::Owned(v) = self {
+            if v.len() != len {
+                v.resize(len, fill);
+            }
+            return;
+        }
+        if self.as_slice().len() == len && !self.is_mapped() {
+            return;
+        }
+        self.make_owned();
+        if let Storage::Owned(v) = self {
+            v.resize(len, fill);
+        }
+    }
+
+    /// Consumes the storage, returning an owned buffer (detaching it from
+    /// a pool, or copying it out of a mapping).
+    pub fn into_vec(self) -> Vec<f32> {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Pooled(p) => p.into_vec(),
+            Storage::Mapped { .. } => self.as_slice().to_vec(),
+        }
+    }
+
+    /// Hands the buffer to `pool` for reuse. Pooled storage returns to
+    /// **its own** pool (via drop); mapped storage has nothing to give.
+    pub(crate) fn give_to(self, pool: &BufferPool) {
+        match self {
+            Storage::Owned(v) => pool.give_f32(v),
+            Storage::Pooled(p) => drop(p),
+            Storage::Mapped { .. } => {}
+        }
+    }
+}
+
+impl From<Vec<f32>> for Storage {
+    fn from(v: Vec<f32>) -> Self {
+        Storage::Owned(v)
+    }
+}
+
+impl From<PoolRef> for Storage {
+    fn from(p: PoolRef) -> Self {
+        Storage::Pooled(p)
+    }
+}
+
+impl Deref for Storage {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Storage {
+    /// Mutable access; **copies-on-write** mapped storage into an owned
+    /// buffer first (pooled and owned buffers mutate in place).
+    fn deref_mut(&mut self) -> &mut [f32] {
+        if self.is_mapped() {
+            self.make_owned();
+        }
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Pooled(p) => p,
+            Storage::Mapped { .. } => unreachable!("mapped storage was privatized above"),
+        }
+    }
+}
+
+impl Clone for Storage {
+    /// Owned and pooled buffers clone by copying into a fresh owned buffer;
+    /// mapped windows clone by bumping the mapping's `Arc` — **zero copy**,
+    /// which is what keeps `Parameter::value()` snapshots of mmap-loaded
+    /// weights free.
+    fn clone(&self) -> Self {
+        match self {
+            Storage::Mapped { map, offset, len } => Storage::Mapped {
+                map: Arc::clone(map),
+                offset: *offset,
+                len: *len,
+            },
+            other => Storage::Owned(other.as_slice().to_vec()),
+        }
+    }
+}
+
+impl PartialEq for Storage {
+    /// Element-wise equality of the viewed slices (the variant does not
+    /// participate: an owned and a mapped buffer with equal contents are
+    /// equal).
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_roundtrip() {
+        let mut s = Storage::from(vec![1.0f32, 2.0, 3.0]);
+        assert_eq!(&s[..], &[1.0, 2.0, 3.0]);
+        s[1] = 5.0;
+        assert_eq!(s.clone().into_vec(), vec![1.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn pooled_detaches_on_into_vec() {
+        let pool = Arc::new(BufferPool::new());
+        let r = BufferPool::take_ref(&pool, 4);
+        let s = Storage::from(r);
+        assert_eq!(s.as_slice().len(), 4);
+        let v = s.into_vec();
+        assert_eq!(v.len(), 4);
+        // detached: nothing returned to the pool
+        assert_eq!(pool.stats().returns, 0);
+    }
+
+    #[test]
+    fn pooled_drop_returns_to_its_pool() {
+        let pool = Arc::new(BufferPool::new());
+        let other = BufferPool::new();
+        let s = Storage::from(BufferPool::take_ref(&pool, 8));
+        s.give_to(&other);
+        assert_eq!(pool.stats().returns, 1, "returns to the owning pool");
+        assert_eq!(other.stats().returns, 0);
+    }
+
+    #[test]
+    fn mapped_clone_is_zero_copy_and_write_privatizes() {
+        let bytes: Vec<u8> = [1.0f32, 2.0, 3.0, 4.0]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let map = Arc::new(Mmap::from_bytes(bytes));
+        let mut s = Storage::Mapped {
+            map: Arc::clone(&map),
+            offset: 4,
+            len: 2,
+        };
+        assert!(s.is_mapped());
+        assert_eq!(&s[..], &[2.0, 3.0]);
+        let c = s.clone();
+        assert!(c.is_mapped(), "clone shares the mapping");
+        // first write copies-on-write; the mapping is untouched
+        s[0] = 9.0;
+        assert!(!s.is_mapped());
+        assert_eq!(&s[..], &[9.0, 3.0]);
+        assert_eq!(&c[..], &[2.0, 3.0]);
+    }
+}

@@ -1,5 +1,5 @@
 use crate::mat::{gemm, MatMut, MatRef};
-use crate::{elemwise, BufferPool, Rng, Shape, TensorError};
+use crate::{elemwise, BufferPool, Rng, Shape, Storage, TensorError};
 use std::fmt;
 
 pub(crate) use qn_parallel::PAR_MIN_ELEMS;
@@ -7,8 +7,12 @@ pub(crate) use qn_parallel::PAR_MIN_ELEMS;
 /// A dense, contiguous, row-major `f32` array of arbitrary rank.
 ///
 /// `Tensor` is the single numeric container used throughout `quadranet`.
-/// It is owned and contiguous: rank-changing views are materialized by
-/// copying, which keeps the autodiff tape simple. The exception is the 2-D
+/// Its buffer is a [`Storage`]: usually an owned `Vec`, sometimes a pooled
+/// buffer, and — for checkpoint-loaded parameters — a **zero-copy window
+/// into a memory mapping** (see [`Tensor::is_mapped`]; in-place writes
+/// copy-on-write). It is contiguous and row-major: rank-changing views are
+/// materialized by copying, which keeps the autodiff tape simple. The
+/// exception is the 2-D
 /// matrix-product path: [`Tensor::mat`] borrows a tensor as a zero-copy
 /// stride-aware [`MatRef`](crate::MatRef) view, and the `matmul` family
 /// below passes transposes into the shared [`gemm`](crate::gemm) core as
@@ -28,7 +32,7 @@ pub(crate) use qn_parallel::PAR_MIN_ELEMS;
 /// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Storage,
     shape: Shape,
 }
 
@@ -53,7 +57,7 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![0.0; shape.numel()],
+            data: vec![0.0; shape.numel()].into(),
             shape,
         }
     }
@@ -67,7 +71,7 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![value; shape.numel()],
+            data: vec![value; shape.numel()].into(),
             shape,
         }
     }
@@ -86,14 +90,33 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor {
+            data: data.into(),
+            shape,
+        })
     }
 
     /// Builds a tensor by evaluating `f` at every flat index.
     pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.numel()).map(&mut f).collect();
+        let data: Vec<f32> = (0..shape.numel()).map(&mut f).collect();
+        Tensor {
+            data: data.into(),
+            shape,
+        }
+    }
+
+    /// Assembles a tensor from pre-validated storage (the `checkpoint`
+    /// module's constructor: the shape/length invariant is the caller's).
+    pub(crate) fn from_storage(data: Storage, shape: Shape) -> Self {
+        debug_assert_eq!(data.len(), shape.numel());
         Tensor { data, shape }
+    }
+
+    /// `true` if this tensor's storage is a zero-copy window into a
+    /// memory-mapped checkpoint (see [`Storage::Mapped`]).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Identity matrix of size `n × n`.
@@ -121,7 +144,10 @@ impl Tensor {
         let shape = Shape::from(dvec);
         let mut data = pool.take_f32(shape.numel());
         data.fill(0.0);
-        Tensor { data, shape }
+        Tensor {
+            data: data.into(),
+            shape,
+        }
     }
 
     /// Like [`Tensor::from_pooled`] but with **unspecified contents** (the
@@ -132,13 +158,17 @@ impl Tensor {
         dvec.copy_from_slice(dims);
         let shape = Shape::from(dvec);
         let data = pool.take_f32(shape.numel());
-        Tensor { data, shape }
+        Tensor {
+            data: data.into(),
+            shape,
+        }
     }
 
     /// Returns this tensor's data and shape buffers to `pool` for reuse by
-    /// a later [`Tensor::from_pooled`] of the same shape.
+    /// a later [`Tensor::from_pooled`] of the same shape. (Mapped storage
+    /// has nothing to give back — the mapping is shared, not recyclable.)
     pub fn into_pool(self, pool: &BufferPool) {
-        pool.give_f32(self.data);
+        self.data.give_to(pool);
         pool.give_usize(self.shape.into_dims());
     }
 
@@ -195,9 +225,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its buffer.
+    /// Consumes the tensor, returning its buffer (copied out of shared
+    /// storage if the tensor was mapped).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Element at a multi-index.
@@ -300,7 +331,7 @@ impl Tensor {
         let mut out = vec![0.0f32; self.numel()];
         self.permute_into(axes, &mut out);
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&new_dims),
         }
     }
@@ -389,7 +420,7 @@ impl Tensor {
         let mut out = vec![0.0f32; self.numel()];
         elemwise::map_to(&mut out, &self.data, f);
         Tensor {
-            data: out,
+            data: out.into(),
             shape: self.shape.clone(),
         }
     }
@@ -417,7 +448,7 @@ impl Tensor {
         let mut out = vec![0.0f32; self.numel()];
         elemwise::zip_to(&mut out, &self.data, &other.data, f);
         Tensor {
-            data: out,
+            data: out.into(),
             shape: self.shape.clone(),
         }
     }
@@ -620,7 +651,7 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         gemm(MatMut::new(&mut out, m, n), self.mat(), other.mat());
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&[m, n]),
         }
     }
@@ -645,7 +676,7 @@ impl Tensor {
             other.mat(),
         );
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&[m, n]),
         }
     }
@@ -670,7 +701,7 @@ impl Tensor {
             other.mat().transpose(),
         );
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&[m, n]),
         }
     }
@@ -755,7 +786,7 @@ impl Tensor {
         let mut out = vec![0.0f32; outer * inner];
         self.sum_axis_into(axis, &mut out);
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&out_dims),
         }
     }
@@ -865,7 +896,7 @@ impl Tensor {
             }
         }
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&out_dims),
         }
     }
@@ -898,7 +929,7 @@ impl Tensor {
                 .copy_from_slice(&self.data[src_base..src_base + new_mid * inner]);
         }
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&out_dims),
         }
     }
@@ -920,7 +951,7 @@ impl Tensor {
             out[d * inner..(d + 1) * inner].copy_from_slice(&self.data[i * inner..(i + 1) * inner]);
         }
         Tensor {
-            data: out,
+            data: out.into(),
             shape: Shape::new(&out_dims),
         }
     }

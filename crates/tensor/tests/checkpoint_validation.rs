@@ -1,0 +1,264 @@
+//! Fuzz-style negative tests for the checkpoint container: every malformed
+//! input must surface as a [`TensorError`], never a panic, and never a
+//! silently-wrong parse. [`Checkpoint::from_bytes`] is the fuzz entry point
+//! — it runs the identical validation path as [`Checkpoint::open`].
+
+use qn_tensor::checkpoint::{crc32, BLOB_ALIGN, CHECKPOINT_MAGIC};
+use qn_tensor::{Checkpoint, CheckpointWriter, Rng, Tensor, TensorError, CHECKPOINT_VERSION};
+
+/// A small but fully-featured valid file: meta plus two oddly-sized
+/// tensors (so there is alignment padding between blobs).
+fn valid_bytes() -> Vec<u8> {
+    let mut w = CheckpointWriter::new();
+    w.add_meta("kind", "fuzz-target");
+    w.add("a.weight", Tensor::from_fn(&[3, 5], |i| i as f32));
+    w.add("a.bias", Tensor::from_fn(&[3], |i| -(i as f32)));
+    w.to_bytes().expect("serialize")
+}
+
+/// Builds a file around an arbitrary header byte string, with correct
+/// magic/version/crc/header_len framing — isolates header-content
+/// validation from framing validation.
+fn craft(header: &[u8], data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder
+    out.extend_from_slice(&(header.len() as u64).to_le_bytes());
+    out.extend_from_slice(header);
+    out.resize(out.len().div_ceil(BLOB_ALIGN) * BLOB_ALIGN, 0);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32(&out[16..]);
+    out[12..16].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Header JSON describing one 4-element tensor at data offset 0.
+fn one_tensor_header(fields: &str) -> String {
+    format!("{{\"meta\":{{}},\"tensors\":[{{{fields}}}]}}")
+}
+
+#[test]
+fn the_fuzz_target_baseline_parses() {
+    let ckpt = Checkpoint::from_bytes(valid_bytes()).expect("valid file");
+    assert_eq!(ckpt.version(), CHECKPOINT_VERSION);
+    assert_eq!(ckpt.meta("kind"), Some("fuzz-target"));
+    assert_eq!(ckpt.entries().len(), 2);
+    let t = ckpt.tensor("a.weight").expect("tensor");
+    assert_eq!(t.shape().dims(), &[3, 5]);
+    assert_eq!(t.data()[7], 7.0);
+}
+
+#[test]
+fn every_truncation_is_an_error() {
+    let bytes = valid_bytes();
+    for len in 0..bytes.len() {
+        let res = Checkpoint::from_bytes(&bytes[..len]);
+        assert!(res.is_err(), "truncation to {len}/{} parsed", bytes.len());
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let bytes = valid_bytes();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            let res = Checkpoint::from_bytes(&corrupt);
+            assert!(res.is_err(), "flip of byte {byte} bit {bit} undetected");
+        }
+    }
+}
+
+#[test]
+fn appended_garbage_fails_the_checksum() {
+    let mut bytes = valid_bytes();
+    bytes.push(0xAB);
+    assert!(matches!(
+        Checkpoint::from_bytes(&bytes),
+        Err(TensorError::InvalidCheckpoint { .. })
+    ));
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    for magic in [&[0u8; 8], b"SAFETENS", b"QNCKPT\x01\0", b"qnckpt\0\0"] {
+        let mut bytes = valid_bytes();
+        bytes[..8].copy_from_slice(magic);
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(
+            format!("{err}").contains("magic"),
+            "wrong error for magic {magic:02x?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn unsupported_versions_are_rejected_before_any_parsing() {
+    // version is checked before the crc, so no re-hashing is needed here
+    for version in [0u32, CHECKPOINT_VERSION + 1, u32::MAX] {
+        let mut bytes = valid_bytes();
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        match Checkpoint::from_bytes(&bytes) {
+            Err(TensorError::VersionMismatch { found, supported }) => {
+                assert_eq!(found, version);
+                assert_eq!(supported, CHECKPOINT_VERSION);
+            }
+            other => panic!("version {version} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn header_length_overruns_are_rejected() {
+    for header_len in [u64::MAX, u64::MAX - 23, 1 << 40, 100_000] {
+        let mut bytes = valid_bytes();
+        bytes[16..24].copy_from_slice(&header_len.to_le_bytes());
+        let crc = crc32(&bytes[16..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(
+            format!("{err}").contains("header length"),
+            "header_len {header_len} gave: {err}"
+        );
+    }
+}
+
+#[test]
+fn non_utf8_header_is_rejected() {
+    let err = Checkpoint::from_bytes(craft(&[0xFF, 0xFE, b'{', b'}'], &[])).unwrap_err();
+    assert!(format!("{err}").contains("UTF-8"), "got: {err}");
+}
+
+#[test]
+fn malformed_header_json_is_rejected() {
+    for header in [
+        "",
+        "not json at all",
+        "{",
+        "{}trailing",
+        "{\"meta\":{",
+        "{\"meta\":{\"k\":}}",
+        "{\"meta\":{\"unterminated",
+        "{\"tensors\":[{]}",
+        "{\"tensors\":[{\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[1e3],\"offset\":0,\"len\":1}]}",
+        "{\"meta\":{\"k\":\"bad \\q escape\"}}",
+        "{\"meta\":{\"k\":\"bad \\uZZZZ escape\"}}",
+    ] {
+        let res = Checkpoint::from_bytes(craft(header.as_bytes(), &[]));
+        assert!(res.is_err(), "header {header:?} parsed");
+    }
+}
+
+#[test]
+fn incomplete_tensor_entries_are_rejected() {
+    for fields in [
+        "",
+        "\"name\":\"a\"",
+        "\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[4],\"offset\":0",
+        "\"name\":\"a\",\"dtype\":\"f32\",\"offset\":0,\"len\":4",
+        "\"name\":\"a\",\"shape\":[4],\"offset\":0,\"len\":4",
+    ] {
+        let header = one_tensor_header(fields);
+        let res = Checkpoint::from_bytes(craft(header.as_bytes(), &[0.0; 4]));
+        assert!(res.is_err(), "entry {{{fields}}} parsed");
+    }
+}
+
+#[test]
+fn wrong_dtype_is_rejected() {
+    let header =
+        one_tensor_header("\"name\":\"a\",\"dtype\":\"f64\",\"shape\":[4],\"offset\":0,\"len\":4");
+    let err = Checkpoint::from_bytes(craft(header.as_bytes(), &[0.0; 4])).unwrap_err();
+    assert!(format!("{err}").contains("dtype"), "got: {err}");
+}
+
+#[test]
+fn shape_len_disagreement_is_rejected() {
+    let header = one_tensor_header(
+        "\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[2,2],\"offset\":0,\"len\":3",
+    );
+    let err = Checkpoint::from_bytes(craft(header.as_bytes(), &[0.0; 4])).unwrap_err();
+    assert!(format!("{err}").contains("elements"), "got: {err}");
+}
+
+#[test]
+fn overflowing_shapes_and_offsets_are_rejected() {
+    let huge = usize::MAX;
+    for fields in [
+        // shape product overflows usize
+        format!("\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[{huge},16],\"offset\":0,\"len\":1"),
+        // literal too large for usize
+        format!("\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[{huge}9],\"offset\":0,\"len\":1"),
+        // offset + data_start overflows
+        format!("\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[1],\"offset\":{huge},\"len\":1"),
+        // misaligned offset
+        "\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[1],\"offset\":2,\"len\":1".to_string(),
+    ] {
+        let header = one_tensor_header(&fields);
+        let res = Checkpoint::from_bytes(craft(header.as_bytes(), &[0.0; 4]));
+        assert!(res.is_err(), "entry {{{fields}}} parsed");
+    }
+}
+
+#[test]
+fn blobs_past_the_end_of_file_are_rejected_at_parse_time() {
+    // len 64 declared, only 4 floats present: the bounds check must fire in
+    // from_bytes, not later in tensor()/tensor_mapped()
+    let header = one_tensor_header(
+        "\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[64],\"offset\":0,\"len\":64",
+    );
+    let err = Checkpoint::from_bytes(craft(header.as_bytes(), &[0.0; 4])).unwrap_err();
+    assert!(format!("{err}").contains("'a'"), "got: {err}");
+}
+
+#[test]
+fn duplicate_tensor_names_are_rejected() {
+    let entry = "{\"name\":\"a\",\"dtype\":\"f32\",\"shape\":[1],\"offset\":0,\"len\":1}";
+    let header = format!("{{\"meta\":{{}},\"tensors\":[{entry},{entry}]}}");
+    let err = Checkpoint::from_bytes(craft(header.as_bytes(), &[0.0; 4])).unwrap_err();
+    assert!(format!("{err}").contains("duplicate"), "got: {err}");
+}
+
+#[test]
+fn unknown_header_keys_are_tolerated() {
+    // forward-compat: extra keys (of every JSON value kind) skip cleanly
+    let header = "{\"meta\":{},\"future\":{\"x\":[1,{\"y\":\"z\"}],\"b\":true},\"tensors\":[],\
+\"v\":null}";
+    let ckpt = Checkpoint::from_bytes(craft(header.as_bytes(), &[])).expect("tolerant parse");
+    assert!(ckpt.entries().is_empty());
+}
+
+#[test]
+fn random_garbage_never_parses_and_never_panics() {
+    let mut rng = Rng::seed_from(0xF422);
+    for round in 0..512 {
+        let len = rng.below(600);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let res = Checkpoint::from_bytes(&bytes);
+        assert!(res.is_err(), "garbage round {round} ({len} bytes) parsed");
+    }
+}
+
+#[test]
+fn random_mutations_of_a_valid_file_never_panic() {
+    // unlike the exhaustive bit-flip sweep this also patches the crc, so
+    // the structural validators behind it get exercised
+    let bytes = valid_bytes();
+    let mut rng = Rng::seed_from(0xC4C);
+    for _ in 0..512 {
+        let mut corrupt = bytes.clone();
+        for _ in 0..1 + rng.below(4) {
+            let at = rng.below(corrupt.len());
+            corrupt[at] = rng.below(256) as u8;
+        }
+        let crc = crc32(&corrupt[16..]);
+        corrupt[12..16].copy_from_slice(&crc.to_le_bytes());
+        // outcome may be Ok (mutation hit padding or a blob byte) or Err
+        // (mutation hit structure) — it must simply never panic
+        let _ = Checkpoint::from_bytes(&corrupt);
+    }
+}
