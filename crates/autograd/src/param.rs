@@ -99,6 +99,14 @@ impl Parameter {
         self.read().value.numel()
     }
 
+    /// `true` if the current value borrows a mapped checkpoint window
+    /// (zero-copy loaded). Cheap — reads the storage tag under the lock
+    /// without snapshotting the data, so introspection walks (registry
+    /// `SlotInfo`, `/metrics` scrapes) don't copy weights.
+    pub fn is_mapped(&self) -> bool {
+        self.read().value.is_mapped()
+    }
+
     /// Overwrites the value (used by initializers and spectral re-projection).
     ///
     /// # Panics

@@ -5,6 +5,14 @@ use qn_nn::Module;
 use qn_tensor::{BufferPool, Tensor, TensorError};
 use std::sync::Arc;
 
+/// Hard upper bound on the batch dimension the validating (`try_*`) entry
+/// points accept. A serving front-end must enforce this at **admission**
+/// (qn-serve clamps every route's flush size to it), so a single oversized
+/// request can never commit the arena to an unbounded amount of activation
+/// memory. Trusted callers that really want larger batches can use the
+/// panicking [`InferenceSession::predict_batch`] directly.
+pub const MAX_BATCH: usize = 1024;
+
 /// The model behind a session: borrowed from the caller, or shared
 /// ownership (what [`ModelRegistry`](crate::ModelRegistry) hands out so a
 /// hot-swap can retire the old model only after its last session drops).
@@ -272,10 +280,16 @@ impl<'m> InferenceSession<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::ShapeMismatch`] if the sample's shape differs
-    /// from the shape configured via
+    /// Returns [`TensorError::EmptyInput`] if the sample has zero elements
+    /// (any zero-sized dimension), and [`TensorError::ShapeMismatch`] if
+    /// its shape differs from the shape configured via
     /// [`InferenceSession::with_sample_shape`].
     pub fn try_predict(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
+        if x.shape().dims().contains(&0) {
+            return Err(TensorError::EmptyInput {
+                what: "predict sample",
+            });
+        }
         if let Some(expected) = &self.sample_shape {
             if x.shape().dims() != expected.as_slice() {
                 return Err(TensorError::ShapeMismatch {
@@ -291,12 +305,30 @@ impl<'m> InferenceSession<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::ShapeMismatch`] if the batch's trailing dims
+    /// Returns [`TensorError::EmptyInput`] for an empty batch (`b == 0`, or
+    /// any other zero-sized dimension) and [`TensorError::ShapeMismatch`]
+    /// when the batch dimension exceeds [`MAX_BATCH`] or the trailing dims
     /// differ from the configured per-sample shape (or the input has no
-    /// batch dimension).
+    /// batch dimension). Never panics on a malformed batch *shape*; the
+    /// underlying model's own shape contract still applies to the sample
+    /// dims when no sample shape was configured.
     pub fn try_predict_batch(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let dims = x.shape().dims();
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(TensorError::EmptyInput {
+                what: "predict_batch batch",
+            });
+        }
+        let batch = dims[0];
+        if batch > MAX_BATCH {
+            let mut want = vec![MAX_BATCH];
+            want.extend_from_slice(&dims[1..]);
+            return Err(TensorError::ShapeMismatch {
+                expected: want,
+                actual: dims.to_vec(),
+            });
+        }
         if let Some(expected) = &self.sample_shape {
-            let dims = x.shape().dims();
             if dims.len() != expected.len() + 1 || dims[1..] != expected[..] {
                 let mut want = vec![dims.first().copied().unwrap_or(1)];
                 want.extend_from_slice(expected);
@@ -391,5 +423,34 @@ mod tests {
         assert!(session
             .try_predict_batch(&Tensor::zeros(&[3, 16, 16]))
             .is_err());
+    }
+
+    #[test]
+    fn try_predict_batch_rejects_empty_and_oversized_batches() {
+        let net = tiny_net(NeuronSpec::Linear);
+        // b == 0 must error, not panic — with and without a sample shape
+        let mut plain = InferenceSession::new(&net);
+        let err = plain
+            .try_predict_batch(&Tensor::zeros(&[0, 3, 16, 16]))
+            .unwrap_err();
+        assert!(matches!(err, TensorError::EmptyInput { .. }), "{err:?}");
+        let mut checked = InferenceSession::with_sample_shape(&net, &[3, 16, 16]);
+        let err = checked
+            .try_predict_batch(&Tensor::zeros(&[0, 3, 16, 16]))
+            .unwrap_err();
+        assert!(matches!(err, TensorError::EmptyInput { .. }), "{err:?}");
+        // an interior zero-sized dim is also an empty input
+        let err = plain
+            .try_predict_batch(&Tensor::zeros(&[2, 0, 16, 16]))
+            .unwrap_err();
+        assert!(matches!(err, TensorError::EmptyInput { .. }), "{err:?}");
+        // a zero-element sample too
+        let err = plain.try_predict(&Tensor::zeros(&[0, 16, 16])).unwrap_err();
+        assert!(matches!(err, TensorError::EmptyInput { .. }), "{err:?}");
+        // over-limit batches are rejected at admission (shape is cheap to
+        // build: the guard fires before any data is touched)
+        let over = Tensor::zeros(&[MAX_BATCH + 1, 1]);
+        let err = plain.try_predict_batch(&over).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { .. }), "{err:?}");
     }
 }

@@ -13,7 +13,35 @@
 //! [`LoadMode::Mapped`](qn_nn::LoadMode)), then [`publish`] it over the
 //! running slot.
 //!
+//! # Concurrency contract
+//!
+//! The registry is a single `RwLock` over the name → slot map, and **the
+//! lock is only ever held for map access** — never while running a model,
+//! walking its parameters, or loading weights. The rules callers can rely
+//! on:
+//!
+//! - **`publish` is atomic.** Readers observe either the old or the new
+//!   `Arc` for a slot, never a torn state; the generation counter bumps in
+//!   the same critical section, so `generation() == g` implies a subsequent
+//!   `get()` returns the model of generation ≥ `g`.
+//! - **`retire` never stops in-flight work.** It removes the slot from the
+//!   map; sessions (and any caller of `get`) that already hold the `Arc`
+//!   keep serving it, and the model is dropped when its last handle drops.
+//!   A retired name simply stops resolving for *new* sessions.
+//! - **Publishing must not block serving.** Build and load the new model
+//!   *before* calling `publish` (the write lock is then held only for a
+//!   pointer swap — sub-microsecond, measured in `BENCH_load.json`).
+//!   Never construct models inside a closure that holds registry state.
+//! - **Read-side introspection is lock-light.** [`names`],
+//!   [`generation`](ModelRegistry::generation), [`info`] and [`snapshot`]
+//!   clone the `Arc`s under the read lock and do any expensive work
+//!   (parameter walks) *after* releasing it, so a `/metrics` scrape can
+//!   never stall a concurrent publish for longer than a map read.
+//!
 //! [`publish`]: ModelRegistry::publish
+//! [`names`]: ModelRegistry::names
+//! [`info`]: ModelRegistry::info
+//! [`snapshot`]: ModelRegistry::snapshot
 //!
 //! # Example
 //!
@@ -114,6 +142,40 @@ impl ModelRegistry {
         names
     }
 
+    /// Read-side introspection for one slot: generation, live handle count
+    /// and parameter statistics. The registry lock is held only to clone
+    /// the `Arc`; the parameter walk happens after it is released (see the
+    /// module-level concurrency contract). Returns `None` for an unknown
+    /// name.
+    pub fn info(&self, name: &str) -> Option<SlotInfo> {
+        let (model, generation) = {
+            let slots = self.slots.read().expect("registry lock poisoned");
+            let slot = slots.get(name)?;
+            (Arc::clone(&slot.model), slot.generation)
+        };
+        Some(SlotInfo::collect(name, generation, &model))
+    }
+
+    /// [`info`](ModelRegistry::info) for every slot, sorted by name. One
+    /// read-lock acquisition for the whole map; parameter walks run
+    /// lock-free afterwards — this is what a `/metrics` endpoint should
+    /// call.
+    pub fn snapshot(&self) -> Vec<SlotInfo> {
+        let handles: Vec<(String, u64, Arc<dyn Module + Send + Sync>)> = {
+            let slots = self.slots.read().expect("registry lock poisoned");
+            let mut hs: Vec<_> = slots
+                .iter()
+                .map(|(name, slot)| (name.clone(), slot.generation, Arc::clone(&slot.model)))
+                .collect();
+            hs.sort_by(|a, b| a.0.cmp(&b.0));
+            hs
+        };
+        handles
+            .into_iter()
+            .map(|(name, generation, model)| SlotInfo::collect(&name, generation, &model))
+            .collect()
+    }
+
     /// Opens a generation-tracking serving session on a slot. Returns
     /// `None` for an unknown name.
     pub fn session<'r>(&'r self, name: &str) -> Option<RegistrySession<'r>> {
@@ -128,6 +190,66 @@ impl ModelRegistry {
             generation,
             session: InferenceSession::owned(model),
         })
+    }
+}
+
+/// Read-side snapshot of one registry slot (see [`ModelRegistry::info`] /
+/// [`ModelRegistry::snapshot`]): everything a metrics endpoint or router
+/// wants to report about a published model, collected without holding the
+/// registry lock during the parameter walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Slot name.
+    pub name: String,
+    /// Generation at snapshot time (bumped on every publish).
+    pub generation: u64,
+    /// Handles to this model generation held **outside** the registry
+    /// (sessions, routers, …) at snapshot time. Racy by nature — a handle
+    /// may be cloned or dropped the instant after — so treat it as a gauge,
+    /// not an invariant.
+    pub live_handles: usize,
+    /// Number of trainable parameter tensors.
+    pub params: usize,
+    /// Total trainable parameter elements (f32 count).
+    pub param_elems: usize,
+    /// Parameters whose storage is a mapped checkpoint window
+    /// (zero-copy loaded via `LoadMode::Mapped`).
+    pub mapped_params: usize,
+}
+
+impl SlotInfo {
+    fn collect(name: &str, generation: u64, model: &Arc<dyn Module + Send + Sync>) -> SlotInfo {
+        struct Census {
+            params: usize,
+            param_elems: usize,
+            mapped_params: usize,
+        }
+        impl qn_nn::ParamVisitor for Census {
+            fn param(&mut self, _name: &str, p: &qn_autograd::Parameter) {
+                self.params += 1;
+                self.param_elems += p.numel();
+                if p.is_mapped() {
+                    self.mapped_params += 1;
+                }
+            }
+        }
+        let mut census = Census {
+            params: 0,
+            param_elems: 0,
+            mapped_params: 0,
+        };
+        model.visit_params(&mut census);
+        // strong_count sees the registry's own Arc plus the clone this
+        // snapshot holds; everything beyond those two is an outside handle.
+        let live_handles = Arc::strong_count(model).saturating_sub(2);
+        SlotInfo {
+            name: name.to_string(),
+            generation,
+            live_handles,
+            params: census.params,
+            param_elems: census.param_elems,
+            mapped_params: census.mapped_params,
+        }
     }
 }
 
@@ -230,6 +352,49 @@ mod tests {
         assert!(reg.get("a").is_some());
         assert!(reg.retire("a").is_some());
         assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn info_and_snapshot_report_without_blocking() {
+        let reg = ModelRegistry::new();
+        assert!(reg.info("missing").is_none());
+        assert!(reg.snapshot().is_empty());
+        let mut rng = Rng::seed_from(3);
+        reg.publish("lin", Arc::new(Linear::new(4, 2, true, &mut rng)));
+        reg.publish("net", Arc::new(tiny_net(1)));
+
+        let info = reg.info("lin").expect("published");
+        assert_eq!(info.name, "lin");
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.params, 2); // weight + bias
+        assert_eq!(info.param_elems, 4 * 2 + 2);
+        assert_eq!(info.mapped_params, 0);
+        assert_eq!(info.live_handles, 0);
+
+        // an outstanding session holds a handle; the gauge sees it
+        let session = reg.session("lin").expect("slot exists");
+        assert_eq!(reg.info("lin").expect("published").live_handles, 1);
+        drop(session);
+        assert_eq!(reg.info("lin").expect("published").live_handles, 0);
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["lin", "net"],
+            "snapshot is name-sorted"
+        );
+        assert!(snap[1].param_elems > snap[0].param_elems);
+
+        // a mmap-loaded model reports its mapped parameter census
+        let path = std::env::temp_dir().join("qn_registry_info.qnckpt");
+        checkpoint::save_module(&tiny_net(1), &[], &path).expect("save");
+        let reloaded = tiny_net(2);
+        checkpoint::load_module(&reloaded, &path, LoadMode::Mapped).expect("load");
+        reg.publish("net", Arc::new(reloaded));
+        let info = reg.info("net").expect("published");
+        assert_eq!(info.generation, 2);
+        assert!(info.mapped_params > 0, "mapped census must see mmap params");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! `qn-serve-bench`: loopback load generator for the serving front-end.
+//!
+//! Starts an in-process `qn-serve` server fronting a small
+//! quadratic-neuron ResNet, then drives it over real loopback TCP at a
+//! ladder of **offered** request rates (open-loop pacing: requests are
+//! scheduled by a global clock, so a slow server accumulates queueing
+//! delay instead of silently throttling the generator — that is what makes
+//! the reported latency honest and exercises the 429 backpressure path at
+//! the top of the ladder).
+//!
+//! Output: `BENCH_serving.json` at the repo root with per-step p50/p90/
+//! p99/p999 latency, achieved throughput, shed counts, and the server's
+//! flushed-batch-size histogram. `QN_SMOKE=1` shrinks the ladder for CI.
+
+use qn_core::NeuronSpec;
+use qn_models::{NeuronPlacement, ResNet, ResNetConfig};
+use qn_nn::Module;
+use qn_serve::{BatchConfig, LatencyHistogram, ServeConfig, ServerBuilder};
+use qn_tensor::Rng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SAMPLE_SHAPE: [usize; 3] = [3, 32, 32];
+const ROUTE: &str = "resnet8-eq2";
+
+struct StepResult {
+    offered_qps: u64,
+    duration: Duration,
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    elapsed: Duration,
+    latency: qn_serve::HistogramSnapshot,
+}
+
+/// Per-client worker: pulls globally-paced tickets, fires requests over a
+/// persistent keep-alive connection, records client-side latency.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    addr: SocketAddr,
+    body: &[u8],
+    ticket: &AtomicU64,
+    start: Instant,
+    interval: Duration,
+    total: u64,
+    hist: &LatencyHistogram,
+    ok: &AtomicU64,
+    rejected: &AtomicU64,
+    errors: &AtomicU64,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let head = format!(
+        "POST /v1/models/{ROUTE}/predict HTTP/1.1\r\nHost: bench\r\n\
+         Content-Type: application/octet-stream\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut request = head.into_bytes();
+    request.extend_from_slice(body);
+    loop {
+        let i = ticket.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            return;
+        }
+        // open-loop pacing: never send early, send immediately if behind
+        let target = start + mul_interval(interval, i);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let t0 = Instant::now();
+        let status = request_once(&mut stream, addr, &request);
+        match status {
+            Some(200) => {
+                hist.record(t0.elapsed().as_nanos() as u64);
+                ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(429) | Some(503) => {
+                rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// `interval * n` without u128 arithmetic (both operands are small: the
+/// interval is at most tens of milliseconds, `n` at most a few thousand).
+fn mul_interval(interval: Duration, n: u64) -> Duration {
+    Duration::from_nanos((interval.as_nanos() as u64).saturating_mul(n))
+}
+
+/// Sends one request on the persistent connection (reconnecting on any
+/// transport error) and returns the response status. Drains the body per
+/// `Content-Length` so the connection is reusable.
+fn request_once(stream: &mut Option<TcpStream>, addr: SocketAddr, request: &[u8]) -> Option<u16> {
+    for attempt in 0..2 {
+        if stream.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(60)));
+                    *stream = Some(s);
+                }
+                Err(_) => return None,
+            }
+        }
+        let s = stream.as_mut().expect("connected above");
+        if s.write_all(request).is_err() {
+            *stream = None;
+            if attempt == 0 {
+                continue; // stale keep-alive connection: reconnect once
+            }
+            return None;
+        }
+        match read_response(s) {
+            Some(status) => return Some(status),
+            None => {
+                *stream = None;
+                if attempt == 0 {
+                    continue;
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Minimal client-side response reader: status line + headers, then drains
+/// exactly `Content-Length` body bytes (the server never sends chunked on
+/// the predict route).
+fn read_response(s: &mut TcpStream) -> Option<u16> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
+        match s.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let mut have = buf.len() - head_end;
+    while have < content_length {
+        match s.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => have += n,
+        }
+    }
+    Some(status)
+}
+
+fn run_step(
+    addr: SocketAddr,
+    body: &[u8],
+    offered_qps: u64,
+    duration: Duration,
+    clients: usize,
+) -> StepResult {
+    let total = (offered_qps as f64 * duration.as_secs_f64()).round() as u64;
+    let interval = Duration::from_nanos(1_000_000_000 / offered_qps.max(1));
+    let hist = LatencyHistogram::new();
+    let ticket = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                client_loop(
+                    addr, body, &ticket, start, interval, total, &hist, &ok, &rejected, &errors,
+                );
+            });
+        }
+    });
+    StepResult {
+        offered_qps,
+        duration,
+        sent: total,
+        ok: ok.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        latency: hist.snapshot(),
+    }
+}
+
+fn step_json(r: &StepResult) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let achieved = r.ok as f64 / r.elapsed.as_secs_f64().max(1e-9);
+    format!(
+        "{{\"offered_qps\":{},\"duration_s\":{:.3},\"sent\":{},\"ok\":{},\
+         \"rejected\":{},\"errors\":{},\"achieved_qps\":{:.2},\
+         \"p50_ms\":{:.4},\"p90_ms\":{:.4},\"p99_ms\":{:.4},\
+         \"p999_ms\":{:.4},\"max_ms\":{:.4},\"mean_ms\":{:.4}}}",
+        r.offered_qps,
+        r.duration.as_secs_f64(),
+        r.sent,
+        r.ok,
+        r.rejected,
+        r.errors,
+        achieved,
+        ms(r.latency.quantile(0.50)),
+        ms(r.latency.quantile(0.90)),
+        ms(r.latency.quantile(0.99)),
+        ms(r.latency.quantile(0.999)),
+        ms(r.latency.max()),
+        r.latency.mean() / 1e6,
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("QN_SMOKE").is_ok();
+    let (steps, step_duration, clients): (&[u64], Duration, usize) = if smoke {
+        (&[50, 200], Duration::from_millis(600), 4)
+    } else {
+        (&[25, 50, 100, 200, 400, 800], Duration::from_secs(4), 8)
+    };
+
+    eprintln!("qn-serve-bench: building {ROUTE} and starting the server");
+    let model: Arc<dyn Module + Send + Sync> = Arc::new(ResNet::cifar(ResNetConfig {
+        depth: 8,
+        base_width: 4,
+        num_classes: 10,
+        neuron: NeuronSpec::EfficientQuadratic { rank: 2 },
+        placement: NeuronPlacement::All,
+        seed: 7,
+    }));
+    let server = ServerBuilder::new(ServeConfig {
+        max_connections: clients + 8,
+        ..ServeConfig::default()
+    })
+    .route(
+        ROUTE,
+        &SAMPLE_SHAPE,
+        model,
+        BatchConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 128,
+            workers: 1,
+        },
+    )
+    .start()
+    .expect("bind loopback server");
+    let addr = server.addr();
+
+    // one fixed sample, binary f32 little-endian
+    let elems: usize = SAMPLE_SHAPE.iter().product();
+    let mut rng = Rng::seed_from(42);
+    let mut body = Vec::with_capacity(elems * 4);
+    for _ in 0..elems {
+        body.extend_from_slice(&rng.uniform(-1.0, 1.0).to_le_bytes());
+    }
+
+    // warmup: populate arenas/pools so step 1 doesn't measure cold allocs
+    let warm = run_step(addr, &body, 20, Duration::from_millis(300), 2);
+    eprintln!("warmup: {} ok / {} sent", warm.ok, warm.sent);
+
+    let mut results = Vec::new();
+    for &qps in steps {
+        let r = run_step(addr, &body, qps, step_duration, clients);
+        eprintln!(
+            "offered {:>5} qps: achieved {:>8.1} qps, ok {} rejected {} errors {}, p50 {:.2} ms p99 {:.2} ms",
+            qps,
+            r.ok as f64 / r.elapsed.as_secs_f64(),
+            r.ok,
+            r.rejected,
+            r.errors,
+            r.latency.quantile(0.5) as f64 / 1e6,
+            r.latency.quantile(0.99) as f64 / 1e6,
+        );
+        results.push(r);
+    }
+
+    let dist = server.route_batch_dist(ROUTE).unwrap_or_default();
+    let dist_json: Vec<String> = dist
+        .iter()
+        .map(|(size, count)| format!("\"{size}\":{count}"))
+        .collect();
+    let steps_json: Vec<String> = results.iter().map(step_json).collect();
+    let total_errors: u64 = results.iter().map(|r| r.errors).sum();
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"model\": \"{ROUTE}\",\n  \"sample_shape\": [3,32,32],\n  \
+         \"smoke\": {smoke},\n  \"clients\": {clients},\n  \"max_batch\": 32,\n  \"max_delay_ms\": 2,\n  \
+         \"steps\": [\n    {}\n  ],\n  \"batch_size_dist\": {{{}}},\n  \"server_metrics\": {}\n}}\n",
+        steps_json.join(",\n    "),
+        dist_json.join(","),
+        server.metrics_json().trim_end(),
+    );
+    server.shutdown();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, &json).expect("write BENCH_serving.json");
+    eprintln!("wrote {path}");
+    assert_eq!(total_errors, 0, "load generator saw transport/5xx errors");
+}

@@ -1,0 +1,264 @@
+//! A lock-free log-linear latency histogram.
+//!
+//! Recording is one `fetch_add` on an atomic bucket counter (plus two for
+//! the count/sum totals) — no locks, no allocation — so request handlers
+//! and batch workers can record on the hot path without contending. Buckets
+//! are log-linear in the HdrHistogram style: values below 16 ns get exact
+//! buckets, everything above lands in one of 16 linear sub-buckets per
+//! power-of-two octave, which bounds the relative quantization error of a
+//! reported percentile at 1/16 ≈ 6% — plenty for p50/p99/p999 latency
+//! reporting.
+//!
+//! Reads take a [`HistogramSnapshot`] (a plain copy of the counters) and
+//! compute percentiles on that consistent-enough view; a snapshot taken
+//! while writers are recording may be mid-update between buckets, which for
+//! monotonic counters only ever under-reports the newest events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave: 4 bits of mantissa.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS; // 16
+/// Bucket count: 16 exact low buckets + 16 subs for each octave 4..=63.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Maps a value to its bucket index. Total order preserving across bucket
+/// boundaries; exact for `v < 16`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (top - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    ((top - SUB_BITS + 1) as usize) * SUBS + sub
+}
+
+/// Lowest value mapping to `index` (inverse of [`bucket_index`]).
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUBS {
+        return index as u64;
+    }
+    let octave = (index / SUBS - 1) as u32 + SUB_BITS;
+    let sub = (index % SUBS) as u64;
+    (1u64 << octave) | (sub << (octave - SUB_BITS))
+}
+
+/// Representative value reported for a bucket: the midpoint of its range,
+/// so quantization error is symmetric.
+fn bucket_mid(index: usize) -> u64 {
+    let lo = bucket_floor(index);
+    let hi = if index + 1 < BUCKETS {
+        bucket_floor(index + 1)
+    } else {
+        lo
+    };
+    lo + (hi - lo) / 2
+}
+
+/// Lock-free histogram of `u64` values (the serving stack records
+/// **nanoseconds**). See the module docs for the bucket layout.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram (~7.7 KiB of counters).
+    pub fn new() -> Self {
+        // `[AtomicU64; N]` has no Default for large N; build via Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec has BUCKETS elements"));
+        LatencyHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free: three relaxed `fetch_add`s.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the counters out for percentile computation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`]'s counters.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (for merging).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Accumulates another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (0.5 = median): the
+    /// representative (mid) value of the first bucket whose cumulative
+    /// count reaches `ceil(q * count)`. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(BUCKETS - 1)
+    }
+
+    /// Mean of the recorded values (0 for an empty snapshot).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded bucket's representative value (0 if empty).
+    pub fn max(&self) -> u64 {
+        match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => bucket_mid(i),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverts() {
+        let mut values: Vec<u64> = (0..30)
+            .flat_map(|shift| [0u64, 1, 7].map(|off| (1u64 << shift) + off))
+            .collect();
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index must be monotone in value ({v})");
+            prev = i;
+            assert!(bucket_floor(i) <= v, "floor({i}) <= {v}");
+            if i + 1 < BUCKETS {
+                assert!(bucket_floor(i + 1) > v, "next floor > {v}");
+            }
+        }
+        // exact low range
+        for v in 0..16u64 {
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+        // extremes don't panic or overflow
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 1000 values: 1..=1000 µs in ns
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        // within the 6.25% quantization error
+        let rel = |x: u64, want: f64| (x as f64 - want).abs() / want;
+        assert!(rel(p50, 500_000.0) < 0.07, "p50 {p50}");
+        assert!(rel(p99, 990_000.0) < 0.07, "p99 {p99}");
+        assert!(s.quantile(0.0) <= s.quantile(1.0));
+        assert!(s.max() >= p99);
+        assert!((s.mean() - 500_500_000.0 / 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        let mut m = HistogramSnapshot::empty();
+        m.merge(&a.snapshot());
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert!(m.quantile(0.01) < m.quantile(0.99));
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread");
+        }
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

@@ -1,0 +1,494 @@
+//! Minimal `std`-only HTTP/1.1: request parsing and response writing.
+//!
+//! This is not a general web server — it is the smallest correct subset the
+//! serving front-end needs, written defensively:
+//!
+//! - requests: request line + headers + body via `Content-Length` **or**
+//!   `Transfer-Encoding: chunked`, with hard caps on header bytes, header
+//!   count, body bytes and chunk sizes. **Malformed input must never
+//!   panic** — every parse failure is a typed [`HttpError`], and the fuzz
+//!   suite in `tests/loopback.rs` feeds the parser garbage to prove it;
+//! - responses: fixed `Content-Length` or chunked transfer encoding, with
+//!   explicit `Connection: keep-alive`/`close`;
+//! - keep-alive: HTTP/1.1 defaults to persistent connections, HTTP/1.0 to
+//!   close, both overridable by the `Connection` header.
+//!
+//! Reads go through [`HttpConn`], which owns the socket plus a carry-over
+//! buffer (bytes read past the end of one message start the next one — that
+//! is what makes keep-alive and pipelined requests work on plain blocking
+//! reads with timeouts).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard caps the parser enforces before trusting any length field.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Max bytes of request line + headers (431/400 beyond this).
+    pub max_head_bytes: usize,
+    /// Max body bytes, whether from `Content-Length` or chunked (413).
+    pub max_body_bytes: usize,
+    /// Max header count.
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+            max_headers: 100,
+        }
+    }
+}
+
+/// Why a request could not be read. `status()` maps each case to the HTTP
+/// response the connection should send before closing (None: just close).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request → 400.
+    BadRequest(&'static str),
+    /// Head or body exceeds the configured caps → 431/413.
+    TooLarge(&'static str, u16),
+    /// The peer closed mid-request (no response possible).
+    Truncated,
+    /// Gave up waiting for (more of) a request — idle keep-alive timeout
+    /// or server shutdown. No response owed.
+    TimedOut,
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code to answer with, if any.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequest(m) => Some((400, m)),
+            HttpError::TooLarge(m, code) => Some((*code, m)),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed request. Header names are lower-cased at parse time.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (query string split off).
+    pub path: String,
+    /// Raw query string, without the `?` (empty if none).
+    pub query: String,
+    /// Lower-cased name → value pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (chunked bodies are de-chunked).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after responding.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header (name must be lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A connection: socket + carry-over buffer. The socket should have a short
+/// `read_timeout` set; [`HttpConn::read_request`] retries timed-out reads
+/// while `keep_waiting` returns `true`, which is how the server loop
+/// implements both the idle keep-alive deadline and prompt shutdown.
+pub struct HttpConn {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl HttpConn {
+    /// Wraps an accepted stream.
+    pub fn new(stream: TcpStream) -> Self {
+        HttpConn {
+            stream,
+            pending: Vec::with_capacity(1024),
+        }
+    }
+
+    /// The underlying stream (for writing responses).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Reads more bytes into `pending`. `Ok(0)` means the peer closed.
+    fn fill(&mut self, keep_waiting: &mut dyn FnMut() -> bool) -> Result<usize, HttpError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(0),
+                Ok(n) => {
+                    self.pending.extend_from_slice(&buf[..n]);
+                    return Ok(n);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if keep_waiting() {
+                        continue;
+                    }
+                    return Err(HttpError::TimedOut);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+
+    /// Reads and parses one request. `Ok(None)` is a clean close between
+    /// requests (keep-alive peer went away). `keep_waiting` is consulted
+    /// whenever a socket read times out: return `false` to give up (idle
+    /// deadline passed, or the server is shutting down).
+    pub fn read_request(
+        &mut self,
+        limits: &Limits,
+        mut keep_waiting: impl FnMut() -> bool,
+    ) -> Result<Option<Request>, HttpError> {
+        // --- head: read until CRLFCRLF (tolerating bare LFLF) ---
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.pending) {
+                break pos;
+            }
+            if self.pending.len() > limits.max_head_bytes {
+                return Err(HttpError::TooLarge("request head too large", 431));
+            }
+            if self.fill(&mut keep_waiting)? == 0 {
+                if self.pending.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Truncated);
+            }
+        };
+        if head_end.0 > limits.max_head_bytes {
+            return Err(HttpError::TooLarge("request head too large", 431));
+        }
+        let head: Vec<u8> = self.pending.drain(..head_end.0 + head_end.1).collect();
+        let head_str = std::str::from_utf8(&head[..head_end.0])
+            .map_err(|_| HttpError::BadRequest("head is not valid UTF-8"))?;
+
+        let mut lines = head_str
+            .split('\n')
+            .map(|l| l.strip_suffix('\r').unwrap_or(l));
+        let request_line = lines.next().ok_or(HttpError::BadRequest("empty head"))?;
+        let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+        let method = parts
+            .next()
+            .ok_or(HttpError::BadRequest("missing method"))?;
+        let target = parts
+            .next()
+            .ok_or(HttpError::BadRequest("missing request target"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+        if parts.next().is_some() {
+            return Err(HttpError::BadRequest("malformed request line"));
+        }
+        let http11 = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            _ => return Err(HttpError::BadRequest("unsupported HTTP version")),
+        };
+        if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(HttpError::BadRequest("malformed method"));
+        }
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue; // the blank terminator line
+            }
+            if headers.len() >= limits.max_headers {
+                return Err(HttpError::TooLarge("too many headers", 431));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::BadRequest("malformed header line"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadRequest("malformed header name"));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let find = |n: &str| {
+            headers
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, v)| v.as_str())
+        };
+
+        // --- body ---
+        let chunked = find("transfer-encoding")
+            .map(|v| v.eq_ignore_ascii_case("chunked"))
+            .unwrap_or(false);
+        let body = if chunked {
+            self.read_chunked_body(limits, &mut keep_waiting)?
+        } else if let Some(cl) = find("content-length") {
+            let len: usize = cl
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("unparseable content-length"))?;
+            if len > limits.max_body_bytes {
+                return Err(HttpError::TooLarge("body too large", 413));
+            }
+            while self.pending.len() < len {
+                if self.fill(&mut keep_waiting)? == 0 {
+                    return Err(HttpError::Truncated);
+                }
+            }
+            self.pending.drain(..len).collect()
+        } else {
+            Vec::new()
+        };
+
+        let keep_alive = match find("connection").map(|v| v.to_ascii_lowercase()) {
+            Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+            Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+            _ => http11,
+        };
+
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+
+        Ok(Some(Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body,
+            keep_alive,
+        }))
+    }
+
+    /// De-chunks a `Transfer-Encoding: chunked` body. Trailers are read and
+    /// discarded.
+    fn read_chunked_body(
+        &mut self,
+        limits: &Limits,
+        keep_waiting: &mut dyn FnMut() -> bool,
+    ) -> Result<Vec<u8>, HttpError> {
+        let mut body = Vec::new();
+        loop {
+            // chunk-size line
+            let line = self.read_line(limits, keep_waiting)?;
+            let size_str = line.split(';').next().unwrap_or("").trim();
+            if size_str.is_empty() || size_str.len() > 8 {
+                return Err(HttpError::BadRequest("malformed chunk size"));
+            }
+            let size = usize::from_str_radix(size_str, 16)
+                .map_err(|_| HttpError::BadRequest("malformed chunk size"))?;
+            if body.len().saturating_add(size) > limits.max_body_bytes {
+                return Err(HttpError::TooLarge("chunked body too large", 413));
+            }
+            if size == 0 {
+                // trailers until blank line
+                loop {
+                    let t = self.read_line(limits, keep_waiting)?;
+                    if t.is_empty() {
+                        return Ok(body);
+                    }
+                }
+            }
+            while self.pending.len() < size + 2 {
+                if self.fill(keep_waiting)? == 0 {
+                    return Err(HttpError::Truncated);
+                }
+            }
+            body.extend(self.pending.drain(..size));
+            let crlf: Vec<u8> = self.pending.drain(..2).collect();
+            if crlf != b"\r\n" {
+                return Err(HttpError::BadRequest("chunk missing CRLF"));
+            }
+        }
+    }
+
+    /// Reads one CRLF-terminated line (returned without the terminator).
+    fn read_line(
+        &mut self,
+        limits: &Limits,
+        keep_waiting: &mut dyn FnMut() -> bool,
+    ) -> Result<String, HttpError> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..pos + 1).collect();
+                line.pop(); // \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map_err(|_| HttpError::BadRequest("line is not valid UTF-8"));
+            }
+            if self.pending.len() > limits.max_head_bytes {
+                return Err(HttpError::TooLarge("line too long", 400));
+            }
+            if self.fill(keep_waiting)? == 0 {
+                return Err(HttpError::Truncated);
+            }
+        }
+    }
+}
+
+/// Finds the end of the head: returns `(head_len, terminator_len)` where
+/// the head spans `[..head_len]` and the terminator (`\r\n\r\n` or `\n\n`)
+/// spans `[head_len..head_len + terminator_len]`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l + 1 < c => Some((l + 1, 1)),
+        (Some(c), _) => Some((c + 2, 2)),
+        (None, Some(l)) => Some((l + 1, 1)),
+        (None, None) => None,
+    }
+}
+
+/// An outgoing response. Build with the constructors, add headers, then
+/// [`Response::write_to`] — which picks `Content-Length` framing unless
+/// chunked was requested.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    extra: Vec<(String, String)>,
+    chunked: bool,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+impl Response {
+    /// A binary body (`application/octet-stream`).
+    pub fn octet(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            body,
+            extra: Vec::new(),
+            chunked: false,
+        }
+    }
+
+    /// A plain-text body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            extra: Vec::new(),
+            chunked: false,
+        }
+    }
+
+    /// A JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+            extra: Vec::new(),
+            chunked: false,
+        }
+    }
+
+    /// A plain-text error body with the reason phrase prefixed.
+    pub fn error(status: u16, detail: &str) -> Self {
+        Response::text(status, format!("{} {}: {detail}\n", status, reason(status)))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.extra.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Switches the response to chunked transfer encoding (the body is
+    /// written in chunks; used by `/metrics`, whose payload is generated).
+    pub fn chunked(mut self) -> Self {
+        self.chunked = true;
+        self
+    }
+
+    /// Serializes the response. `keep_alive` controls the `Connection`
+    /// header — the caller owns the decision (request wish ∧ server state).
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nServer: qn-serve\r\nContent-Type: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (n, v) in &self.extra {
+            head.push_str(n);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        let mut out = Vec::with_capacity(head.len() + self.body.len() + 64);
+        if self.chunked {
+            head.push_str("Transfer-Encoding: chunked\r\n\r\n");
+            out.extend_from_slice(head.as_bytes());
+            for chunk in self.body.chunks(8192) {
+                out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+                out.extend_from_slice(chunk);
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"0\r\n\r\n");
+        } else {
+            head.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+            out.extend_from_slice(head.as_bytes());
+            out.extend_from_slice(&self.body);
+        }
+        stream.write_all(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_head_end_variants() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some((16, 2)));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\nrest"), Some((15, 1)));
+        assert_eq!(find_head_end(b"partial"), None);
+        // a bare-LF terminator before a CRLF one wins
+        let mixed = b"a\n\nb\r\n\r\n";
+        assert_eq!(find_head_end(mixed), Some((2, 1)));
+    }
+
+    #[test]
+    fn reason_phrases_cover_served_codes() {
+        for code in [200, 400, 404, 405, 409, 413, 429, 431, 500, 503, 504] {
+            assert_ne!(reason(code), "Unknown", "{code}");
+        }
+        assert_eq!(reason(418), "Unknown");
+    }
+}

@@ -1,0 +1,204 @@
+//! Serving metrics: lock-free counters + the `/metrics` JSON snapshot.
+//!
+//! Everything on the request path records through atomics (the latency
+//! percentiles via [`LatencyHistogram`], counters via `AtomicU64`), so
+//! metrics never serialize the hot path. The `/metrics` endpoint snapshots
+//! the counters, asks the `ModelRegistry` for per-slot info (lock released
+//! before the parameter walks — see the registry's concurrency contract)
+//! and sums the batch workers' `BufferPool` stats.
+
+use crate::histogram::LatencyHistogram;
+use qn_tensor::PoolStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Connection- and request-level counters, server-wide.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Accepted connections, total.
+    pub connections_opened: AtomicU64,
+    /// Connections currently being served.
+    pub connections_active: AtomicUsize,
+    /// Connections shed with 503 because the connection cap was reached.
+    pub connections_shed: AtomicU64,
+    /// Requests fully parsed, total.
+    pub requests_total: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (including 429 sheds).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (including 503 sheds).
+    pub responses_5xx: AtomicU64,
+    /// Admissions rejected with 429 (queue full).
+    pub rejected_429: AtomicU64,
+    /// Requests shed with 503 (shutdown or connection cap).
+    pub rejected_503: AtomicU64,
+    /// Malformed requests answered with 4xx by the parser.
+    pub parse_errors: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Bumps the right status-class counter for a response about to be
+    /// written.
+    pub fn count_response(&self, status: u16) {
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-route (per model slot) serving metrics.
+pub struct RouteMetrics {
+    /// Service latency (admission → response fulfilled), nanoseconds.
+    pub latency: LatencyHistogram,
+    /// `batch_sizes[b]` = number of flushed batches that held `b` samples.
+    pub batch_sizes: Vec<AtomicU64>,
+    /// Flushes fired by the size trigger.
+    pub flush_size: AtomicU64,
+    /// Flushes fired by the deadline trigger.
+    pub flush_deadline: AtomicU64,
+    /// Samples admitted into the queue.
+    pub admitted: AtomicU64,
+    /// Samples served successfully.
+    pub served: AtomicU64,
+    /// Samples that failed after admission (model retired, inference
+    /// error, worker panic).
+    pub failed: AtomicU64,
+    /// High-water mark of the queue depth.
+    pub depth_hwm: AtomicUsize,
+}
+
+impl RouteMetrics {
+    /// Creates zeroed metrics for a route flushing at most `max_batch`.
+    pub fn new(max_batch: usize) -> Self {
+        RouteMetrics {
+            latency: LatencyHistogram::new(),
+            batch_sizes: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
+            flush_size: AtomicU64::new(0),
+            flush_deadline: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            depth_hwm: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one flushed batch.
+    pub fn record_batch(&self, size: usize, by_size_trigger: bool) {
+        if let Some(b) = self.batch_sizes.get(size) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        if by_size_trigger {
+            &self.flush_size
+        } else {
+            &self.flush_deadline
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the depth high-water mark to at least `depth`.
+    pub fn observe_depth(&self, depth: usize) {
+        self.depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The non-zero entries of the batch-size distribution as
+    /// `(size, count)` pairs.
+    pub fn batch_size_dist(&self) -> Vec<(usize, u64)> {
+        self.batch_sizes
+            .iter()
+            .enumerate()
+            .filter_map(|(size, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((size, n))
+            })
+            .collect()
+    }
+}
+
+/// Renders a `PoolStats` as a JSON object.
+pub fn pool_stats_json(s: &PoolStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"returns\":{},\"discarded\":{},\
+         \"buffers_held\":{},\"bytes_held\":{}}}",
+        s.hits, s.misses, s.returns, s.discarded, s.buffers_held, s.bytes_held
+    )
+}
+
+/// Renders a latency histogram snapshot as a JSON object of percentiles
+/// (nanoseconds).
+pub fn latency_json(h: &crate::histogram::HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ns\":{:.0},\"p50_ns\":{},\"p90_ns\":{},\
+         \"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+        h.count,
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.max()
+    )
+}
+
+/// Renders a sparse batch-size distribution as a JSON object
+/// (`{"4": 12, "32": 7}`).
+pub fn batch_dist_json(dist: &[(usize, u64)]) -> String {
+    let entries: Vec<String> = dist
+        .iter()
+        .map(|(size, count)| format!("\"{size}\":{count}"))
+        .collect();
+    format!("{{{}}}", entries.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_classes_route_to_the_right_counter() {
+        let m = ServerMetrics::default();
+        m.count_response(200);
+        m.count_response(204);
+        m.count_response(404);
+        m.count_response(429);
+        m.count_response(500);
+        m.count_response(503);
+        assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_5xx.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn batch_distribution_is_sparse_and_capped() {
+        let m = RouteMetrics::new(8);
+        m.record_batch(1, false);
+        m.record_batch(8, true);
+        m.record_batch(8, true);
+        m.record_batch(100, true); // over max_batch: counted in triggers only
+        assert_eq!(m.batch_size_dist(), vec![(1, 1), (8, 2)]);
+        assert_eq!(m.flush_size.load(Ordering::Relaxed), 3);
+        assert_eq!(m.flush_deadline.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn depth_hwm_is_monotone() {
+        let m = RouteMetrics::new(4);
+        m.observe_depth(3);
+        m.observe_depth(1);
+        assert_eq!(m.depth_hwm.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn json_renderers_emit_valid_shapes() {
+        let h = LatencyHistogram::new();
+        h.record(1000);
+        let j = latency_json(&h.snapshot());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"p99_ns\""));
+        let d = batch_dist_json(&[(2, 5), (4, 1)]);
+        assert_eq!(d, "{\"2\":5,\"4\":1}");
+        assert_eq!(batch_dist_json(&[]), "{}");
+    }
+}

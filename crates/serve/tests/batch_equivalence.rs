@@ -1,0 +1,84 @@
+//! Property: responses that rode the dynamic-batching queue are
+//! **bit-identical** to sequential `predict` calls, for any concurrent
+//! request mix, any batch composition the timing happens to produce, and
+//! any worker/thread count (CI runs this suite under both the default
+//! `qn-parallel` pool and `QN_NUM_THREADS=1`).
+
+mod common;
+
+use common::*;
+use proptest::prelude::*;
+use qn_models::InferenceSession;
+use qn_serve::BatchConfig;
+use qn_tensor::{Rng, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Concurrent requests through HTTP + queue + batch workers == the
+    /// same samples through a lone sequential session, bit for bit.
+    #[test]
+    fn batched_responses_are_bit_identical_to_sequential_predict(
+        seed in 0u64..10_000,
+        n in 1usize..12,
+        workers in 1usize..3,
+    ) {
+        let model = tiny_model(seed);
+        // small flush triggers so real multi-sample batches form
+        let server = start(Arc::clone(&model), BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(5),
+            queue_capacity: 64,
+            workers,
+        });
+        let addr = server.addr();
+
+        let mut rng = Rng::seed_from(seed ^ 0xBA7C4);
+        let samples: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..IN_DIM).map(|_| rng.uniform(-2.0, 2.0)).collect())
+            .collect();
+
+        // sequential ground truth, one private session
+        let mut session = InferenceSession::owned(Arc::clone(&model));
+        let expected: Vec<Vec<u32>> = samples
+            .iter()
+            .map(|vals| {
+                session
+                    .predict(&Tensor::from_vec(vals.clone(), &[IN_DIM]).expect("sample"))
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+
+        // all samples fired concurrently, one connection each, so the
+        // queue coalesces them into whatever batches timing produces
+        let got: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .iter()
+                .map(|vals| {
+                    scope.spawn(move || {
+                        let resp = request(
+                            addr,
+                            "POST",
+                            "/v1/models/m/predict",
+                            &[("Content-Type", "application/octet-stream")],
+                            &to_bytes(vals),
+                        );
+                        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                        from_bytes(&resp.body).iter().map(|v| v.to_bits()).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client")).collect()
+        });
+
+        server.shutdown();
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(g, e, "sample {} diverged (seed {}, n {}, workers {})", i, seed, n, workers);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared helpers for the serve integration tests: a tiny raw-TCP HTTP
+//! client (independent of the crate's own parser, so server bugs can't
+//! hide behind symmetric client bugs) and model builders.
+//!
+//! Compiled into each integration-test binary; not every binary uses
+//! every helper.
+#![allow(dead_code)]
+
+use qn_nn::{Linear, Module, Relu, Sequential};
+use qn_serve::{BatchConfig, ServeConfig, Server, ServerBuilder};
+use qn_tensor::Rng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub const IN_DIM: usize = 4;
+pub const OUT_DIM: usize = 3;
+
+/// A tiny MLP for round-trip tests (deterministic in `seed`).
+pub fn tiny_model(seed: u64) -> Arc<dyn Module + Send + Sync> {
+    let mut rng = Rng::seed_from(seed);
+    Arc::new(Sequential::new(vec![
+        Box::new(Linear::new(IN_DIM, 8, true, &mut rng)),
+        Box::new(Relu),
+        Box::new(Linear::new(8, OUT_DIM, true, &mut rng)),
+    ]))
+}
+
+/// Starts a loopback server for `model` under route `m`.
+pub fn start(model: Arc<dyn Module + Send + Sync>, batch: BatchConfig) -> Server {
+    ServerBuilder::new(ServeConfig::default())
+        .route("m", &[IN_DIM], model, batch)
+        .start()
+        .expect("bind loopback server")
+}
+
+/// A parsed response from the raw test client.
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Opens a connection with a generous read timeout.
+pub fn connect(addr: SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    s.set_nodelay(true).expect("nodelay");
+    s
+}
+
+/// Sends one request on `stream` and reads the full response
+/// (Content-Length or chunked framing).
+pub fn roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> ClientResponse {
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (n, v) in headers {
+        req.push_str(&format!("{n}: {v}\r\n"));
+    }
+    req.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    let mut bytes = req.into_bytes();
+    bytes.extend_from_slice(body);
+    stream.write_all(&bytes).expect("write request");
+    read_response(stream).expect("read response")
+}
+
+/// Convenience: one-shot request on a fresh connection.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> ClientResponse {
+    let mut s = connect(addr);
+    roundtrip(&mut s, method, path, headers, body)
+}
+
+/// Reads one response off the stream. `None` if the server closed before a
+/// full head arrived.
+pub fn read_response(stream: &mut TcpStream) -> Option<ClientResponse> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).ok()?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in head.lines().skip(1) {
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let mut rest = buf[head_end..].to_vec();
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        // keep reading until the 0-chunk terminator, then de-chunk
+        while !rest.windows(5).any(|w| w == b"0\r\n\r\n") {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => rest.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let mut body = Vec::new();
+        let mut pos = 0;
+        loop {
+            let line_end = rest[pos..].windows(2).position(|w| w == b"\r\n")? + pos;
+            let size =
+                usize::from_str_radix(std::str::from_utf8(&rest[pos..line_end]).ok()?, 16).ok()?;
+            if size == 0 {
+                break body;
+            }
+            let start = line_end + 2;
+            body.extend_from_slice(&rest[start..start + size]);
+            pos = start + size + 2;
+        }
+    } else {
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        while rest.len() < len {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => rest.extend_from_slice(&chunk[..n]),
+            }
+        }
+        rest.truncate(len);
+        rest
+    };
+    Some(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Little-endian f32 encoding for predict bodies.
+pub fn to_bytes(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Decodes a binary predict response body.
+pub fn from_bytes(body: &[u8]) -> Vec<f32> {
+    assert_eq!(body.len() % 4, 0, "body is not f32-aligned");
+    body.chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}

@@ -24,6 +24,7 @@
 //! | [`models`] | `qn-models` | ResNet family, Transformer, `InferenceSession` |
 //! | [`metrics`] | `qn-metrics` | accuracy, BLEU, parameter/MAC counting |
 //! | [`experiments`] | `qn-experiments` | per-table / per-figure harnesses |
+//! | [`serve`] | `qn-serve` | std-only HTTP serving: dynamic batching, backpressure, hot-swap |
 //!
 //! Every layer's forward pass is written once against the
 //! [`Exec`](autograd::Exec) execution context and runs in **two modes**:
@@ -108,4 +109,5 @@ pub use qn_metrics as metrics;
 pub use qn_models as models;
 pub use qn_nn as nn;
 pub use qn_parallel as parallel;
+pub use qn_serve as serve;
 pub use qn_tensor as tensor;
