@@ -686,7 +686,7 @@ impl Exec for EagerExec {
             bv.shape()
         );
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::zip_to(out.data_mut(), av.data(), bv.data(), |x, y| x + y);
+        elemwise::add_to(out.data_mut(), av.data(), bv.data());
         self.commit()
     }
 
@@ -702,7 +702,7 @@ impl Exec for EagerExec {
             bv.shape()
         );
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::zip_to(out.data_mut(), av.data(), bv.data(), |x, y| x - y);
+        elemwise::sub_to(out.data_mut(), av.data(), bv.data());
         self.commit()
     }
 
@@ -718,7 +718,7 @@ impl Exec for EagerExec {
             bv.shape()
         );
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::zip_to(out.data_mut(), av.data(), bv.data(), |x, y| x * y);
+        elemwise::mul_to(out.data_mut(), av.data(), bv.data());
         self.commit()
     }
 
@@ -726,7 +726,7 @@ impl Exec for EagerExec {
         let (head, slot) = self.out_slot();
         let av = live_val(head, a);
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::map_to(out.data_mut(), av.data(), move |x| x * s);
+        elemwise::scale_to(out.data_mut(), av.data(), s);
         self.commit()
     }
 
@@ -734,7 +734,7 @@ impl Exec for EagerExec {
         let (head, slot) = self.out_slot();
         let av = live_val(head, a);
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::map_to(out.data_mut(), av.data(), move |x| x + s);
+        elemwise::add_scalar_to(out.data_mut(), av.data(), s);
         self.commit()
     }
 
@@ -742,7 +742,7 @@ impl Exec for EagerExec {
         let (head, slot) = self.out_slot();
         let av = live_val(head, a);
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::map_to(out.data_mut(), av.data(), |x| x * x);
+        elemwise::square_to(out.data_mut(), av.data());
         self.commit()
     }
 
@@ -759,7 +759,7 @@ impl Exec for EagerExec {
         let (head, slot) = self.out_slot();
         let av = live_val(head, a);
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::map_to(out.data_mut(), av.data(), |x| x.max(0.0));
+        elemwise::relu_to(out.data_mut(), av.data());
         self.commit()
     }
 
@@ -775,7 +775,7 @@ impl Exec for EagerExec {
         let (head, slot) = self.out_slot();
         let av = live_val(head, a);
         let out = refit_slot(slot, av.shape().dims());
-        elemwise::map_to(out.data_mut(), av.data(), |x| 1.0 / (1.0 + (-x).exp()));
+        elemwise::sigmoid_to(out.data_mut(), av.data());
         self.commit()
     }
 
@@ -1182,11 +1182,16 @@ impl Exec for EagerExec {
         let fd = fv.data();
         let ld = lv.data();
         let out = refit_slot(slot, &[rows, neurons]);
+        let fast = qn_simd::KernelProfile::active() == qn_simd::KernelProfile::Fast;
         qn_parallel::par_chunks_mut_min(
             out.data_mut(),
             neurons.max(1),
             PAR_MIN_ELEMS,
             |r, orow| {
+                if fast {
+                    qn_simd::weighted_square_row(orow, &fd[r * mk..(r + 1) * mk], ld, k);
+                    return;
+                }
                 for (j, o) in orow.iter_mut().enumerate() {
                     let base = r * mk + j * k;
                     let mut acc = 0.0f32;
@@ -1332,6 +1337,92 @@ impl Exec for EagerExec {
         let nst = stages.len();
         let xd = xv.data();
         let out = refit_slot(slot, xv.shape().dims());
+        // Vector body for the `Fast` profile. Every stage is a plain
+        // lane-wise add/sub/mul/max — no fusing, no reassociation — so each
+        // lane computes the exact scalar expression and the vector path is
+        // bit-identical to the scalar loop below (the only Fast/Exact
+        // divergence in this op is none; Fast merely vectorizes).
+        #[inline(always)]
+        unsafe fn run_plane<S: qn_simd::arch::SimdF32>(
+            oplane: &mut [f32],
+            xd: &[f32],
+            prep: &[Option<Prep<'_>>],
+            ci: usize,
+            base: usize,
+        ) {
+            let n = oplane.len();
+            let mut j = 0;
+            while j + S::LANES <= n {
+                let mut v = S::load(&xd[base + j..]);
+                for stage in prep.iter() {
+                    match stage.as_ref().expect("prepared above") {
+                        Prep::Bias(bs) => v = v.add(S::splat(bs[ci])),
+                        Prep::Scale(ss) => v = v.mul(S::splat(ss[ci])),
+                        Prep::Norm {
+                            mean,
+                            inv,
+                            gamma,
+                            beta,
+                        } => {
+                            v = v
+                                .sub(S::splat(mean[ci]))
+                                .mul(S::splat(inv[ci]))
+                                .mul(S::splat(gamma[ci]))
+                                .add(S::splat(beta[ci]))
+                        }
+                        Prep::Relu => v = v.max(S::zero()),
+                        Prep::Residual(r) => v = v.add(S::load(&r[base + j..])),
+                    }
+                }
+                v.store(&mut oplane[j..]);
+                j += S::LANES;
+            }
+            // tail: the same expression one lane at a time
+            for (jj, o) in oplane.iter_mut().enumerate().skip(j) {
+                let mut v = xd[base + jj];
+                for stage in prep.iter() {
+                    match stage.as_ref().expect("prepared above") {
+                        Prep::Bias(bs) => v += bs[ci],
+                        Prep::Scale(ss) => v *= ss[ci],
+                        Prep::Norm {
+                            mean,
+                            inv,
+                            gamma,
+                            beta,
+                        } => v = (v - mean[ci]) * inv[ci] * gamma[ci] + beta[ci],
+                        Prep::Relu => v = v.max(0.0),
+                        Prep::Residual(r) => v += r[base + jj],
+                    }
+                }
+                *o = v;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2", enable = "fma")]
+        unsafe fn run_plane_avx2(
+            oplane: &mut [f32],
+            xd: &[f32],
+            prep: &[Option<Prep<'_>>],
+            ci: usize,
+            base: usize,
+        ) {
+            run_plane::<qn_simd::arch::Avx2F32>(oplane, xd, prep, ci, base)
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "sse2")]
+        unsafe fn run_plane_sse2(
+            oplane: &mut [f32],
+            xd: &[f32],
+            prep: &[Option<Prep<'_>>],
+            ci: usize,
+            base: usize,
+        ) {
+            run_plane::<qn_simd::arch::Sse2F32>(oplane, xd, prep, ci, base)
+        }
+        let fast = match qn_simd::KernelProfile::active() {
+            qn_simd::KernelProfile::Fast => Some(qn_simd::SimdLevel::active()),
+            qn_simd::KernelProfile::Exact => None,
+        };
         // one pass: per element, the stages apply in order with the exact
         // scalar expression of their unfused counterparts, so the fusion is
         // bit-identical to the decomposed pipeline. Parallel over disjoint
@@ -1343,23 +1434,44 @@ impl Exec for EagerExec {
             |plane, oplane| {
                 let ci = plane % c;
                 let base = plane * hw;
-                for (j, o) in oplane.iter_mut().enumerate() {
-                    let mut v = xd[base + j];
-                    for stage in prep[..nst].iter() {
-                        match stage.as_ref().expect("prepared above") {
-                            Prep::Bias(bs) => v += bs[ci],
-                            Prep::Scale(ss) => v *= ss[ci],
-                            Prep::Norm {
-                                mean,
-                                inv,
-                                gamma,
-                                beta,
-                            } => v = (v - mean[ci]) * inv[ci] * gamma[ci] + beta[ci],
-                            Prep::Relu => v = v.max(0.0),
-                            Prep::Residual(r) => v += r[base + j],
+                match fast {
+                    // SAFETY: the dispatched level never exceeds the CPU's
+                    // detected features (`SimdLevel::active` clamps), and
+                    // every lane read stays inside `xd`/`r` because each
+                    // `oplane` chunk maps to the same-length `[base..)`
+                    // window of the equally-sized inputs.
+                    #[cfg(target_arch = "x86_64")]
+                    Some(qn_simd::SimdLevel::Avx2) => unsafe {
+                        run_plane_avx2(oplane, xd, &prep[..nst], ci, base)
+                    },
+                    #[cfg(target_arch = "x86_64")]
+                    Some(qn_simd::SimdLevel::Sse2) => unsafe {
+                        run_plane_sse2(oplane, xd, &prep[..nst], ci, base)
+                    },
+                    // SAFETY: `ScalarF32` has no ISA requirement.
+                    Some(_) => unsafe {
+                        run_plane::<qn_simd::arch::ScalarF32>(oplane, xd, &prep[..nst], ci, base)
+                    },
+                    None => {
+                        for (j, o) in oplane.iter_mut().enumerate() {
+                            let mut v = xd[base + j];
+                            for stage in prep[..nst].iter() {
+                                match stage.as_ref().expect("prepared above") {
+                                    Prep::Bias(bs) => v += bs[ci],
+                                    Prep::Scale(ss) => v *= ss[ci],
+                                    Prep::Norm {
+                                        mean,
+                                        inv,
+                                        gamma,
+                                        beta,
+                                    } => v = (v - mean[ci]) * inv[ci] * gamma[ci] + beta[ci],
+                                    Prep::Relu => v = v.max(0.0),
+                                    Prep::Residual(r) => v += r[base + j],
+                                }
+                            }
+                            *o = v;
                         }
                     }
-                    *o = v;
                 }
             },
         );

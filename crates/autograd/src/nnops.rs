@@ -3,7 +3,41 @@
 
 use crate::graph::{Graph, Var};
 use crate::PAR_MIN_ELEMS;
+use qn_simd::KernelProfile;
 use qn_tensor::Tensor;
+
+/// Accumulates one row's label-smoothed cross-entropy into `loss`:
+/// `loss -= w · y_j · ln(max(p_j, 1e-12))` with `y_j = on` at the target and
+/// `off` elsewhere. The shared inner loop of [`Graph::softmax_cross_entropy`]
+/// and [`Graph::softmax_cross_entropy_weighted`]; `w = 1` multiplies
+/// bit-exactly, so the unweighted loss is unchanged by sharing. Zero-weight
+/// rows contribute nothing (masked padding).
+fn ce_row_loss(loss: &mut f32, row: &[f32], t: usize, on: f32, off: f32, w: f32) {
+    if w == 0.0 {
+        return;
+    }
+    for (j, &p) in row.iter().enumerate() {
+        let y = if j == t { on } else { off };
+        if y > 0.0 {
+            *loss -= w * y * p.max(1e-12).ln();
+        }
+    }
+}
+
+/// Rewrites one probability row into its cross-entropy gradient
+/// `(p_j - y_j) · scale · w`; zero-weight rows zero out (their loss term was
+/// skipped). Shared by both loss backward closures — `w = 1` multiplies
+/// bit-exactly, matching the unweighted form.
+fn ce_row_grad(row: &mut [f32], t: usize, on: f32, off: f32, scale: f32, w: f32) {
+    if w == 0.0 {
+        row.fill(0.0);
+        return;
+    }
+    for (j, v) in row.iter_mut().enumerate() {
+        let y = if j == t { on } else { off };
+        *v = (*v - y) * scale * w;
+    }
+}
 
 impl Graph {
     /// Numerically-stable softmax over the **last** axis.
@@ -63,13 +97,14 @@ impl Graph {
         let on = 1.0 - eps + off;
         let mut loss = 0.0f32;
         for (i, &t) in targets.iter().enumerate() {
-            let row = &probs.data()[i * c..(i + 1) * c];
-            for (j, &p) in row.iter().enumerate() {
-                let y = if j == t { on } else { off };
-                if y > 0.0 {
-                    loss -= y * p.max(1e-12).ln();
-                }
-            }
+            ce_row_loss(
+                &mut loss,
+                &probs.data()[i * c..(i + 1) * c],
+                t,
+                on,
+                off,
+                1.0,
+            );
         }
         loss /= b as f32;
         let targets = targets.to_vec();
@@ -81,11 +116,14 @@ impl Graph {
                 let scale = g.data()[0] / b as f32;
                 let mut dx = probs.clone();
                 for (i, &t) in targets.iter().enumerate() {
-                    let row = &mut dx.data_mut()[i * c..(i + 1) * c];
-                    for (j, v) in row.iter_mut().enumerate() {
-                        let y = if j == t { on } else { off };
-                        *v = (*v - y) * scale;
-                    }
+                    ce_row_grad(
+                        &mut dx.data_mut()[i * c..(i + 1) * c],
+                        t,
+                        on,
+                        off,
+                        scale,
+                        1.0,
+                    );
                 }
                 vec![dx]
             })),
@@ -132,16 +170,7 @@ impl Graph {
         let on = 1.0 - eps + off;
         let mut loss = 0.0f32;
         for (i, (&t, &wi)) in targets.iter().zip(weights.iter()).enumerate() {
-            if wi == 0.0 {
-                continue;
-            }
-            let row = &probs.data()[i * c..(i + 1) * c];
-            for (j, &p) in row.iter().enumerate() {
-                let y = if j == t { on } else { off };
-                if y > 0.0 {
-                    loss -= wi * y * p.max(1e-12).ln();
-                }
-            }
+            ce_row_loss(&mut loss, &probs.data()[i * c..(i + 1) * c], t, on, off, wi);
         }
         loss /= wsum;
         let targets = targets.to_vec();
@@ -154,17 +183,14 @@ impl Graph {
                 let scale = g.data()[0] / wsum;
                 let mut dx = probs.clone();
                 for (i, (&t, &wi)) in targets.iter().zip(weights.iter()).enumerate() {
-                    let row = &mut dx.data_mut()[i * c..(i + 1) * c];
-                    if wi == 0.0 {
-                        for v in row.iter_mut() {
-                            *v = 0.0;
-                        }
-                        continue;
-                    }
-                    for (j, v) in row.iter_mut().enumerate() {
-                        let y = if j == t { on } else { off };
-                        *v = (*v - y) * scale * wi;
-                    }
+                    ce_row_grad(
+                        &mut dx.data_mut()[i * c..(i + 1) * c],
+                        t,
+                        on,
+                        off,
+                        scale,
+                        wi,
+                    );
                 }
                 vec![dx]
             })),
@@ -521,10 +547,17 @@ pub(crate) fn layer_norm_infer_into(
         "layer_norm_infer_into length mismatch"
     );
     // Inference path: rows are independent, so normalize them in
-    // parallel (bit-identical to the sequential training sweep).
+    // parallel (bit-identical to the sequential training sweep). Under the
+    // `Fast` profile the row kernel vectorizes the mean/variance reductions
+    // (reassociated, tolerance-bounded — see `qn_simd::layer_norm_row`).
+    let fast = KernelProfile::active() == KernelProfile::Fast;
     qn_parallel::par_chunks_mut_min(dst, d.max(1), PAR_MIN_ELEMS, |r, orow| {
         let base = r * d;
         let row = &xv.data()[base..base + d];
+        if fast {
+            qn_simd::layer_norm_row(orow, row, gv.data(), bv.data(), eps);
+            return;
+        }
         let mean = row.iter().sum::<f32>() / d as f32;
         let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
         let istd = 1.0 / (var + eps).sqrt();
@@ -553,9 +586,23 @@ pub(crate) fn batch_norm_infer_into(
         xv.numel(),
         "batch_norm_infer_into length mismatch"
     );
+    // The vector per-plane affine applies the same `(x − μ)·σ⁻¹·γ + β`
+    // operation order lane-wise, so the `Fast` path is bit-identical here.
+    let fast = KernelProfile::active() == KernelProfile::Fast;
     qn_parallel::par_chunks_mut_min(dst, hw.max(1), PAR_MIN_ELEMS, |plane, out_plane| {
         let ci = plane % c;
         let base = plane * hw;
+        if fast {
+            qn_simd::affine_channel_to(
+                out_plane,
+                &xv.data()[base..base + hw],
+                mean[ci],
+                inv_std[ci],
+                gv.data()[ci],
+                bv.data()[ci],
+            );
+            return;
+        }
         for (j, o) in out_plane.iter_mut().enumerate() {
             *o = (xv.data()[base + j] - mean[ci]) * inv_std[ci] * gv.data()[ci] + bv.data()[ci];
         }
@@ -566,7 +613,15 @@ pub(crate) fn batch_norm_infer_into(
 /// softmax — the kernel under [`softmax_last`] and the eager path's
 /// copy-then-normalize (bit-identical either way).
 pub(crate) fn softmax_rows_inplace(data: &mut [f32], last: usize) {
+    // Under the `Fast` profile each row runs the vector kernel: same stable
+    // max-shift algorithm with a polynomial `exp` and reassociated sum
+    // (≤ 32 ULP per probability — see `qn_simd::softmax_row_inplace`).
+    let fast = KernelProfile::active() == KernelProfile::Fast;
     qn_parallel::par_chunks_mut_min(data, last.max(1), PAR_MIN_ELEMS, |_, row| {
+        if fast {
+            qn_simd::softmax_row_inplace(row);
+            return;
+        }
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {

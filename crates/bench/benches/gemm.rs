@@ -3,11 +3,14 @@
 //! ResNet-20 im2col products (the conv hot path, a `matmul_transb`) and
 //! transformer attention products (square `matmul`s per head).
 //!
-//! For every shape the bench measures single-thread GFLOP/s of both
-//! implementations, asserts the outputs are bit-identical (the determinism
-//! contract the refactor preserves), and records everything — including the
-//! packed core's full-pool throughput — in `BENCH_gemm.json` at the repo
-//! root. Set `QN_SMOKE=1` for a CI-sized run.
+//! For every shape the bench measures single-thread GFLOP/s of the naive
+//! seed kernel, the packed scalar (`Exact`-profile) core, and the packed
+//! vector (`Fast`-profile) core at the active SIMD level; asserts the exact
+//! outputs are bit-identical to the seed (the determinism contract) and the
+//! fast outputs are close (the ULP tier); and records everything —
+//! including the packed core's full-pool throughput — in `BENCH_gemm.json`
+//! at the repo root. Set `QN_SMOKE=1` for a CI-sized run,
+//! `QN_SIMD={scalar,sse2,avx2}` to pin the vector level.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qn_bench::time_mean;
@@ -72,28 +75,51 @@ fn bench(c: &mut Criterion) {
         let packed_nt = time_mean(samples, || {
             std::hint::black_box(packed(&a, &b).data()[0]);
         });
-        let (gf_naive, gf_1t, gf_nt) = (
+        // Fast-profile (vector) single-thread run at the active SIMD level.
+        let prev = qn_simd::force_profile(qn_simd::KernelProfile::Fast);
+        let fast_out = packed(&a, &b);
+        let fast_1t = qn_parallel::with_max_threads(1, || {
+            time_mean(samples, || {
+                std::hint::black_box(packed(&a, &b).data()[0]);
+            })
+        });
+        qn_simd::force_profile(prev);
+        let exact_out = packed(&a, &b);
+        for (f, e) in fast_out.data().iter().zip(exact_out.data()) {
+            assert!(
+                (f - e).abs() <= 1e-4 * (1.0 + e.abs()),
+                "{label}: fast-profile output drifted beyond the ULP tier: {f} vs {e}"
+            );
+        }
+        let (gf_naive, gf_1t, gf_nt, gf_fast) = (
             flops / naive_s / 1e9,
             flops / packed_1t / 1e9,
             flops / packed_nt / 1e9,
+            flops / fast_1t / 1e9,
         );
         let speedup = gf_1t / gf_naive;
+        let fast_speedup = gf_fast / gf_1t;
         eprintln!(
             "gemm/{label} ({m}x{k}x{n}): naive {gf_naive:.2} GFLOP/s, \
              packed 1t {gf_1t:.2} GFLOP/s ({speedup:.2}x), \
-             packed {host_cpus}t {gf_nt:.2} GFLOP/s"
+             fast({simd}) 1t {gf_fast:.2} GFLOP/s ({fast_speedup:.2}x over packed), \
+             packed {host_cpus}t {gf_nt:.2} GFLOP/s",
+            simd = qn_simd::SimdLevel::active().name(),
         );
         records.push(format!(
             "    {{\n      \"shape\": \"{label}\",\n      \"m\": {m},\n      \"k\": {k},\n      \
 \"n\": {n},\n      \"transb\": {transb},\n      \"naive_gflops\": {gf_naive:.3},\n      \
-\"packed_1t_gflops\": {gf_1t:.3},\n      \"packed_full_pool_gflops\": {gf_nt:.3},\n      \
-\"speedup_1t_vs_naive\": {speedup:.3},\n      \"bit_identical\": true\n    }}"
+\"packed_1t_gflops\": {gf_1t:.3},\n      \"packed_vector_1t_gflops\": {gf_fast:.3},\n      \
+\"packed_full_pool_gflops\": {gf_nt:.3},\n      \
+\"speedup_1t_vs_naive\": {speedup:.3},\n      \
+\"speedup_vector_vs_packed_1t\": {fast_speedup:.3},\n      \"bit_identical\": true\n    }}"
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"gemm\",\n  \"smoke\": {smoke},\n  \"samples\": {samples},\n  \
-\"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
-        records.join(",\n")
+\"host_cpus\": {host_cpus},\n  \"simd\": \"{simd}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n"),
+        simd = qn_simd::SimdLevel::active().name(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
     if let Err(e) = std::fs::write(path, &json) {

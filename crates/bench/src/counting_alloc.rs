@@ -66,6 +66,12 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Counter deltas since `earlier` (`self` must be the later snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds (wrapping in release) if `earlier` was taken
+    /// **after** `self` — the counters are monotone, so a negative delta
+    /// always means the snapshots were swapped at the call site.
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             allocations: self.allocations - earlier.allocations,

@@ -8,7 +8,13 @@ pub mod counting_alloc;
 ///
 /// The single timing helper behind every `BENCH_*.json` artifact, so the
 /// recorded numbers stay methodologically comparable across benches.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`: a zero-sample mean would silently record
+/// `inf` GFLOP/s into a `BENCH_*.json` artifact.
 pub fn time_mean(samples: usize, mut f: impl FnMut()) -> f64 {
+    assert!(samples > 0, "time_mean needs at least one timed sample");
     f();
     let start = Instant::now();
     for _ in 0..samples {

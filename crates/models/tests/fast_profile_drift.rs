@@ -1,0 +1,63 @@
+//! End-to-end `Fast`-vs-`Exact` drift on a quadratic ResNet-20: the whole
+//! inference stack (im2col GEMM, fused batch-norm/relu/residual chain,
+//! quadratic-neuron weighted square sums, softmax) under the vector
+//! profile must stay close to the exact profile's output — the executable
+//! form of the determinism-tier contract. Own integration binary because
+//! `force_profile` is process-global.
+
+use qn_core::NeuronSpec;
+use qn_models::{InferenceSession, NeuronPlacement, ResNet, ResNetConfig};
+use qn_tensor::{Rng, Tensor};
+use std::sync::Mutex;
+
+static PROFILE_LOCK: Mutex<()> = Mutex::new(());
+
+fn resnet20(neuron: NeuronSpec) -> ResNet {
+    ResNet::cifar(ResNetConfig {
+        depth: 20,
+        base_width: 8,
+        num_classes: 10,
+        neuron,
+        placement: NeuronPlacement::All,
+        seed: 33,
+    })
+}
+
+fn drift_check(neuron: NeuronSpec, seed: u64) {
+    let _g = PROFILE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let net = resnet20(neuron);
+    let mut rng = Rng::seed_from(seed);
+    let x = Tensor::randn(&[2, 3, 32, 32], &mut rng);
+
+    let prev = qn_simd::force_profile(qn_simd::KernelProfile::Exact);
+    let exact = InferenceSession::new(&net).predict_batch(&x);
+    qn_simd::force_profile(qn_simd::KernelProfile::Fast);
+    let fast = InferenceSession::new(&net).predict_batch(&x);
+    qn_simd::force_profile(prev);
+
+    assert_eq!(exact.shape(), fast.shape());
+    for (f, e) in fast.data().iter().zip(exact.data()) {
+        assert!(
+            (f - e).abs() <= 1e-3 * (1.0 + e.abs()),
+            "fast-profile logits drifted: {f} vs {e} (neuron {neuron:?})"
+        );
+    }
+    // the Fast profile must still be deterministic run-to-run
+    let prev = qn_simd::force_profile(qn_simd::KernelProfile::Fast);
+    let again = InferenceSession::new(&net).predict_batch(&x);
+    qn_simd::force_profile(prev);
+    assert!(
+        fast.bit_identical(&again),
+        "Fast profile must be deterministic across runs"
+    );
+}
+
+#[test]
+fn quadratic_resnet20_fast_profile_tracks_exact() {
+    drift_check(NeuronSpec::EfficientQuadratic { rank: 2 }, 7);
+}
+
+#[test]
+fn linear_resnet20_fast_profile_tracks_exact() {
+    drift_check(NeuronSpec::Linear, 8);
+}

@@ -67,6 +67,11 @@ pub const PAR_MIN_ELEMS: usize = 16 * 1024;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Job queue + wakeup pair shared by the workers. The `expect("…
+/// poisoned")` calls on this queue and on [`Latch`] state can only fire on
+/// mutex poisoning, which is unreachable by construction: every task body
+/// runs under `catch_unwind`, so no panic ever unwinds while a pool lock
+/// is held.
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
@@ -161,6 +166,12 @@ pub fn configure_pool_threads(threads: usize) -> bool {
 /// The global pool's total thread count (workers + the submitting thread),
 /// ignoring nesting and [`with_max_threads`] caps. Forces pool
 /// initialization.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a pool worker thread on first-use
+/// initialization (resource exhaustion — the pool cannot degrade safely
+/// once callers have observed its size).
 pub fn pool_threads() -> usize {
     pool().threads
 }
@@ -168,6 +179,11 @@ pub fn pool_threads() -> usize {
 /// The parallelism available to the **current** thread right now: the pool
 /// size, capped by an enclosing [`with_max_threads`], and `1` inside a pool
 /// task (nested work runs inline).
+///
+/// # Panics
+///
+/// Same as [`pool_threads`]: worker spawn failure on first-use pool
+/// initialization.
 pub fn num_threads() -> usize {
     if IN_WORKER.with(|w| w.get()) {
         return 1;
@@ -258,6 +274,14 @@ fn run_as_worker(job: Job) {
 ///
 /// This is the low-level primitive under [`par_chunks_mut`], [`par_map`]
 /// and [`par_join`]; kernels normally want one of those instead.
+///
+/// # Panics
+///
+/// Re-raises the **first** task panic on the calling thread once every
+/// task has finished (tasks are wrapped in `catch_unwind`, so one panic
+/// never strands the latch or poisons the queue). Also panics on
+/// first-use pool initialization if a worker thread cannot be spawned
+/// (see [`pool_threads`]).
 pub fn par_scope<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     if tasks.is_empty() {
         return;
@@ -503,6 +527,12 @@ pub fn split_evenly_into(n: usize, parts: usize, out: &mut Vec<(usize, usize)>) 
 /// (task completion order never leaks into the output). One task per item —
 /// intended for coarse work such as per-shard model execution, not for
 /// per-element maps.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (via [`par_scope`]); the
+/// internal "every slot filled" expectation cannot fire otherwise, since
+/// a panicking task re-raises before results are unwrapped.
 pub fn par_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
 where
     I: Send,
@@ -529,6 +559,11 @@ where
 }
 
 /// Runs two closures, potentially in parallel, and returns both results.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by either closure (via
+/// [`par_scope`]), after both have finished or unwound.
 pub fn par_join<RA, RB, FA, FB>(a: FA, b: FB) -> (RA, RB)
 where
     RA: Send,

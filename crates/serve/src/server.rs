@@ -28,7 +28,7 @@
 //! | `POST` | `/v1/models/{name}/predict` | run one sample (binary f32 LE or text floats) |
 //! | `GET`  | `/v1/models` | registry snapshot (name, generation, params) |
 //! | `GET`  | `/metrics` | latency percentiles, queue depth, batch sizes, pool stats |
-//! | `GET`  | `/healthz` | liveness |
+//! | `GET`  | `/healthz` | liveness + active SIMD level and kernel profile |
 //! | `POST` | `/admin/models/{name}/load` | body = checkpoint path; mmap-load + hot-swap |
 
 use crate::http::{HttpConn, Limits, Request, Response};
@@ -477,7 +477,17 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Response {
     let method = req.method.as_str();
     let path = req.path.as_str();
     match (method, path) {
-        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        // Liveness plus the resolved kernel dispatch state, so an operator
+        // can confirm what `QN_SIMD` / `QN_KERNEL_PROFILE` actually took
+        // effect on this host (unrecognized values fall back silently).
+        ("GET", "/healthz") => Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"simd\":\"{}\",\"kernel_profile\":\"{}\"}}\n",
+                qn_simd::SimdLevel::active().name(),
+                qn_simd::KernelProfile::active().name(),
+            ),
+        ),
         ("GET", "/metrics") => Response::json(200, metrics_json(shared)).chunked(),
         ("GET", "/v1/models") => Response::json(200, models_json(shared)),
         _ => {
@@ -700,8 +710,13 @@ fn metrics_json(shared: &Arc<Shared>) -> String {
             )
         })
         .collect();
+    let runtime = format!(
+        "{{\"simd\":\"{}\",\"kernel_profile\":\"{}\"}}",
+        qn_simd::SimdLevel::active().name(),
+        qn_simd::KernelProfile::active().name(),
+    );
     format!(
-        "{{\"server\":{server},\"routes\":{{{}}}}}\n",
+        "{{\"server\":{server},\"runtime\":{runtime},\"routes\":{{{}}}}}\n",
         routes.join(",")
     )
 }

@@ -32,6 +32,16 @@ fn predict_roundtrips_match_direct_inference_over_keepalive() {
     let health = roundtrip(&mut conn, "GET", "/healthz", &[], b"");
     assert_eq!(health.status, 200);
     assert_eq!(health.header("connection"), Some("keep-alive"));
+    // the body reports the resolved kernel dispatch state
+    let hbody = String::from_utf8_lossy(&health.body).into_owned();
+    assert!(hbody.contains("\"status\":\"ok\""), "{hbody}");
+    let simd = format!("\"simd\":\"{}\"", qn_simd::SimdLevel::active().name());
+    let prof = format!(
+        "\"kernel_profile\":\"{}\"",
+        qn_simd::KernelProfile::active().name()
+    );
+    assert!(hbody.contains(&simd), "{hbody}");
+    assert!(hbody.contains(&prof), "{hbody}");
 
     let binary = roundtrip(
         &mut conn,

@@ -1,0 +1,82 @@
+//! Vectorized transcendental approximations for the `Fast` kernel profile.
+//!
+//! These are classic Cephes-style single-precision kernels written once,
+//! generic over [`SimdF32`], and instantiated per ISA by the dispatch
+//! wrappers. They are **approximations**: the `Fast` profile's softmax /
+//! sigmoid paths use them, the `Exact` profile never does.
+//!
+//! Documented accuracy bounds (verified by the property suite in
+//! `crates/simd/tests/kernel_equivalence.rs`):
+//!
+//! | kernel    | bound vs `f32` libm           | domain notes                          |
+//! |-----------|-------------------------------|---------------------------------------|
+//! | [`exp`]   | ≤ 8 ULP                       | input clamped to `[-87.33, 88.02]`;   |
+//! |           |                               | outputs below ~1.2e-38 flush to the   |
+//! |           |                               | smallest normal                       |
+//! | [`sigmoid`] | ≤ 16 ULP                    | saturates for `x < -88` (returns a    |
+//! |           |                               | subnormal instead of a smaller one)   |
+//!
+//! `tanh` is deliberately **not** vectorized: every cheap reformulation
+//! (`2σ(2x)−1`, `(e²ˣ−1)/(e²ˣ+1)`) catastrophically cancels near zero,
+//! so both profiles keep scalar `f32::tanh`.
+
+use crate::arch::SimdF32;
+
+/// Upper input clamp: keeps `n = round(x·log2 e)` ≤ 127 so the
+/// exponent-bias trick in `pow2i` cannot overflow into the Inf pattern.
+/// (`exp` of anything in `[88.02, 88.73)` is still finite in `f32`, but
+/// softmax feeds `x − max(x) ≤ 0` and never gets here.)
+const EXP_HI: f32 = 88.02;
+/// Lower input clamp: smallest input whose true `exp` is a normal number.
+const EXP_LO: f32 = -87.336_55;
+
+const LOG2E: f32 = core::f32::consts::LOG2_E;
+// ln(2) split hi/lo (Cody–Waite) so `x − n·ln2` stays exact. The hi part
+// is exactly representable (2841 / 2^12); clippy can't tell.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f32 = 0.693_359_375;
+const LN2_LO: f32 = -2.121_944_4e-4;
+// Cephes expf polynomial for e^r on r ∈ [−ln2/2, ln2/2].
+const EXP_P0: f32 = 1.987_569_1e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_4e-1;
+
+/// Lane-wise `e^x` (range-reduced polynomial, ≤ 8 ULP of `f32::exp` on
+/// the clamped domain).
+///
+/// # Safety
+/// `S`'s instruction set must be available on the executing CPU.
+#[inline(always)]
+pub unsafe fn exp<S: SimdF32>(x: S) -> S {
+    let x = x.min(S::splat(EXP_HI)).max(S::splat(EXP_LO));
+    // n = round(x / ln 2);  r = x − n·ln 2  (two-part, exact)
+    let n = x.mul(S::splat(LOG2E)).round();
+    let r = n.mul_add(S::splat(-LN2_HI), x);
+    let r = n.mul_add(S::splat(-LN2_LO), r);
+    // e^r ≈ 1 + r + r²·P(r)
+    let mut p = S::splat(EXP_P0);
+    p = p.mul_add(r, S::splat(EXP_P1));
+    p = p.mul_add(r, S::splat(EXP_P2));
+    p = p.mul_add(r, S::splat(EXP_P3));
+    p = p.mul_add(r, S::splat(EXP_P4));
+    p = p.mul_add(r, S::splat(EXP_P5));
+    let r2 = r.mul(r);
+    let y = p.mul_add(r2, r).add(S::splat(1.0));
+    // e^x = e^r · 2^n
+    y.mul(n.pow2i())
+}
+
+/// Lane-wise logistic sigmoid `1 / (1 + e^(−x))` (≤ 16 ULP of the scalar
+/// `1.0 / (1.0 + (−x).exp())` for finite inputs; saturates below
+/// `x ≈ −88`).
+///
+/// # Safety
+/// `S`'s instruction set must be available on the executing CPU.
+#[inline(always)]
+pub unsafe fn sigmoid<S: SimdF32>(x: S) -> S {
+    let e = exp(S::zero().sub(x));
+    S::splat(1.0).add(e).recip()
+}

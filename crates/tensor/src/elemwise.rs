@@ -13,8 +13,21 @@
 //!
 //! Inputs shorter than [`PAR_MIN_ELEMS`] stay on
 //! the calling thread.
+//!
+//! # Named profile-aware ops
+//!
+//! The closure kernels above are the `Exact` tier. The **named** ops
+//! ([`relu_to`], [`add_to`], [`sigmoid_to`], …) additionally consult
+//! `qn_simd::KernelProfile`: under `Exact` they run the identical closure
+//! loop; under `Fast` they hand each band to the dispatched `qn-simd`
+//! vector kernel. For the arithmetic ops (add/sub/mul/scale/add-scalar/
+//! square/relu) the vector path is lane-wise IEEE-identical to the closure
+//! — no reassociation, no fusing — so those stay bit-identical in *both*
+//! profiles; only `sigmoid_to`/`exp_to` swap in the polynomial
+//! approximation (ULP-bounded, see `qn_simd::math`) under `Fast`.
 
 use qn_parallel::PAR_MIN_ELEMS;
+use qn_simd::KernelProfile;
 
 #[inline]
 fn bands_for(n: usize) -> usize {
@@ -116,9 +129,193 @@ pub fn zip_assign(dst: &mut [f32], src: &[f32], f: impl Fn(f32, f32) -> f32 + Sy
     });
 }
 
+/// Runs a slice kernel over the same parallel bands the closure kernels
+/// use (the shared banding rule is what keeps every elementwise variant
+/// bit-identical at any thread count).
+fn banded_unary(dst: &mut [f32], src: &[f32], kernel: fn(&mut [f32], &[f32])) {
+    let n = dst.len();
+    if bands_for(n) <= 1 {
+        kernel(dst, src);
+        return;
+    }
+    let band = n.div_ceil(qn_parallel::num_threads());
+    qn_parallel::par_chunks_mut(dst, band, |bi, chunk| {
+        let start = bi * band;
+        kernel(chunk, &src[start..start + chunk.len()]);
+    });
+}
+
+fn banded_unary_s(dst: &mut [f32], src: &[f32], s: f32, kernel: fn(&mut [f32], &[f32], f32)) {
+    let n = dst.len();
+    if bands_for(n) <= 1 {
+        kernel(dst, src, s);
+        return;
+    }
+    let band = n.div_ceil(qn_parallel::num_threads());
+    qn_parallel::par_chunks_mut(dst, band, |bi, chunk| {
+        let start = bi * band;
+        kernel(chunk, &src[start..start + chunk.len()], s);
+    });
+}
+
+fn banded_binary(dst: &mut [f32], a: &[f32], b: &[f32], kernel: fn(&mut [f32], &[f32], &[f32])) {
+    let n = dst.len();
+    if bands_for(n) <= 1 {
+        kernel(dst, a, b);
+        return;
+    }
+    let band = n.div_ceil(qn_parallel::num_threads());
+    qn_parallel::par_chunks_mut(dst, band, |bi, chunk| {
+        let start = bi * band;
+        let end = start + chunk.len();
+        kernel(chunk, &a[start..end], &b[start..end]);
+    });
+}
+
+/// `dst[i] = a[i] + b[i]` — bit-identical in both profiles (`Fast`
+/// vectorizes, lane-wise IEEE-identical).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(dst.len(), a.len(), "add_to length mismatch");
+    assert_eq!(dst.len(), b.len(), "add_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => zip_to(dst, a, b, |x, y| x + y),
+        KernelProfile::Fast => banded_binary(dst, a, b, qn_simd::add_to),
+    }
+}
+
+/// `dst[i] = a[i] - b[i]` — bit-identical in both profiles.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(dst.len(), a.len(), "sub_to length mismatch");
+    assert_eq!(dst.len(), b.len(), "sub_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => zip_to(dst, a, b, |x, y| x - y),
+        KernelProfile::Fast => banded_binary(dst, a, b, qn_simd::sub_to),
+    }
+}
+
+/// `dst[i] = a[i] * b[i]` — bit-identical in both profiles.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(dst.len(), a.len(), "mul_to length mismatch");
+    assert_eq!(dst.len(), b.len(), "mul_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => zip_to(dst, a, b, |x, y| x * y),
+        KernelProfile::Fast => banded_binary(dst, a, b, qn_simd::mul_to),
+    }
+}
+
+/// `dst[i] = src[i] * s` — bit-identical in both profiles.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn scale_to(dst: &mut [f32], src: &[f32], s: f32) {
+    assert_eq!(dst.len(), src.len(), "scale_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => map_to(dst, src, |v| v * s),
+        KernelProfile::Fast => banded_unary_s(dst, src, s, qn_simd::scale_to),
+    }
+}
+
+/// `dst[i] = src[i] + s` — bit-identical in both profiles.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_scalar_to(dst: &mut [f32], src: &[f32], s: f32) {
+    assert_eq!(dst.len(), src.len(), "add_scalar_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => map_to(dst, src, |v| v + s),
+        KernelProfile::Fast => banded_unary_s(dst, src, s, qn_simd::add_scalar_to),
+    }
+}
+
+/// `dst[i] = src[i]²` — bit-identical in both profiles.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn square_to(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "square_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => map_to(dst, src, |v| v * v),
+        KernelProfile::Fast => banded_unary(dst, src, qn_simd::square_to),
+    }
+}
+
+/// `dst[i] = max(src[i], 0)` — bit-identical in both profiles (the vector
+/// `max` matches `f32::max`'s NaN → 0 behavior for this pattern).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relu_to(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "relu_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => map_to(dst, src, |v| v.max(0.0)),
+        KernelProfile::Fast => banded_unary(dst, src, qn_simd::relu_to),
+    }
+}
+
+/// `dst[i] = 1 / (1 + e^(−src[i]))`. Under `Fast` this is the `qn-simd`
+/// polynomial approximation (≤ 16 ULP of the libm form).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sigmoid_to(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "sigmoid_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => map_to(dst, src, |v| 1.0 / (1.0 + (-v).exp())),
+        KernelProfile::Fast => banded_unary(dst, src, qn_simd::sigmoid_to),
+    }
+}
+
+/// `dst[i] = e^src[i]`. Under `Fast` this is the `qn-simd` polynomial
+/// approximation (≤ 8 ULP of `f32::exp` on its clamped domain).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn exp_to(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "exp_to length mismatch");
+    match KernelProfile::active() {
+        KernelProfile::Exact => map_to(dst, src, |v| v.exp()),
+        KernelProfile::Fast => banded_unary(dst, src, qn_simd::exp_to),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn named_ops_match_closures_in_exact_profile() {
+        let a: Vec<f32> = (0..300).map(|i| (i as f32 - 150.0) * 0.1).collect();
+        let b: Vec<f32> = (0..300).map(|i| (i as f32).cos()).collect();
+        let mut named = vec![0.0f32; 300];
+        let mut closure = vec![0.0f32; 300];
+        add_to(&mut named, &a, &b);
+        zip_to(&mut closure, &a, &b, |x, y| x + y);
+        assert_eq!(named, closure);
+        relu_to(&mut named, &a);
+        map_to(&mut closure, &a, |v| v.max(0.0));
+        assert_eq!(named, closure);
+        sigmoid_to(&mut named, &a);
+        map_to(&mut closure, &a, |v| 1.0 / (1.0 + (-v).exp()));
+        assert_eq!(named, closure);
+    }
 
     #[test]
     fn map_and_zip_match_sequential() {

@@ -27,6 +27,22 @@
 //! in [`reference`](mod@reference)) — the property suites in `crates/tensor/tests/`
 //! enforce the equality across shapes, transpose flags and thread counts.
 //!
+//! # Kernel profiles
+//!
+//! Under the default `qn_simd::KernelProfile::Exact` everything above holds
+//! unconditionally: the scalar micro-kernel runs unchanged at every
+//! `QN_SIMD` level. Under the opt-in `Fast` profile the packed path swaps
+//! in a vectorized micro-kernel ([`run_band_fast_g`]) built on
+//! `qn_simd::arch::SimdF32`: each lane still accumulates its output element
+//! strictly sequentially over `k` — there is **no reassociation** — so the
+//! only divergence from the exact kernel is FMA fusing (one rounding per
+//! multiply-add instead of two) on ISAs that fuse. Results are
+//! ULP-bounded against [`reference`](mod@reference)
+//! (`crates/tensor/tests/gemm_fast_profile.rs`), and the fallback path for
+//! small/skinny products stays exact under both profiles. The fast kernel
+//! drops the zero-skip machinery (and its `contains_zero` pre-scan):
+//! skipping exists to spare scalar MACs, which vector FMA makes free.
+//!
 //! # The finiteness-guarded zero skip
 //!
 //! A `0.0` coefficient in `A` may only skip its row of `B` when that row is
@@ -40,6 +56,10 @@
 //! `±0.0` products leaves every bit of the result unchanged.
 
 use crate::Tensor;
+#[cfg(target_arch = "x86_64")]
+use qn_simd::arch::{Avx2F32, Sse2F32};
+use qn_simd::arch::{ScalarF32, SimdF32};
+use qn_simd::{KernelProfile, SimdLevel};
 
 /// Rows per register block of the micro-kernel.
 const MR: usize = 4;
@@ -422,6 +442,27 @@ fn microkernel<const SKIP: bool>(ap: &[f32], bp: &[f32], finite: &[bool]) -> [[f
     acc
 }
 
+/// Which micro-kernel a [`gemm`] call drives, resolved **once** per call
+/// from `qn_simd::{KernelProfile, SimdLevel}` so every band of one product
+/// runs the same code path regardless of which pool worker executes it.
+#[derive(Clone, Copy)]
+enum Kernel {
+    /// The seed-bit-identical scalar micro-kernel (default profile).
+    Exact,
+    /// The vectorized FMA micro-kernel at the given dispatch level.
+    Fast(SimdLevel),
+}
+
+impl Kernel {
+    /// Resolves the kernel for this call from the active profile/level.
+    fn active() -> Kernel {
+        match KernelProfile::active() {
+            KernelProfile::Exact => Kernel::Exact,
+            KernelProfile::Fast => Kernel::Fast(SimdLevel::active()),
+        }
+    }
+}
+
 /// Processes `band_rows` consecutive output rows starting at global row
 /// `first_row`, writing into `cband` (local offsets, `row_stride` apart).
 fn run_band(
@@ -431,33 +472,65 @@ fn run_band(
     first_row: usize,
     a: MatRef<'_>,
     packed: &PackedB,
+    kernel: Kernel,
 ) {
     let k = a.cols;
-    let finite = packed.finite.as_deref();
     // A-tile scratch from this worker thread's cache; every element is
     // overwritten per block (incl. zero padding), so recycled contents
     // never leak.
     let mut atile = scratch::take_f32(k * MR);
+    match kernel {
+        Kernel::Exact => run_band_exact(
+            cband, row_stride, band_rows, first_row, a, packed, &mut atile,
+        ),
+        // SAFETY (both vector arms): `Kernel::Fast` carries
+        // `SimdLevel::active()`, which never exceeds the detected CPU
+        // features, so the `#[target_feature]` wrapper only runs on
+        // hardware that has its ISA.
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Fast(SimdLevel::Avx2) => unsafe {
+            run_band_fast_avx2(
+                cband, row_stride, band_rows, first_row, a, packed, &mut atile,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Fast(SimdLevel::Sse2) => unsafe {
+            run_band_fast_sse2(
+                cband, row_stride, band_rows, first_row, a, packed, &mut atile,
+            )
+        },
+        // SAFETY: scalar lanes are plain f32 arithmetic — sound everywhere.
+        Kernel::Fast(_) => unsafe {
+            run_band_fast_g::<ScalarF32>(
+                cband, row_stride, band_rows, first_row, a, packed, &mut atile,
+            )
+        },
+    }
+    scratch::give_f32(atile);
+}
+
+/// The exact-profile band loop (the seed-bit-identical path).
+fn run_band_exact(
+    cband: &mut [f32],
+    row_stride: usize,
+    band_rows: usize,
+    first_row: usize,
+    a: MatRef<'_>,
+    packed: &PackedB,
+    atile: &mut [f32],
+) {
+    let k = a.cols;
+    let finite = packed.finite.as_deref();
     for ib in (0..band_rows).step_by(MR) {
         let mr = MR.min(band_rows - ib);
-        // Pack the A block: atile[p·MR + ii] = A[first_row + ib + ii, p],
-        // zero-padded so the micro-kernel always sees a full block.
-        for (p, dst) in atile.chunks_exact_mut(MR).enumerate() {
-            for (ii, d) in dst.iter_mut().enumerate() {
-                *d = if ii < mr {
-                    a.at(first_row + ib + ii, p)
-                } else {
-                    0.0
-                };
-            }
-        }
+        pack_a_block(atile, a, first_row + ib, mr, k);
         for jp in 0..packed.panels {
             let j0 = jp * NR;
             let nr = NR.min(packed.n - j0);
             let bp = &packed.data[jp * k * NR..(jp + 1) * k * NR];
             let acc = match finite {
-                Some(fin) => microkernel::<true>(&atile, bp, fin),
-                None => microkernel::<false>(&atile, bp, &[]),
+                Some(fin) => microkernel::<true>(atile, bp, fin),
+                None => microkernel::<false>(atile, bp, &[]),
             };
             for (ii, accrow) in acc.iter().enumerate().take(mr) {
                 let off = (ib + ii) * row_stride + j0;
@@ -465,7 +538,184 @@ fn run_band(
             }
         }
     }
-    scratch::give_f32(atile);
+}
+
+/// Packs one A block: `atile[p·MR + ii] = A[first + ii, p]`, zero-padded
+/// past `mr` so the micro-kernels always see a full `MR`-row block.
+///
+/// The full-block row-contiguous case (every block but the last when `A`
+/// is untransposed — the overwhelming majority) interleaves four
+/// pre-sliced rows instead of going through the bounds-checked strided
+/// `at()`, which matters: for skinny products (`n ≪ m`) the pack is a
+/// constant fraction of total work. Element values are identical either
+/// way, so the specialization is bit-neutral.
+#[inline(always)]
+fn pack_a_block(atile: &mut [f32], a: MatRef<'_>, first: usize, mr: usize, k: usize) {
+    if mr == MR && a.col_stride == 1 && k > 0 {
+        let mut rows: [&[f32]; MR] = [&[]; MR];
+        for (ii, r) in rows.iter_mut().enumerate() {
+            let s = (first + ii) * a.row_stride;
+            *r = &a.data[s..s + k];
+        }
+        for (p, dst) in atile[..k * MR].chunks_exact_mut(MR).enumerate() {
+            for (ii, d) in dst.iter_mut().enumerate() {
+                *d = rows[ii][p];
+            }
+        }
+        return;
+    }
+    for (p, dst) in atile[..k * MR].chunks_exact_mut(MR).enumerate() {
+        for (ii, d) in dst.iter_mut().enumerate() {
+            *d = if ii < mr { a.at(first + ii, p) } else { 0.0 };
+        }
+    }
+}
+
+/// The `Fast`-profile band loop, generic over the SIMD lane type.
+///
+/// Panels are consumed **in pairs** where possible: with `MR = 4` rows ×
+/// 2 panels the kernel keeps `8·(NR/LANES)` independent accumulator
+/// chains live, enough instruction-level parallelism to keep both FMA
+/// ports busy (a single `MR × NR` block has only 4 chains at AVX2 width —
+/// FMA latency then caps throughput at half peak). Each lane's
+/// `k`-accumulation is still strictly sequential, so the only divergence
+/// from [`run_band_exact`] is the fusing of `mul_add` itself.
+///
+/// # Safety
+///
+/// `S`'s instruction set must be available; callers go through the
+/// `#[target_feature]` wrappers selected by [`Kernel`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn run_band_fast_g<S: SimdF32>(
+    cband: &mut [f32],
+    row_stride: usize,
+    band_rows: usize,
+    first_row: usize,
+    a: MatRef<'_>,
+    packed: &PackedB,
+    atile: &mut [f32],
+) {
+    let k = a.cols;
+    let nv = NR / S::LANES;
+    for ib in (0..band_rows).step_by(MR) {
+        let mr = MR.min(band_rows - ib);
+        pack_a_block(atile, a, first_row + ib, mr, k);
+        let atile = &atile[..k * MR];
+        let mut jp = 0;
+        // Two panels at a time: 2·MR·nv accumulator chains.
+        while jp + 2 <= packed.panels {
+            let bp0 = &packed.data[jp * k * NR..(jp + 1) * k * NR];
+            let bp1 = &packed.data[(jp + 1) * k * NR..(jp + 2) * k * NR];
+            let mut acc0 = [[S::zero(); NR]; MR];
+            let mut acc1 = [[S::zero(); NR]; MR];
+            for (p, ac) in atile.chunks_exact(MR).enumerate() {
+                let br0 = &bp0[p * NR..p * NR + NR];
+                let br1 = &bp1[p * NR..p * NR + NR];
+                let mut bv0 = [S::zero(); NR];
+                let mut bv1 = [S::zero(); NR];
+                for v in 0..nv {
+                    bv0[v] = S::load(&br0[v * S::LANES..]);
+                    bv1[v] = S::load(&br1[v * S::LANES..]);
+                }
+                for i in 0..MR {
+                    let av = S::splat(ac[i]);
+                    for v in 0..nv {
+                        acc0[i][v] = av.mul_add(bv0[v], acc0[i][v]);
+                        acc1[i][v] = av.mul_add(bv1[v], acc1[i][v]);
+                    }
+                }
+            }
+            let j0 = jp * NR;
+            store_acc_block(&acc0, cband, row_stride, ib, mr, j0, NR);
+            let nr1 = NR.min(packed.n - (j0 + NR));
+            store_acc_block(&acc1, cband, row_stride, ib, mr, j0 + NR, nr1);
+            jp += 2;
+        }
+        if jp < packed.panels {
+            let bp = &packed.data[jp * k * NR..(jp + 1) * k * NR];
+            let mut acc = [[S::zero(); NR]; MR];
+            for (p, ac) in atile.chunks_exact(MR).enumerate() {
+                let br = &bp[p * NR..p * NR + NR];
+                let mut bv = [S::zero(); NR];
+                for v in 0..nv {
+                    bv[v] = S::load(&br[v * S::LANES..]);
+                }
+                for i in 0..MR {
+                    let av = S::splat(ac[i]);
+                    for v in 0..nv {
+                        acc[i][v] = av.mul_add(bv[v], acc[i][v]);
+                    }
+                }
+            }
+            let j0 = jp * NR;
+            let nr = NR.min(packed.n - j0);
+            store_acc_block(&acc, cband, row_stride, ib, mr, j0, nr);
+        }
+    }
+}
+
+/// Writes one `MR × NR` vector accumulator block into `cband` at
+/// `(ib.., j0..j0+nr)`.
+///
+/// # Safety
+///
+/// Same ISA contract as [`run_band_fast_g`] (it is only called from it).
+#[inline(always)]
+unsafe fn store_acc_block<S: SimdF32>(
+    acc: &[[S; NR]; MR],
+    cband: &mut [f32],
+    row_stride: usize,
+    ib: usize,
+    mr: usize,
+    j0: usize,
+    nr: usize,
+) {
+    let nv = NR / S::LANES;
+    let mut tmp = [0.0f32; NR];
+    for (ii, accrow) in acc.iter().enumerate().take(mr) {
+        let off = (ib + ii) * row_stride + j0;
+        if nr == NR {
+            for (v, av) in accrow.iter().enumerate().take(nv) {
+                av.store(&mut cband[off + v * S::LANES..]);
+            }
+        } else {
+            for (v, av) in accrow.iter().enumerate().take(nv) {
+                av.store(&mut tmp[v * S::LANES..]);
+            }
+            cband[off..off + nr].copy_from_slice(&tmp[..nr]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn run_band_fast_avx2(
+    cband: &mut [f32],
+    row_stride: usize,
+    band_rows: usize,
+    first_row: usize,
+    a: MatRef<'_>,
+    packed: &PackedB,
+    atile: &mut [f32],
+) {
+    run_band_fast_g::<Avx2F32>(cband, row_stride, band_rows, first_row, a, packed, atile)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "sse2")]
+unsafe fn run_band_fast_sse2(
+    cband: &mut [f32],
+    row_stride: usize,
+    band_rows: usize,
+    first_row: usize,
+    a: MatRef<'_>,
+    packed: &PackedB,
+    atile: &mut [f32],
+) {
+    run_band_fast_g::<Sse2F32>(cband, row_stride, band_rows, first_row, a, packed, atile)
 }
 
 /// Fallback for products too small (or too skinny) to pack, parallelized
@@ -522,9 +772,13 @@ fn gemm_fallback(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
 ///
 /// Guarantees (see the module docs for the analysis):
 ///
-/// - **bit-identical** results to the seed naive kernels ([`reference`](mod@reference)) at
-///   any thread count — per-element accumulation over `k` is strictly
-///   sequential and parallelism only ever splits disjoint output-row bands;
+/// - under the default `Exact` profile, **bit-identical** results to the
+///   seed naive kernels ([`reference`](mod@reference)) at any thread count — per-element
+///   accumulation over `k` is strictly sequential and parallelism only ever
+///   splits disjoint output-row bands;
+/// - under the opt-in `Fast` profile (`QN_KERNEL_PROFILE=fast`), the packed
+///   path runs the vectorized FMA micro-kernel — still sequential per
+///   output element, ULP-bounded against the reference (fusing only);
 /// - IEEE-754-exact non-finite propagation: the zero-coefficient skip is
 ///   finiteness-guarded at the packing step (`0 × NaN = NaN` survives);
 /// - `k == 0` zero-fills `C` (the empty sum).
@@ -543,9 +797,12 @@ pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
     if m < MR || n < NR || m * n * k < PACK_MIN_MACS {
         return gemm_fallback(c, a, b);
     }
+    let kernel = Kernel::active();
     // Enable the skip machinery only when A actually holds a zero (the scan
-    // reads A once; a dense A pays nothing beyond it).
-    let packed = pack_b(b, a.contains_zero());
+    // reads A once; a dense A pays nothing beyond it). The fast kernel
+    // never skips, so it also skips the scan.
+    let with_mask = matches!(kernel, Kernel::Exact) && a.contains_zero();
+    let packed = pack_b(b, with_mask);
     let row_stride = c.row_stride;
     let blocks = m.div_ceil(MR);
     let threads = qn_parallel::num_threads();
@@ -563,10 +820,11 @@ pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
                 first,
                 a,
                 &packed,
+                kernel,
             );
         });
     } else {
-        run_band(cdata, row_stride, m, 0, a, &packed);
+        run_band(cdata, row_stride, m, 0, a, &packed, kernel);
     }
     packed.recycle();
 }

@@ -15,6 +15,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`parallel`] | `qn-parallel` | std-only worker pool: `par_chunks_mut`/`par_map`/`par_join` |
+//! | [`simd`] | `qn-simd` | vectorized kernel layer: runtime SIMD dispatch + determinism tiers |
 //! | [`tensor`] | `qn-tensor` | dense `f32` tensors, matmul, im2col convolution |
 //! | [`linalg`] | `qn-linalg` | symmetric eigendecomposition, spectral top-k |
 //! | [`autograd`] | `qn-autograd` | tape-based reverse-mode differentiation + tape-free eager execution |
@@ -110,4 +111,5 @@ pub use qn_models as models;
 pub use qn_nn as nn;
 pub use qn_parallel as parallel;
 pub use qn_serve as serve;
+pub use qn_simd as simd;
 pub use qn_tensor as tensor;
