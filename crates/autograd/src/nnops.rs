@@ -55,9 +55,17 @@ impl Graph {
                 // form
                 let pd = out.data();
                 let gd = g.data_mut();
+                // Under the `Fast` profile the per-row Σ g·p runs the vector
+                // dot (FMA + reassociated partial sums, ULP-bounded); `Exact`
+                // keeps the seed sequential fold.
+                let fast = KernelProfile::active() == KernelProfile::Fast;
                 for row in 0..pd.len() / last {
                     let base = row * last;
-                    let s: f32 = (0..last).map(|j| gd[base + j] * pd[base + j]).sum();
+                    let s: f32 = if fast {
+                        qn_simd::dot(&gd[base..base + last], &pd[base..base + last])
+                    } else {
+                        (0..last).map(|j| gd[base + j] * pd[base + j]).sum()
+                    };
                     for j in 0..last {
                         gd[base + j] = pd[base + j] * (gd[base + j] - s);
                     }
@@ -159,7 +167,13 @@ impl Graph {
             "weight count {} != batch {b}",
             weights.len()
         );
-        let wsum: f32 = weights.iter().sum();
+        // Loss normalizer: vector partial sums under `Fast` (ULP-bounded),
+        // the seed sequential fold under `Exact`.
+        let wsum: f32 = if KernelProfile::active() == KernelProfile::Fast {
+            qn_simd::reduce_sum(weights)
+        } else {
+            weights.iter().sum()
+        };
         assert!(wsum > 0.0, "all weights are zero");
         for &t in targets {
             assert!(t < c, "target {t} out of range for {c} classes");
@@ -283,22 +297,40 @@ impl Graph {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             let hw = h * w;
+            // Training batch moments: per-plane reductions run the vector
+            // kernels under `Fast` (reassociated partial sums, ULP-bounded);
+            // `Exact` keeps the seed sequential folds.
+            let fast = KernelProfile::active() == KernelProfile::Fast;
             for bi in 0..b {
                 for (ci, mc) in mean.iter_mut().enumerate() {
                     let base = (bi * c + ci) * hw;
-                    *mc += xv.data()[base..base + hw].iter().sum::<f32>();
+                    let plane = &xv.data()[base..base + hw];
+                    *mc += if fast {
+                        qn_simd::reduce_sum(plane)
+                    } else {
+                        plane.iter().sum::<f32>()
+                    };
                 }
             }
             for v in &mut mean {
                 *v /= m;
             }
+            let mut centered = if fast { vec![0.0f32; hw] } else { Vec::new() };
             for bi in 0..b {
                 for ci in 0..c {
                     let base = (bi * c + ci) * hw;
-                    var[ci] += xv.data()[base..base + hw]
-                        .iter()
-                        .map(|&x| (x - mean[ci]) * (x - mean[ci]))
-                        .sum::<f32>();
+                    let plane = &xv.data()[base..base + hw];
+                    var[ci] += if fast {
+                        // Σ (x − μ)² as a centered self-dot: one vector
+                        // shift pass plus an FMA dot.
+                        qn_simd::add_scalar_to(&mut centered, plane, -mean[ci]);
+                        qn_simd::dot(&centered, &centered)
+                    } else {
+                        plane
+                            .iter()
+                            .map(|&x| (x - mean[ci]) * (x - mean[ci]))
+                            .sum::<f32>()
+                    };
                 }
             }
             for v in &mut var {

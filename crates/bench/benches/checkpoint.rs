@@ -117,8 +117,8 @@ fn main() {
 
     // ---- registry hot-swap ----------------------------------------------
     let registry = ModelRegistry::new();
-    let gen_a: Arc<dyn Module + Send + Sync> = Arc::new(net);
-    let gen_b: Arc<dyn Module + Send + Sync> = Arc::new(mapped);
+    let gen_a: Arc<dyn Module> = Arc::new(net);
+    let gen_b: Arc<dyn Module> = Arc::new(mapped);
     registry.publish("serve", Arc::clone(&gen_a));
     let mut session = registry.session("serve").expect("slot exists");
     std::hint::black_box(session.predict_batch(&x).data()[0]);

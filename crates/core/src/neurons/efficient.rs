@@ -254,6 +254,16 @@ impl Module for EfficientQuadraticLinear {
             output: vec![input[0], self.out_features()],
         }
     }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(super::QuantizedQuadratic::from_factors(
+            &self.q.value(),
+            &self.lambda.value(),
+            &self.w.value(),
+            &self.b.value(),
+            self.vectorized,
+        )))
+    }
 }
 
 #[cfg(test)]

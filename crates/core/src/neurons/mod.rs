@@ -10,10 +10,12 @@ mod efficient;
 mod general;
 mod kervolution;
 mod patch_conv;
+mod quant;
 mod rank_forms;
 
 pub use efficient::EfficientQuadraticLinear;
 pub use general::{GeneralQuadraticLinear, NoLinearQuadraticLinear};
 pub use kervolution::KervolutionLinear;
 pub use patch_conv::{EfficientQuadraticConv2d, PatchConv2d};
+pub use quant::{QuantizedPatchConv, QuantizedQuadratic};
 pub use rank_forms::{FactorizedQuadraticLinear, LowRankQuadraticLinear, Quad1Linear, Quad2Linear};

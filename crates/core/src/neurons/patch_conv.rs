@@ -103,6 +103,18 @@ impl<L: Module> Module for PatchConv2d<L> {
             output: vec![b, self.out_channels, oh, ow],
         }
     }
+
+    fn weight_dtype(&self) -> &'static str {
+        self.inner.weight_dtype()
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(super::QuantizedPatchConv::new(
+            self.inner.quantized()?,
+            self.in_channels,
+            self.spec,
+        )))
+    }
 }
 
 /// The proposed quadratic neuron in convolutional form.

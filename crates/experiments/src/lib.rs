@@ -20,9 +20,9 @@ mod train;
 
 pub use report::Report;
 pub use train::{
-    evaluate_classifier, train_classifier, train_transformer, try_train_classifier,
-    try_train_transformer, CheckpointSpec, EpochStats, TrainConfig, TrainResult,
-    TransformerTrainConfig, TransformerTrainResult,
+    evaluate_classifier, evaluate_classifier_session, train_classifier, train_transformer,
+    try_train_classifier, try_train_transformer, CheckpointSpec, EpochStats, TrainConfig,
+    TrainResult, TransformerTrainConfig, TransformerTrainResult,
 };
 
 /// `true` when the environment requests full-scale experiment settings.

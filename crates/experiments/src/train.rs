@@ -633,8 +633,20 @@ pub fn evaluate_classifier(
     labels: &[usize],
     batch_size: usize,
 ) -> f32 {
+    evaluate_classifier_session(&mut InferenceSession::new(net), images, labels, batch_size)
+}
+
+/// [`evaluate_classifier`] over a caller-built session — this is how the
+/// int8 tier is scored: build the session with
+/// [`InferenceSession::quantized`] and compare against the f32 number
+/// (`BENCH_quant.json` records the drift).
+pub fn evaluate_classifier_session(
+    session: &mut InferenceSession<'_>,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> f32 {
     let loader = DataLoader::new(images, labels, batch_size);
-    let mut session = InferenceSession::new(net);
     let mut correct_weighted = 0.0f32;
     let mut total = 0usize;
     for (batch, labs) in loader.batches() {

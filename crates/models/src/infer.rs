@@ -13,12 +13,52 @@ use std::sync::Arc;
 /// panicking [`InferenceSession::predict_batch`] directly.
 pub const MAX_BATCH: usize = 1024;
 
+/// Numeric tier an [`InferenceSession`] executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision f32 weights — the model exactly as given.
+    #[default]
+    F32,
+    /// Per-output-channel symmetric int8 weights with on-the-fly activation
+    /// quantization (see `Module::quantized` in `qn-nn`). Integer
+    /// accumulation is bit-identical at every SIMD level and thread count;
+    /// the logits drift from f32 only by the quantization error itself.
+    Int8,
+}
+
+impl Precision {
+    /// Wire/metrics label: `"f32"` or `"int8"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parses a wire label (`"f32"` / `"int8"`).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "int8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The model behind a session: borrowed from the caller, or shared
 /// ownership (what [`ModelRegistry`](crate::ModelRegistry) hands out so a
-/// hot-swap can retire the old model only after its last session drops).
+/// hot-swap can retire the old model only after its last session drops —
+/// and what an int8 session uses for the quantized twin it owns).
+/// `dyn Module` is `Send + Sync` via the trait's supertraits.
 enum ModelRef<'m> {
     Borrowed(&'m dyn Module),
-    Owned(Arc<dyn Module + Send + Sync>),
+    Owned(Arc<dyn Module>),
 }
 
 impl ModelRef<'_> {
@@ -96,6 +136,7 @@ pub struct InferenceSession<'m> {
     /// Shard ranges of the last batch (reused across calls).
     shard_ranges: Vec<(usize, usize)>,
     sample_shape: Option<Vec<usize>>,
+    precision: Precision,
 }
 
 impl<'m> InferenceSession<'m> {
@@ -114,8 +155,38 @@ impl<'m> InferenceSession<'m> {
     /// session has no borrow on the caller (`InferenceSession<'static>`).
     /// This is the constructor hot-swap registries use: the old model stays
     /// alive until the last session holding its `Arc` drops.
-    pub fn owned(model: Arc<dyn Module + Send + Sync>) -> InferenceSession<'static> {
+    pub fn owned(model: Arc<dyn Module>) -> InferenceSession<'static> {
         InferenceSession::from_ref(ModelRef::Owned(model))
+    }
+
+    /// Creates an **int8** session: snapshots `model` into its quantized
+    /// twin (see `Module::quantized`) and serves that, owned. Returns
+    /// `None` when some layer in the tree has no quantized form — callers
+    /// fall back to an f32 session.
+    ///
+    /// The original `model` is not retained: later weight updates to it do
+    /// not affect this session.
+    pub fn quantized(model: &dyn Module) -> Option<InferenceSession<'static>> {
+        let twin = model.quantized()?;
+        let mut s = InferenceSession::from_ref(ModelRef::Owned(Arc::from(twin)));
+        s.precision = Precision::Int8;
+        Some(s)
+    }
+
+    /// Like [`InferenceSession::quantized`], but calibrates the twin's
+    /// activation scales on `batches` before serving (see
+    /// `qn_nn::calibrate`). This is the deployment configuration: frozen
+    /// scales skip the per-row absmax pass and make the served arithmetic
+    /// depend only on the snapshot, not on traffic history. With zero
+    /// batches the twin stays in dynamic mode.
+    pub fn quantized_calibrated(
+        model: &dyn Module,
+        batches: impl IntoIterator<Item = Tensor>,
+    ) -> Option<InferenceSession<'static>> {
+        let twin = qn_nn::quantize_calibrated(model, batches)?;
+        let mut s = InferenceSession::from_ref(ModelRef::Owned(Arc::from(twin)));
+        s.precision = Precision::Int8;
+        Some(s)
     }
 
     fn from_ref(model: ModelRef<'m>) -> Self {
@@ -128,6 +199,7 @@ impl<'m> InferenceSession<'m> {
             shard_out: Vec::new(),
             shard_ranges: Vec::new(),
             sample_shape: None,
+            precision: Precision::F32,
         }
     }
 
@@ -138,6 +210,26 @@ impl<'m> InferenceSession<'m> {
         let mut s = InferenceSession::new(model);
         s.sample_shape = Some(dims.to_vec());
         s
+    }
+
+    /// Configures (or clears) per-sample shape validation after
+    /// construction — the post-hoc form of
+    /// [`InferenceSession::with_sample_shape`] for sessions built through
+    /// [`InferenceSession::owned`] / [`InferenceSession::quantized`].
+    pub fn set_sample_shape(&mut self, dims: Option<&[usize]>) {
+        self.sample_shape = dims.map(<[usize]>::to_vec);
+    }
+
+    /// The numeric tier this session executes in.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The served model's weight storage dtype (`"f32"` / `"int8"`) — from
+    /// `Module::weight_dtype`, so it reflects what is actually loaded, not
+    /// just the requested precision.
+    pub fn weight_dtype(&self) -> &'static str {
+        self.model.as_dyn().weight_dtype()
     }
 
     /// The session's buffer pool (outputs are drawn from it; see
@@ -400,6 +492,62 @@ mod tests {
             let again = session.predict_batch(&x);
             assert!(first.allclose(&again, 0.0), "deterministic across reuse");
         }
+    }
+
+    #[test]
+    fn quantized_session_tracks_f32_logits() {
+        for neuron in [
+            NeuronSpec::Linear,
+            NeuronSpec::EfficientQuadratic { rank: 3 },
+        ] {
+            let net = tiny_net(neuron);
+            let mut f32_session = InferenceSession::new(&net);
+            assert_eq!(f32_session.precision(), Precision::F32);
+            assert_eq!(f32_session.weight_dtype(), "f32");
+
+            let mut q_session =
+                InferenceSession::quantized(&net).expect("ResNet quantizes end to end");
+            assert_eq!(q_session.precision(), Precision::Int8);
+            assert_eq!(q_session.weight_dtype(), "int8");
+
+            let mut rng = Rng::seed_from(21);
+            let x = Tensor::randn(&[4, 3, 16, 16], &mut rng);
+            let exact = f32_session.predict_batch(&x);
+            let quant = q_session.predict_batch(&x);
+            assert_eq!(exact.shape().dims(), quant.shape().dims());
+            let drift = exact
+                .data()
+                .iter()
+                .zip(quant.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(drift < 0.5, "{neuron:?}: max logit drift {drift}");
+        }
+    }
+
+    #[test]
+    fn quantized_session_is_deterministic_across_reuse() {
+        let net = tiny_net(NeuronSpec::EfficientQuadratic { rank: 3 });
+        let mut session = InferenceSession::quantized(&net).expect("quantizes");
+        let mut rng = Rng::seed_from(22);
+        let x = Tensor::randn(&[2, 3, 16, 16], &mut rng);
+        // The first pass observes activation ranges (dynamic mode); its
+        // output is already deterministic because each forward quantizes
+        // per-row, independent of the observed stats.
+        let first = session.predict_batch(&x);
+        for _ in 0..3 {
+            let again = session.predict_batch(&x);
+            assert!(first.allclose(&again, 0.0), "bit-identical across reuse");
+        }
+    }
+
+    #[test]
+    fn precision_parses_and_displays() {
+        assert_eq!(Precision::parse("f32"), Some(Precision::F32));
+        assert_eq!(Precision::parse("int8"), Some(Precision::Int8));
+        assert_eq!(Precision::parse("fp64"), None);
+        assert_eq!(Precision::Int8.to_string(), "int8");
+        assert_eq!(Precision::default(), Precision::F32);
     }
 
     #[test]

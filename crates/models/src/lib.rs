@@ -39,7 +39,7 @@ mod registry;
 mod resnet;
 mod transformer;
 
-pub use infer::{InferenceSession, MAX_BATCH};
+pub use infer::{InferenceSession, Precision, MAX_BATCH};
 pub use registry::{ModelRegistry, RegistrySession, SlotInfo};
 pub use resnet::{NeuronPlacement, ResNet, ResNetConfig};
 pub use transformer::{Transformer, TransformerConfig};

@@ -72,7 +72,7 @@ use std::sync::{Arc, RwLock};
 
 /// A published model plus its generation.
 struct Slot {
-    model: Arc<dyn Module + Send + Sync>,
+    model: Arc<dyn Module>,
     generation: u64,
 }
 
@@ -94,7 +94,7 @@ impl ModelRegistry {
     /// atomic swap, and returns the slot's new generation (1 for a fresh
     /// slot). In-flight sessions keep serving the model they hold; new and
     /// refreshed sessions see this one.
-    pub fn publish(&self, name: &str, model: Arc<dyn Module + Send + Sync>) -> u64 {
+    pub fn publish(&self, name: &str, model: Arc<dyn Module>) -> u64 {
         let mut slots = self.slots.write().expect("registry lock poisoned");
         match slots.get_mut(name) {
             Some(slot) => {
@@ -117,13 +117,13 @@ impl ModelRegistry {
 
     /// Removes a slot, returning its model if it existed. Sessions already
     /// holding the model keep working.
-    pub fn retire(&self, name: &str) -> Option<Arc<dyn Module + Send + Sync>> {
+    pub fn retire(&self, name: &str) -> Option<Arc<dyn Module>> {
         let mut slots = self.slots.write().expect("registry lock poisoned");
         slots.remove(name).map(|s| s.model)
     }
 
     /// A shared handle to the current model under `name`.
-    pub fn get(&self, name: &str) -> Option<Arc<dyn Module + Send + Sync>> {
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Module>> {
         let slots = self.slots.read().expect("registry lock poisoned");
         slots.get(name).map(|s| Arc::clone(&s.model))
     }
@@ -161,7 +161,7 @@ impl ModelRegistry {
     /// lock-free afterwards — this is what a `/metrics` endpoint should
     /// call.
     pub fn snapshot(&self) -> Vec<SlotInfo> {
-        let handles: Vec<(String, u64, Arc<dyn Module + Send + Sync>)> = {
+        let handles: Vec<(String, u64, Arc<dyn Module>)> = {
             let slots = self.slots.read().expect("registry lock poisoned");
             let mut hs: Vec<_> = slots
                 .iter()
@@ -215,10 +215,14 @@ pub struct SlotInfo {
     /// Parameters whose storage is a mapped checkpoint window
     /// (zero-copy loaded via `LoadMode::Mapped`).
     pub mapped_params: usize,
+    /// Weight storage dtype reported by the model (`"f32"`, or `"int8"`
+    /// when any quantized layer is present — see
+    /// [`Module::weight_dtype`](qn_nn::Module::weight_dtype)).
+    pub weight_dtype: &'static str,
 }
 
 impl SlotInfo {
-    fn collect(name: &str, generation: u64, model: &Arc<dyn Module + Send + Sync>) -> SlotInfo {
+    fn collect(name: &str, generation: u64, model: &Arc<dyn Module>) -> SlotInfo {
         struct Census {
             params: usize,
             param_elems: usize,
@@ -249,6 +253,7 @@ impl SlotInfo {
             params: census.params,
             param_elems: census.param_elems,
             mapped_params: census.mapped_params,
+            weight_dtype: model.weight_dtype(),
         }
     }
 }
@@ -395,6 +400,34 @@ mod tests {
         assert_eq!(info.generation, 2);
         assert!(info.mapped_params > 0, "mapped census must see mmap params");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn info_reports_weight_dtype_for_quantized_slots() {
+        let reg = ModelRegistry::new();
+        let net = tiny_net(6);
+        reg.publish("f32", Arc::new(tiny_net(6)));
+        assert_eq!(reg.info("f32").expect("published").weight_dtype, "f32");
+
+        // publish the int8 twin into its own slot and serve from it
+        let twin: Arc<dyn Module> = Arc::from(net.quantized().expect("ResNet quantizes"));
+        reg.publish("int8", twin);
+        assert_eq!(reg.info("int8").expect("published").weight_dtype, "int8");
+
+        let mut f32_session = reg.session("f32").expect("slot exists");
+        let mut q_session = reg.session("int8").expect("slot exists");
+        let mut rng = Rng::seed_from(13);
+        let x = Tensor::randn(&[3, 16, 16], &mut rng);
+        let exact = f32_session.predict(&x);
+        let quant = q_session.predict(&x);
+        assert_eq!(exact.shape().dims(), quant.shape().dims());
+        let drift = exact
+            .data()
+            .iter()
+            .zip(quant.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(drift < 0.5, "registry-served int8 drift {drift}");
     }
 
     #[test]

@@ -109,6 +109,24 @@ impl BasicBlock {
     }
 }
 
+impl BasicBlock {
+    /// Int8 twin of this block, if every conv in it quantizes. Batch norms
+    /// are snapshotted in f32 (see `BatchNorm2d::snapshot`), so the fused
+    /// bn→(add)→relu inference tail survives quantization unchanged.
+    fn quantize_block(&self) -> Option<QuantizedBasicBlock> {
+        Some(QuantizedBasicBlock {
+            conv1: self.conv1.quantized()?,
+            bn1: self.bn1.snapshot(),
+            conv2: self.conv2.quantized()?,
+            bn2: self.bn2.snapshot(),
+            shortcut: match &self.shortcut {
+                Some((proj, bn)) => Some((proj.quantized()?, bn.snapshot())),
+                None => None,
+            },
+        })
+    }
+}
+
 impl Module for BasicBlock {
     fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
         // Both bn tails run through the fused elementwise chain: in
@@ -150,6 +168,86 @@ impl Module for BasicBlock {
             macs,
             output: c2.output,
         }
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        self.quantize_block()
+            .map(|b| Box::new(b) as Box<dyn Module>)
+    }
+}
+
+/// [`BasicBlock`] with int8 convolutions and f32 batch-norm snapshots —
+/// the residual wiring and fused inference tails are identical.
+struct QuantizedBasicBlock {
+    conv1: Box<dyn Module>,
+    bn1: BatchNorm2d,
+    conv2: Box<dyn Module>,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Box<dyn Module>, BatchNorm2d)>,
+}
+
+impl QuantizedBasicBlock {
+    /// A deep copy (children are already int8, so their `quantized()` is a
+    /// snapshot clone).
+    fn requantize(&self) -> Option<QuantizedBasicBlock> {
+        Some(QuantizedBasicBlock {
+            conv1: self.conv1.quantized()?,
+            bn1: self.bn1.snapshot(),
+            conv2: self.conv2.quantized()?,
+            bn2: self.bn2.snapshot(),
+            shortcut: match &self.shortcut {
+                Some((proj, bn)) => Some((proj.quantized()?, bn.snapshot())),
+                None => None,
+            },
+        })
+    }
+}
+
+impl Module for QuantizedBasicBlock {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
+        let out = self.conv1.forward(g, x);
+        let out = self.bn1.forward_fused(g, out, true, None);
+        let out = self.conv2.forward(g, out);
+        let sc = match &self.shortcut {
+            Some((proj, bn)) => {
+                let s = proj.forward(g, x);
+                bn.forward(g, s)
+            }
+            None => x,
+        };
+        self.bn2.forward_fused(g, out, true, Some(sc))
+    }
+
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        visit_scoped(v, "conv1", |v| self.conv1.visit_params(v));
+        visit_scoped(v, "bn1", |v| self.bn1.visit_params(v));
+        visit_scoped(v, "conv2", |v| self.conv2.visit_params(v));
+        visit_scoped(v, "bn2", |v| self.bn2.visit_params(v));
+        if let Some((proj, bn)) = &self.shortcut {
+            visit_scoped(v, "shortcut", |v| proj.visit_params(v));
+            visit_scoped(v, "shortcut_bn", |v| bn.visit_params(v));
+        }
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        let c1 = self.conv1.costs(input);
+        let c2 = self.conv2.costs(&c1.output);
+        let mut macs = c1.macs + c2.macs;
+        if let Some((proj, _)) = &self.shortcut {
+            macs += proj.costs(input).macs;
+        }
+        Costs {
+            macs,
+            output: c2.output,
+        }
+    }
+
+    fn weight_dtype(&self) -> &'static str {
+        "int8"
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        self.requantize().map(|b| Box::new(b) as Box<dyn Module>)
     }
 }
 
@@ -299,6 +397,87 @@ impl Module for ResNet {
             macs: c.macs + cls.macs,
             output: cls.output,
         }
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(BasicBlock::quantize_block)
+            .collect::<Option<Vec<_>>>()?;
+        Some(Box::new(QuantizedResNet {
+            stem: self.stem.quantized()?,
+            stem_bn: self.stem_bn.snapshot(),
+            blocks,
+            pool: GlobalAvgPool,
+            classifier: self.classifier.quantized()?,
+        }))
+    }
+}
+
+/// [`ResNet`] with int8 convolutions and classifier — what
+/// [`Module::quantized`] on `ResNet` builds. Same topology, same
+/// checkpoint paths (`stem`, `block{i}.conv1`, …), int8 weight storage.
+struct QuantizedResNet {
+    stem: Box<dyn Module>,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<QuantizedBasicBlock>,
+    pool: GlobalAvgPool,
+    classifier: Box<dyn Module>,
+}
+
+impl Module for QuantizedResNet {
+    fn forward(&self, g: &mut dyn Exec, x: Var) -> Var {
+        let mut v = self.stem.forward(g, x);
+        v = self.stem_bn.forward_fused(g, v, true, None);
+        for block in &self.blocks {
+            v = block.forward(g, v);
+        }
+        v = self.pool.forward(g, v);
+        self.classifier.forward(g, v)
+    }
+
+    fn visit_params(&self, v: &mut dyn ParamVisitor) {
+        visit_scoped(v, "stem", |v| self.stem.visit_params(v));
+        visit_scoped(v, "stem_bn", |v| self.stem_bn.visit_params(v));
+        for (i, b) in self.blocks.iter().enumerate() {
+            visit_scoped(v, &format!("block{i}"), |v| b.visit_params(v));
+        }
+        visit_scoped(v, "classifier", |v| self.classifier.visit_params(v));
+    }
+
+    fn costs(&self, input: &[usize]) -> Costs {
+        let mut c = self.stem.costs(input);
+        for b in &self.blocks {
+            let nc = b.costs(&c.output);
+            c.macs += nc.macs;
+            c.output = nc.output;
+        }
+        let pool = self.pool.costs(&c.output);
+        let cls = self.classifier.costs(&pool.output);
+        Costs {
+            macs: c.macs + cls.macs,
+            output: cls.output,
+        }
+    }
+
+    fn weight_dtype(&self) -> &'static str {
+        "int8"
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(QuantizedBasicBlock::requantize)
+            .collect::<Option<Vec<_>>>()?;
+        Some(Box::new(QuantizedResNet {
+            stem: self.stem.quantized()?,
+            stem_bn: self.stem_bn.snapshot(),
+            blocks,
+            pool: GlobalAvgPool,
+            classifier: self.classifier.quantized()?,
+        }))
     }
 }
 

@@ -41,9 +41,33 @@ impl Linear {
         }
     }
 
+    /// Builds a layer from an explicit `[out, in]` weight and optional
+    /// `[out]` bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not 2-D or the bias length mismatches.
+    pub fn from_parts(weight: Tensor, bias: Option<Tensor>) -> Self {
+        let (out_features, in_features) = weight.dims2();
+        if let Some(b) = &bias {
+            assert_eq!(b.numel(), out_features, "bias length must be [out]");
+        }
+        Linear {
+            weight: Parameter::named("linear.weight", weight),
+            bias: bias.map(|b| Parameter::named("linear.bias", b)),
+            in_features,
+            out_features,
+        }
+    }
+
     /// The weight parameter (shape `[out, in]`).
     pub fn weight(&self) -> &Parameter {
         &self.weight
+    }
+
+    /// A copy of the bias vector, if the layer has one.
+    pub fn bias_value(&self) -> Option<Tensor> {
+        self.bias.as_ref().map(|b| b.value())
     }
 
     /// Input width.
@@ -104,6 +128,10 @@ impl Module for Linear {
             output,
         }
     }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(self.to_quantized()))
+    }
 }
 
 /// 2-D convolution layer over `[B, C, H, W]`.
@@ -149,6 +177,11 @@ impl Conv2d {
         &self.weight
     }
 
+    /// A copy of the bias vector, if the layer has one.
+    pub fn bias_value(&self) -> Option<Tensor> {
+        self.bias.as_ref().map(|b| b.value())
+    }
+
     /// Convolution geometry.
     pub fn spec(&self) -> Conv2dSpec {
         self.spec
@@ -189,6 +222,15 @@ impl Module for Conv2d {
             output: vec![b, self.out_channels, oh, ow],
         }
     }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        let bias = self.bias_value();
+        Some(Box::new(crate::quant::QuantizedConv2d::new(
+            &self.weight.value(),
+            bias.as_ref(),
+            self.spec,
+        )))
+    }
 }
 
 /// ReLU activation as a module.
@@ -205,6 +247,10 @@ impl Module for Relu {
     fn costs(&self, input: &[usize]) -> Costs {
         Costs::passthrough(input)
     }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Tanh activation as a module.
@@ -220,6 +266,10 @@ impl Module for Tanh {
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs::passthrough(input)
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -252,6 +302,10 @@ impl Module for MaxPool2d {
             output: vec![input[0], input[1], oh, ow],
         }
     }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Average pooling module.
@@ -283,6 +337,10 @@ impl Module for AvgPool2d {
             output: vec![input[0], input[1], oh, ow],
         }
     }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Global average pooling `[B, C, H, W] -> [B, C]`.
@@ -301,6 +359,10 @@ impl Module for GlobalAvgPool {
             macs: 0,
             output: vec![input[0], input[1]],
         }
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -323,6 +385,10 @@ impl Module for Flatten {
             macs: 0,
             output: vec![input[0], input[1..].iter().product()],
         }
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -353,6 +419,10 @@ impl Module for Dropout {
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs::passthrough(input)
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -432,6 +502,23 @@ impl Module for Sequential {
             macs,
             output: shape,
         }
+    }
+
+    fn weight_dtype(&self) -> &'static str {
+        if self.layers.iter().any(|l| l.weight_dtype() == "int8") {
+            "int8"
+        } else {
+            "f32"
+        }
+    }
+
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| l.quantized())
+            .collect::<Option<Vec<_>>>()?;
+        Some(Box::new(Sequential::new(layers)))
     }
 }
 

@@ -44,6 +44,7 @@ mod layers;
 mod module;
 mod norm;
 mod optim;
+pub mod quant;
 mod schedule;
 
 pub use checkpoint::{load_module, save_module, LoadMode};
@@ -55,4 +56,8 @@ pub use layers::{
 pub use module::{visit_scoped, Costs, Module, ParamVisitor};
 pub use norm::{BatchNorm2d, LayerNorm};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, Sgd, SgdConfig};
+pub use quant::{
+    calibrate, quantize_acts, quantize_calibrated, quantize_module, read_qtensor, write_qtensor,
+    QuantizedConv2d, QuantizedLinear, ACT_STATS_NAME,
+};
 pub use schedule::{NoamSchedule, StepDecay};

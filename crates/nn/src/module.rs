@@ -129,6 +129,27 @@ pub trait Module: Send + Sync {
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.numel()).sum()
     }
+
+    /// The storage dtype of this module's weights: `"f32"` for ordinary
+    /// layers, `"int8"` for quantized ones. Containers report `"int8"`
+    /// when any weight-bearing child does (a quantized model is quantized
+    /// end-to-end, so mixed trees only arise transiently).
+    fn weight_dtype(&self) -> &'static str {
+        "f32"
+    }
+
+    /// An **inference-only** int8 twin of this module, or `None` when the
+    /// layer kind has no quantized form. Weight-bearing layers return a
+    /// sibling holding per-output-channel symmetric int8 weights
+    /// ([`qn_tensor::QTensor`]); stateless layers return a copy of
+    /// themselves; containers return `Some` only when every child does.
+    ///
+    /// The twin shares no storage with `self` — quantization snapshots
+    /// the weights — and its forward pass does not record gradients
+    /// (quantized outputs enter the tape as leaves).
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,26 @@ impl BatchNorm2d {
         self.channels
     }
 
+    /// A deep copy of this layer with the current γ/β and running
+    /// statistics — the batch-norm contribution to [`Module::quantized`]
+    /// trees, which must not alias the original's training state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the running-stats lock is poisoned (see
+    /// [`BatchNorm2d::running_mean`]).
+    pub fn snapshot(&self) -> BatchNorm2d {
+        BatchNorm2d {
+            gamma: Parameter::named("bn.gamma", self.gamma.value()),
+            beta: Parameter::named("bn.beta", self.beta.value()),
+            running_mean: RwLock::new(self.running_mean()),
+            running_var: RwLock::new(self.running_var()),
+            momentum: self.momentum,
+            eps: self.eps,
+            channels: self.channels,
+        }
+    }
+
     /// Forward pass with an optionally fused tail: batch norm, then an
     /// optional residual add, then an optional ReLU — the `conv → bn
     /// (→ add → relu)` shape of every ResNet block.
@@ -194,6 +214,13 @@ impl Module for BatchNorm2d {
 
     fn costs(&self, input: &[usize]) -> Costs {
         Costs::passthrough(input)
+    }
+
+    // Batch norm stays in f32 inside quantized trees (its per-channel
+    // affine is cheap and numerically delicate); quantization just
+    // snapshots the statistics.
+    fn quantized(&self) -> Option<Box<dyn Module>> {
+        Some(Box::new(self.snapshot()))
     }
 }
 

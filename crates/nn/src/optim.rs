@@ -1,6 +1,15 @@
 //! Optimizers with parameter groups and gradient clipping.
+//!
+//! Update loops are profile-aware: under [`KernelProfile::Fast`] they run
+//! the vectorized `qn_simd::{sgd_update, adam_update}` kernels, under
+//! `Exact` the seed scalar loops. The vector kernels are element-local
+//! with no FMA (and correctly-rounded div/sqrt), so both paths produce
+//! bit-identical parameters — the split exists to honor the documented
+//! "Exact never enters vector f32 code" contract, not because results
+//! differ.
 
 use qn_autograd::Parameter;
+use qn_simd::KernelProfile;
 use qn_tensor::{Checkpoint, CheckpointWriter, Tensor, TensorError};
 
 /// Restores one optimizer state tensor from `ckpt`, shape-checked against
@@ -108,6 +117,7 @@ impl Sgd {
     /// Applies one update. `schedule` scales every group's learning rate
     /// (pass the current decay factor, 1.0 for none).
     pub fn step(&mut self, schedule: f32) {
+        let fast = KernelProfile::active() == KernelProfile::Fast;
         for group in &mut self.groups {
             let lr = group.lr_override.unwrap_or(self.config.lr) * schedule;
             let wd = group
@@ -116,6 +126,17 @@ impl Sgd {
             let momentum = self.config.momentum;
             for (p, vel) in group.params.iter().zip(group.velocity.iter_mut()) {
                 p.update(|value, grad| {
+                    if fast {
+                        qn_simd::sgd_update(
+                            value.data_mut(),
+                            vel.data_mut(),
+                            grad.data(),
+                            lr,
+                            momentum,
+                            wd,
+                        );
+                        return;
+                    }
                     for i in 0..value.numel() {
                         let g = grad.data()[i] + wd * value.data()[i];
                         let v = momentum * vel.data()[i] + g;
@@ -248,6 +269,7 @@ impl Adam {
         let eps = self.config.eps;
         let bias1 = 1.0 - b1.powi(self.t as i32);
         let bias2 = 1.0 - b2.powi(self.t as i32);
+        let fast = KernelProfile::active() == KernelProfile::Fast;
         for group in &mut self.groups {
             let lr = group.lr_override.unwrap_or(self.config.lr) * schedule;
             for ((p, m), v) in group
@@ -257,6 +279,21 @@ impl Adam {
                 .zip(group.v.iter_mut())
             {
                 p.update(|value, grad| {
+                    if fast {
+                        qn_simd::adam_update(
+                            value.data_mut(),
+                            m.data_mut(),
+                            v.data_mut(),
+                            grad.data(),
+                            lr,
+                            b1,
+                            b2,
+                            eps,
+                            bias1,
+                            bias2,
+                        );
+                        return;
+                    }
                     for i in 0..value.numel() {
                         let g = grad.data()[i];
                         let mi = b1 * m.data()[i] + (1.0 - b1) * g;

@@ -235,7 +235,7 @@ fn main() {
     };
 
     eprintln!("qn-serve-bench: building {ROUTE} and starting the server");
-    let model: Arc<dyn Module + Send + Sync> = Arc::new(ResNet::cifar(ResNetConfig {
+    let model: Arc<dyn Module> = Arc::new(ResNet::cifar(ResNetConfig {
         depth: 8,
         base_width: 4,
         num_classes: 10,

@@ -41,6 +41,21 @@
 //!
 //! The companion binary `qn-serve-bench` load-tests a server over loopback
 //! at stepped offered rates and writes `BENCH_serving.json`.
+//!
+//! # Panics
+//!
+//! The crate's request path is panic-free by construction: untrusted input
+//! flows through fallible parsing ([`http`] returns [`HttpError`]), fallible
+//! admission ([`queue::BatchQueue::try_admit`] returns [`AdmitError`]), and
+//! the validating `try_predict_batch` inference entry point — and a model
+//! panic inside a batch worker is caught, fails only that batch with a
+//! `500`, and rebuilds the worker's session. The `expect` calls that remain
+//! fall into exactly two classes, both programming errors rather than
+//! runtime conditions: **poisoned internal locks** (another thread panicked
+//! while holding serve state, so continuing would serve from a torn
+//! structure) and **spawn/join failures** at server startup/shutdown. Every
+//! such site carries a named `expect` message so a crash identifies the
+//! broken invariant.
 
 pub mod histogram;
 pub mod http;

@@ -34,7 +34,7 @@
 use crate::http::{HttpConn, Limits, Request, Response};
 use crate::metrics::{batch_dist_json, latency_json, pool_stats_json, RouteMetrics, ServerMetrics};
 use crate::queue::{AdmitError, BatchConfig, BatchError, BatchQueue};
-use qn_models::{InferenceSession, ModelRegistry, MAX_BATCH};
+use qn_models::{InferenceSession, ModelRegistry, Precision, MAX_BATCH};
 use qn_nn::{checkpoint, LoadMode, Module};
 use qn_tensor::{BufferPool, PoolStats, Tensor};
 use std::collections::HashMap;
@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 
 /// Builds a fresh model skeleton for a route — what the admin load route
 /// pours a checkpoint into before publishing it over the running slot.
-pub type ModelFactory = Box<dyn Fn() -> Arc<dyn Module + Send + Sync> + Send + Sync>;
+pub type ModelFactory = Box<dyn Fn() -> Arc<dyn Module> + Send + Sync>;
 
 /// Server-wide knobs. `Default` is sized for loopback serving and tests.
 #[derive(Clone, Debug)]
@@ -96,6 +96,14 @@ struct Route {
     queue: BatchQueue,
     metrics: RouteMetrics,
     factory: Option<ModelFactory>,
+    /// Requested numeric tier. `Int8` makes each batch worker serve the
+    /// model's quantized twin (rebuilt on every hot-swap); when the model
+    /// has no quantized form the worker falls back to f32 and
+    /// `weight_dtype` in `/metrics` shows what is actually serving.
+    precision: Precision,
+    /// Weight dtype of the sessions the workers actually built (set on
+    /// every session rebuild; `/metrics` reports it next to `precision`).
+    served_dtype: Mutex<&'static str>,
     /// Worker `w`'s current session pool (replaced on hot-swap rebuild);
     /// `/metrics` sums their stats.
     pools: Mutex<Vec<Option<Arc<BufferPool>>>>,
@@ -133,11 +141,21 @@ struct Shared {
     running: AtomicBool,
 }
 
+/// A pending route registration: name, per-sample shape, batch config,
+/// optional checkpoint-load skeleton factory, and serving precision.
+type RouteSpec = (
+    String,
+    Vec<usize>,
+    BatchConfig,
+    Option<ModelFactory>,
+    Precision,
+);
+
 /// Builder for a [`Server`]: registry + routes, then [`ServerBuilder::start`].
 pub struct ServerBuilder {
     config: ServeConfig,
     registry: Arc<ModelRegistry>,
-    routes: Vec<(String, Vec<usize>, BatchConfig, Option<ModelFactory>)>,
+    routes: Vec<RouteSpec>,
 }
 
 impl ServerBuilder {
@@ -163,11 +181,28 @@ impl ServerBuilder {
         self,
         name: &str,
         sample_shape: &[usize],
-        model: Arc<dyn Module + Send + Sync>,
+        model: Arc<dyn Module>,
         batch: BatchConfig,
     ) -> Self {
         self.registry.publish(name, model);
-        self.route_spec(name, sample_shape, batch, None)
+        self.route_spec(name, sample_shape, batch, None, Precision::F32)
+    }
+
+    /// Like [`ServerBuilder::route`], but the batch workers serve the
+    /// model's **int8 quantized twin** (see `Module::quantized` in
+    /// `qn-nn`): each worker snapshots the published f32 weights into
+    /// per-channel int8 at session build time and re-quantizes on every
+    /// hot-swap. If the model has no quantized form the workers fall back
+    /// to f32 — `/metrics` reports the served `weight_dtype` either way.
+    pub fn route_quantized(
+        self,
+        name: &str,
+        sample_shape: &[usize],
+        model: Arc<dyn Module>,
+        batch: BatchConfig,
+    ) -> Self {
+        self.registry.publish(name, model);
+        self.route_spec(name, sample_shape, batch, None, Precision::Int8)
     }
 
     /// Like [`ServerBuilder::route`], additionally installing a skeleton
@@ -177,12 +212,12 @@ impl ServerBuilder {
         self,
         name: &str,
         sample_shape: &[usize],
-        model: Arc<dyn Module + Send + Sync>,
+        model: Arc<dyn Module>,
         batch: BatchConfig,
         factory: ModelFactory,
     ) -> Self {
         self.registry.publish(name, model);
-        self.route_spec(name, sample_shape, batch, Some(factory))
+        self.route_spec(name, sample_shape, batch, Some(factory), Precision::F32)
     }
 
     /// Adds a route without publishing (the registry must already hold —
@@ -194,9 +229,15 @@ impl ServerBuilder {
         sample_shape: &[usize],
         batch: BatchConfig,
         factory: Option<ModelFactory>,
+        precision: Precision,
     ) -> Self {
-        self.routes
-            .push((name.to_string(), sample_shape.to_vec(), batch, factory));
+        self.routes.push((
+            name.to_string(),
+            sample_shape.to_vec(),
+            batch,
+            factory,
+            precision,
+        ));
         self
     }
 
@@ -210,7 +251,7 @@ impl ServerBuilder {
     pub fn start(self) -> io::Result<Server> {
         let mut routes = HashMap::new();
         let mut workers: Vec<(Arc<Route>, usize)> = Vec::new();
-        for (name, sample_shape, mut batch, factory) in self.routes {
+        for (name, sample_shape, mut batch, factory, precision) in self.routes {
             if name.is_empty() || name.contains('/') {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidInput,
@@ -242,6 +283,8 @@ impl ServerBuilder {
                 metrics: RouteMetrics::new(batch.max_batch),
                 batch,
                 factory,
+                precision,
+                served_dtype: Mutex::new(precision.as_str()),
                 pools: Mutex::new(vec![None; worker_count]),
             });
             for w in 0..worker_count {
@@ -639,13 +682,15 @@ fn models_json(shared: &Arc<Shared>) -> String {
         .map(|s| {
             format!(
                 "{{\"name\":\"{}\",\"generation\":{},\"params\":{},\"param_elems\":{},\
-                 \"mapped_params\":{},\"live_handles\":{},\"routed\":{}}}",
+                 \"mapped_params\":{},\"live_handles\":{},\"weight_dtype\":\"{}\",\
+                 \"routed\":{}}}",
                 s.name,
                 s.generation,
                 s.params,
                 s.param_elems,
                 s.mapped_params,
                 s.live_handles,
+                s.weight_dtype,
                 shared.routes.contains_key(&s.name),
             )
         })
@@ -693,6 +738,7 @@ fn metrics_json(shared: &Arc<Shared>) -> String {
                  \"batch\":{{\"max_batch\":{},\"max_delay_us\":{},\"flush_size\":{},\
                  \"flush_deadline\":{},\"size_dist\":{}}},\
                  \"latency\":{},\"admitted\":{},\"served\":{},\"failed\":{},\
+                 \"precision\":\"{}\",\"weight_dtype\":\"{}\",\
                  \"pool\":{},\"model\":{model}}}",
                 r.queue.depth(),
                 r.queue.capacity(),
@@ -706,6 +752,8 @@ fn metrics_json(shared: &Arc<Shared>) -> String {
                 rm.admitted.load(Ordering::Relaxed),
                 rm.served.load(Ordering::Relaxed),
                 rm.failed.load(Ordering::Relaxed),
+                r.precision,
+                *r.served_dtype.lock().expect("dtype lock poisoned"),
                 pool_stats_json(&r.summed_pool_stats()),
             )
         })
@@ -740,7 +788,16 @@ fn batch_worker(shared: &Arc<Shared>, route: &Arc<Route>, w: usize) {
                 if session.is_none() || g != generation {
                     match shared.registry.get(&route.name) {
                         Some(model) => {
-                            let s = InferenceSession::owned(model);
+                            // int8 routes snapshot the published weights
+                            // into the quantized twin; models without one
+                            // fall back to f32 (visible in /metrics)
+                            let s = match route.precision {
+                                Precision::Int8 => InferenceSession::quantized(model.as_ref())
+                                    .unwrap_or_else(|| InferenceSession::owned(model)),
+                                Precision::F32 => InferenceSession::owned(model),
+                            };
+                            *route.served_dtype.lock().expect("dtype lock poisoned") =
+                                s.weight_dtype();
                             route.pools.lock().expect("route pools poisoned")[w] =
                                 Some(Arc::clone(s.pool()));
                             session = Some(s);

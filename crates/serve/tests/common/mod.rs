@@ -18,7 +18,7 @@ pub const IN_DIM: usize = 4;
 pub const OUT_DIM: usize = 3;
 
 /// A tiny MLP for round-trip tests (deterministic in `seed`).
-pub fn tiny_model(seed: u64) -> Arc<dyn Module + Send + Sync> {
+pub fn tiny_model(seed: u64) -> Arc<dyn Module> {
     let mut rng = Rng::seed_from(seed);
     Arc::new(Sequential::new(vec![
         Box::new(Linear::new(IN_DIM, 8, true, &mut rng)),
@@ -28,7 +28,7 @@ pub fn tiny_model(seed: u64) -> Arc<dyn Module + Send + Sync> {
 }
 
 /// Starts a loopback server for `model` under route `m`.
-pub fn start(model: Arc<dyn Module + Send + Sync>, batch: BatchConfig) -> Server {
+pub fn start(model: Arc<dyn Module>, batch: BatchConfig) -> Server {
     ServerBuilder::new(ServeConfig::default())
         .route("m", &[IN_DIM], model, batch)
         .start()

@@ -400,3 +400,108 @@ fn admin_load_hot_swaps_checkpoint_without_restart() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn quantized_route_serves_int8_twin_with_bounded_drift() {
+    // two routes over the SAME weights: one f32, one int8
+    let server = qn_serve::ServerBuilder::new(qn_serve::ServeConfig::default())
+        .route("f32", &[IN_DIM], tiny_model(8), BatchConfig::default())
+        .route_quantized("int8", &[IN_DIM], tiny_model(8), BatchConfig::default())
+        .start()
+        .expect("bind");
+    let addr = server.addr();
+
+    let vals = sample(8);
+    let exact = request(
+        addr,
+        "POST",
+        "/v1/models/f32/predict",
+        &[("Content-Type", "application/octet-stream")],
+        &to_bytes(&vals),
+    );
+    assert_eq!(exact.status, 200);
+    let quant = request(
+        addr,
+        "POST",
+        "/v1/models/int8/predict",
+        &[("Content-Type", "application/octet-stream")],
+        &to_bytes(&vals),
+    );
+    assert_eq!(quant.status, 200);
+
+    let exact = from_bytes(&exact.body);
+    let quant = from_bytes(&quant.body);
+    assert_eq!(exact.len(), quant.len());
+    let drift = exact
+        .iter()
+        .zip(&quant)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        drift < 0.1,
+        "int8 route drift {drift}: {exact:?} vs {quant:?}"
+    );
+    assert!(
+        exact
+            .iter()
+            .zip(&quant)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "int8 route must actually quantize, not serve f32"
+    );
+
+    // both surfaces report the served dtype
+    let metrics = request(addr, "GET", "/metrics", &[], b"");
+    let text = String::from_utf8(metrics.body).expect("utf-8");
+    assert!(
+        text.contains("\"precision\":\"int8\",\"weight_dtype\":\"int8\""),
+        "{text}"
+    );
+    assert!(
+        text.contains("\"precision\":\"f32\",\"weight_dtype\":\"f32\""),
+        "{text}"
+    );
+    let models = request(addr, "GET", "/v1/models", &[], b"");
+    let list = String::from_utf8(models.body).expect("utf-8");
+    // the registry holds the f32 master for both slots; workers quantize
+    assert!(list.contains("\"weight_dtype\":\"f32\""), "{list}");
+
+    server.shutdown();
+}
+
+#[test]
+fn quantized_route_requantizes_on_hot_swap() {
+    let server = qn_serve::ServerBuilder::new(qn_serve::ServeConfig::default())
+        .route_quantized("m", &[IN_DIM], tiny_model(9), BatchConfig::default())
+        .start()
+        .expect("bind");
+    let addr = server.addr();
+    let vals = sample(9);
+    let body = to_bytes(&vals);
+    let hdr = [("Content-Type", "application/octet-stream")];
+
+    let before = request(addr, "POST", "/v1/models/m/predict", &hdr, &body);
+    assert_eq!(before.status, 200);
+
+    // publish new weights; the worker must rebuild its int8 twin
+    server.registry().publish("m", tiny_model(10));
+    let after = request(addr, "POST", "/v1/models/m/predict", &hdr, &body);
+    assert_eq!(after.status, 200);
+    assert_ne!(
+        from_bytes(&before.body),
+        from_bytes(&after.body),
+        "hot-swapped weights must serve"
+    );
+
+    // the new session still tracks the new f32 weights closely
+    let expect = InferenceSession::owned(tiny_model(10))
+        .predict(&Tensor::from_vec(vals, &[IN_DIM]).expect("sample"));
+    let got = from_bytes(&after.body);
+    let drift = got
+        .iter()
+        .zip(expect.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(drift < 0.1, "post-swap drift {drift}");
+
+    server.shutdown();
+}

@@ -102,6 +102,21 @@ pub unsafe trait SimdF32: Copy {
     /// The implementation's ISA must be available on the executing CPU.
     unsafe fn min(self, o: Self) -> Self;
 
+    /// Lane-wise IEEE division (`divps`) — correctly rounded, so results
+    /// are bit-identical to scalar `/` at every level. Contrast with
+    /// [`recip`](SimdF32::recip), the approximate reciprocal.
+    ///
+    /// # Safety
+    /// The implementation's ISA must be available on the executing CPU.
+    unsafe fn div(self, o: Self) -> Self;
+
+    /// Lane-wise IEEE square root (`sqrtps`) — correctly rounded, so
+    /// results are bit-identical to scalar `f32::sqrt` at every level.
+    ///
+    /// # Safety
+    /// The implementation's ISA must be available on the executing CPU.
+    unsafe fn sqrt(self) -> Self;
+
     /// Approximate lane-wise reciprocal, refined by two Newton–Raphson
     /// steps to ≤ ~1 ULP of `1.0 / x` for normal, finite inputs.
     /// The scalar implementation divides exactly.
@@ -205,6 +220,16 @@ unsafe impl SimdF32 for ScalarF32 {
     }
 
     #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        ScalarF32(self.0 / o.0)
+    }
+
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        ScalarF32(self.0.sqrt())
+    }
+
+    #[inline(always)]
     unsafe fn recip(self) -> Self {
         ScalarF32(1.0 / self.0)
     }
@@ -292,6 +317,16 @@ unsafe impl SimdF32 for Sse2F32 {
     #[inline(always)]
     unsafe fn min(self, o: Self) -> Self {
         Sse2F32(_mm_min_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        Sse2F32(_mm_div_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        Sse2F32(_mm_sqrt_ps(self.0))
     }
 
     #[inline(always)]
@@ -397,6 +432,16 @@ unsafe impl SimdF32 for Avx2F32 {
     #[inline(always)]
     unsafe fn min(self, o: Self) -> Self {
         Avx2F32(_mm256_min_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        Avx2F32(_mm256_div_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        Avx2F32(_mm256_sqrt_ps(self.0))
     }
 
     #[inline(always)]

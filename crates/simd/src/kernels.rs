@@ -22,6 +22,7 @@
 //! | `softmax_row_inplace`          | ≤ 32 ULP per probability           |
 //! | `layer_norm_row`               | |Δ| ≤ 1e-5·(1+|ref|) per element   |
 //! | `weighted_square_row`          | k < LANES: 0 ULP; k ≥ LANES: ULP-bounded partial sums |
+//! | `sgd_update`/`adam_update`     | 0 ULP (no FMA, element-local; `divps`/`sqrtps` are correctly rounded) |
 //!
 //! NaN handling: the vector `max` ISA semantics match `x.max(0.0)` for
 //! ReLU (NaN → 0), but reductions and the transcendental kernels assume
@@ -420,6 +421,93 @@ mod g {
             }
         }
     }
+
+    /// One SGD-with-momentum step over a parameter slice:
+    /// `g = grad[i] + wd·value[i]; vel[i] = momentum·vel[i] + g;
+    /// value[i] -= lr·vel[i]`.
+    ///
+    /// Element-local, no fused multiply-add — the lane results are
+    /// bit-identical to the seed scalar loop at every dispatch level.
+    #[inline(always)]
+    pub unsafe fn sgd_update<S: SimdF32>(
+        value: &mut [f32],
+        vel: &mut [f32],
+        grad: &[f32],
+        lr: f32,
+        momentum: f32,
+        wd: f32,
+    ) {
+        let n = value.len();
+        let (wdv, mv, lrv) = (S::splat(wd), S::splat(momentum), S::splat(lr));
+        let mut i = 0;
+        while i + S::LANES <= n {
+            let g = wdv.mul(S::load(&value[i..])).add(S::load(&grad[i..]));
+            let v = mv.mul(S::load(&vel[i..])).add(g);
+            v.store(&mut vel[i..]);
+            S::load(&value[i..]).sub(lrv.mul(v)).store(&mut value[i..]);
+            i += S::LANES;
+        }
+        while i < n {
+            let g = grad[i] + wd * value[i];
+            let v = momentum * vel[i] + g;
+            vel[i] = v;
+            value[i] -= lr * v;
+            i += 1;
+        }
+    }
+
+    /// One Adam step over a parameter slice:
+    /// `m[i] = b1·m[i] + (1−b1)·g; v[i] = b2·v[i] + (1−b2)·g²;
+    /// value[i] -= lr·(m[i]/bias1) / (√(v[i]/bias2) + eps)`.
+    ///
+    /// `bias1`/`bias2` are the step-count bias corrections
+    /// `1 − βᵗ` computed once by the caller. Element-local with
+    /// correctly-rounded `divps`/`sqrtps` and no fused multiply-add —
+    /// bit-identical to the seed scalar loop at every dispatch level.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn adam_update<S: SimdF32>(
+        value: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        grad: &[f32],
+        lr: f32,
+        b1: f32,
+        b2: f32,
+        eps: f32,
+        bias1: f32,
+        bias2: f32,
+    ) {
+        let n = value.len();
+        let (b1v, c1v) = (S::splat(b1), S::splat(1.0 - b1));
+        let (b2v, c2v) = (S::splat(b2), S::splat(1.0 - b2));
+        let (lrv, epsv) = (S::splat(lr), S::splat(eps));
+        let (bias1v, bias2v) = (S::splat(bias1), S::splat(bias2));
+        let mut i = 0;
+        while i + S::LANES <= n {
+            let g = S::load(&grad[i..]);
+            let mi = b1v.mul(S::load(&m[i..])).add(c1v.mul(g));
+            let vi = b2v.mul(S::load(&v[i..])).add(c2v.mul(g).mul(g));
+            mi.store(&mut m[i..]);
+            vi.store(&mut v[i..]);
+            let mhat = mi.div(bias1v);
+            let vhat = vi.div(bias2v);
+            let upd = lrv.mul(mhat).div(vhat.sqrt().add(epsv));
+            S::load(&value[i..]).sub(upd).store(&mut value[i..]);
+            i += S::LANES;
+        }
+        while i < n {
+            let g = grad[i];
+            let mi = b1 * m[i] + (1.0 - b1) * g;
+            let vi = b2 * v[i] + (1.0 - b2) * g * g;
+            m[i] = mi;
+            v[i] = vi;
+            let mhat = mi / bias1;
+            let vhat = vi / bias2;
+            value[i] -= lr * mhat / (vhat.sqrt() + eps);
+            i += 1;
+        }
+    }
 }
 
 /// Generates one wrapper module per ISA: identical signatures, each
@@ -463,6 +551,11 @@ macro_rules! isa_kernels {
             pub unsafe fn layer_norm_row(d: &mut [f32], s: &[f32], ga: &[f32], be: &[f32], eps: f32) { g::layer_norm_row::<$simd>(d, s, ga, be, eps) }
             $(#[$attr])*
             pub unsafe fn weighted_square_row(o: &mut [f32], f: &[f32], l: &[f32], k: usize) { g::weighted_square_row::<$simd>(o, f, l, k) }
+            $(#[$attr])*
+            pub unsafe fn sgd_update(va: &mut [f32], ve: &mut [f32], gr: &[f32], lr: f32, mo: f32, wd: f32) { g::sgd_update::<$simd>(va, ve, gr, lr, mo, wd) }
+            $(#[$attr])*
+            #[allow(clippy::too_many_arguments)]
+            pub unsafe fn adam_update(va: &mut [f32], m: &mut [f32], v: &mut [f32], gr: &[f32], lr: f32, b1: f32, b2: f32, eps: f32, c1: f32, c2: f32) { g::adam_update::<$simd>(va, m, v, gr, lr, b1, b2, eps, c1, c2) }
         }
     };
 }
@@ -491,6 +584,9 @@ macro_rules! dispatch {
 }
 
 /// `dst[i] = a[i] + b[i]`. Bit-identical to the scalar loop at every level.
+///
+/// # Panics
+/// Panics if `dst`, `a`, and `b` lengths differ.
 pub fn add_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
     assert_eq!(dst.len(), a.len(), "add_to: dst/a length mismatch");
     assert_eq!(dst.len(), b.len(), "add_to: dst/b length mismatch");
@@ -498,6 +594,9 @@ pub fn add_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
 }
 
 /// `dst[i] = a[i] - b[i]`. Bit-identical to the scalar loop at every level.
+///
+/// # Panics
+/// Panics if `dst`, `a`, and `b` lengths differ.
 pub fn sub_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
     assert_eq!(dst.len(), a.len(), "sub_to: dst/a length mismatch");
     assert_eq!(dst.len(), b.len(), "sub_to: dst/b length mismatch");
@@ -505,6 +604,9 @@ pub fn sub_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
 }
 
 /// `dst[i] = a[i] * b[i]`. Bit-identical to the scalar loop at every level.
+///
+/// # Panics
+/// Panics if `dst`, `a`, and `b` lengths differ.
 pub fn mul_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
     assert_eq!(dst.len(), a.len(), "mul_to: dst/a length mismatch");
     assert_eq!(dst.len(), b.len(), "mul_to: dst/b length mismatch");
@@ -512,6 +614,9 @@ pub fn mul_to(dst: &mut [f32], a: &[f32], b: &[f32]) {
 }
 
 /// `dst[i] = a[i] * s`. Bit-identical to the scalar loop at every level.
+///
+/// # Panics
+/// Panics if `dst` and `a` lengths differ.
 pub fn scale_to(dst: &mut [f32], a: &[f32], s: f32) {
     assert_eq!(dst.len(), a.len(), "scale_to: dst/a length mismatch");
     dispatch!(scale_to(dst, a, s))
@@ -523,12 +628,18 @@ pub fn scale_inplace(buf: &mut [f32], s: f32) {
 }
 
 /// `dst[i] = a[i] + s`. Bit-identical to the scalar loop at every level.
+///
+/// # Panics
+/// Panics if `dst` and `a` lengths differ.
 pub fn add_scalar_to(dst: &mut [f32], a: &[f32], s: f32) {
     assert_eq!(dst.len(), a.len(), "add_scalar_to: dst/a length mismatch");
     dispatch!(add_scalar_to(dst, a, s))
 }
 
 /// `dst[i] = a[i]²`. Bit-identical to the scalar loop at every level.
+///
+/// # Panics
+/// Panics if `dst` and `a` lengths differ.
 pub fn square_to(dst: &mut [f32], a: &[f32]) {
     assert_eq!(dst.len(), a.len(), "square_to: dst/a length mismatch");
     dispatch!(square_to(dst, a))
@@ -536,18 +647,27 @@ pub fn square_to(dst: &mut [f32], a: &[f32]) {
 
 /// `dst[i] = max(a[i], 0)`. Bit-identical to `a[i].max(0.0)` at every
 /// level (NaN lanes become 0, matching `f32::max`).
+///
+/// # Panics
+/// Panics if `dst` and `a` lengths differ.
 pub fn relu_to(dst: &mut [f32], a: &[f32]) {
     assert_eq!(dst.len(), a.len(), "relu_to: dst/a length mismatch");
     dispatch!(relu_to(dst, a))
 }
 
 /// `dst[i] = e^a[i]` via the [`crate::math::exp`] approximation (≤ 8 ULP).
+///
+/// # Panics
+/// Panics if `dst` and `a` lengths differ.
 pub fn exp_to(dst: &mut [f32], a: &[f32]) {
     assert_eq!(dst.len(), a.len(), "exp_to: dst/a length mismatch");
     dispatch!(exp_to(dst, a))
 }
 
 /// `dst[i] = σ(a[i])` via [`crate::math::sigmoid`] (≤ 16 ULP).
+///
+/// # Panics
+/// Panics if `dst` and `a` lengths differ.
 pub fn sigmoid_to(dst: &mut [f32], a: &[f32]) {
     assert_eq!(dst.len(), a.len(), "sigmoid_to: dst/a length mismatch");
     dispatch!(sigmoid_to(dst, a))
@@ -555,6 +675,9 @@ pub fn sigmoid_to(dst: &mut [f32], a: &[f32]) {
 
 /// One batch-norm channel plane: `dst[i] = (src[i] − mean)·inv·gamma + beta`.
 /// Bit-identical to the scalar loop (same operation order).
+///
+/// # Panics
+/// Panics if `dst` and `src` lengths differ.
 pub fn affine_channel_to(dst: &mut [f32], src: &[f32], mean: f32, inv: f32, gamma: f32, beta: f32) {
     assert_eq!(dst.len(), src.len(), "affine_channel_to: length mismatch");
     dispatch!(affine_channel_to(dst, src, mean, inv, gamma, beta))
@@ -575,6 +698,9 @@ pub fn reduce_max(a: &[f32]) -> f32 {
 
 /// Dot product with FMA accumulation where the ISA has it (ULP-bounded
 /// across levels, like [`reduce_sum`]).
+///
+/// # Panics
+/// Panics if `a` and `b` lengths differ.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
     dispatch!(dot(a, b))
@@ -587,6 +713,9 @@ pub fn softmax_row_inplace(row: &mut [f32]) {
 }
 
 /// One layer-norm row (see table in the module docs for the bound).
+///
+/// # Panics
+/// Panics if `dst`, `src`, `gamma`, and `beta` lengths differ.
 pub fn layer_norm_row(dst: &mut [f32], src: &[f32], gamma: &[f32], beta: &[f32], eps: f32) {
     assert_eq!(
         dst.len(),
@@ -606,8 +735,61 @@ pub fn layer_norm_row(dst: &mut [f32], src: &[f32], gamma: &[f32], beta: &[f32],
     dispatch!(layer_norm_row(dst, src, gamma, beta, eps))
 }
 
+/// One SGD-with-momentum step:
+/// `g = grad[i] + wd·value[i]; vel[i] = momentum·vel[i] + g;
+/// value[i] -= lr·vel[i]`. Bit-identical to the scalar loop at every
+/// level (element-local, no FMA).
+///
+/// # Panics
+/// Panics if `value`, `vel`, and `grad` lengths differ.
+pub fn sgd_update(
+    value: &mut [f32],
+    vel: &mut [f32],
+    grad: &[f32],
+    lr: f32,
+    momentum: f32,
+    wd: f32,
+) {
+    assert_eq!(value.len(), vel.len(), "sgd_update: vel length mismatch");
+    assert_eq!(value.len(), grad.len(), "sgd_update: grad length mismatch");
+    dispatch!(sgd_update(value, vel, grad, lr, momentum, wd))
+}
+
+/// One Adam step with caller-supplied bias corrections
+/// `bias1 = 1 − β₁ᵗ`, `bias2 = 1 − β₂ᵗ`:
+/// `m[i] = b1·m[i] + (1−b1)·g; v[i] = b2·v[i] + (1−b2)·g²;
+/// value[i] -= lr·(m[i]/bias1) / (√(v[i]/bias2) + eps)`.
+/// Bit-identical to the scalar loop at every level (element-local,
+/// correctly-rounded div/sqrt, no FMA).
+///
+/// # Panics
+/// Panics if `value`, `m`, `v`, and `grad` lengths differ.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_update(
+    value: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    lr: f32,
+    b1: f32,
+    b2: f32,
+    eps: f32,
+    bias1: f32,
+    bias2: f32,
+) {
+    assert_eq!(value.len(), m.len(), "adam_update: m length mismatch");
+    assert_eq!(value.len(), v.len(), "adam_update: v length mismatch");
+    assert_eq!(value.len(), grad.len(), "adam_update: grad length mismatch");
+    dispatch!(adam_update(
+        value, m, v, grad, lr, b1, b2, eps, bias1, bias2
+    ))
+}
+
 /// Quadratic-neuron weighted square sum for one sample row:
 /// `out[j] = Σ_{i<k} f[j·k+i]² · lam[j·k+i]`.
+///
+/// # Panics
+/// Panics if `f` or `lam` length is not `out.len() * k`.
 pub fn weighted_square_row(out: &mut [f32], f: &[f32], lam: &[f32], k: usize) {
     assert_eq!(
         f.len(),

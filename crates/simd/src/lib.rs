@@ -47,13 +47,15 @@
 //! mutex).
 
 pub mod arch;
+mod int8;
 mod kernels;
 pub mod math;
 
+pub use int8::{dot_i8, quantize_to_i8};
 pub use kernels::{
-    add_scalar_to, add_to, affine_channel_to, dot, exp_to, layer_norm_row, mul_to, reduce_max,
-    reduce_sum, relu_to, scale_inplace, scale_to, sigmoid_to, softmax_row_inplace, square_to,
-    sub_to, weighted_square_row,
+    adam_update, add_scalar_to, add_to, affine_channel_to, dot, exp_to, layer_norm_row, mul_to,
+    reduce_max, reduce_sum, relu_to, scale_inplace, scale_to, sgd_update, sigmoid_to,
+    softmax_row_inplace, square_to, sub_to, weighted_square_row,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};

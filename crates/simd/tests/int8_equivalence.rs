@@ -1,0 +1,193 @@
+//! The int8 lane kernels and the optimizer-update kernels against their
+//! scalar references, at **every** dispatch level reachable on this host.
+//!
+//! Unlike the f32 kernels (where reductions reassociate and only get ULP
+//! bounds), everything in this file is **bit-exact** at every level:
+//!
+//! - `dot_i8` accumulates in i32, and integer addition is associative —
+//!   any summation order gives the same bits;
+//! - `quantize_to_i8` uses the magic-number round (identical IEEE op
+//!   sequence per lane at every level);
+//! - `sgd_update`/`adam_update` are element-local with no FMA and
+//!   correctly-rounded `divps`/`sqrtps`, so each lane reproduces the
+//!   seed scalar loop exactly.
+//!
+//! `force_level` is process-global, so every test case serializes on one
+//! mutex (the `cargo test` harness runs tests on threads).
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per reachable dispatch level with that level forced,
+/// restoring the previous level afterwards.
+fn for_each_level(
+    mut f: impl FnMut(qn_simd::SimdLevel) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    let _g = LEVEL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let prev = qn_simd::SimdLevel::active();
+    let mut result = Ok(());
+    for level in qn_simd::available_levels() {
+        qn_simd::force_level(level);
+        result = f(level);
+        if result.is_err() {
+            break;
+        }
+    }
+    qn_simd::force_level(prev);
+    result
+}
+
+/// Reference int8 dot in i64 (can never wrap, so it also cross-checks the
+/// kernel's documented i32 non-overflow bound at test sizes).
+fn dot_i8_ref(a: &[i8], b: &[i8]) -> i64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x as i64 * y as i64)
+        .sum::<i64>()
+}
+
+/// Reference quantizer: the same magic-number round-to-nearest-even the
+/// kernel documents, written as the plain scalar expression.
+fn quantize_ref(src: &[f32], inv_scale: f32) -> Vec<i8> {
+    const ROUND_MAGIC: f32 = 12_582_912.0;
+    src.iter()
+        .map(|&x| ((x * inv_scale + ROUND_MAGIC) - ROUND_MAGIC).clamp(-127.0, 127.0) as i8)
+        .collect()
+}
+
+fn codes(n: usize) -> impl Strategy<Value = Vec<i8>> {
+    // Full symmetric code range; the kernels never produce −128 but must
+    // handle it as an input.
+    prop::collection::vec(-128i8..127, n)
+}
+
+fn vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `dot_i8` is bit-identical to the widened reference at every level
+    /// and every length (covers the 32/16/scalar tail boundaries).
+    #[test]
+    fn dot_i8_matches_reference_at_every_level(
+        n in 0usize..200,
+        seed_a in codes(200), seed_b in codes(200)
+    ) {
+        let a = &seed_a[..n];
+        let b = &seed_b[..n];
+        let expect = dot_i8_ref(a, b);
+        for_each_level(|level| {
+            let got = qn_simd::dot_i8(a, b) as i64;
+            prop_assert_eq!(got, expect, "dot_i8 @ {:?}", level);
+            Ok(())
+        })?;
+    }
+
+    /// `quantize_to_i8` produces identical codes at every level, matching
+    /// the scalar magic-number reference (ties-to-even, clamped to ±127).
+    #[test]
+    fn quantize_to_i8_is_bit_exact_at_every_level(
+        src in vals(133), inv_scale in 0.0f32..64.0
+    ) {
+        let expect = quantize_ref(&src, inv_scale);
+        for_each_level(|level| {
+            let mut dst = vec![0i8; src.len()];
+            qn_simd::quantize_to_i8(&mut dst, &src, inv_scale);
+            prop_assert_eq!(&dst, &expect, "quantize @ {:?}", level);
+            Ok(())
+        })?;
+    }
+
+    /// `sgd_update` reproduces the seed scalar momentum loop bit-for-bit
+    /// at every level.
+    #[test]
+    fn sgd_update_is_bit_exact_at_every_level(
+        value0 in vals(67), vel0 in vals(67), grad in vals(67),
+        lr in 0.001f32..0.5, momentum in 0.0f32..0.99, wd in 0.0f32..0.1
+    ) {
+        let n = value0.len();
+        // Seed scalar reference (the Exact-profile loop in qn-nn).
+        let mut value_ref = value0.clone();
+        let mut vel_ref = vel0.clone();
+        for i in 0..n {
+            let g = grad[i] + wd * value_ref[i];
+            let v = momentum * vel_ref[i] + g;
+            vel_ref[i] = v;
+            value_ref[i] -= lr * v;
+        }
+        for_each_level(|level| {
+            let mut value = value0.clone();
+            let mut vel = vel0.clone();
+            qn_simd::sgd_update(&mut value, &mut vel, &grad, lr, momentum, wd);
+            for i in 0..n {
+                prop_assert!(value[i].to_bits() == value_ref[i].to_bits(),
+                    "sgd value[{}] @ {:?}", i, level);
+                prop_assert!(vel[i].to_bits() == vel_ref[i].to_bits(),
+                    "sgd vel[{}] @ {:?}", i, level);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// `adam_update` reproduces the seed scalar Adam loop bit-for-bit at
+    /// every level (correctly-rounded div/sqrt, no FMA).
+    #[test]
+    fn adam_update_is_bit_exact_at_every_level(
+        value0 in vals(67), m0 in vals(67), v0a in vals(67), grad in vals(67),
+        lr in 0.0001f32..0.01, t in 1u32..200
+    ) {
+        let n = value0.len();
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        // Second moments must be non-negative, as in a real run.
+        let v0: Vec<f32> = v0a.iter().map(|x| x.abs()).collect();
+        let mut value_ref = value0.clone();
+        let mut m_ref = m0.clone();
+        let mut v_ref = v0.clone();
+        for i in 0..n {
+            let g = grad[i];
+            let mi = b1 * m_ref[i] + (1.0 - b1) * g;
+            let vi = b2 * v_ref[i] + (1.0 - b2) * g * g;
+            m_ref[i] = mi;
+            v_ref[i] = vi;
+            let mhat = mi / bias1;
+            let vhat = vi / bias2;
+            value_ref[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+        for_each_level(|level| {
+            let mut value = value0.clone();
+            let mut m = m0.clone();
+            let mut v = v0.clone();
+            qn_simd::adam_update(&mut value, &mut m, &mut v, &grad, lr, b1, b2, eps, bias1, bias2);
+            for i in 0..n {
+                prop_assert!(value[i].to_bits() == value_ref[i].to_bits(),
+                    "adam value[{}] @ {:?}", i, level);
+                prop_assert!(m[i].to_bits() == m_ref[i].to_bits(),
+                    "adam m[{}] @ {:?}", i, level);
+                prop_assert!(v[i].to_bits() == v_ref[i].to_bits(),
+                    "adam v[{}] @ {:?}", i, level);
+            }
+            Ok(())
+        })?;
+    }
+}
+
+/// The int8 kernels ignore the kernel profile: they are exact in both,
+/// so Exact mode is allowed to use them (documented in `qn_simd::int8`).
+#[test]
+fn int8_kernels_identical_across_profiles() {
+    let _g = LEVEL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let a: Vec<i8> = (0..97).map(|i| ((i * 37 + 11) % 255 - 127) as i8).collect();
+    let b: Vec<i8> = (0..97).map(|i| ((i * 53 + 7) % 255 - 127) as i8).collect();
+    let prev = qn_simd::force_profile(qn_simd::KernelProfile::Exact);
+    let exact = qn_simd::dot_i8(&a, &b);
+    qn_simd::force_profile(qn_simd::KernelProfile::Fast);
+    let fast = qn_simd::dot_i8(&a, &b);
+    qn_simd::force_profile(prev);
+    assert_eq!(exact, fast);
+}

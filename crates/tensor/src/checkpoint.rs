@@ -1,7 +1,7 @@
 //! The versioned checkpoint container: a safetensors-style binary format
 //! for named tensor collections.
 //!
-//! # Wire format (version 1)
+//! # Wire format (versions 1 and 2)
 //!
 //! ```text
 //! byte 0       8       12      16        24
@@ -23,8 +23,24 @@
 //!   (which begins at the first 64-byte boundary at or after the header)
 //!   and is itself a multiple of 64, so every blob is 64-byte aligned in
 //!   the file and any aligned mapping of it.
-//! - **Blobs** are raw little-endian `f32`, concatenated in header order
-//!   with zero padding between them.
+//! - **Blobs** are raw little-endian values of the entry's dtype,
+//!   concatenated in header order with zero padding between them.
+//!
+//! # Version 2: per-tensor dtypes
+//!
+//! Version 1 holds only `"dtype":"f32"` entries. Version 2 keeps the
+//! byte layout and adds two dtypes for the quantized inference tier
+//! ([`crate::quant`]): `"f16"` (little-endian IEEE binary16 bits, read
+//! back via [`Checkpoint::tensor`] which widens to f32 exactly) and
+//! `"i8"` (raw int8 codes, read via [`Checkpoint::i8_slice`]; the
+//! per-channel scales travel as an ordinary f32 sibling tensor). `len`
+//! stays the **element** count for every dtype.
+//!
+//! [`CheckpointWriter`] negotiates the version automatically: a file
+//! whose tensors are all f32 is written as **version 1, byte-for-byte
+//! identical** to what pre-quantization builds produced, so old readers
+//! keep working and old files keep hashing the same; any f16/i8 entry
+//! bumps the file to version 2. Readers accept both.
 //!
 //! Readers validate everything — magic, version, checksum, header syntax,
 //! offsets, lengths, alignment — and return
@@ -62,8 +78,13 @@ use std::sync::Arc;
 /// First 8 bytes of every checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"QNCKPT\0\0";
 
-/// Highest container version this build reads and the version it writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Highest container version this build reads. The writer emits the
+/// lowest version that can represent the file: 1 for all-f32, 2 once any
+/// f16/i8 entry is present (see the module docs).
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// The legacy all-f32 container version.
+pub const CHECKPOINT_VERSION_F32: u32 = 1;
 
 /// Alignment of every tensor blob, in bytes (cache-line / SIMD friendly,
 /// and comfortably above `f32`'s requirement for mapped loading).
@@ -71,28 +92,110 @@ pub const BLOB_ALIGN: usize = 64;
 
 const FIXED_HEADER_LEN: usize = 24;
 
+/// Element type of one checkpoint blob (version 2 containers; version 1
+/// is implicitly all-[`DType::F32`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// 32-bit IEEE float, little-endian — the training dtype.
+    F32,
+    /// 16-bit IEEE binary16 bits, widened to f32 on read (exact).
+    F16,
+    /// Signed 8-bit quantized codes; scales travel separately.
+    I8,
+}
+
+impl DType {
+    /// Bytes per element (4 / 2 / 1).
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+            DType::I8 => 1,
+        }
+    }
+
+    /// The header spelling (`"f32"` / `"f16"` / `"i8"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::I8 => "i8",
+        }
+    }
+
+    fn parse(s: &str) -> Option<DType> {
+        match s {
+            "f32" => Some(DType::F32),
+            "f16" => Some(DType::F16),
+            "i8" => Some(DType::I8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One named tensor recorded in a checkpoint header.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TensorEntry {
     /// Dotted parameter path, e.g. `block2.conv1.weight`.
     pub name: String,
+    /// Element type of the blob.
+    pub dtype: DType,
     /// Dimension sizes.
     pub shape: Vec<usize>,
     /// **Absolute** byte offset of the blob in the file (the header's
     /// data-section-relative offset plus the data-section base).
     pub offset: usize,
-    /// Element count (always the product of `shape`).
+    /// Element count (always the product of `shape`), **not** bytes.
     pub len: usize,
 }
 
 // ---------------------------------------------------------------- writer --
+
+/// One pending blob in a [`CheckpointWriter`].
+#[derive(Debug)]
+enum Blob {
+    F32(Tensor),
+    F16 { bits: Vec<u16>, shape: Vec<usize> },
+    I8 { codes: Vec<i8>, shape: Vec<usize> },
+}
+
+impl Blob {
+    fn dtype(&self) -> DType {
+        match self {
+            Blob::F32(_) => DType::F32,
+            Blob::F16 { .. } => DType::F16,
+            Blob::I8 { .. } => DType::I8,
+        }
+    }
+
+    fn dims(&self) -> &[usize] {
+        match self {
+            Blob::F32(t) => t.shape().dims(),
+            Blob::F16 { shape, .. } | Blob::I8 { shape, .. } => shape,
+        }
+    }
+
+    fn numel(&self) -> usize {
+        match self {
+            Blob::F32(t) => t.numel(),
+            Blob::F16 { bits, .. } => bits.len(),
+            Blob::I8 { codes, .. } => codes.len(),
+        }
+    }
+}
 
 /// Builds a checkpoint: collect named tensors and metadata, then serialize
 /// with [`CheckpointWriter::to_bytes`] or [`CheckpointWriter::write_to`].
 #[derive(Debug, Default)]
 pub struct CheckpointWriter {
     meta: Vec<(String, String)>,
-    tensors: Vec<(String, Tensor)>,
+    tensors: Vec<(String, Blob)>,
 }
 
 impl CheckpointWriter {
@@ -112,10 +215,48 @@ impl CheckpointWriter {
         }
     }
 
-    /// Records a named tensor. Names must be unique; duplicates are
+    /// Records a named f32 tensor. Names must be unique; duplicates are
     /// reported by [`CheckpointWriter::to_bytes`].
     pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) {
-        self.tensors.push((name.into(), tensor));
+        self.tensors.push((name.into(), Blob::F32(tensor)));
+    }
+
+    /// Records a named tensor stored as binary16 (round-to-nearest-even
+    /// per element, see [`crate::quant::f32_to_f16_bits`]). Reading it
+    /// back widens to f32 exactly, so the round-trip loses only the f16
+    /// rounding done here. Forces the file to version 2.
+    pub fn add_f16(&mut self, name: impl Into<String>, tensor: &Tensor) {
+        self.tensors.push((
+            name.into(),
+            Blob::F16 {
+                bits: crate::quant::encode_f16(tensor.data()),
+                shape: tensor.shape().dims().to_vec(),
+            },
+        ));
+    }
+
+    /// Records a named int8 blob (quantized codes; store the per-channel
+    /// scales as an ordinary f32 sibling tensor). Forces the file to
+    /// version 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len()` is not the product of `dims`.
+    pub fn add_i8(&mut self, name: impl Into<String>, codes: Vec<i8>, dims: &[usize]) {
+        let numel: usize = dims.iter().product();
+        assert_eq!(
+            codes.len(),
+            numel,
+            "add_i8: {} codes cannot fill shape {dims:?}",
+            codes.len()
+        );
+        self.tensors.push((
+            name.into(),
+            Blob::I8 {
+                codes,
+                shape: dims.to_vec(),
+            },
+        ));
     }
 
     /// Number of tensors recorded so far.
@@ -156,34 +297,53 @@ impl CheckpointWriter {
         }
         header.push_str("},\"tensors\":[");
         let mut rel = 0usize;
-        for (i, (name, t)) in self.tensors.iter().enumerate() {
+        for (i, (name, b)) in self.tensors.iter().enumerate() {
             if i > 0 {
                 header.push(',');
             }
             header.push_str("{\"name\":");
             push_json_string(&mut header, name);
-            header.push_str(",\"dtype\":\"f32\",\"shape\":[");
-            for (d, dim) in t.shape().dims().iter().enumerate() {
+            // for f32 this emits the exact version-1 byte sequence — the
+            // all-f32 byte-identity guarantee depends on it
+            header.push_str(",\"dtype\":\"");
+            header.push_str(b.dtype().as_str());
+            header.push_str("\",\"shape\":[");
+            for (d, dim) in b.dims().iter().enumerate() {
                 if d > 0 {
                     header.push(',');
                 }
                 header.push_str(&dim.to_string());
             }
-            header.push_str(&format!("],\"offset\":{rel},\"len\":{}}}", t.numel()));
-            rel = align_up(rel + t.numel() * 4, BLOB_ALIGN);
+            header.push_str(&format!("],\"offset\":{rel},\"len\":{}}}", b.numel()));
+            rel = align_up(rel + b.numel() * b.dtype().elem_bytes(), BLOB_ALIGN);
         }
         header.push_str("]}");
 
+        let version = if self.tensors.iter().all(|(_, b)| b.dtype() == DType::F32) {
+            CHECKPOINT_VERSION_F32
+        } else {
+            CHECKPOINT_VERSION
+        };
         let data_start = align_up(FIXED_HEADER_LEN + header.len(), BLOB_ALIGN);
         let mut out = Vec::with_capacity(data_start + rel);
         out.extend_from_slice(&CHECKPOINT_MAGIC);
-        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&[0u8; 4]); // crc32, patched below
         out.extend_from_slice(&(header.len() as u64).to_le_bytes());
         out.extend_from_slice(header.as_bytes());
         out.resize(data_start, 0);
-        for (_, t) in &self.tensors {
-            extend_f32_le(&mut out, t.data());
+        for (_, b) in &self.tensors {
+            match b {
+                Blob::F32(t) => extend_f32_le(&mut out, t.data()),
+                Blob::F16 { bits, .. } => {
+                    for h in bits {
+                        out.extend_from_slice(&h.to_le_bytes());
+                    }
+                }
+                Blob::I8 { codes, .. } => {
+                    out.extend(codes.iter().map(|&c| c as u8));
+                }
+            }
             out.resize(align_up(out.len(), BLOB_ALIGN), 0);
         }
         let crc = crc32(&out[16..]);
@@ -359,10 +519,20 @@ impl Checkpoint {
                     ),
                 ));
             }
+            if version < CHECKPOINT_VERSION && e.dtype != DType::F32 {
+                return Err(fail(
+                    FIXED_HEADER_LEN,
+                    format!(
+                        "tensor '{}' has dtype {} but the file declares version {version} \
+                         (non-f32 dtypes require version {CHECKPOINT_VERSION})",
+                        e.name, e.dtype
+                    ),
+                ));
+            }
             let offset = e
                 .offset
                 .checked_add(data_start)
-                .filter(|&o| o % 4 == 0)
+                .filter(|&o| o % e.dtype.elem_bytes() == 0)
                 .ok_or_else(|| {
                     fail(
                         FIXED_HEADER_LEN,
@@ -370,7 +540,13 @@ impl Checkpoint {
                     )
                 })?;
             // bounds-check the window now so later reads cannot fail
-            map.f32_slice(offset, numel).map_err(|err| match err {
+            let nbytes = numel.checked_mul(e.dtype.elem_bytes()).ok_or_else(|| {
+                fail(
+                    FIXED_HEADER_LEN,
+                    format!("tensor '{}' byte length overflows", e.name),
+                )
+            })?;
+            map.byte_slice(offset, nbytes).map_err(|err| match err {
                 TensorError::InvalidCheckpoint { offset, detail } => {
                     TensorError::InvalidCheckpoint {
                         offset,
@@ -387,6 +563,7 @@ impl Checkpoint {
             }
             entries.push(TensorEntry {
                 name: e.name,
+                dtype: e.dtype,
                 shape: e.shape,
                 offset,
                 len: numel,
@@ -434,18 +611,43 @@ impl Checkpoint {
     }
 
     /// Reads a tensor by name, **copying** the blob into owned storage.
+    /// f16 entries are widened to f32 (exact per element).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidCheckpoint`] if no tensor has that
-    /// name.
+    /// name, or if the entry is `i8` — quantized codes have no canonical
+    /// f32 value without their scales; read them with
+    /// [`Checkpoint::i8_slice`].
     pub fn tensor(&self, name: &str) -> Result<Tensor, TensorError> {
         let e = self.require(name)?;
-        let data = self
-            .map
-            .f32_slice(e.offset, e.len)
-            .expect("window validated in from_mmap");
-        Tensor::from_vec(data.to_vec(), &e.shape)
+        match e.dtype {
+            DType::F32 => {
+                let data = self
+                    .map
+                    .f32_slice(e.offset, e.len)
+                    .expect("window validated in from_mmap");
+                Tensor::from_vec(data.to_vec(), &e.shape)
+            }
+            DType::F16 => {
+                let bytes = self
+                    .map
+                    .byte_slice(e.offset, e.len * 2)
+                    .expect("window validated in from_mmap");
+                let data = bytes
+                    .chunks_exact(2)
+                    .map(|p| crate::quant::f16_bits_to_f32(u16::from_le_bytes([p[0], p[1]])))
+                    .collect();
+                Tensor::from_vec(data, &e.shape)
+            }
+            DType::I8 => Err(TensorError::InvalidCheckpoint {
+                offset: e.offset as u64,
+                detail: format!(
+                    "tensor '{name}' is i8; read the codes with i8_slice() and apply \
+                     the stored scales"
+                ),
+            }),
+        }
     }
 
     /// Reads a tensor by name as a **zero-copy** window borrowing this
@@ -456,10 +658,43 @@ impl Checkpoint {
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidCheckpoint`] if no tensor has that
-    /// name.
+    /// name or if the entry is not f32 (f16/i8 blobs cannot be windowed
+    /// as `&[f32]`; use [`Checkpoint::tensor`] / [`Checkpoint::i8_slice`]).
     pub fn tensor_mapped(&self, name: &str) -> Result<Tensor, TensorError> {
         let e = self.require(name)?;
+        if e.dtype != DType::F32 {
+            return Err(TensorError::InvalidCheckpoint {
+                offset: e.offset as u64,
+                detail: format!(
+                    "tensor '{name}' is {}; zero-copy mapping requires f32",
+                    e.dtype
+                ),
+            });
+        }
         Tensor::from_mapped(Arc::clone(&self.map), e.offset, &e.shape)
+    }
+
+    /// Borrows the raw int8 codes of an `i8` entry, zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if no tensor has that
+    /// name or the entry is not `i8`.
+    pub fn i8_slice(&self, name: &str) -> Result<&[i8], TensorError> {
+        let e = self.require(name)?;
+        if e.dtype != DType::I8 {
+            return Err(TensorError::InvalidCheckpoint {
+                offset: e.offset as u64,
+                detail: format!("tensor '{name}' is {}, not i8", e.dtype),
+            });
+        }
+        let bytes = self
+            .map
+            .byte_slice(e.offset, e.len)
+            .expect("window validated in from_mmap");
+        // SAFETY: i8 and u8 share size, alignment and validity; the
+        // window was bounds-checked in from_mmap.
+        Ok(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<i8>(), bytes.len()) })
     }
 
     fn require(&self, name: &str) -> Result<&TensorEntry, TensorError> {
@@ -476,6 +711,7 @@ impl Checkpoint {
 /// A header entry as parsed (offset still data-section relative).
 struct RawEntry {
     name: String,
+    dtype: DType,
     shape: Vec<usize>,
     offset: usize,
     len: usize,
@@ -705,14 +941,16 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        match dtype.as_deref() {
-            Some("f32") => {}
-            Some(other) => return Err(self.err(format!("unsupported dtype '{other}'"))),
+        let dtype = match dtype.as_deref() {
+            Some(s) => {
+                DType::parse(s).ok_or_else(|| self.err(format!("unsupported dtype '{s}'")))?
+            }
             None => return Err(self.err("tensor entry is missing 'dtype'")),
-        }
+        };
         match (name, shape, offset, len) {
             (Some(name), Some(shape), Some(offset), Some(len)) => Ok(RawEntry {
                 name,
+                dtype,
                 shape,
                 offset,
                 len,
@@ -863,7 +1101,7 @@ mod tests {
     fn roundtrip_copy_and_mapped() {
         let bytes = sample().to_bytes().unwrap();
         let ck = Checkpoint::from_bytes(&bytes).unwrap();
-        assert_eq!(ck.version(), CHECKPOINT_VERSION);
+        assert_eq!(ck.version(), CHECKPOINT_VERSION_F32, "all-f32 stays v1");
         assert_eq!(ck.meta("epoch"), Some("2"));
         assert_eq!(ck.meta("note"), Some("weird \"quoted\" \\ value\n"));
         assert_eq!(ck.entries().len(), 2);
@@ -951,5 +1189,54 @@ mod tests {
         let bytes = CheckpointWriter::new().to_bytes().unwrap();
         let ck = Checkpoint::from_bytes(&bytes).unwrap();
         assert!(ck.entries().is_empty());
+    }
+
+    #[test]
+    fn f16_entry_bumps_version_and_roundtrips_exactly() {
+        let t = Tensor::from_vec(vec![1.0, -0.5, 3.25, 1.0e-5], &[2, 2]).unwrap();
+        let mut w = CheckpointWriter::new();
+        w.add_f16("half.weight", &t);
+        let ck = Checkpoint::from_bytes(w.to_bytes().unwrap()).unwrap();
+        assert_eq!(ck.version(), CHECKPOINT_VERSION);
+        assert_eq!(ck.entry("half.weight").unwrap().dtype, DType::F16);
+        let back = ck.tensor("half.weight").unwrap();
+        assert_eq!(back.shape().dims(), &[2, 2]);
+        // decode(encode(x)) must equal the f16-rounded value bit-for-bit
+        for (a, b) in t.data().iter().zip(back.data()) {
+            let expect = crate::quant::f16_bits_to_f32(crate::quant::f32_to_f16_bits(*a));
+            assert_eq!(b.to_bits(), expect.to_bits());
+        }
+        // but a zero-copy f32 window over f16 bits must refuse
+        assert!(ck.tensor_mapped("half.weight").is_err());
+    }
+
+    #[test]
+    fn i8_entry_roundtrips_through_i8_slice() {
+        let codes = vec![-127i8, -1, 0, 1, 127, 64];
+        let mut w = CheckpointWriter::new();
+        w.add_i8("q.weight", codes.clone(), &[2, 3]);
+        w.add("q.scales", Tensor::from_vec(vec![0.5, 0.25], &[2]).unwrap());
+        let ck = Checkpoint::from_bytes(w.to_bytes().unwrap()).unwrap();
+        assert_eq!(ck.version(), CHECKPOINT_VERSION);
+        assert_eq!(ck.i8_slice("q.weight").unwrap(), &codes[..]);
+        assert_eq!(ck.entry("q.weight").unwrap().shape, vec![2, 3]);
+        // the f32 sibling loads normally; dtype accessors cross-check
+        assert_eq!(ck.tensor("q.scales").unwrap().data(), &[0.5, 0.25]);
+        assert!(ck.tensor("q.weight").is_err(), "i8 has no f32 reading");
+        assert!(ck.i8_slice("q.scales").is_err(), "f32 is not i8");
+    }
+
+    #[test]
+    fn version_1_files_may_not_carry_quantized_dtypes() {
+        // hand-downgrade a v2 file's version field: the reader must reject
+        // the f16 entry rather than misinterpret the blob
+        let mut w = CheckpointWriter::new();
+        w.add_f16("h", &Tensor::ones(&[4]));
+        let mut bytes = w.to_bytes().unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let crc = crc32(&bytes[16..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(format!("{err}").contains("version"), "got: {err}");
     }
 }

@@ -108,13 +108,16 @@ mod error;
 mod mat;
 mod mmap;
 mod pool;
+pub mod quant;
 mod rng;
 mod shape;
 mod storage;
 mod tensor;
 
 pub use bufpool::{BufferPool, PoolRef, PoolStats};
-pub use checkpoint::{Checkpoint, CheckpointWriter, TensorEntry, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    Checkpoint, CheckpointWriter, DType, TensorEntry, CHECKPOINT_VERSION, CHECKPOINT_VERSION_F32,
+};
 pub use conv::{col2im, im2col, im2col_into, Conv2dSpec};
 pub use error::TensorError;
 pub use mat::{gemm, gemm_batched, reference, MatMut, MatRef};
@@ -122,6 +125,10 @@ pub use mmap::Mmap;
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
     max_pool2d_into, PoolSpec,
+};
+pub use quant::{
+    decode_f16, encode_f16, f16_bits_to_f32, f32_to_f16_bits, gemm_i8, gemm_i8_reference, MatRefI8,
+    QTensor, GEMM_I8_MAX_K,
 };
 pub use rng::Rng;
 pub use shape::Shape;

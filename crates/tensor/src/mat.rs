@@ -73,8 +73,9 @@ const NR: usize = 8;
 const PACK_MIN_MACS: usize = 2048;
 
 /// Minimum multiply–accumulate count before a product fans out to the
-/// `qn-parallel` pool (the seed kernels' threshold, unchanged).
-const PAR_MIN_MACS: usize = 32 * 1024;
+/// `qn-parallel` pool (the seed kernels' threshold, unchanged; shared
+/// with the int8 sibling in `quant`).
+pub(crate) const PAR_MIN_MACS: usize = 32 * 1024;
 
 /// An immutable stride-aware matrix view over a borrowed `f32` slice.
 ///
@@ -272,6 +273,13 @@ impl<'a> MatMut<'a> {
     pub fn cols(&self) -> usize {
         self.cols
     }
+
+    /// Decomposes the view into `(data, rows, cols, row_stride)` for
+    /// sibling kernels in this crate (the int8 GEMM epilogue writes
+    /// through the raw slice).
+    pub(crate) fn into_raw(self) -> (&'a mut [f32], usize, usize, usize) {
+        (self.data, self.rows, self.cols, self.row_stride)
+    }
 }
 
 /// Thread-local scratch cache for the packing buffers.
@@ -283,7 +291,7 @@ impl<'a> MatMut<'a> {
 /// same-shape products allocates nothing. Recycled buffers have
 /// unspecified contents; the packing routines write every element,
 /// padding included.
-mod scratch {
+pub(crate) mod scratch {
     use std::cell::RefCell;
 
     /// Buffers retained per thread per element type.
@@ -292,6 +300,7 @@ mod scratch {
     thread_local! {
         static F32S: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
         static BOOLS: RefCell<Vec<Vec<bool>>> = const { RefCell::new(Vec::new()) };
+        static I8S: RefCell<Vec<Vec<i8>>> = const { RefCell::new(Vec::new()) };
     }
 
     /// Takes a `len`-element buffer with unspecified contents: reuses a
@@ -338,6 +347,32 @@ mod scratch {
     /// Returns a mask buffer to this thread's cache.
     pub fn give_bool(buf: Vec<bool>) {
         BOOLS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.len() < MAX_HELD && buf.capacity() > 0 {
+                cache.push(buf);
+            }
+        });
+    }
+
+    /// Takes a `len`-element int8 buffer with unspecified contents (the
+    /// int8 GEMM's operand-packing scratch).
+    pub fn take_i8(len: usize) -> Vec<i8> {
+        I8S.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match cache.iter().position(|b| b.capacity() >= len) {
+                Some(i) => {
+                    let mut buf = cache.swap_remove(i);
+                    buf.resize(len, 0);
+                    buf
+                }
+                None => vec![0; len],
+            }
+        })
+    }
+
+    /// Returns an int8 buffer to this thread's cache.
+    pub fn give_i8(buf: Vec<i8>) {
+        I8S.with(|cache| {
             let mut cache = cache.borrow_mut();
             if cache.len() < MAX_HELD && buf.capacity() > 0 {
                 cache.push(buf);

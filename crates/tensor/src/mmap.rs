@@ -82,6 +82,27 @@ impl Mmap {
         self.len == 0
     }
 
+    /// Borrows `count` raw bytes starting `offset` bytes into the mapping
+    /// — the window primitive for non-f32 checkpoint blobs (int8 codes,
+    /// binary16 bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if the window runs past
+    /// the end of the mapping.
+    pub fn byte_slice(&self, offset: usize, count: usize) -> Result<&[u8], TensorError> {
+        match offset.checked_add(count) {
+            Some(end) if end <= self.len => Ok(&self.as_bytes()[offset..end]),
+            _ => Err(TensorError::InvalidCheckpoint {
+                offset: offset as u64,
+                detail: format!(
+                    "data window [{offset}, {offset} + {count}) runs past the mapped length {}",
+                    self.len
+                ),
+            }),
+        }
+    }
+
     /// Borrows `count` `f32`s starting `offset` bytes into the mapping.
     ///
     /// # Errors
@@ -167,6 +188,15 @@ mod tests {
         // usize-overflowing window must error, not wrap
         assert!(m.f32_slice(8, usize::MAX / 2).is_err());
         assert!(m.f32_slice(16, 0).is_ok(), "empty window at EOF is fine");
+    }
+
+    #[test]
+    fn byte_slice_windows_and_bounds() {
+        let m = Mmap::from_bytes([1u8, 2, 3, 4, 5]);
+        assert_eq!(m.byte_slice(1, 3).unwrap(), &[2, 3, 4]);
+        assert_eq!(m.byte_slice(3, 0).unwrap(), &[] as &[u8]);
+        assert!(m.byte_slice(3, 3).is_err());
+        assert!(m.byte_slice(usize::MAX, 2).is_err());
     }
 
     #[test]

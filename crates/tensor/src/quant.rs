@@ -1,0 +1,725 @@
+//! The int8/f16 precision tier: quantized weight storage ([`QTensor`]),
+//! an int8 GEMM sibling of the packed core ([`gemm_i8`]), and software
+//! `f32 ↔ f16` bit conversion (no half-precision hardware or external
+//! crates required).
+//!
+//! # Quantization scheme
+//!
+//! Per-channel **symmetric** int8: each row (output channel) of a 2-D
+//! weight matrix gets one `f32` scale `s = absmax / 127`, and codes are
+//! `q = round(x / s)` clamped to `[-127, 127]` (the code `-128` is never
+//! produced, so negation is always representable and `|q·s| ≤ absmax`).
+//! Rounding is round-to-nearest-even via `qn_simd::quantize_to_i8`, which
+//! is **bit-identical at every dispatch level** — quantizing a model on an
+//! AVX2 box and on a scalar box produces the same codes.
+//!
+//! The per-element reconstruction error is at most `s/2` plus the f32
+//! rounding of `x·(1/s)` (≤ a few ULP); the property suite bounds it by
+//! `s · 0.5001`.
+//!
+//! # Determinism of [`gemm_i8`]
+//!
+//! The inner product accumulates in `i32`, and integer addition is
+//! associative — any split of the `k` loop, any SIMD width, and any
+//! thread count produce the same accumulator bit-for-bit. The epilogue
+//! multiplies `acc as f32` by the two scales in one fixed order. So,
+//! unlike the f32 core, the int8 GEMM is **bit-identical across dispatch
+//! levels, kernel profiles, and thread counts** with no exact/fast split.
+//!
+//! # Zero-skip semantics
+//!
+//! The f32 core carries finiteness-guarded zero-skip machinery because
+//! `0.0 × NaN` must propagate. The integer domain has no NaN/∞ and a
+//! zero code contributes exactly `0` to the accumulator, so [`gemm_i8`]
+//! deliberately has **no skip path** — skipping could only save integer
+//! MACs that the widening multiply-add makes nearly free, and the result
+//! is unaffected either way.
+//!
+//! # Accumulator range
+//!
+//! `|a·b| ≤ 127² = 16129` per product, so the `i32` accumulator is safe
+//! for any `k` up to ~133 000 — far beyond every layer shape in the
+//! workspace (documented in `qn_simd::dot_i8`; [`gemm_i8`] asserts it).
+
+use crate::mat::{scratch, MatMut, PAR_MIN_MACS};
+use crate::{Tensor, TensorError};
+
+/// Largest inner dimension [`gemm_i8`] accepts: beyond this the i32
+/// accumulator of `qn_simd::dot_i8` could overflow (see module docs).
+pub const GEMM_I8_MAX_K: usize = 130_000;
+
+// ---------------------------------------------------------------------------
+// f16 bit conversion
+// ---------------------------------------------------------------------------
+
+/// Converts an `f32` to IEEE 754 binary16 bits with round-to-nearest-even.
+///
+/// Overflow goes to ±∞, underflow denormalizes and then flushes to ±0,
+/// NaN stays NaN (quieted, payload truncated but never zeroed).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        if man == 0 {
+            return sign | 0x7C00; // ±∞
+        }
+        // NaN: carry the top payload bits, force at least one set so the
+        // value stays a NaN after truncation.
+        let payload = (man >> 13) as u16 & 0x3FF;
+        return sign | 0x7C00 | if payload == 0 { 0x200 } else { payload };
+    }
+    let e = exp - 127 + 15; // re-biased binary16 exponent
+    if e >= 31 {
+        return sign | 0x7C00; // overflow → ±∞
+    }
+    if e <= 0 {
+        if e < -10 {
+            return sign; // too small for even a subnormal → ±0
+        }
+        // Subnormal: restore the implicit bit, shift into the 10-bit
+        // field with round-to-nearest-even.
+        let man = man | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let lsb = (man >> shift) & 1;
+        let rounded = man + (1 << (shift - 1)) - 1 + lsb;
+        return sign | (rounded >> shift) as u16;
+    }
+    // Normal: round the 23-bit mantissa to 10 bits (nearest-even); a
+    // mantissa carry rolls into the exponent via the addition (and can
+    // correctly produce ∞ at e == 30).
+    let lsb = (man >> 13) & 1;
+    let rounded = man + 0x0FFF + lsb;
+    sign | (((e as u32) << 10) + (rounded >> 13)) as u16
+}
+
+/// Converts IEEE 754 binary16 bits to the exactly-representable `f32`.
+///
+/// Every finite f16 value is exact in f32, so
+/// `f32_to_f16_bits(f16_bits_to_f32(h)) == h` for all `h` (NaN payloads
+/// round-trip through the quieting in [`f32_to_f16_bits`]).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let negative = h & 0x8000 != 0;
+    let exp = (h >> 10) & 0x1F;
+    let man = (h & 0x3FF) as u32;
+    let mag = match exp {
+        // Subnormal (or zero): value = man · 2⁻²⁴, exact as an f32
+        // integer times a power of two.
+        0 => man as f32 * f32::from_bits(0x3380_0000),
+        31 => {
+            if man == 0 {
+                f32::INFINITY
+            } else {
+                // Quiet NaN carrying the payload in the top mantissa bits.
+                let sign = ((h as u32) & 0x8000) << 16;
+                return f32::from_bits(sign | 0x7FC0_0000 | (man << 13));
+            }
+        }
+        _ => f32::from_bits(((exp as u32 + 112) << 23) | (man << 13)),
+    };
+    if negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Encodes a slice to binary16, round-to-nearest-even per element.
+pub fn encode_f16(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&x| f32_to_f16_bits(x)).collect()
+}
+
+/// Decodes binary16 bits back to `f32` (exact per element).
+pub fn decode_f16(src: &[u16]) -> Vec<f32> {
+    src.iter().map(|&h| f16_bits_to_f32(h)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// MatRefI8
+// ---------------------------------------------------------------------------
+
+/// An immutable stride-aware int8 matrix view — the [`crate::MatRef`]
+/// sibling for quantized operands. `at(i, j)` reads
+/// `data[i * row_stride + j * col_stride]`; [`transpose`](MatRefI8::transpose)
+/// is a stride swap, zero-copy.
+#[derive(Clone, Copy, Debug)]
+pub struct MatRefI8<'a> {
+    data: &'a [i8],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+    col_stride: usize,
+}
+
+impl<'a> MatRefI8<'a> {
+    /// Row-major contiguous view of `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than `rows * cols`.
+    pub fn new(data: &'a [i8], rows: usize, cols: usize) -> Self {
+        assert!(
+            data.len() >= rows * cols,
+            "MatRefI8: slice of {} elements cannot hold {rows}x{cols}",
+            data.len()
+        );
+        MatRefI8 {
+            data,
+            rows,
+            cols,
+            row_stride: cols,
+            col_stride: 1,
+        }
+    }
+
+    /// General strided view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last addressable element falls outside `data`.
+    pub fn with_strides(
+        data: &'a [i8],
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+        col_stride: usize,
+    ) -> Self {
+        if rows > 0 && cols > 0 {
+            let last = (rows - 1) * row_stride + (cols - 1) * col_stride;
+            assert!(
+                last < data.len(),
+                "MatRefI8: {rows}x{cols} view with strides ({row_stride}, {col_stride}) \
+                 exceeds slice of {} elements",
+                data.len()
+            );
+        }
+        MatRefI8 {
+            data,
+            rows,
+            cols,
+            row_stride,
+            col_stride,
+        }
+    }
+
+    /// The transposed view: swaps dims and strides. Zero-copy.
+    pub fn transpose(self) -> Self {
+        MatRefI8 {
+            data: self.data,
+            rows: self.cols,
+            cols: self.rows,
+            row_stride: self.col_stride,
+            col_stride: self.row_stride,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computed flat offset is out of bounds (debug builds
+    /// additionally assert `i < rows && j < cols`).
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> i8 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.row_stride + j * self.col_stride]
+    }
+
+    /// Row `i` as a contiguous slice, if `col_stride == 1`.
+    #[inline]
+    fn contiguous_row(&self, i: usize) -> Option<&'a [i8]> {
+        if self.col_stride == 1 {
+            let base = i * self.row_stride;
+            Some(&self.data[base..base + self.cols])
+        } else {
+            None
+        }
+    }
+
+    /// Column `j` as a contiguous slice, if `row_stride == 1` (a
+    /// transposed view of a row-major matrix).
+    #[inline]
+    fn contiguous_col(&self, j: usize) -> Option<&'a [i8]> {
+        if self.row_stride == 1 {
+            let base = j * self.col_stride;
+            Some(&self.data[base..base + self.rows])
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QTensor
+// ---------------------------------------------------------------------------
+
+/// A 2-D tensor stored as int8 codes with one symmetric `f32` scale per
+/// row (per output channel): `value[i, j] ≈ data[i, j] · scales[i]`.
+///
+/// Weight memory is `rows·cols` bytes plus `4·rows` scale bytes — ~3.9×
+/// smaller than f32 at ResNet-20 shapes. Codes lie in `[-127, 127]`.
+///
+/// # Example
+///
+/// ```
+/// use qn_tensor::{QTensor, Tensor};
+///
+/// let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 4.0], &[2, 2]).unwrap();
+/// let q = QTensor::quantize(&w);
+/// let back = q.dequantize();
+/// for (a, b) in w.data().iter().zip(back.data()) {
+///     assert!((a - b).abs() <= q.scales().iter().cloned().fold(0.0, f32::max) * 0.5001);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct QTensor {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QTensor {
+    /// Quantizes a 2-D tensor with per-row absmax calibration:
+    /// `scale[i] = absmax(row i) / 127`. An all-zero row gets scale `0`
+    /// and all-zero codes (dequantizing to exact zeros).
+    ///
+    /// Codes are produced by `qn_simd::quantize_to_i8`, bit-identical at
+    /// every dispatch level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not 2-D or holds non-finite values.
+    pub fn quantize(t: &Tensor) -> QTensor {
+        assert_eq!(t.ndim(), 2, "QTensor::quantize requires a 2-D tensor");
+        let (rows, cols) = t.dims2();
+        Self::quantize_rows(t.data(), rows, cols)
+    }
+
+    /// Quantizes a flat row-major `[rows, cols]` slice (the shape-free
+    /// core of [`QTensor::quantize`], used by module quantizers that view
+    /// conv weights as `[out_channels, patch]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or any value is non-finite.
+    pub fn quantize_rows(data: &[f32], rows: usize, cols: usize) -> QTensor {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "QTensor: {} elements cannot hold {rows}x{cols}",
+            data.len()
+        );
+        let mut codes = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for i in 0..rows {
+            let row = &data[i * cols..(i + 1) * cols];
+            let mut absmax = 0.0f32;
+            for &x in row {
+                assert!(x.is_finite(), "QTensor: non-finite weight {x}");
+                let a = x.abs();
+                if a > absmax {
+                    absmax = a;
+                }
+            }
+            if absmax > 0.0 {
+                scales[i] = absmax / 127.0;
+                qn_simd::quantize_to_i8(&mut codes[i * cols..(i + 1) * cols], row, 127.0 / absmax);
+            }
+            // absmax == 0: scale stays 0, codes stay 0.
+        }
+        QTensor {
+            data: codes,
+            scales,
+            rows,
+            cols,
+        }
+    }
+
+    /// Rebuilds a `QTensor` from stored parts (checkpoint loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCheckpoint`] if the lengths don't
+    /// match the shape.
+    pub fn from_parts(
+        data: Vec<i8>,
+        scales: Vec<f32>,
+        rows: usize,
+        cols: usize,
+    ) -> Result<QTensor, TensorError> {
+        if data.len() != rows * cols || scales.len() != rows {
+            return Err(TensorError::InvalidCheckpoint {
+                offset: 0,
+                detail: format!(
+                    "QTensor parts mismatch: {} codes + {} scales for {rows}x{cols}",
+                    data.len(),
+                    scales.len()
+                ),
+            });
+        }
+        Ok(QTensor {
+            data,
+            scales,
+            rows,
+            cols,
+        })
+    }
+
+    /// Reconstructs the f32 tensor `codes[i, j] · scales[i]`.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        for i in 0..self.rows {
+            let s = self.scales[i];
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &q) in out[i * self.cols..(i + 1) * self.cols].iter_mut().zip(row) {
+                *o = q as f32 * s;
+            }
+        }
+        Tensor::from_vec(out, &[self.rows, self.cols]).expect("shape consistent")
+    }
+
+    /// Zero-copy int8 view of the codes.
+    pub fn mat(&self) -> MatRefI8<'_> {
+        MatRefI8::new(&self.data, self.rows, self.cols)
+    }
+
+    /// The raw codes, row-major.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-row scales (`rows` entries).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Number of rows (output channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored bytes: one per code plus four per row scale.
+    pub fn weight_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+
+    /// Bytes the same matrix occupies in f32.
+    pub fn f32_bytes(&self) -> usize {
+        self.rows * self.cols * 4
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gemm_i8
+// ---------------------------------------------------------------------------
+
+/// Int8 matrix product with f32 requantize epilogue:
+/// `C[i, j] = (Σₚ A[i, p]·B[p, j]) · sa[i] · sb[j]`, `C` fully
+/// overwritten.
+///
+/// `sa` holds A's per-row scales (length `m`), `sb` holds B's per-column
+/// scales (length `n`); for the canonical `x · Wᵀ` layer product, pass
+/// the activation row scales as `sa` and the weight per-channel scales
+/// as `sb` (B being the transposed weight view, its columns are weight
+/// rows). The epilogue is the fixed order `(acc as f32 · sa[i]) · sb[j]`.
+///
+/// **Bit-identical** across dispatch levels, kernel profiles, and thread
+/// counts — integer accumulation is associative (see module docs). No
+/// zero-skip machinery, also per the module docs.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, scale-length mismatch, or
+/// `k > GEMM_I8_MAX_K` (i32 accumulator bound).
+pub fn gemm_i8(c: MatMut<'_>, a: MatRefI8<'_>, b: MatRefI8<'_>, sa: &[f32], sb: &[f32]) {
+    let k = a.cols();
+    let (cdata, m, n, row_stride) = c.into_raw();
+    assert_eq!(a.rows(), m, "gemm_i8: a has {} rows, c has {m}", a.rows());
+    assert_eq!(
+        b.rows(),
+        k,
+        "gemm_i8: a is {m}x{k} but b has {} rows",
+        b.rows()
+    );
+    assert_eq!(b.cols(), n, "gemm_i8: b has {} cols, c has {n}", b.cols());
+    assert_eq!(
+        sa.len(),
+        m,
+        "gemm_i8: sa has {} scales for {m} rows",
+        sa.len()
+    );
+    assert_eq!(
+        sb.len(),
+        n,
+        "gemm_i8: sb has {} scales for {n} cols",
+        sb.len()
+    );
+    assert!(
+        k <= GEMM_I8_MAX_K,
+        "gemm_i8: k = {k} exceeds the i32 accumulator bound {GEMM_I8_MAX_K}"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    let len = (m - 1) * row_stride + n;
+    let cdata = &mut cdata[..len];
+    if k == 0 {
+        for crow in cdata.chunks_mut(row_stride) {
+            let w = n.min(crow.len());
+            crow[..w].fill(0.0);
+        }
+        return;
+    }
+    // Pack B's columns contiguously unless the view already is (a
+    // transposed row-major matrix — the weight case). The pack is shared
+    // read-only by every band worker.
+    let bt_packed: Option<Vec<i8>> = if b.contiguous_col(0).is_some() {
+        None
+    } else {
+        let mut bt = scratch::take_i8(n * k);
+        for j in 0..n {
+            let dst = &mut bt[j * k..(j + 1) * k];
+            for (p, d) in dst.iter_mut().enumerate() {
+                *d = b.at(p, j);
+            }
+        }
+        Some(bt)
+    };
+    let col_of = |j: usize| -> &[i8] {
+        match &bt_packed {
+            Some(bt) => &bt[j * k..(j + 1) * k],
+            None => b.contiguous_col(j).expect("checked contiguous above"),
+        }
+    };
+    let row_kernel = |i: usize, crow: &mut [f32]| {
+        let crow = &mut crow[..n];
+        // Row of A contiguously, packing through this worker's scratch
+        // only when the view is strided.
+        let (arow, apack) = match a.contiguous_row(i) {
+            Some(r) => (r, None),
+            None => {
+                let mut buf = scratch::take_i8(k);
+                for (p, d) in buf.iter_mut().enumerate() {
+                    *d = a.at(i, p);
+                }
+                // borrow dance: move the buffer out, keep a raw range
+                (&[][..], Some(buf))
+            }
+        };
+        let arow: &[i8] = apack.as_deref().unwrap_or(arow);
+        let si = sa[i];
+        for (j, o) in crow.iter_mut().enumerate() {
+            let acc = qn_simd::dot_i8(arow, col_of(j));
+            *o = acc as f32 * si * sb[j];
+        }
+        if let Some(buf) = apack {
+            scratch::give_i8(buf);
+        }
+    };
+    if m * n * k >= PAR_MIN_MACS {
+        qn_parallel::par_chunks_mut(cdata, row_stride, row_kernel);
+    } else {
+        for (i, crow) in cdata.chunks_mut(row_stride).enumerate() {
+            row_kernel(i, crow);
+        }
+    }
+    if let Some(bt) = bt_packed {
+        scratch::give_i8(bt);
+    }
+}
+
+/// The executable specification of [`gemm_i8`]: a plain sequential
+/// triple loop with scalar i32 accumulation and the identical epilogue
+/// order. Test-only reference, mirroring [`crate::mat::reference`].
+pub fn gemm_i8_reference(
+    out: &mut [f32],
+    a: MatRefI8<'_>,
+    b: MatRefI8<'_>,
+    sa: &[f32],
+    sb: &[f32],
+) {
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    assert_eq!(out.len(), m * n, "gemm_i8_reference: output length");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += a.at(i, p) as i32 * b.at(p, j) as i32;
+            }
+            out[i * n + j] = acc as f32 * sa[i] * sb[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn f16_known_values() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // f16 max
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00); // rounds to ∞
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xFC00);
+        assert_eq!(f32_to_f16_bits(5.960_464_5e-8), 0x0001); // min subnormal
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000); // flushes
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and the next f16
+        // (1 + 2⁻¹⁰); the tie goes to the even mantissa (1.0).
+        assert_eq!(f32_to_f16_bits(1.0 + 0.000_488_281_25), 0x3C00);
+        // 1 + 3·2⁻¹¹ is halfway between odd and even; goes up to even.
+        assert_eq!(f32_to_f16_bits(1.0 + 3.0 * 0.000_488_281_25), 0x3C02);
+    }
+
+    #[test]
+    fn f16_roundtrip_is_identity_on_all_finite_f16() {
+        for h in 0u16..=0xFFFF {
+            let exp = (h >> 10) & 0x1F;
+            if exp == 31 {
+                continue; // ∞/NaN handled separately
+            }
+            let x = f16_bits_to_f32(h);
+            assert_eq!(f32_to_f16_bits(x), h, "h = {h:#06x} → {x}");
+        }
+    }
+
+    #[test]
+    fn f16_decode_encode_slices() {
+        let xs = vec![0.5, -1.25, 3.0e4, 1.0e-5];
+        let back = decode_f16(&encode_f16(&xs));
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_error_is_bounded_by_half_scale() {
+        let mut rng = Rng::seed_from(5);
+        let t = Tensor::randn(&[7, 33], &mut rng);
+        let q = QTensor::quantize(&t);
+        let back = q.dequantize();
+        for i in 0..7 {
+            let bound = q.scales()[i] * 0.5001;
+            for j in 0..33 {
+                let d = (t.get(&[i, j]) - back.get(&[i, j])).abs();
+                assert!(d <= bound, "row {i}: err {d} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_gets_zero_scale_and_exact_zeros() {
+        let t = Tensor::from_vec(vec![0.0, 0.0, 1.0, -3.0], &[2, 2]).unwrap();
+        let q = QTensor::quantize(&t);
+        assert_eq!(q.scales()[0], 0.0);
+        assert_eq!(&q.data()[..2], &[0, 0]);
+        assert_eq!(q.dequantize().get(&[0, 0]), 0.0);
+        // absmax hits the ±127 codes exactly
+        assert_eq!(q.data()[3], -127);
+    }
+
+    #[test]
+    fn weight_bytes_report_compression() {
+        let q = QTensor::quantize(&Tensor::ones(&[16, 144]));
+        assert_eq!(q.weight_bytes(), 16 * 144 + 16 * 4);
+        assert_eq!(q.f32_bytes(), 16 * 144 * 4);
+        assert!(q.f32_bytes() as f64 / q.weight_bytes() as f64 > 3.5);
+    }
+
+    #[test]
+    fn gemm_i8_matches_reference_all_layouts() {
+        let mut rng = Rng::seed_from(17);
+        let (m, k, n) = (13, 29, 11);
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| rng.uniform(-127.0, 127.0) as i8)
+            .collect();
+        let b: Vec<i8> = (0..k * n)
+            .map(|_| rng.uniform(-127.0, 127.0) as i8)
+            .collect();
+        let sa: Vec<f32> = (0..m).map(|i| 0.01 + i as f32 * 1e-3).collect();
+        let sb: Vec<f32> = (0..n).map(|j| 0.02 + j as f32 * 1e-3).collect();
+        let av = MatRefI8::new(&a, m, k);
+        // b stored as [n, k] row-major, viewed transposed (weight layout)
+        let bt = MatRefI8::new(&b, n, k).transpose();
+        let mut want = vec![0.0f32; m * n];
+        gemm_i8_reference(&mut want, av, bt, &sa, &sb);
+        let mut got = vec![0.0f32; m * n];
+        gemm_i8(MatMut::new(&mut got, m, n), av, bt, &sa, &sb);
+        assert_eq!(got, want, "transposed-B (contiguous-col) path");
+        // b stored row-major [k, n]: forces the packing path
+        let bk: Vec<i8> = (0..k * n)
+            .map(|_| rng.uniform(-127.0, 127.0) as i8)
+            .collect();
+        let bv = MatRefI8::new(&bk, k, n);
+        gemm_i8_reference(&mut want, av, bv, &sa, &sb);
+        gemm_i8(MatMut::new(&mut got, m, n), av, bv, &sa, &sb);
+        assert_eq!(got, want, "row-major-B (packed) path");
+    }
+
+    #[test]
+    fn gemm_i8_k_zero_zero_fills() {
+        let mut out = vec![7.0f32; 6];
+        gemm_i8(
+            MatMut::new(&mut out, 2, 3),
+            MatRefI8::new(&[], 2, 0),
+            MatRefI8::new(&[], 0, 3),
+            &[1.0, 1.0],
+            &[1.0, 1.0, 1.0],
+        );
+        assert_eq!(out, [0.0; 6]);
+    }
+
+    #[test]
+    fn gemm_i8_strided_destination_leaves_gap() {
+        let a = [1i8, 0, 0, 1];
+        let b = [5i8, 6, 7, 8];
+        let mut out = vec![-1.0f32; 8];
+        gemm_i8(
+            MatMut::with_row_stride(&mut out, 2, 2, 4),
+            MatRefI8::new(&a, 2, 2),
+            MatRefI8::new(&b, 2, 2).transpose().transpose(),
+            &[1.0, 1.0],
+            &[1.0, 1.0],
+        );
+        assert_eq!(out, [5.0, 6.0, -1.0, -1.0, 7.0, 8.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_i8: a is")]
+    fn gemm_i8_dim_mismatch_panics() {
+        let mut out = vec![0.0f32; 4];
+        gemm_i8(
+            MatMut::new(&mut out, 2, 2),
+            MatRefI8::new(&[0; 6], 2, 3),
+            MatRefI8::new(&[0; 8], 4, 2),
+            &[1.0; 2],
+            &[1.0; 2],
+        );
+    }
+}

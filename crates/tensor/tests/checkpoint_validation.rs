@@ -4,7 +4,10 @@
 //! — it runs the identical validation path as [`Checkpoint::open`].
 
 use qn_tensor::checkpoint::{crc32, BLOB_ALIGN, CHECKPOINT_MAGIC};
-use qn_tensor::{Checkpoint, CheckpointWriter, Rng, Tensor, TensorError, CHECKPOINT_VERSION};
+use qn_tensor::{
+    Checkpoint, CheckpointWriter, Rng, Tensor, TensorError, CHECKPOINT_VERSION,
+    CHECKPOINT_VERSION_F32,
+};
 
 /// A small but fully-featured valid file: meta plus two oddly-sized
 /// tensors (so there is alignment padding between blobs).
@@ -40,10 +43,25 @@ fn one_tensor_header(fields: &str) -> String {
     format!("{{\"meta\":{{}},\"tensors\":[{{{fields}}}]}}")
 }
 
+/// A valid version-2 file: an f16 tensor, an i8 blob and an f32 scale
+/// vector (every dtype the container knows).
+fn valid_v2_bytes() -> Vec<u8> {
+    let mut w = CheckpointWriter::new();
+    w.add_meta("kind", "fuzz-target-v2");
+    w.add_f16("h.weight", &Tensor::from_fn(&[3, 5], |i| i as f32 * 0.25));
+    w.add_i8(
+        "q.weight",
+        (0..12).map(|i| (i - 6) as i8).collect(),
+        &[3, 4],
+    );
+    w.add("q.scales", Tensor::from_fn(&[3], |i| 0.01 + i as f32));
+    w.to_bytes().expect("serialize v2")
+}
+
 #[test]
 fn the_fuzz_target_baseline_parses() {
     let ckpt = Checkpoint::from_bytes(valid_bytes()).expect("valid file");
-    assert_eq!(ckpt.version(), CHECKPOINT_VERSION);
+    assert_eq!(ckpt.version(), CHECKPOINT_VERSION_F32);
     assert_eq!(ckpt.meta("kind"), Some("fuzz-target"));
     assert_eq!(ckpt.entries().len(), 2);
     let t = ckpt.tensor("a.weight").expect("tensor");
@@ -71,6 +89,77 @@ fn every_single_bit_flip_is_detected() {
             assert!(res.is_err(), "flip of byte {byte} bit {bit} undetected");
         }
     }
+}
+
+#[test]
+fn every_truncation_of_a_v2_file_is_an_error() {
+    let bytes = valid_v2_bytes();
+    assert_eq!(
+        Checkpoint::from_bytes(&bytes).expect("valid v2").version(),
+        CHECKPOINT_VERSION
+    );
+    for len in 0..bytes.len() {
+        let res = Checkpoint::from_bytes(&bytes[..len]);
+        assert!(
+            res.is_err(),
+            "v2 truncation to {len}/{} parsed",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_of_a_v2_file_is_detected() {
+    let bytes = valid_v2_bytes();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            let res = Checkpoint::from_bytes(&corrupt);
+            assert!(res.is_err(), "v2 flip of byte {byte} bit {bit} undetected");
+        }
+    }
+}
+
+#[test]
+fn random_mutations_of_a_v2_file_never_panic() {
+    // crc re-sealed after each mutation so the structural validators —
+    // dtype names, dtype-aware alignment and bounds — get exercised
+    let bytes = valid_v2_bytes();
+    let mut rng = Rng::seed_from(0x18B1);
+    for _ in 0..512 {
+        let mut corrupt = bytes.clone();
+        for _ in 0..1 + rng.below(4) {
+            let at = rng.below(corrupt.len());
+            corrupt[at] = rng.below(256) as u8;
+        }
+        let crc = crc32(&corrupt[16..]);
+        corrupt[12..16].copy_from_slice(&crc.to_le_bytes());
+        if let Ok(ck) = Checkpoint::from_bytes(&corrupt) {
+            // readable files must also read without panicking
+            let _ = ck.tensor("h.weight");
+            let _ = ck.i8_slice("q.weight");
+            let _ = ck.tensor("q.scales");
+        }
+    }
+}
+
+#[test]
+fn all_f32_files_stay_version_1_and_roundtrip_bit_exactly() {
+    // the pre-quantization format promise: a writer holding only f32
+    // tensors emits a version-1 file whose tensors read back untouched
+    let bytes = valid_bytes();
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        CHECKPOINT_VERSION_F32,
+        "all-f32 file must carry the version-1 tag on the wire"
+    );
+    let ck = Checkpoint::from_bytes(&bytes).unwrap();
+    let orig = Tensor::from_fn(&[3, 5], |i| i as f32);
+    assert!(ck.tensor("a.weight").unwrap().bit_identical(&orig));
+    assert!(ck.tensor_mapped("a.weight").unwrap().bit_identical(&orig));
+    // and serializing the identical content twice is deterministic
+    assert_eq!(bytes, valid_bytes());
 }
 
 #[test]
